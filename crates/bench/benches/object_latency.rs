@@ -1,0 +1,69 @@
+//! Criterion bench: local operation cost of each replica flavour (the
+//! wait-free path — no network, pure state-machine work). This
+//! quantifies the price of convergence: the arbitrated log of the
+//! generalized Fig. 5 replica vs the O(k) verbatim window
+//! implementation vs the plain Fig. 4 fold.
+
+use cbm_adt::window::{WaInput, WindowArray};
+use cbm_core::causal::CausalShared;
+use cbm_core::convergent::ConvergentShared;
+use cbm_core::ec::EcShared;
+use cbm_core::replica::Replica;
+use cbm_core::wk_array::{WkArrayCc, WkArrayCcv};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_invoke<R: Replica<WindowArray>>(b: &mut criterion::Bencher<'_>, streams: usize) {
+    let adt = WindowArray::new(streams, 3);
+    b.iter_batched(
+        || R::new_replica(0, 3, adt),
+        |mut rep| {
+            let mut out = Vec::with_capacity(4);
+            for i in 0..256u64 {
+                let input = if i % 3 == 0 {
+                    WaInput::Read((i % streams as u64) as usize)
+                } else {
+                    WaInput::Write((i % streams as u64) as usize, i)
+                };
+                let _ = rep.invoke(i, &input, &mut out);
+                out.clear();
+            }
+            rep.local_state()
+        },
+        criterion::BatchSize::SmallInput,
+    );
+}
+
+fn bench_flavours(c: &mut Criterion) {
+    let mut group = c.benchmark_group("invoke_256ops");
+    for streams in [1usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("CausalShared", streams),
+            &streams,
+            |b, &s| bench_invoke::<CausalShared<WindowArray>>(b, s),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("ConvergentShared", streams),
+            &streams,
+            |b, &s| bench_invoke::<ConvergentShared<WindowArray>>(b, s),
+        );
+        group.bench_with_input(BenchmarkId::new("WkArrayCc", streams), &streams, |b, &s| {
+            bench_invoke::<WkArrayCc>(b, s)
+        });
+        group.bench_with_input(
+            BenchmarkId::new("WkArrayCcv", streams),
+            &streams,
+            |b, &s| bench_invoke::<WkArrayCcv>(b, s),
+        );
+        group.bench_with_input(BenchmarkId::new("EcShared", streams), &streams, |b, &s| {
+            bench_invoke::<EcShared<WindowArray>>(b, s)
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench_flavours
+}
+criterion_main!(benches);

@@ -1,0 +1,191 @@
+//! # cbm-bench — figure regeneration harnesses and benchmarks
+//!
+//! One binary per paper figure (experiments E1–E5 of DESIGN.md) plus
+//! Criterion micro-benchmarks (E9). This library hosts the shared
+//! pieces: plain-text table rendering, random history generation for
+//! the hierarchy experiment, and the measured classification of a
+//! history against every applicable criterion.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cbm_adt::window::{WInput, WOutput, WindowStream};
+use cbm_adt::Adt;
+use cbm_check::{check, Budget, Criterion, Verdict};
+use cbm_history::{History, HistoryBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Render an aligned plain-text table.
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{:<w$}", cell, w = widths[i]));
+        }
+        line.push('\n');
+        line
+    };
+    let hdr: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&hdr, &widths));
+    let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+    out.push_str(&"-".repeat(total));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Pretty-print a verdict for tables.
+pub fn mark(v: Verdict) -> String {
+    match v {
+        Verdict::Sat => "yes".into(),
+        Verdict::Unsat => "no".into(),
+        Verdict::Unknown => "?".into(),
+    }
+}
+
+/// Pretty-print an expectation.
+pub fn expect_mark(e: Option<bool>) -> String {
+    match e {
+        Some(true) => "yes".into(),
+        Some(false) => "no".into(),
+        None => "-".into(),
+    }
+}
+
+/// Measured verdicts of one history against the five generic criteria,
+/// in the order SC, CC, CCv, WCC, PC.
+pub fn classify<T: Adt>(
+    adt: &T,
+    h: &History<T::Input, T::Output>,
+    budget: &Budget,
+) -> [Verdict; 5] {
+    [
+        check(Criterion::Sc, adt, h, budget).verdict,
+        check(Criterion::Cc, adt, h, budget).verdict,
+        check(Criterion::Ccv, adt, h, budget).verdict,
+        check(Criterion::Wcc, adt, h, budget).verdict,
+        check(Criterion::Pc, adt, h, budget).verdict,
+    ]
+}
+
+/// Configuration for random window-stream histories (hierarchy
+/// experiment E1).
+#[derive(Debug, Clone, Copy)]
+pub struct RandomHistories {
+    /// Number of processes (2–3 keeps checking exact).
+    pub procs: usize,
+    /// Max events per process.
+    pub max_ops: usize,
+    /// Window size `k`.
+    pub k: usize,
+    /// Value domain for claimed read windows.
+    pub domain: u64,
+    /// Number of histories.
+    pub count: usize,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for RandomHistories {
+    fn default() -> Self {
+        RandomHistories {
+            procs: 2,
+            max_ops: 3,
+            k: 2,
+            domain: 3,
+            count: 500,
+            seed: 1,
+        }
+    }
+}
+
+/// Generate random `Wk` histories: each process writes a distinct value
+/// then performs reads claiming arbitrary windows over a small domain.
+/// Many are inconsistent; the interesting ones land between criteria.
+pub fn random_histories(cfg: &RandomHistories) -> Vec<History<WInput, WOutput>> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    (0..cfg.count)
+        .map(|_| {
+            let mut b: HistoryBuilder<WInput, WOutput> = HistoryBuilder::new();
+            for p in 0..cfg.procs {
+                b.op(p, WInput::Write(p as u64 + 1), WOutput::Ack);
+                for _ in 0..rng.gen_range(0..=cfg.max_ops.saturating_sub(1)) {
+                    let w: Vec<u64> = (0..cfg.k).map(|_| rng.gen_range(0..cfg.domain)).collect();
+                    b.op(p, WInput::Read, WOutput::Window(w));
+                }
+            }
+            b.build()
+        })
+        .collect()
+}
+
+/// The window-stream ADT matching [`random_histories`].
+pub fn random_histories_adt(cfg: &RandomHistories) -> WindowStream {
+    WindowStream::new(cfg.k)
+}
+
+/// Simple text bar for latency tables.
+pub fn bar(value: f64, scale: f64, width: usize) -> String {
+    let filled = ((value / scale).min(1.0) * width as f64).round() as usize;
+    format!("{}{}", "#".repeat(filled), ".".repeat(width - filled))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let t = render_table(
+            &["a", "long-header"],
+            &[vec!["xx".into(), "y".into()], vec!["1".into(), "2".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("long-header"));
+    }
+
+    #[test]
+    fn random_histories_are_deterministic() {
+        let cfg = RandomHistories { count: 5, ..Default::default() };
+        let a = random_histories(&cfg);
+        let b = random_histories(&cfg);
+        assert_eq!(a.len(), 5);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.len(), y.len());
+            for e in x.events() {
+                assert_eq!(x.label(e), y.label(e));
+            }
+        }
+    }
+
+    #[test]
+    fn classify_returns_five_verdicts() {
+        let cfg = RandomHistories { count: 1, ..Default::default() };
+        let h = &random_histories(&cfg)[0];
+        let v = classify(&random_histories_adt(&cfg), h, &Budget::default());
+        assert_eq!(v.len(), 5);
+    }
+
+    #[test]
+    fn bar_clamps() {
+        assert_eq!(bar(10.0, 10.0, 4), "####");
+        assert_eq!(bar(0.0, 10.0, 4), "....");
+        assert_eq!(bar(100.0, 10.0, 4), "####");
+    }
+}

@@ -1,0 +1,436 @@
+//! Causal convergence (Definition 12): `∃` causal order `→` and total
+//! order `≤ ⊇ →` with
+//! `∀e: lin((H^≤).π(⌊e⌋, {e})) ∩ L(T) ≠ ∅`.
+//!
+//! Because `≤` is total, each event has exactly **one** candidate
+//! linearization of its causal past — the `≤`-sorted one — so the
+//! per-event condition is a cheap replay. What must be searched is the
+//! pair (placement sequence `≤`, past rows): we enumerate `≤` as an
+//! incremental placement (a linear extension of the program order) and
+//! choose each constrained read's past among closed subsets of the
+//! already-placed events, exactly as in [`crate::causal`], with two
+//! differences:
+//!
+//! * **updates are placed by branching, not eagerly** — their position
+//!   in the placement sequence *is* the arbitration order that every
+//!   later replay observes;
+//! * the per-event check is a deterministic replay of the candidate
+//!   past in placement order (no inner search).
+//!
+//! Events that neither update the state nor carry a constrained output
+//! are still placed eagerly with minimal pasts: their position in `≤`
+//! is unobservable.
+//!
+//! The same machinery, with the transitive-closure requirement on
+//! visibility sets switched off, decides **strong update consistency**
+//! (Perrin et al., IPDPS 2015 — \[19\] in the paper): §5.1 observes that
+//! causal convergence strengthens it exactly by making visibility a
+//! transitive causal order. [`check_suc`] exposes that variant; the
+//! `EcShared` baseline in `cbm-core` implements precisely SUC.
+
+use crate::kernel::{is_constrained_read, LinQuery};
+use crate::{label_table, Budget, CheckResult, Verdict};
+use cbm_adt::Adt;
+use cbm_history::{BitSet, History, Relation};
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+/// Is `h` causally convergent with `adt` (Definition 12)?
+pub fn check_ccv<T: Adt>(
+    adt: &T,
+    h: &History<T::Input, T::Output>,
+    budget: &Budget,
+) -> CheckResult {
+    CcvSearcher::new(adt, h, budget, true).run()
+}
+
+/// Is `h` strongly update consistent (§5.1, after \[19\])?
+///
+/// Like CCv there must be one arbitration total order of the updates
+/// (extending the program order) and per-event visibility sets that
+/// grow along each process, with every output explained by folding the
+/// visible updates in arbitration order — but visibility need **not**
+/// be transitively closed across processes: a replica may apply an
+/// effect without its cause, as long as arbitration untangles them
+/// later. CCv ⇒ SUC (closure is an extra constraint); the `EcShared`
+/// runs in the anomaly tests separate them.
+pub fn check_suc<T: Adt>(
+    adt: &T,
+    h: &History<T::Input, T::Output>,
+    budget: &Budget,
+) -> CheckResult {
+    CcvSearcher::new(adt, h, budget, false).run()
+}
+
+struct CcvSearcher<'a, T: Adt> {
+    adt: &'a T,
+    h: &'a History<T::Input, T::Output>,
+    labels: Vec<(T::Input, Option<T::Output>)>,
+    n: usize,
+    is_read: Vec<bool>,
+    is_update: Vec<bool>,
+    nodes: u64,
+    max_nodes: u64,
+    exhausted: bool,
+    memo: HashSet<u64>,
+    witness: Option<(Vec<usize>, Vec<BitSet>)>,
+    /// true = CCv (visibility transitively closed); false = SUC.
+    closure: bool,
+}
+
+impl<'a, T: Adt> CcvSearcher<'a, T> {
+    fn new(
+        adt: &'a T,
+        h: &'a History<T::Input, T::Output>,
+        budget: &Budget,
+        closure: bool,
+    ) -> Self {
+        let labels = label_table::<T>(h);
+        let n = h.len();
+        let is_read: Vec<bool> = labels.iter().map(|l| is_constrained_read(adt, l)).collect();
+        let is_update: Vec<bool> = labels.iter().map(|l| adt.is_update(&l.0)).collect();
+        CcvSearcher {
+            adt,
+            h,
+            labels,
+            n,
+            is_read,
+            is_update,
+            nodes: budget.max_nodes,
+            max_nodes: budget.max_nodes,
+            exhausted: false,
+            memo: HashSet::new(),
+            witness: None,
+            closure,
+        }
+    }
+
+    fn run(mut self) -> CheckResult {
+        for (input, out) in &self.labels {
+            if let Some(o) = out {
+                if !self.adt.is_query(input)
+                    && self.adt.output(&self.adt.initial(), input) != *o
+                {
+                    return CheckResult::new(Verdict::Unsat, 0);
+                }
+            }
+        }
+        let placed = BitSet::new(self.n);
+        let pasts = vec![BitSet::new(self.n); self.n];
+        let found = self.dfs(placed, pasts, Vec::new());
+        let used = self.max_nodes - self.nodes;
+        if found {
+            let witness = self.witness.take().map(|(_, rows)| {
+                let mut edges = Vec::new();
+                for (e, row) in rows.iter().enumerate() {
+                    for p in row.iter() {
+                        edges.push((p, e));
+                    }
+                }
+                Relation::from_edges(self.n, &edges).expect("witness pasts are acyclic")
+            });
+            CheckResult::new(Verdict::Sat, used).with_witness(witness)
+        } else if self.exhausted {
+            CheckResult::new(Verdict::Unknown, used)
+        } else {
+            CheckResult::new(Verdict::Unsat, used)
+        }
+    }
+
+    fn base_of(&self, e: usize, pasts: &[BitSet]) -> BitSet {
+        let mut base = self.h.prog_past(cbm_history::EventId(e as u32)).clone();
+        for d in base.to_vec() {
+            base.union_with(&pasts[d]);
+        }
+        base
+    }
+
+    /// Is `e` placement-order-sensitive (update) or check-carrying (read)?
+    fn is_branching(&self, e: usize) -> bool {
+        self.is_update[e] || self.is_read[e]
+    }
+
+    fn dfs(&mut self, mut placed: BitSet, mut pasts: Vec<BitSet>, mut seq: Vec<usize>) -> bool {
+        // Eager phase: hidden pure queries / noops.
+        loop {
+            let mut progress = false;
+            for e in 0..self.n {
+                if placed.contains(e) || self.is_branching(e) {
+                    continue;
+                }
+                if self
+                    .h
+                    .prog_past(cbm_history::EventId(e as u32))
+                    .is_subset(&placed)
+                {
+                    pasts[e] = self.base_of(e, &pasts);
+                    placed.insert(e);
+                    seq.push(e);
+                    progress = true;
+                }
+            }
+            if !progress {
+                break;
+            }
+        }
+        if placed.count() == self.n {
+            self.witness = Some((seq, pasts));
+            return true;
+        }
+        if self.nodes == 0 {
+            self.exhausted = true;
+            return false;
+        }
+        self.nodes -= 1;
+        if !self.memo.insert(self.state_hash(&placed, &pasts, &seq)) {
+            return false;
+        }
+
+        for e in 0..self.n {
+            if placed.contains(e) || !self.is_branching(e) {
+                continue;
+            }
+            if !self
+                .h
+                .prog_past(cbm_history::EventId(e as u32))
+                .is_subset(&placed)
+            {
+                continue;
+            }
+            let base = self.base_of(e, &pasts);
+            if !self.is_read[e] {
+                // unconstrained update: minimal past, position branches
+                if self.nodes == 0 {
+                    self.exhausted = true;
+                    return false;
+                }
+                self.nodes -= 1;
+                pasts[e] = base;
+                let mut next_placed = placed.clone();
+                next_placed.insert(e);
+                let mut next_seq = seq.clone();
+                next_seq.push(e);
+                if self.dfs(next_placed, pasts.clone(), next_seq) {
+                    return true;
+                }
+                continue;
+            }
+            // constrained read: branch on closed past supersets
+            let optional: Vec<usize> = placed
+                .iter()
+                .filter(|&u| self.is_update[u] && !base.contains(u))
+                .collect();
+            let mut seen_pasts: HashSet<BitSet> = HashSet::new();
+            let mut stack: Vec<(usize, BitSet)> = vec![(0, base.clone())];
+            while let Some((i, current)) = stack.pop() {
+                if i == optional.len() {
+                    if !seen_pasts.insert(current.clone()) {
+                        continue;
+                    }
+                    if self.nodes == 0 {
+                        self.exhausted = true;
+                        return false;
+                    }
+                    self.nodes -= 1;
+                    if self.replay_check(e, &current, &seq) {
+                        pasts[e] = current.clone();
+                        let mut next_placed = placed.clone();
+                        next_placed.insert(e);
+                        let mut next_seq = seq.clone();
+                        next_seq.push(e);
+                        if self.dfs(next_placed, pasts.clone(), next_seq) {
+                            return true;
+                        }
+                    }
+                    continue;
+                }
+                let u = optional[i];
+                stack.push((i + 1, current.clone()));
+                if !current.contains(u) {
+                    let mut with_u = current;
+                    with_u.insert(u);
+                    if self.closure {
+                        with_u.union_with(&pasts[u]);
+                    }
+                    stack.push((i + 1, with_u));
+                }
+            }
+        }
+        false
+    }
+
+    /// Replay `past ∪ {e}` in placement order; `e` comes last.
+    fn replay_check(&self, e: usize, past: &BitSet, seq: &[usize]) -> bool {
+        let mut include = past.clone();
+        include.insert(e);
+        let mut visible = BitSet::new(self.n);
+        visible.insert(e);
+        let mut order: Vec<usize> = seq.iter().copied().filter(|x| past.contains(*x)).collect();
+        order.push(e);
+        let dummy = Relation::empty(0); // replay ignores order rows
+        let q = LinQuery {
+            adt: self.adt,
+            labels: &self.labels,
+            pasts: &dummy,
+            include: &include,
+            visible: &visible,
+        };
+        q.replay(&order)
+    }
+
+    /// Placement-order-sensitive hash: the sequence of placed *updates*
+    /// plus all past rows (query positions are unobservable).
+    fn state_hash(&self, placed: &BitSet, pasts: &[BitSet], seq: &[usize]) -> u64 {
+        let mut h = Fnv::default();
+        placed.hash(&mut h);
+        for &e in seq.iter().filter(|&&e| self.is_update[e]) {
+            e.hash(&mut h);
+        }
+        for e in placed.iter() {
+            pasts[e].hash(&mut h);
+        }
+        h.finish()
+    }
+}
+
+#[derive(Default)]
+struct Fnv(u64);
+
+impl Hasher for Fnv {
+    fn finish(&self) -> u64 {
+        if self.0 == 0 {
+            0xcbf2_9ce4_8422_2325
+        } else {
+            self.0
+        }
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = if self.0 == 0 { 0xcbf2_9ce4_8422_2325 } else { self.0 };
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbm_adt::memory::{MemInput, MemOutput, Memory};
+    use cbm_adt::window::{WInput, WOutput, WindowStream};
+    use cbm_history::HistoryBuilder;
+
+    type WB = HistoryBuilder<WInput, WOutput>;
+    type MB = HistoryBuilder<MemInput, MemOutput>;
+
+    fn wr(b: &mut WB, p: usize, v: u64) {
+        b.op(p, WInput::Write(v), WOutput::Ack);
+    }
+    fn rd(b: &mut WB, p: usize, vals: &[u64]) {
+        b.op(p, WInput::Read, WOutput::Window(vals.to_vec()));
+    }
+
+    /// Fig. 3a is causally convergent.
+    #[test]
+    fn fig3a_is_ccv() {
+        let adt = WindowStream::new(2);
+        let mut b = WB::new();
+        wr(&mut b, 0, 1);
+        rd(&mut b, 0, &[0, 1]);
+        rd(&mut b, 0, &[1, 2]);
+        wr(&mut b, 1, 2);
+        rd(&mut b, 1, &[0, 2]);
+        rd(&mut b, 1, &[1, 2]);
+        let h = b.build();
+        let res = check_ccv(&adt, &h, &Budget::default());
+        assert_eq!(res.verdict, Verdict::Sat);
+        let w = res.witness.unwrap();
+        assert!(w.contains(h.prog()));
+    }
+
+    /// Fig. 3c is not causally convergent: both writes are in the causal
+    /// past of both reads, but the reads observe opposite orders.
+    #[test]
+    fn fig3c_is_not_ccv() {
+        let adt = WindowStream::new(2);
+        let mut b = WB::new();
+        wr(&mut b, 0, 1);
+        rd(&mut b, 0, &[2, 1]);
+        wr(&mut b, 1, 2);
+        rd(&mut b, 1, &[1, 2]);
+        let h = b.build();
+        assert_eq!(check_ccv(&adt, &h, &Budget::default()).verdict, Verdict::Unsat);
+    }
+
+    /// Fig. 3d (SC) is also CCv.
+    #[test]
+    fn fig3d_is_ccv() {
+        let adt = WindowStream::new(2);
+        let mut b = WB::new();
+        wr(&mut b, 0, 1);
+        rd(&mut b, 0, &[0, 1]);
+        wr(&mut b, 1, 2);
+        rd(&mut b, 1, &[1, 2]);
+        let h = b.build();
+        assert_eq!(check_ccv(&adt, &h, &Budget::default()).verdict, Verdict::Sat);
+    }
+
+    /// Fig. 3h (memory): CCv.
+    /// p0: wa(1), wc(2), wd(1), rb/0, re/1, rc/3
+    /// p1: wb(1), wc(3), we(1), ra/0, rd/1, rc/3
+    #[test]
+    fn fig3h_is_ccv() {
+        let mem = Memory::new(5);
+        let (a, bx, c, d, e) = (0usize, 1usize, 2usize, 3usize, 4usize);
+        let mut b = MB::new();
+        b.op(0, MemInput::Write(a, 1), MemOutput::Ack);
+        b.op(0, MemInput::Write(c, 2), MemOutput::Ack);
+        b.op(0, MemInput::Write(d, 1), MemOutput::Ack);
+        b.op(0, MemInput::Read(bx), MemOutput::Val(0));
+        b.op(0, MemInput::Read(e), MemOutput::Val(1));
+        b.op(0, MemInput::Read(c), MemOutput::Val(3));
+        b.op(1, MemInput::Write(bx, 1), MemOutput::Ack);
+        b.op(1, MemInput::Write(c, 3), MemOutput::Ack);
+        b.op(1, MemInput::Write(e, 1), MemOutput::Ack);
+        b.op(1, MemInput::Read(a), MemOutput::Val(0));
+        b.op(1, MemInput::Read(d), MemOutput::Val(1));
+        b.op(1, MemInput::Read(c), MemOutput::Val(3));
+        let h = b.build();
+        assert_eq!(check_ccv(&mem, &h, &Budget::default()).verdict, Verdict::Sat);
+    }
+
+    #[test]
+    fn empty_history_is_ccv() {
+        let adt = WindowStream::new(2);
+        let h = WB::new().build();
+        assert_eq!(check_ccv(&adt, &h, &Budget::default()).verdict, Verdict::Sat);
+    }
+
+    #[test]
+    fn single_register_divergent_reads_not_ccv() {
+        // two readers disagree forever on the final value of one register
+        let adt = WindowStream::new(1);
+        let mut b = WB::new();
+        wr(&mut b, 0, 1);
+        wr(&mut b, 1, 2);
+        // p2 reads 1 then 2 then 1: the final 1 needs w(2) ≤ w(1)
+        rd(&mut b, 2, &[2]);
+        rd(&mut b, 2, &[1]);
+        // p3 reads in the other final order: needs w(1) ≤ w(2)
+        rd(&mut b, 3, &[1]);
+        rd(&mut b, 3, &[2]);
+        let h = b.build();
+        assert_eq!(check_ccv(&adt, &h, &Budget::default()).verdict, Verdict::Unsat);
+    }
+
+    #[test]
+    fn zero_budget_reports_unknown() {
+        let adt = WindowStream::new(2);
+        let mut b = WB::new();
+        wr(&mut b, 0, 1);
+        rd(&mut b, 0, &[0, 1]);
+        let h = b.build();
+        assert_eq!(check_ccv(&adt, &h, &Budget::nodes(0)).verdict, Verdict::Unknown);
+    }
+}

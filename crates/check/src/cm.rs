@@ -1,0 +1,258 @@
+//! Causal memory (Definition 11, after Ahamad et al.): the
+//! memory-specific criterion defined through **writes-into orders**,
+//! against which §4.2 compares causal consistency.
+//!
+//! A writes-into order relates selected writes to the reads that return
+//! their value (same register, same value; at most one antecedent per
+//! read; default reads may be orphans). `H` is `M_X`-causal when some
+//! writes-into order embeds, together with the program order, into a
+//! causal order under which every process can linearize the whole
+//! history with its own outputs visible.
+//!
+//! Because enlarging the causal order only removes linearizations, it
+//! suffices to consider the *minimal* causal order — the transitive
+//! closure of `↦ ∪ ⤳` — for each candidate writes-into order, so the
+//! search enumerates only the writes-into choices (the per-read
+//! candidate write sets), which is where causal memory's weakness
+//! lives: with duplicated written values the choice is ambiguous, and
+//! Fig. 3i exploits exactly that.
+
+use crate::kernel::{LinQuery, Outcome};
+use crate::{label_table, Budget, CheckResult, Verdict};
+use cbm_adt::memory::{MemInput, MemOutput, Memory};
+use cbm_history::{BitSet, History};
+
+/// Is `h` `M_X`-causal (Definition 11)?
+pub fn check_cm(
+    mem: &Memory,
+    h: &History<MemInput, MemOutput>,
+    budget: &Budget,
+) -> CheckResult {
+    let n = h.len();
+    // Per-read candidate antecedents.
+    let mut reads: Vec<usize> = Vec::new();
+    let mut candidates: Vec<Vec<Option<usize>>> = Vec::new();
+    for e in 0..n {
+        let label = h.label(cbm_history::EventId(e as u32));
+        let (MemInput::Read(x), Some(MemOutput::Val(v))) = (&label.input, &label.output) else {
+            continue;
+        };
+        let mut cands: Vec<Option<usize>> = Vec::new();
+        if *v == 0 {
+            // Def. 11, third bullet: orphan reads must read the default.
+            cands.push(None);
+        }
+        for w in 0..n {
+            let wl = h.label(cbm_history::EventId(w as u32));
+            if let MemInput::Write(y, u) = wl.input {
+                if y == *x && u == *v {
+                    cands.push(Some(w));
+                }
+            }
+        }
+        if cands.is_empty() {
+            return CheckResult::new(Verdict::Unsat, 0);
+        }
+        reads.push(e);
+        candidates.push(cands);
+    }
+
+    let labels = label_table::<Memory>(h);
+    let chains = h.maximal_chains(budget.max_chains);
+    let chain_sets: Vec<BitSet> = chains
+        .iter()
+        .map(|chain| {
+            let mut s = BitSet::new(n);
+            for e in chain {
+                s.insert(e.idx());
+            }
+            s
+        })
+        .collect();
+
+    let mut nodes = budget.max_nodes;
+    let mut exhausted = false;
+    let mut choice = vec![0usize; reads.len()];
+    'outer: loop {
+        if nodes == 0 {
+            exhausted = true;
+            break;
+        }
+        nodes -= 1;
+        // Build → = TC(↦ ∪ ⤳) for this writes-into choice.
+        let mut rel = h.prog().clone();
+        let mut acyclic = true;
+        for (ri, &r) in reads.iter().enumerate() {
+            if let Some(w) = candidates[ri][choice[ri]] {
+                if rel.lt(r, w) {
+                    acyclic = false;
+                    break;
+                }
+                rel.add_pair_closed(w, r);
+            }
+        }
+        if acyclic && rel.is_acyclic() {
+            let include = h.all_set();
+            let mut all_ok = true;
+            for cs in &chain_sets {
+                let q = LinQuery {
+                    adt: mem,
+                    labels: &labels,
+                    pasts: &rel,
+                    include: &include,
+                    visible: cs,
+                };
+                match q.run(&mut nodes) {
+                    Outcome::Sat(_) => {}
+                    Outcome::Unsat => {
+                        all_ok = false;
+                        break;
+                    }
+                    Outcome::Unknown => {
+                        exhausted = true;
+                        all_ok = false;
+                        break;
+                    }
+                }
+            }
+            if all_ok {
+                return CheckResult::new(Verdict::Sat, budget.max_nodes - nodes)
+                    .with_witness(Some(rel));
+            }
+        }
+        // next combination
+        for i in 0..reads.len() {
+            choice[i] += 1;
+            if choice[i] < candidates[i].len() {
+                continue 'outer;
+            }
+            choice[i] = 0;
+        }
+        break;
+    }
+    let used = budget.max_nodes - nodes;
+    if exhausted {
+        CheckResult::new(Verdict::Unknown, used)
+    } else {
+        CheckResult::new(Verdict::Unsat, used)
+    }
+}
+
+/// Do all write events of `h` write pairwise-distinct `(register,
+/// value)` pairs? (The hypothesis of Proposition 4.)
+pub fn all_writes_distinct(h: &History<MemInput, MemOutput>) -> bool {
+    let mut seen = std::collections::HashSet::new();
+    for e in h.events() {
+        if let MemInput::Write(x, v) = h.label(e).input {
+            if !seen.insert((x, v)) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::causal::check_cc;
+    use cbm_history::HistoryBuilder;
+
+    type B = HistoryBuilder<MemInput, MemOutput>;
+
+    fn wr(b: &mut B, p: usize, x: usize, v: u64) {
+        b.op(p, MemInput::Write(x, v), MemOutput::Ack);
+    }
+    fn rd(b: &mut B, p: usize, x: usize, v: u64) {
+        b.op(p, MemInput::Read(x), MemOutput::Val(v));
+    }
+
+    /// Fig. 3i: CM but not CC (same value written twice).
+    /// p0: wa(1), wa(2), wb(3), rd/3, rc/1, wa(1)
+    /// p1: wc(1), wc(2), wd(3), rb/3, ra/1, wc(1)
+    fn fig3i() -> History<MemInput, MemOutput> {
+        let (a, bx, c, d) = (0usize, 1usize, 2usize, 3usize);
+        let mut b = B::new();
+        wr(&mut b, 0, a, 1);
+        wr(&mut b, 0, a, 2);
+        wr(&mut b, 0, bx, 3);
+        rd(&mut b, 0, d, 3);
+        rd(&mut b, 0, c, 1);
+        wr(&mut b, 0, a, 1);
+        wr(&mut b, 1, c, 1);
+        wr(&mut b, 1, c, 2);
+        wr(&mut b, 1, d, 3);
+        rd(&mut b, 1, bx, 3);
+        rd(&mut b, 1, a, 1);
+        wr(&mut b, 1, c, 1);
+        b.build()
+    }
+
+    #[test]
+    fn fig3i_is_cm_but_not_cc() {
+        let mem = Memory::new(4);
+        let h = fig3i();
+        let budget = Budget::default();
+        assert!(!all_writes_distinct(&h));
+        assert_eq!(check_cm(&mem, &h, &budget).verdict, Verdict::Sat);
+        assert_eq!(check_cc(&mem, &h, &budget).verdict, Verdict::Unsat);
+    }
+
+    /// With distinct values, a read-your-writes violation is neither CM
+    /// nor CC.
+    #[test]
+    fn ryw_violation_is_not_cm() {
+        let mem = Memory::new(1);
+        let mut b = B::new();
+        wr(&mut b, 0, 0, 1);
+        rd(&mut b, 0, 0, 0); // own write lost
+        let h = b.build();
+        assert_eq!(check_cm(&mem, &h, &Budget::default()).verdict, Verdict::Unsat);
+    }
+
+    #[test]
+    fn simple_causal_exchange_is_cm() {
+        let mem = Memory::new(2);
+        let mut b = B::new();
+        wr(&mut b, 0, 0, 1);
+        rd(&mut b, 1, 0, 1);
+        wr(&mut b, 1, 1, 2);
+        rd(&mut b, 0, 1, 2);
+        let h = b.build();
+        assert!(all_writes_distinct(&h));
+        assert_eq!(check_cm(&mem, &h, &Budget::default()).verdict, Verdict::Sat);
+    }
+
+    #[test]
+    fn read_of_never_written_value_is_not_cm() {
+        let mem = Memory::new(1);
+        let mut b = B::new();
+        rd(&mut b, 0, 0, 7);
+        let h = b.build();
+        assert_eq!(check_cm(&mem, &h, &Budget::default()).verdict, Verdict::Unsat);
+    }
+
+    #[test]
+    fn default_read_is_cm() {
+        let mem = Memory::new(1);
+        let mut b = B::new();
+        rd(&mut b, 0, 0, 0);
+        wr(&mut b, 1, 0, 5);
+        let h = b.build();
+        assert_eq!(check_cm(&mem, &h, &Budget::default()).verdict, Verdict::Sat);
+    }
+
+    #[test]
+    fn distinctness_helper() {
+        let mut b = B::new();
+        wr(&mut b, 0, 0, 1);
+        wr(&mut b, 0, 1, 1); // same value, different register: distinct
+        let h = b.build();
+        assert!(all_writes_distinct(&h));
+        let mut b = B::new();
+        wr(&mut b, 0, 0, 1);
+        wr(&mut b, 1, 0, 1);
+        let h = b.build();
+        assert!(!all_writes_distinct(&h));
+    }
+}

@@ -1,0 +1,242 @@
+//! Finite-history forms of eventual consistency (§5.1) and update
+//! consistency (\[19\] in the paper).
+//!
+//! Eventual consistency — "if everyone stops updating, all replicas
+//! converge" — is a liveness property and is vacuous on any finite
+//! history. We check its standard finite-execution observable,
+//! **quiescent convergence**: the caller designates the *stable*
+//! queries (reads taken after update quiescence, e.g. each process's
+//! trailing reads in a recorded execution), and the checker asks for a
+//! single total order of **all** updates whose final state explains
+//! every stable query. All stable queries are evaluated in the *same*
+//! state: that is the convergence part.
+//!
+//! * [`UpdateOrderMode::Any`] models plain eventual consistency (the
+//!   common order may disregard program order);
+//! * [`UpdateOrderMode::ProgramOrder`] models update consistency
+//!   (Perrin et al., IPDPS 2015): the common order must extend the
+//!   program order on updates — the analogue of PC in the convergent
+//!   branch, strengthened by CCv just as CC strengthens PC.
+
+use crate::{label_table, Budget, CheckResult, Verdict};
+use cbm_adt::Adt;
+use cbm_history::{BitSet, EventId, History};
+use std::collections::HashSet;
+
+/// How the common update order must relate to the program order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UpdateOrderMode {
+    /// Any permutation of the updates (eventual consistency).
+    Any,
+    /// Linear extensions of `↦` restricted to updates (update
+    /// consistency).
+    ProgramOrder,
+}
+
+/// Does some total order of all updates (subject to `mode`) make every
+/// stable query's recorded output equal to `λ` of the common final
+/// state?
+pub fn check_quiescent_convergence<T: Adt>(
+    adt: &T,
+    h: &History<T::Input, T::Output>,
+    stable: &[EventId],
+    mode: UpdateOrderMode,
+    budget: &Budget,
+) -> CheckResult {
+    let labels = label_table::<T>(h);
+    let n = h.len();
+    let updates: Vec<usize> = (0..n).filter(|&e| adt.is_update(&labels[e].0)).collect();
+    let mut uset = BitSet::new(n);
+    for &u in &updates {
+        uset.insert(u);
+    }
+    let mut nodes = budget.max_nodes;
+    let mut memo: HashSet<(BitSet, T::State)> = HashSet::new();
+    let done = BitSet::new(n);
+    let outcome = dfs(
+        adt, h, &labels, &uset, stable, mode, done, adt.initial(), &mut memo, &mut nodes,
+    );
+    let used = budget.max_nodes - nodes;
+    match outcome {
+        Some(true) => CheckResult::new(Verdict::Sat, used),
+        Some(false) => CheckResult::new(Verdict::Unsat, used),
+        None => CheckResult::new(Verdict::Unknown, used),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn dfs<T: Adt>(
+    adt: &T,
+    h: &History<T::Input, T::Output>,
+    labels: &[(T::Input, Option<T::Output>)],
+    uset: &BitSet,
+    stable: &[EventId],
+    mode: UpdateOrderMode,
+    done: BitSet,
+    state: T::State,
+    memo: &mut HashSet<(BitSet, T::State)>,
+    nodes: &mut u64,
+) -> Option<bool> {
+    if done == *uset {
+        let ok = stable.iter().all(|&q| {
+            let l = h.label(q);
+            match &l.output {
+                Some(expected) => adt.output(&state, &l.input) == *expected,
+                None => true,
+            }
+        });
+        return Some(ok);
+    }
+    if *nodes == 0 {
+        return None;
+    }
+    *nodes -= 1;
+    if !memo.insert((done.clone(), state.clone())) {
+        return Some(false);
+    }
+    let mut out_of_budget = false;
+    for u in uset.iter() {
+        if done.contains(u) {
+            continue;
+        }
+        if mode == UpdateOrderMode::ProgramOrder {
+            let mut preds = h.prog_past(EventId(u as u32)).clone();
+            preds.intersect_with(uset);
+            if !preds.is_subset(&done) {
+                continue;
+            }
+        }
+        let next_state = adt.transition(&state, &labels[u].0);
+        let mut next_done = done.clone();
+        next_done.insert(u);
+        match dfs(adt, h, labels, uset, stable, mode, next_done, next_state, memo, nodes) {
+            Some(true) => return Some(true),
+            Some(false) => {}
+            None => out_of_budget = true,
+        }
+    }
+    if out_of_budget {
+        None
+    } else {
+        Some(false)
+    }
+}
+
+/// The trailing pure-query events of every process: the conventional
+/// choice of stable queries for a history recorded after delivery
+/// quiescence.
+pub fn trailing_queries<T: Adt>(adt: &T, h: &History<T::Input, T::Output>) -> Vec<EventId> {
+    let mut stable = Vec::new();
+    for p in 0..h.n_procs() {
+        let evs = h.process_events(cbm_history::ProcId(p as u32));
+        for e in evs.into_iter().rev() {
+            if adt.is_update(&h.label(e).input) {
+                break;
+            }
+            stable.push(e);
+        }
+    }
+    stable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbm_adt::window::{WInput, WOutput, WindowStream};
+    use cbm_history::HistoryBuilder;
+
+    type B = HistoryBuilder<WInput, WOutput>;
+
+    fn wr(b: &mut B, p: usize, v: u64) {
+        b.op(p, WInput::Write(v), WOutput::Ack);
+    }
+    fn rd(b: &mut B, p: usize, vals: &[u64]) {
+        b.op(p, WInput::Read, WOutput::Window(vals.to_vec()));
+    }
+
+    /// Converged final reads: EC holds.
+    #[test]
+    fn agreeing_final_reads_converge() {
+        let adt = WindowStream::new(2);
+        let mut b = B::new();
+        wr(&mut b, 0, 1);
+        rd(&mut b, 0, &[1, 2]);
+        wr(&mut b, 1, 2);
+        rd(&mut b, 1, &[1, 2]);
+        let h = b.build();
+        let stable = trailing_queries(&adt, &h);
+        assert_eq!(stable.len(), 2);
+        let res = check_quiescent_convergence(
+            &adt, &h, &stable, UpdateOrderMode::Any, &Budget::default(),
+        );
+        assert_eq!(res.verdict, Verdict::Sat);
+    }
+
+    /// Diverging final reads: EC fails (this is Fig. 3c seen as a
+    /// complete execution — CC does not imply convergence).
+    #[test]
+    fn diverging_final_reads_do_not_converge() {
+        let adt = WindowStream::new(2);
+        let mut b = B::new();
+        wr(&mut b, 0, 1);
+        rd(&mut b, 0, &[2, 1]);
+        wr(&mut b, 1, 2);
+        rd(&mut b, 1, &[1, 2]);
+        let h = b.build();
+        let stable = trailing_queries(&adt, &h);
+        let res = check_quiescent_convergence(
+            &adt, &h, &stable, UpdateOrderMode::Any, &Budget::default(),
+        );
+        assert_eq!(res.verdict, Verdict::Unsat);
+    }
+
+    /// EC ignores program order: an order inverting one process's own
+    /// writes is acceptable for `Any` but not for `ProgramOrder`.
+    #[test]
+    fn update_consistency_is_stricter_than_ec() {
+        let adt = WindowStream::new(2);
+        let mut b = B::new();
+        wr(&mut b, 0, 1);
+        wr(&mut b, 0, 2);
+        // final reads on both processes claim (2,1): the updates must be
+        // ordered w(2).w(1), against p0's program order.
+        rd(&mut b, 0, &[2, 1]);
+        rd(&mut b, 1, &[2, 1]);
+        let h = b.build();
+        let stable = trailing_queries(&adt, &h);
+        let any = check_quiescent_convergence(
+            &adt, &h, &stable, UpdateOrderMode::Any, &Budget::default(),
+        );
+        let po = check_quiescent_convergence(
+            &adt, &h, &stable, UpdateOrderMode::ProgramOrder, &Budget::default(),
+        );
+        assert_eq!(any.verdict, Verdict::Sat);
+        assert_eq!(po.verdict, Verdict::Unsat);
+    }
+
+    #[test]
+    fn trailing_queries_stop_at_updates() {
+        let adt = WindowStream::new(1);
+        let mut b = B::new();
+        rd(&mut b, 0, &[0]); // before an update: not trailing
+        wr(&mut b, 0, 1);
+        rd(&mut b, 0, &[1]);
+        rd(&mut b, 0, &[1]);
+        let h = b.build();
+        let stable = trailing_queries(&adt, &h);
+        assert_eq!(stable.len(), 2);
+    }
+
+    #[test]
+    fn no_updates_checks_against_initial_state() {
+        let adt = WindowStream::new(1);
+        let mut b = B::new();
+        rd(&mut b, 0, &[0]);
+        let h = b.build();
+        let stable = trailing_queries(&adt, &h);
+        let res = check_quiescent_convergence(
+            &adt, &h, &stable, UpdateOrderMode::Any, &Budget::default(),
+        );
+        assert_eq!(res.verdict, Verdict::Sat);
+    }
+}

@@ -1,0 +1,393 @@
+//! The memoised linearization-search kernel.
+//!
+//! Every criterion in this crate reduces to questions of the form:
+//! *does some linearization of a given event set, respecting a given
+//! partial order, with a given subset of outputs visible, belong to
+//! `L(T)`?* This module answers that question once, with a frontier DFS
+//! over the downsets of the order, memoised on `(downset, ADT state)`
+//! pairs (two branches reaching the same set of applied events in the
+//! same abstract state have identical futures, because `δ`/`λ` only
+//! depend on the state).
+//!
+//! Two soundness-preserving reductions keep the search small:
+//!
+//! 1. Events whose output is *unconstrained* (hidden in the history, or
+//!    outside the visible set) and whose input is not an update are
+//!    dropped from the search entirely: they impose no semantic
+//!    constraint, and because the order rows are transitively closed,
+//!    any linearization of the reduced set extends to one of the full
+//!    set.
+//! 2. The order is consulted only between retained events (again sound
+//!    thanks to transitive closure).
+
+use cbm_adt::{Adt, OpKind};
+use cbm_history::BitSet;
+use std::collections::HashSet;
+
+/// Search verdict of a single kernel query or of a full criterion check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// A witness linearization exists (event indices, in order).
+    Sat(Vec<usize>),
+    /// No linearization exists.
+    Unsat,
+    /// The node budget was exhausted before the search completed.
+    Unknown,
+}
+
+impl Outcome {
+    /// Is this a [`Outcome::Sat`]?
+    pub fn is_sat(&self) -> bool {
+        matches!(self, Outcome::Sat(_))
+    }
+}
+
+/// Access to per-event strict-predecessor sets (transitively closed).
+///
+/// Implemented by `Relation` references and by the causal-search's
+/// in-progress past arrays.
+pub trait Pasts {
+    /// The (closed) strict predecessor set of `e`.
+    fn past_of(&self, e: usize) -> &BitSet;
+}
+
+impl Pasts for cbm_history::Relation {
+    fn past_of(&self, e: usize) -> &BitSet {
+        self.past(e)
+    }
+}
+
+impl Pasts for [BitSet] {
+    fn past_of(&self, e: usize) -> &BitSet {
+        &self[e]
+    }
+}
+
+/// One linearization query. `labels[e] = (input, output)` with `output
+/// = None` when the history itself hides it. An event's output is
+/// *checked* iff it is in `visible` **and** its label carries an output.
+pub struct LinQuery<'a, T: Adt, P: Pasts + ?Sized> {
+    /// The ADT `T`.
+    pub adt: &'a T,
+    /// Arena labels (the full history's).
+    pub labels: &'a [(T::Input, Option<T::Output>)],
+    /// Transitively-closed order to respect.
+    pub pasts: &'a P,
+    /// Events to linearize.
+    pub include: &'a BitSet,
+    /// Events whose outputs must match `λ`.
+    pub visible: &'a BitSet,
+}
+
+impl<'a, T: Adt, P: Pasts + ?Sized> LinQuery<'a, T, P> {
+    /// Run the search. `nodes` is decremented per explored node; on
+    /// reaching zero the query gives up with [`Outcome::Unknown`].
+    pub fn run(&self, nodes: &mut u64) -> Outcome {
+        let n = self.labels.len();
+        // Reduction 1: drop unconstrained non-updates.
+        let mut eff = BitSet::new(n);
+        for e in self.include.iter() {
+            let (input, out) = &self.labels[e];
+            let constrained = self.visible.contains(e) && out.is_some();
+            if constrained || self.adt.is_update(input) {
+                eff.insert(e);
+            }
+        }
+        let mut memo: HashSet<(BitSet, T::State)> = HashSet::new();
+        let mut seq = Vec::with_capacity(eff.count());
+        let done = BitSet::new(n);
+        let state = self.adt.initial();
+        match self.dfs(&eff, done, state, &mut seq, &mut memo, nodes) {
+            DfsResult::Found => Outcome::Sat(seq),
+            DfsResult::Exhausted => Outcome::Unsat,
+            DfsResult::OutOfBudget => Outcome::Unknown,
+        }
+    }
+
+    fn dfs(
+        &self,
+        eff: &BitSet,
+        done: BitSet,
+        state: T::State,
+        seq: &mut Vec<usize>,
+        memo: &mut HashSet<(BitSet, T::State)>,
+        nodes: &mut u64,
+    ) -> DfsResult {
+        if done == *eff {
+            return DfsResult::Found;
+        }
+        if *nodes == 0 {
+            return DfsResult::OutOfBudget;
+        }
+        *nodes -= 1;
+        if !memo.insert((done.clone(), state.clone())) {
+            return DfsResult::Exhausted;
+        }
+        let mut ran_out = false;
+        for e in eff.iter() {
+            if done.contains(e) {
+                continue;
+            }
+            // all retained predecessors must be done
+            let mut preds = self.pasts.past_of(e).clone();
+            preds.intersect_with(eff);
+            if !preds.is_subset(&done) {
+                continue;
+            }
+            let (input, out) = &self.labels[e];
+            if self.visible.contains(e) {
+                if let Some(expected) = out {
+                    if self.adt.output(&state, input) != *expected {
+                        continue;
+                    }
+                }
+            }
+            let next_state = self.adt.transition(&state, input);
+            let mut next_done = done.clone();
+            next_done.insert(e);
+            seq.push(e);
+            match self.dfs(eff, next_done, next_state, seq, memo, nodes) {
+                DfsResult::Found => return DfsResult::Found,
+                DfsResult::Exhausted => {}
+                DfsResult::OutOfBudget => ran_out = true,
+            }
+            seq.pop();
+        }
+        if ran_out {
+            DfsResult::OutOfBudget
+        } else {
+            DfsResult::Exhausted
+        }
+    }
+
+    /// Deterministic replay variant used by the CCv checker: linearize
+    /// `include` in exactly the order given by `sequence` (filtered to
+    /// `include`), checking visible outputs. Much cheaper than `run`.
+    pub fn replay(&self, sequence: &[usize]) -> bool {
+        let mut state = self.adt.initial();
+        let mut applied = 0usize;
+        for &e in sequence {
+            if !self.include.contains(e) {
+                continue;
+            }
+            applied += 1;
+            let (input, out) = &self.labels[e];
+            if self.visible.contains(e) {
+                if let Some(expected) = out {
+                    if self.adt.output(&state, input) != *expected {
+                        return false;
+                    }
+                }
+            }
+            state = self.adt.transition(&state, input);
+        }
+        applied == self.include.count()
+    }
+}
+
+enum DfsResult {
+    Found,
+    Exhausted,
+    OutOfBudget,
+}
+
+/// Helper: does the input-kind make the event a potential read (i.e. an
+/// event with a state-dependent, visible output that the causal search
+/// must branch on)?
+pub(crate) fn is_constrained_read<T: Adt>(
+    adt: &T,
+    label: &(T::Input, Option<T::Output>),
+) -> bool {
+    label.1.is_some() && matches!(adt.kind(&label.0), OpKind::PureQuery | OpKind::UpdateQuery)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbm_adt::window::{WInput, WOutput, WindowStream};
+    use cbm_history::Relation;
+
+    type L = (WInput, Option<WOutput>);
+
+    fn w(v: u64) -> L {
+        (WInput::Write(v), Some(WOutput::Ack))
+    }
+    fn r(vals: &[u64]) -> L {
+        (WInput::Read, Some(WOutput::Window(vals.to_vec())))
+    }
+
+    fn query<'a>(
+        adt: &'a WindowStream,
+        labels: &'a [L],
+        rel: &'a Relation,
+        include: &'a BitSet,
+        visible: &'a BitSet,
+    ) -> LinQuery<'a, WindowStream, Relation> {
+        LinQuery {
+            adt,
+            labels,
+            pasts: rel,
+            include,
+            visible,
+        }
+    }
+
+    #[test]
+    fn finds_interleaving_for_fig3d() {
+        // p0: w(1), r/(0,1); p1: w(2), r/(1,2) — the SC history (Fig. 3d).
+        let adt = WindowStream::new(2);
+        let labels = vec![w(1), r(&[0, 1]), w(2), r(&[1, 2])];
+        let rel = Relation::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let include = BitSet::full(4);
+        let visible = BitSet::full(4);
+        let mut nodes = 10_000;
+        let out = query(&adt, &labels, &rel, &include, &visible).run(&mut nodes);
+        match out {
+            Outcome::Sat(seq) => assert_eq!(seq, vec![0, 1, 2, 3]),
+            other => panic!("expected Sat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unsat_when_reads_conflict() {
+        // w(1).r/(0,1) forced, then r/(2,1) cannot be explained with only
+        // writes 1 available.
+        let adt = WindowStream::new(2);
+        let labels = vec![w(1), r(&[2, 1])];
+        let rel = Relation::from_edges(2, &[(0, 1)]).unwrap();
+        let include = BitSet::full(2);
+        let visible = BitSet::full(2);
+        let mut nodes = 10_000;
+        assert_eq!(
+            query(&adt, &labels, &rel, &include, &visible).run(&mut nodes),
+            Outcome::Unsat
+        );
+    }
+
+    #[test]
+    fn hidden_outputs_are_unconstrained() {
+        // same labels but the conflicting read is hidden: Sat.
+        let adt = WindowStream::new(2);
+        let labels: Vec<L> = vec![w(1), (WInput::Read, None)];
+        let rel = Relation::from_edges(2, &[(0, 1)]).unwrap();
+        let include = BitSet::full(2);
+        let visible = BitSet::full(2);
+        let mut nodes = 10_000;
+        assert!(query(&adt, &labels, &rel, &include, &visible)
+            .run(&mut nodes)
+            .is_sat());
+    }
+
+    #[test]
+    fn invisible_outputs_are_unconstrained() {
+        // read present with an output, but outside `visible`: Sat.
+        let adt = WindowStream::new(2);
+        let labels = vec![w(1), r(&[9, 9])];
+        let rel = Relation::from_edges(2, &[(0, 1)]).unwrap();
+        let include = BitSet::full(2);
+        let visible = {
+            let mut v = BitSet::new(2);
+            v.insert(0);
+            v
+        };
+        let mut nodes = 10_000;
+        assert!(query(&adt, &labels, &rel, &include, &visible)
+            .run(&mut nodes)
+            .is_sat());
+    }
+
+    #[test]
+    fn respects_order_constraints() {
+        // order w(2) < w(1), read expects (2,1): Sat; expects (1,2): Unsat.
+        let adt = WindowStream::new(2);
+        let rel = Relation::from_edges(3, &[(1, 0), (0, 2), (1, 2)]).unwrap();
+        let include = BitSet::full(3);
+        let visible = BitSet::full(3);
+
+        let labels_ok = vec![w(1), w(2), r(&[2, 1])];
+        let mut nodes = 10_000;
+        assert!(query(&adt, &labels_ok, &rel, &include, &visible)
+            .run(&mut nodes)
+            .is_sat());
+
+        let labels_bad = vec![w(1), w(2), r(&[1, 2])];
+        let mut nodes = 10_000;
+        assert_eq!(
+            query(&adt, &labels_bad, &rel, &include, &visible).run(&mut nodes),
+            Outcome::Unsat
+        );
+    }
+
+    #[test]
+    fn include_restricts_the_universe() {
+        // three writes exist; only w(5) is included with the read.
+        let adt = WindowStream::new(1);
+        let labels = vec![w(3), w(5), w(7), r(&[5])];
+        let rel = Relation::empty(4);
+        let mut include = BitSet::new(4);
+        include.insert(1);
+        include.insert(3);
+        let visible = BitSet::full(4);
+        let mut nodes = 10_000;
+        assert!(query(&adt, &labels, &rel, &include, &visible)
+            .run(&mut nodes)
+            .is_sat());
+    }
+
+    #[test]
+    fn budget_exhaustion_returns_unknown() {
+        let adt = WindowStream::new(2);
+        let labels: Vec<L> = (0..12).map(w).chain([r(&[99, 98])]).collect();
+        let rel = Relation::empty(13);
+        let include = BitSet::full(13);
+        let visible = BitSet::full(13);
+        let mut nodes = 3;
+        assert_eq!(
+            query(&adt, &labels, &rel, &include, &visible).run(&mut nodes),
+            Outcome::Unknown
+        );
+    }
+
+    #[test]
+    fn replay_checks_exact_order() {
+        let adt = WindowStream::new(2);
+        let labels = vec![w(1), w(2), r(&[1, 2])];
+        let rel = Relation::empty(3);
+        let include = BitSet::full(3);
+        let visible = BitSet::full(3);
+        let q = query(&adt, &labels, &rel, &include, &visible);
+        assert!(q.replay(&[0, 1, 2]));
+        assert!(!q.replay(&[1, 0, 2])); // (2,1) ≠ (1,2)
+        assert!(!q.replay(&[0, 1])); // incomplete
+    }
+
+    #[test]
+    fn memoisation_collapses_commuting_prefixes() {
+        // 2k independent writes of the same value: factorially many
+        // orders, but only O(2^k) distinct (set, state) pairs — the memo
+        // must keep this cheap enough to finish within a small budget.
+        let adt = WindowStream::new(1);
+        let mut labels: Vec<L> = (0..10).map(|_| w(1)).collect();
+        labels.push(r(&[1]));
+        let rel = Relation::empty(11);
+        let include = BitSet::full(11);
+        let visible = BitSet::full(11);
+        let mut nodes = 100_000;
+        assert!(query(&adt, &labels, &rel, &include, &visible)
+            .run(&mut nodes)
+            .is_sat());
+    }
+
+    #[test]
+    fn pure_update_unsat_is_impossible_updates_always_linearize() {
+        let adt = WindowStream::new(2);
+        let labels = vec![w(1), w(2), w(3)];
+        let rel = Relation::empty(3);
+        let include = BitSet::full(3);
+        let visible = BitSet::full(3);
+        let mut nodes = 10_000;
+        assert!(query(&adt, &labels, &rel, &include, &visible)
+            .run(&mut nodes)
+            .is_sat());
+    }
+}

@@ -1,0 +1,144 @@
+//! Pipelined consistency (Definition 6):
+//! `∀p ∈ P_H, lin(H.π(E_H, p)) ∩ L(T) ≠ ∅`.
+//!
+//! PC generalizes PRAM to arbitrary ADTs: every process must be able to
+//! explain the whole history through one linearization that respects
+//! the *program order* and the outputs of *its own* events (the return
+//! values of all other events are hidden by the projection).
+
+use crate::kernel::{LinQuery, Outcome};
+use crate::{label_table, Budget, CheckResult, Verdict};
+use cbm_adt::Adt;
+use cbm_history::{BitSet, History};
+
+/// Is `h` pipelined consistent with `adt`?
+pub fn check_pc<T: Adt>(
+    adt: &T,
+    h: &History<T::Input, T::Output>,
+    budget: &Budget,
+) -> CheckResult {
+    let labels = label_table::<T>(h);
+    let include = h.all_set();
+    let chains = h.maximal_chains(budget.max_chains);
+    let mut nodes = budget.max_nodes;
+    let mut unknown = false;
+    for chain in &chains {
+        let mut visible = BitSet::new(h.len());
+        for e in chain {
+            visible.insert(e.idx());
+        }
+        let q = LinQuery {
+            adt,
+            labels: &labels,
+            pasts: h.prog(),
+            include: &include,
+            visible: &visible,
+        };
+        match q.run(&mut nodes) {
+            Outcome::Sat(_) => {}
+            Outcome::Unsat => {
+                return CheckResult::new(Verdict::Unsat, budget.max_nodes - nodes)
+            }
+            Outcome::Unknown => unknown = true,
+        }
+    }
+    let used = budget.max_nodes - nodes;
+    if unknown {
+        CheckResult::new(Verdict::Unknown, used)
+    } else {
+        CheckResult::new(Verdict::Sat, used)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbm_adt::window::{WInput, WOutput, WindowStream};
+    use cbm_history::HistoryBuilder;
+
+    type B = HistoryBuilder<WInput, WOutput>;
+
+    fn wr(b: &mut B, p: usize, v: u64) {
+        b.op(p, WInput::Write(v), WOutput::Ack);
+    }
+    fn rd(b: &mut B, p: usize, vals: &[u64]) {
+        b.op(p, WInput::Read, WOutput::Window(vals.to_vec()));
+    }
+
+    /// Fig. 3a: p0: w(1), r/(0,1), r/(1,2); p1: w(2), r/(0,2), r/(1,2)
+    /// — not PC (p1's second read needs w(1) *before* w(2), but w(2)
+    /// precedes p1's first read which saw no 1).
+    #[test]
+    fn fig3a_is_not_pc() {
+        let adt = WindowStream::new(2);
+        let mut b = B::new();
+        wr(&mut b, 0, 1);
+        rd(&mut b, 0, &[0, 1]);
+        rd(&mut b, 0, &[1, 2]);
+        wr(&mut b, 1, 2);
+        rd(&mut b, 1, &[0, 2]);
+        rd(&mut b, 1, &[1, 2]);
+        let h = b.build();
+        assert_eq!(check_pc(&adt, &h, &Budget::default()).verdict, Verdict::Unsat);
+    }
+
+    /// Fig. 3b: p0: w(1) ↦ r/(2,1); p1: r/(0,1) ↦ w(2) — PC.
+    #[test]
+    fn fig3b_is_pc() {
+        let adt = WindowStream::new(2);
+        let mut b = B::new();
+        wr(&mut b, 0, 1);
+        rd(&mut b, 0, &[2, 1]);
+        rd(&mut b, 1, &[0, 1]);
+        wr(&mut b, 1, 2);
+        let h = b.build();
+        assert_eq!(check_pc(&adt, &h, &Budget::default()).verdict, Verdict::Sat);
+    }
+
+    /// Fig. 3c is PC (it is even CC).
+    #[test]
+    fn fig3c_is_pc() {
+        let adt = WindowStream::new(2);
+        let mut b = B::new();
+        wr(&mut b, 0, 1);
+        rd(&mut b, 0, &[2, 1]);
+        wr(&mut b, 1, 2);
+        rd(&mut b, 1, &[1, 2]);
+        let h = b.build();
+        assert_eq!(check_pc(&adt, &h, &Budget::default()).verdict, Verdict::Sat);
+    }
+
+    /// A single process reading its own writes out of order is not PC.
+    #[test]
+    fn own_process_misread_is_not_pc() {
+        let adt = WindowStream::new(1);
+        let mut b = B::new();
+        wr(&mut b, 0, 1);
+        rd(&mut b, 0, &[2]);
+        let h = b.build();
+        assert_eq!(check_pc(&adt, &h, &Budget::default()).verdict, Verdict::Unsat);
+    }
+
+    /// PRAM's defining freedom: two processes may see two concurrent
+    /// writes in opposite orders.
+    #[test]
+    fn opposite_write_orders_are_pc() {
+        let adt = WindowStream::new(1);
+        let mut b = B::new();
+        wr(&mut b, 0, 1);
+        wr(&mut b, 1, 2);
+        rd(&mut b, 2, &[1]);
+        rd(&mut b, 2, &[2]);
+        rd(&mut b, 3, &[2]);
+        rd(&mut b, 3, &[1]);
+        let h = b.build();
+        assert_eq!(check_pc(&adt, &h, &Budget::default()).verdict, Verdict::Sat);
+    }
+
+    #[test]
+    fn empty_history_is_pc() {
+        let adt = WindowStream::new(2);
+        let h = B::new().build();
+        assert_eq!(check_pc(&adt, &h, &Budget::default()).verdict, Verdict::Sat);
+    }
+}

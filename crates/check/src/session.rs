@@ -1,0 +1,326 @@
+//! Terry et al.'s four session guarantees (§1 of the paper), checked on
+//! memory histories.
+//!
+//! The paper summarises causal memory through four session guarantees:
+//! *read your writes*, *monotonic writes*, *monotonic reads*, *writes
+//! follow reads* — and notes (§4) that WCC and CCv ensure all but
+//! monotonic reads, while CC ensures all four.
+//!
+//! These guarantees are defined operationally; to check them on a bare
+//! history we require **distinct written values per register** (the
+//! standard hypothesis, cf. Prop. 4), which makes the reads-from map
+//! unambiguous. "Older than" is interpreted against the *session
+//! causality* order `κ = TC(↦ ∪ reads-from)`; two values concurrent
+//! under `κ` are not ordered and cannot violate a guarantee.
+
+use cbm_adt::memory::{MemInput, MemOutput};
+use cbm_history::{EventId, History, Relation};
+
+/// Outcome of checking the four guarantees.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionReport {
+    /// Read your writes.
+    pub read_your_writes: bool,
+    /// Monotonic reads.
+    pub monotonic_reads: bool,
+    /// Monotonic writes.
+    pub monotonic_writes: bool,
+    /// Writes follow reads.
+    pub writes_follow_reads: bool,
+}
+
+impl SessionReport {
+    /// All four guarantees hold.
+    pub fn all(&self) -> bool {
+        self.read_your_writes
+            && self.monotonic_reads
+            && self.monotonic_writes
+            && self.writes_follow_reads
+    }
+}
+
+/// Why the session guarantees could not be evaluated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SessionError {
+    /// Two writes with the same `(register, value)` pair.
+    DuplicateWrittenValue {
+        /// The register.
+        register: usize,
+        /// The duplicated value.
+        value: u64,
+    },
+    /// A non-default read whose value was never written.
+    DanglingRead(EventId),
+    /// `TC(↦ ∪ reads-from)` is cyclic.
+    CyclicSessionOrder,
+}
+
+/// Evaluate the four session guarantees on a memory history.
+#[allow(clippy::needless_range_loop)] // parallel arrays indexed by event id
+pub fn check_session_guarantees(
+    h: &History<MemInput, MemOutput>,
+) -> Result<SessionReport, SessionError> {
+    let n = h.len();
+    // reads-from map (unique by the distinct-values hypothesis)
+    let mut writer_of: std::collections::HashMap<(usize, u64), usize> =
+        std::collections::HashMap::new();
+    for e in 0..n {
+        if let MemInput::Write(x, v) = h.label(EventId(e as u32)).input {
+            if writer_of.insert((x, v), e).is_some() {
+                return Err(SessionError::DuplicateWrittenValue { register: x, value: v });
+            }
+        }
+    }
+    // src[e] = Some(writer) for reads of non-default values
+    let mut src: Vec<Option<usize>> = vec![None; n];
+    let mut is_read = vec![false; n];
+    let mut reg_of = vec![usize::MAX; n];
+    for e in 0..n {
+        let l = h.label(EventId(e as u32));
+        match (&l.input, &l.output) {
+            (MemInput::Read(x), Some(MemOutput::Val(v))) => {
+                is_read[e] = true;
+                reg_of[e] = *x;
+                if *v != 0 {
+                    match writer_of.get(&(*x, *v)) {
+                        Some(&w) => src[e] = Some(w),
+                        None => return Err(SessionError::DanglingRead(EventId(e as u32))),
+                    }
+                }
+            }
+            (MemInput::Write(x, _), _) => {
+                reg_of[e] = *x;
+            }
+            _ => {}
+        }
+    }
+    // session causality κ
+    let mut kappa = h.prog().clone();
+    for e in 0..n {
+        if let Some(w) = src[e] {
+            if kappa.lt(e, w) {
+                return Err(SessionError::CyclicSessionOrder);
+            }
+            kappa.add_pair_closed(w, e);
+        }
+    }
+    if !kappa.is_acyclic() {
+        return Err(SessionError::CyclicSessionOrder);
+    }
+
+    let older = |a: Option<usize>, b: usize, kappa: &Relation| -> bool {
+        // is value-source `a` strictly older than write `b` (κ-before or default)?
+        match a {
+            None => true, // default value is older than any write
+            Some(w) => w != b && kappa.lt(w, b),
+        }
+    };
+
+    let mut report = SessionReport {
+        read_your_writes: true,
+        monotonic_reads: true,
+        monotonic_writes: true,
+        writes_follow_reads: true,
+    };
+
+    for r in 0..n {
+        if !is_read[r] {
+            continue;
+        }
+        // RYW: for each own earlier write on the same register
+        for w in 0..n {
+            if reg_of[w] == reg_of[r]
+                && !is_read[w]
+                && matches!(h.label(EventId(w as u32)).input, MemInput::Write(..))
+                && h.prog().lt(w, r)
+                && older(src[r], w, &kappa)
+            {
+                report.read_your_writes = false;
+            }
+        }
+        // MR: for each earlier read of the same register in program order
+        for r1 in 0..n {
+            if is_read[r1] && reg_of[r1] == reg_of[r] && h.prog().lt(r1, r) {
+                if let Some(s1) = src[r1] {
+                    let regressed = match src[r] {
+                        None => true,
+                        Some(s2) => s2 != s1 && kappa.lt(s2, s1),
+                    };
+                    if regressed {
+                        report.monotonic_reads = false;
+                    }
+                }
+            }
+        }
+    }
+
+    // MW: w1 ↦ w2 (writes), some read observes w2, later same-session
+    // reads of w1's register must not be older than w1.
+    for w1 in 0..n {
+        let MemInput::Write(x1, _) = h.label(EventId(w1 as u32)).input else {
+            continue;
+        };
+        for w2 in 0..n {
+            if w1 == w2 || !h.prog().lt(w1, w2) {
+                continue;
+            }
+            let MemInput::Write(..) = h.label(EventId(w2 as u32)).input else {
+                continue;
+            };
+            for r2 in 0..n {
+                if src[r2] != Some(w2) {
+                    continue;
+                }
+                for r1 in 0..n {
+                    if is_read[r1]
+                        && reg_of[r1] == x1
+                        && h.prog().lt(r2, r1)
+                        && older(src[r1], w1, &kappa)
+                    {
+                        report.monotonic_writes = false;
+                    }
+                }
+            }
+        }
+    }
+
+    // WFR: p reads w_old then writes w2; anyone who observes w2 must not
+    // subsequently read something older than w_old on w_old's register.
+    for r1 in 0..n {
+        let Some(w_old) = src[r1] else { continue };
+        for w2 in 0..n {
+            if !h.prog().lt(r1, w2) {
+                continue;
+            }
+            let MemInput::Write(..) = h.label(EventId(w2 as u32)).input else {
+                continue;
+            };
+            for r2 in 0..n {
+                if src[r2] != Some(w2) {
+                    continue;
+                }
+                for r3 in 0..n {
+                    if is_read[r3]
+                        && reg_of[r3] == reg_of[w_old]
+                        && h.prog().lt(r2, r3)
+                        && older(src[r3], w_old, &kappa)
+                    {
+                        report.writes_follow_reads = false;
+                    }
+                }
+            }
+        }
+    }
+
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbm_history::HistoryBuilder;
+
+    type B = HistoryBuilder<MemInput, MemOutput>;
+
+    fn wr(b: &mut B, p: usize, x: usize, v: u64) {
+        b.op(p, MemInput::Write(x, v), MemOutput::Ack);
+    }
+    fn rd(b: &mut B, p: usize, x: usize, v: u64) {
+        b.op(p, MemInput::Read(x), MemOutput::Val(v));
+    }
+
+    #[test]
+    fn clean_history_passes_all() {
+        let mut b = B::new();
+        wr(&mut b, 0, 0, 1);
+        rd(&mut b, 0, 0, 1);
+        rd(&mut b, 1, 0, 1);
+        let h = b.build();
+        let rep = check_session_guarantees(&h).unwrap();
+        assert!(rep.all());
+    }
+
+    #[test]
+    fn ryw_violation_detected() {
+        let mut b = B::new();
+        wr(&mut b, 0, 0, 1);
+        rd(&mut b, 0, 0, 0); // default after own write: older
+        let h = b.build();
+        let rep = check_session_guarantees(&h).unwrap();
+        assert!(!rep.read_your_writes);
+    }
+
+    #[test]
+    fn monotonic_reads_violation_detected() {
+        let mut b = B::new();
+        wr(&mut b, 0, 0, 1);
+        wr(&mut b, 0, 0, 2); // 2 is κ-newer than 1
+        rd(&mut b, 1, 0, 2);
+        rd(&mut b, 1, 0, 1); // regression
+        let h = b.build();
+        let rep = check_session_guarantees(&h).unwrap();
+        assert!(!rep.monotonic_reads);
+        assert!(rep.read_your_writes);
+    }
+
+    #[test]
+    fn monotonic_writes_violation_detected() {
+        let mut b = B::new();
+        wr(&mut b, 0, 0, 1); // w1 on register a
+        wr(&mut b, 0, 1, 2); // w2 on register b
+        rd(&mut b, 1, 1, 2); // p1 sees w2
+        rd(&mut b, 1, 0, 0); // ... but not w1: MW violated
+        let h = b.build();
+        let rep = check_session_guarantees(&h).unwrap();
+        assert!(!rep.monotonic_writes);
+    }
+
+    #[test]
+    fn writes_follow_reads_violation_detected() {
+        let mut b = B::new();
+        wr(&mut b, 0, 0, 1); // w_old by p0
+        rd(&mut b, 1, 0, 1); // p1 reads it
+        wr(&mut b, 1, 1, 2); // ... then writes w2
+        rd(&mut b, 2, 1, 2); // p2 observes w2
+        rd(&mut b, 2, 0, 0); // ... then reads a value older than w_old
+        let h = b.build();
+        let rep = check_session_guarantees(&h).unwrap();
+        assert!(!rep.writes_follow_reads);
+    }
+
+    #[test]
+    fn concurrent_values_do_not_violate() {
+        // two concurrent writes; different readers pick different ones
+        let mut b = B::new();
+        wr(&mut b, 0, 0, 1);
+        wr(&mut b, 1, 0, 2);
+        rd(&mut b, 2, 0, 1);
+        rd(&mut b, 3, 0, 2);
+        let h = b.build();
+        let rep = check_session_guarantees(&h).unwrap();
+        assert!(rep.all());
+    }
+
+    #[test]
+    fn duplicate_values_are_rejected() {
+        let mut b = B::new();
+        wr(&mut b, 0, 0, 1);
+        wr(&mut b, 1, 0, 1);
+        let h = b.build();
+        assert!(matches!(
+            check_session_guarantees(&h),
+            Err(SessionError::DuplicateWrittenValue { register: 0, value: 1 })
+        ));
+    }
+
+    #[test]
+    fn dangling_read_rejected() {
+        let mut b = B::new();
+        rd(&mut b, 0, 0, 9);
+        let h = b.build();
+        assert!(matches!(
+            check_session_guarantees(&h),
+            Err(SessionError::DanglingRead(_))
+        ));
+    }
+}

@@ -1,0 +1,233 @@
+//! Brute-force oracles for the *causal* checkers.
+//!
+//! The WCC/CC/CCv searches are the subtlest code in the crate (WLOG
+//! reductions, placement orders, memoisation). On 4-event histories we
+//! can afford the definitionally-literal algorithms instead:
+//!
+//! * enumerate **every** partial order extending the program order
+//!   (all subsets of cross pairs, closed, acyclic, deduplicated);
+//! * for WCC/CC, for every event enumerate **every** permutation of its
+//!   causal past and test membership in `L(T)` with the visibility the
+//!   definition prescribes;
+//! * for CCv, additionally enumerate every linear extension of the
+//!   causal order as the arbitration total order.
+//!
+//! Any disagreement with the production checkers on random histories
+//! falsifies one of them.
+
+use cbm_adt::window::{WInput, WOutput, WindowStream};
+use cbm_adt::Adt;
+use cbm_check::causal::{check_cc, check_wcc};
+use cbm_check::ccv::check_ccv;
+use cbm_check::{Budget, Verdict};
+use cbm_history::{BitSet, History, HistoryBuilder, Relation};
+use proptest::prelude::*;
+
+type H = History<WInput, WOutput>;
+
+/// All transitively-closed acyclic relations over `h`'s events that
+/// contain the program order.
+fn all_causal_orders(h: &H) -> Vec<Relation> {
+    let n = h.len();
+    let mut cross: Vec<(usize, usize)> = Vec::new();
+    for a in 0..n {
+        for b in 0..n {
+            if a != b && !h.prog_lt(cbm_history::EventId(a as u32), cbm_history::EventId(b as u32))
+            {
+                cross.push((a, b));
+            }
+        }
+    }
+    let mut seen = std::collections::HashSet::new();
+    let mut out = Vec::new();
+    for mask in 0u32..(1 << cross.len()) {
+        let mut rel = h.prog().clone();
+        let mut ok = true;
+        for (i, &(a, b)) in cross.iter().enumerate() {
+            if mask & (1 << i) != 0 {
+                if rel.lt(b, a) {
+                    ok = false;
+                    break;
+                }
+                rel.add_pair_closed(a, b);
+            }
+        }
+        if !ok || !rel.is_acyclic() {
+            continue;
+        }
+        let key: Vec<Vec<usize>> = (0..n).map(|e| rel.past(e).to_vec()).collect();
+        if seen.insert(key) {
+            out.push(rel);
+        }
+    }
+    out
+}
+
+/// Does some permutation of `include` (respecting `rel`) with outputs
+/// of `visible` checked belong to `L(T)`? Brute force over factorial.
+fn exists_lin(adt: &WindowStream, h: &H, rel: &Relation, include: &BitSet, visible: &BitSet) -> bool {
+    let items: Vec<usize> = include.iter().collect();
+    permutations(&items).into_iter().any(|perm| {
+        // respects rel?
+        for i in 0..perm.len() {
+            for j in i + 1..perm.len() {
+                if rel.lt(perm[j], perm[i]) {
+                    return false;
+                }
+            }
+        }
+        replay(adt, h, &perm, visible)
+    })
+}
+
+fn replay(adt: &WindowStream, h: &H, seq: &[usize], visible: &BitSet) -> bool {
+    let mut q = adt.initial();
+    for &e in seq {
+        let l = h.label(cbm_history::EventId(e as u32));
+        if visible.contains(e) {
+            if let Some(o) = &l.output {
+                if adt.output(&q, &l.input) != *o {
+                    return false;
+                }
+            }
+        }
+        q = adt.transition(&q, &l.input);
+    }
+    true
+}
+
+fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
+    if items.is_empty() {
+        return vec![vec![]];
+    }
+    let mut out = Vec::new();
+    for (i, &x) in items.iter().enumerate() {
+        let mut rest = items.to_vec();
+        rest.remove(i);
+        for mut p in permutations(&rest) {
+            p.insert(0, x);
+            out.push(p);
+        }
+    }
+    out
+}
+
+fn wcc_oracle(adt: &WindowStream, h: &H) -> bool {
+    all_causal_orders(h).into_iter().any(|rel| {
+        (0..h.len()).all(|e| {
+            let include = rel.floor(e);
+            let mut visible = BitSet::new(h.len());
+            visible.insert(e);
+            exists_lin(adt, h, &rel, &include, &visible)
+        })
+    })
+}
+
+fn cc_oracle(adt: &WindowStream, h: &H) -> bool {
+    let chains = h.maximal_chains(64);
+    all_causal_orders(h).into_iter().any(|rel| {
+        chains.iter().all(|chain| {
+            let mut visible = BitSet::new(h.len());
+            for e in chain {
+                visible.insert(e.idx());
+            }
+            chain.iter().all(|e| {
+                let include = rel.floor(e.idx());
+                exists_lin(adt, h, &rel, &include, &visible)
+            })
+        })
+    })
+}
+
+fn ccv_oracle(adt: &WindowStream, h: &H) -> bool {
+    all_causal_orders(h).into_iter().any(|rel| {
+        // every linear extension of rel as the arbitration ≤
+        let mut found = false;
+        rel.linear_extensions(100_000, |perm| {
+            let total = Relation::total_from_sequence(h.len(), perm);
+            let all_ok = (0..h.len()).all(|e| {
+                let include = rel.floor(e);
+                let mut visible = BitSet::new(h.len());
+                visible.insert(e);
+                // the unique ≤-sorted linearization
+                let seq: Vec<usize> = perm.iter().copied().filter(|x| include.contains(*x)).collect();
+                let _ = &total;
+                replay(adt, h, &seq, &visible)
+            });
+            if all_ok {
+                found = true;
+                return false; // stop
+            }
+            true
+        });
+        found
+    })
+}
+
+/// Random 4-event W1 histories: 2 processes × 2 events each, ops drawn
+/// from tiny domains so interesting boundary cases are dense.
+fn arb_tiny_history() -> impl Strategy<Value = H> {
+    let op = prop_oneof![
+        (1u64..3).prop_map(|v| (WInput::Write(v), WOutput::Ack)),
+        (0u64..3).prop_map(|v| (WInput::Read, WOutput::Window(vec![v]))),
+    ];
+    proptest::collection::vec(op, 4).prop_map(|ops| {
+        let mut b: HistoryBuilder<WInput, WOutput> = HistoryBuilder::new();
+        for (i, (inp, out)) in ops.into_iter().enumerate() {
+            b.op(i / 2, inp, out);
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn wcc_checker_agrees_with_oracle(h in arb_tiny_history()) {
+        let adt = WindowStream::new(1);
+        let got = check_wcc(&adt, &h, &Budget::default()).verdict;
+        prop_assert_ne!(got, Verdict::Unknown);
+        prop_assert_eq!(got.is_sat(), wcc_oracle(&adt, &h), "on {:?}", h);
+    }
+
+    #[test]
+    fn cc_checker_agrees_with_oracle(h in arb_tiny_history()) {
+        let adt = WindowStream::new(1);
+        let got = check_cc(&adt, &h, &Budget::default()).verdict;
+        prop_assert_ne!(got, Verdict::Unknown);
+        prop_assert_eq!(got.is_sat(), cc_oracle(&adt, &h), "on {:?}", h);
+    }
+
+    #[test]
+    fn ccv_checker_agrees_with_oracle(h in arb_tiny_history()) {
+        let adt = WindowStream::new(1);
+        let got = check_ccv(&adt, &h, &Budget::default()).verdict;
+        prop_assert_ne!(got, Verdict::Unknown);
+        prop_assert_eq!(got.is_sat(), ccv_oracle(&adt, &h), "on {:?}", h);
+    }
+}
+
+/// The oracles agree with the paper on the figure histories they can
+/// afford (3b/3c/3d are 4 events).
+#[test]
+fn oracles_confirm_the_small_figures() {
+    let adt = WindowStream::new(2);
+    // need W2 variants of the oracles: reuse with WindowStream::new(2)
+    let oracle_wcc = |h: &H| {
+        all_causal_orders(h).into_iter().any(|rel| {
+            (0..h.len()).all(|e| {
+                let include = rel.floor(e);
+                let mut visible = BitSet::new(h.len());
+                visible.insert(e);
+                exists_lin(&adt, h, &rel, &include, &visible)
+            })
+        })
+    };
+    let b = cbm_check::figures::fig3b();
+    let c = cbm_check::figures::fig3c();
+    let d = cbm_check::figures::fig3d();
+    assert!(!oracle_wcc(&b), "3b is not WCC (oracle)");
+    assert!(oracle_wcc(&c), "3c is WCC (oracle)");
+    assert!(oracle_wcc(&d), "3d is WCC (oracle)");
+}

@@ -1,0 +1,264 @@
+//! Property-based validation of the checkers:
+//!
+//! 1. an **oracle cross-check**: on small random histories, the
+//!    memoised SC/PC checkers must agree with brute-force enumeration
+//!    of all linearizations;
+//! 2. the **Fig. 1 arrows**: SC ⇒ CC ∧ CCv, CC ⇒ PC ∧ WCC, CCv ⇒ WCC
+//!    on random histories (any counterexample would falsify either the
+//!    hierarchy or a checker);
+//! 3. **Prop. 3**: CC(M_X) ⇒ CM without any distinctness hypothesis.
+
+use cbm_adt::memory::{MemInput, MemOutput, Memory};
+use cbm_adt::window::{WInput, WOutput, WindowStream};
+use cbm_adt::{accepts, Sym};
+use cbm_check::cm::check_cm;
+use cbm_check::{check, Budget, Criterion, Verdict};
+use cbm_history::{BitSet, History, HistoryBuilder};
+use proptest::prelude::*;
+
+/// A random 2-process window-stream history: each process writes one
+/// distinct value then performs reads with arbitrary claimed windows
+/// over the tiny domain {0, 1, 2}.
+fn arb_w2_history() -> impl Strategy<Value = History<WInput, WOutput>> {
+    let read = prop::collection::vec(0u64..3, 2);
+    let proc_ops = prop::collection::vec(read, 0..3);
+    (proc_ops.clone(), proc_ops).prop_map(|(r0, r1)| {
+        let mut b: HistoryBuilder<WInput, WOutput> = HistoryBuilder::new();
+        b.op(0, WInput::Write(1), WOutput::Ack);
+        for w in r0 {
+            b.op(0, WInput::Read, WOutput::Window(w));
+        }
+        b.op(1, WInput::Write(2), WOutput::Ack);
+        for w in r1 {
+            b.op(1, WInput::Read, WOutput::Window(w));
+        }
+        b.build()
+    })
+}
+
+/// Brute-force SC: enumerate every linearization and test membership.
+fn sc_oracle(adt: &WindowStream, h: &History<WInput, WOutput>) -> bool {
+    let all = h.all_set();
+    h.linearizations(1_000_000).into_iter().any(|lin| {
+        let word: Vec<Sym<WInput, WOutput>> = h
+            .word(&lin, &all)
+            .into_iter()
+            .map(|(i, o)| match o {
+                Some(o) => Sym::Op(i, o),
+                None => Sym::Hidden(i),
+            })
+            .collect();
+        accepts(adt, &word)
+    })
+}
+
+/// Brute-force PC: per maximal chain, hide other outputs, enumerate.
+fn pc_oracle(adt: &WindowStream, h: &History<WInput, WOutput>) -> bool {
+    h.maximal_chains(1024).into_iter().all(|chain| {
+        let mut visible = BitSet::new(h.len());
+        for e in &chain {
+            visible.insert(e.idx());
+        }
+        h.linearizations(1_000_000).into_iter().any(|lin| {
+            let word: Vec<Sym<WInput, WOutput>> = h
+                .word(&lin, &visible)
+                .into_iter()
+                .map(|(i, o)| match o {
+                    Some(o) => Sym::Op(i, o),
+                    None => Sym::Hidden(i),
+                })
+                .collect();
+            accepts(adt, &word)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn sc_checker_agrees_with_oracle(h in arb_w2_history()) {
+        let adt = WindowStream::new(2);
+        let got = check(Criterion::Sc, &adt, &h, &Budget::default()).verdict;
+        prop_assert_ne!(got, Verdict::Unknown);
+        prop_assert_eq!(got.is_sat(), sc_oracle(&adt, &h));
+    }
+
+    #[test]
+    fn pc_checker_agrees_with_oracle(h in arb_w2_history()) {
+        let adt = WindowStream::new(2);
+        let got = check(Criterion::Pc, &adt, &h, &Budget::default()).verdict;
+        prop_assert_ne!(got, Verdict::Unknown);
+        prop_assert_eq!(got.is_sat(), pc_oracle(&adt, &h));
+    }
+
+    #[test]
+    fn fig1_arrows_hold(h in arb_w2_history()) {
+        let adt = WindowStream::new(2);
+        let b = Budget::default();
+        let sc = check(Criterion::Sc, &adt, &h, &b).verdict.is_sat();
+        let cc = check(Criterion::Cc, &adt, &h, &b).verdict.is_sat();
+        let ccv = check(Criterion::Ccv, &adt, &h, &b).verdict.is_sat();
+        let wcc = check(Criterion::Wcc, &adt, &h, &b).verdict.is_sat();
+        let pc = check(Criterion::Pc, &adt, &h, &b).verdict.is_sat();
+        if sc {
+            prop_assert!(cc, "SC ⇒ CC failed on {:?}", h);
+            prop_assert!(ccv, "SC ⇒ CCv failed on {:?}", h);
+        }
+        if cc {
+            prop_assert!(pc, "CC ⇒ PC failed on {:?}", h);
+            prop_assert!(wcc, "CC ⇒ WCC failed on {:?}", h);
+        }
+        if ccv {
+            prop_assert!(wcc, "CCv ⇒ WCC failed on {:?}", h);
+        }
+    }
+}
+
+/// Random 2-process memory histories over 2 registers; values may
+/// repeat (we *want* duplicated writes to stress Prop. 3).
+fn arb_memory_history() -> impl Strategy<Value = History<MemInput, MemOutput>> {
+    let op = prop_oneof![
+        (0usize..2, 1u64..3).prop_map(|(x, v)| (MemInput::Write(x, v), MemOutput::Ack)),
+        (0usize..2, 0u64..3).prop_map(|(x, v)| (MemInput::Read(x), MemOutput::Val(v))),
+    ];
+    let proc_ops = prop::collection::vec(op, 1..4);
+    (proc_ops.clone(), proc_ops).prop_map(|(p0, p1)| {
+        let mut b: HistoryBuilder<MemInput, MemOutput> = HistoryBuilder::new();
+        for (i, o) in p0 {
+            b.op(0, i, o);
+        }
+        for (i, o) in p1 {
+            b.op(1, i, o);
+        }
+        b.build()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Prop. 3 (no distinctness needed): CC ⇒ CM.
+    #[test]
+    fn cc_implies_cm(h in arb_memory_history()) {
+        let mem = Memory::new(2);
+        let b = Budget::default();
+        let cc = check(Criterion::Cc, &mem, &h, &b).verdict;
+        let cm = check_cm(&mem, &h, &b).verdict;
+        prop_assert_ne!(cc, Verdict::Unknown);
+        prop_assert_ne!(cm, Verdict::Unknown);
+        if cc.is_sat() {
+            prop_assert!(cm.is_sat(), "Prop. 3 violated on {:?}", h);
+        }
+    }
+
+    /// SC ⇒ session guarantees hold whenever they are evaluable
+    /// (distinct written values).
+    #[test]
+    fn sc_memory_histories_pass_session_guarantees(h in arb_memory_history()) {
+        let mem = Memory::new(2);
+        let b = Budget::default();
+        if !check(Criterion::Sc, &mem, &h, &b).verdict.is_sat() {
+            return Ok(());
+        }
+        if let Ok(rep) = cbm_check::session::check_session_guarantees(&h) {
+            prop_assert!(rep.all(), "SC history failed a session guarantee: {:?}", h);
+        }
+    }
+}
+
+/// Regression: the checkers are total on histories with hidden events.
+#[test]
+fn hidden_events_are_supported_end_to_end() {
+    let mut b: HistoryBuilder<WInput, WOutput> = HistoryBuilder::new();
+    b.hidden(0, WInput::Write(1));
+    b.hidden(0, WInput::Read);
+    b.op(1, WInput::Read, WOutput::Window(vec![0, 1]));
+    let h = b.build();
+    let adt = WindowStream::new(2);
+    for c in Criterion::ALL {
+        let v = check(c, &adt, &h, &Budget::default()).verdict;
+        assert_eq!(v, Verdict::Sat, "{c:?} on hidden-event history");
+    }
+}
+
+/// Metamorphic monotonicity: hiding an output can only make a history
+/// *easier* to satisfy (the projection removes constraints), for every
+/// criterion. Hiding is exactly the paper's `π(·, E″)` operator.
+#[test]
+fn hiding_outputs_is_monotone() {
+    use cbm_history::BitSet;
+    use proptest::strategy::{Strategy, ValueTree};
+    use proptest::test_runner::TestRunner;
+
+    let mut runner = TestRunner::deterministic();
+    let adt = WindowStream::new(2);
+    let budget = Budget::default();
+    for _ in 0..60 {
+        let h = arb_w2_history()
+            .new_tree(&mut runner)
+            .expect("strategy")
+            .current();
+        if h.is_empty() {
+            continue;
+        }
+        // hide one event's output (rotate through all of them)
+        for hide in 0..h.len() {
+            let keep = BitSet::full(h.len());
+            let mut visible = BitSet::full(h.len());
+            visible.remove(hide);
+            let (hidden_h, _) = h.project(&keep, &visible);
+            for c in Criterion::ALL {
+                let full = check(c, &adt, &h, &budget).verdict;
+                let less = check(c, &adt, &hidden_h, &budget).verdict;
+                if full.is_sat() {
+                    assert!(
+                        less.is_sat(),
+                        "{c:?}: hiding output of e{hide} flipped Sat→{less:?} on {h:?}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// §5.1: causal convergence is stronger than strong update
+    /// consistency, which in turn implies plain update-order
+    /// explainability.
+    #[test]
+    fn ccv_implies_suc(h in arb_w2_history()) {
+        use cbm_check::ccv::{check_ccv, check_suc};
+        let adt = WindowStream::new(2);
+        let b = Budget::default();
+        let ccv = check_ccv(&adt, &h, &b).verdict;
+        let suc = check_suc(&adt, &h, &b).verdict;
+        prop_assert_ne!(suc, Verdict::Unknown);
+        if ccv.is_sat() {
+            prop_assert!(suc.is_sat(), "CCv ⇒ SUC failed on {:?}", h);
+        }
+    }
+}
+
+/// The separation SUC ⊅ WCC: an answer applied before its question is
+/// fine for SUC (arbitration untangles it) but violates weak causal
+/// consistency. Witness: p0 writes 1; p1 reads it, then writes 2;
+/// p2 reads (0,2) — the answer without the question — then (1,2).
+#[test]
+fn suc_does_not_imply_wcc() {
+    use cbm_check::causal::check_wcc;
+    use cbm_check::ccv::check_suc;
+    let adt = WindowStream::new(2);
+    let mut b: HistoryBuilder<WInput, WOutput> = HistoryBuilder::new();
+    b.op(0, WInput::Write(1), WOutput::Ack);
+    b.op(1, WInput::Read, WOutput::Window(vec![0, 1])); // p1 sees the question
+    b.op(1, WInput::Write(2), WOutput::Ack); // ... and answers
+    b.op(2, WInput::Read, WOutput::Window(vec![0, 2])); // answer w/o question!
+    b.op(2, WInput::Read, WOutput::Window(vec![1, 2])); // heals in arb order
+    let h = b.build();
+    let budget = Budget::default();
+    assert_eq!(check_suc(&adt, &h, &budget).verdict, Verdict::Sat);
+    assert_eq!(check_wcc(&adt, &h, &budget).verdict, Verdict::Unsat);
+}

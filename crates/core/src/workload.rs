@@ -1,0 +1,235 @@
+//! Seeded workload generators for the figure harnesses and benches.
+
+use crate::cluster::{Script, ScriptOp};
+use cbm_adt::memory::MemInput;
+use cbm_adt::queue::QInput;
+use cbm_adt::window::WaInput;
+use cbm_adt::Value;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Parameters of a window-array workload.
+#[derive(Debug, Clone, Copy)]
+pub struct WindowWorkload {
+    /// Number of processes.
+    pub procs: usize,
+    /// Operations per process.
+    pub ops_per_proc: usize,
+    /// Number of streams `K`.
+    pub streams: usize,
+    /// Probability that an operation is a write (0.0–1.0).
+    pub write_ratio: f64,
+    /// Maximum think time between operations.
+    pub max_think: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for WindowWorkload {
+    fn default() -> Self {
+        WindowWorkload {
+            procs: 3,
+            ops_per_proc: 20,
+            streams: 2,
+            write_ratio: 0.5,
+            max_think: 20,
+            seed: 42,
+        }
+    }
+}
+
+/// Generate a window-array script. Written values are globally unique
+/// (process-tagged counters), which keeps recorded histories usable for
+/// reads-from analyses.
+pub fn window_script(cfg: &WindowWorkload) -> Script<WaInput> {
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let ops = (0..cfg.procs)
+        .map(|p| {
+            let mut counter = 0u64;
+            (0..cfg.ops_per_proc)
+                .map(|_| {
+                    let think = rng.gen_range(1..=cfg.max_think.max(1));
+                    let input = if rng.gen_bool(cfg.write_ratio.clamp(0.0, 1.0)) {
+                        counter += 1;
+                        let v = (p as Value + 1) * 1_000_000 + counter;
+                        WaInput::Write(rng.gen_range(0..cfg.streams.max(1)), v)
+                    } else {
+                        WaInput::Read(rng.gen_range(0..cfg.streams.max(1)))
+                    };
+                    ScriptOp { think, input }
+                })
+                .collect()
+        })
+        .collect();
+    Script::new(ops)
+}
+
+/// Generate a memory script with globally distinct written values (the
+/// hypothesis of Prop. 4 and of the session-guarantee checkers).
+pub fn memory_script(
+    procs: usize,
+    ops_per_proc: usize,
+    registers: usize,
+    write_ratio: f64,
+    max_think: u64,
+    seed: u64,
+) -> Script<MemInput> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ops = (0..procs)
+        .map(|p| {
+            let mut counter = 0u64;
+            (0..ops_per_proc)
+                .map(|_| {
+                    let think = rng.gen_range(1..=max_think.max(1));
+                    let input = if rng.gen_bool(write_ratio.clamp(0.0, 1.0)) {
+                        counter += 1;
+                        let v = (p as Value + 1) * 1_000_000 + counter;
+                        MemInput::Write(rng.gen_range(0..registers.max(1)), v)
+                    } else {
+                        MemInput::Read(rng.gen_range(0..registers.max(1)))
+                    };
+                    ScriptOp { think, input }
+                })
+                .collect()
+        })
+        .collect();
+    Script::new(ops)
+}
+
+/// Generate a producer/consumer queue script: `producers` processes
+/// push unique values, the rest pop.
+pub fn queue_script(
+    procs: usize,
+    producers: usize,
+    ops_per_proc: usize,
+    max_think: u64,
+    seed: u64,
+) -> Script<QInput> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ops = (0..procs)
+        .map(|p| {
+            let mut counter = 0u64;
+            (0..ops_per_proc)
+                .map(|_| {
+                    let think = rng.gen_range(1..=max_think.max(1));
+                    let input = if p < producers {
+                        counter += 1;
+                        QInput::Push((p as Value + 1) * 1_000_000 + counter)
+                    } else {
+                        QInput::Pop
+                    };
+                    ScriptOp { think, input }
+                })
+                .collect()
+        })
+        .collect();
+    Script::new(ops)
+}
+
+/// A write-everything-then-read-everything script used by convergence
+/// experiments: every process writes `writes` values, then issues one
+/// trailing read per stream after a long quiescence gap.
+pub fn quiescent_script(
+    procs: usize,
+    writes: usize,
+    streams: usize,
+    gap: u64,
+    seed: u64,
+) -> Script<WaInput> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ops = (0..procs)
+        .map(|p| {
+            let mut v: Vec<ScriptOp<WaInput>> = (0..writes)
+                .map(|i| ScriptOp {
+                    think: rng.gen_range(1..=5),
+                    input: WaInput::Write(
+                        rng.gen_range(0..streams.max(1)),
+                        (p * writes + i) as Value + 1,
+                    ),
+                })
+                .collect();
+            for x in 0..streams {
+                v.push(ScriptOp {
+                    think: if x == 0 { gap } else { 1 },
+                    input: WaInput::Read(x),
+                });
+            }
+            v
+        })
+        .collect();
+    Script::new(ops)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_script_is_deterministic() {
+        let cfg = WindowWorkload::default();
+        let a = window_script(&cfg);
+        let b = window_script(&cfg);
+        for (x, y) in a.ops.iter().zip(&b.ops) {
+            for (o1, o2) in x.iter().zip(y) {
+                assert_eq!(o1.input, o2.input);
+                assert_eq!(o1.think, o2.think);
+            }
+        }
+    }
+
+    #[test]
+    fn window_script_writes_are_unique() {
+        let cfg = WindowWorkload {
+            procs: 4,
+            ops_per_proc: 50,
+            write_ratio: 1.0,
+            ..Default::default()
+        };
+        let s = window_script(&cfg);
+        let mut seen = std::collections::HashSet::new();
+        for p in &s.ops {
+            for op in p {
+                if let WaInput::Write(_, v) = op.input {
+                    assert!(seen.insert(v), "duplicate value {v}");
+                }
+            }
+        }
+        assert_eq!(seen.len(), 200);
+    }
+
+    #[test]
+    fn memory_script_values_distinct() {
+        let s = memory_script(3, 30, 4, 0.7, 10, 9);
+        let mut seen = std::collections::HashSet::new();
+        for p in &s.ops {
+            for op in p {
+                if let MemInput::Write(_, v) = op.input {
+                    assert!(seen.insert(v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn queue_script_splits_roles() {
+        let s = queue_script(4, 2, 10, 5, 3);
+        for (p, ops) in s.ops.iter().enumerate() {
+            for op in ops {
+                match op.input {
+                    QInput::Push(_) => assert!(p < 2),
+                    QInput::Pop => assert!(p >= 2),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quiescent_script_ends_with_reads() {
+        let s = quiescent_script(2, 5, 3, 1000, 1);
+        for ops in &s.ops {
+            let tail = &ops[ops.len() - 3..];
+            assert!(tail.iter().all(|o| matches!(o.input, WaInput::Read(_))));
+            assert_eq!(ops.len(), 8);
+        }
+    }
+}

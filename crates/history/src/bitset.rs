@@ -1,0 +1,254 @@
+//! Fixed-capacity bitsets over event ids.
+//!
+//! The consistency checkers in `cbm-check` manipulate many small sets of
+//! events (pasts, downsets, frontiers) and memoise on them; a compact
+//! `Vec<u64>` representation with word-wise operations keeps those inner
+//! loops allocation-light and hashable.
+
+use std::fmt;
+
+/// A fixed-capacity set of `usize` indices backed by 64-bit words.
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitSet {
+    words: Vec<u64>,
+    /// Number of valid bits (indices `0..len`).
+    len: usize,
+}
+
+impl BitSet {
+    /// The empty set over a universe of `len` indices.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// The full set `{0, …, len-1}`.
+    pub fn full(len: usize) -> Self {
+        let mut s = Self::new(len);
+        for i in 0..len {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// Universe size (not the cardinality; see [`BitSet::count`]).
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    /// Insert `i`. Panics if `i` is outside the universe.
+    #[inline]
+    pub fn insert(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Remove `i`.
+    #[inline]
+    pub fn remove(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range {}", self.len);
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    /// Membership test.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.len && self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Number of elements.
+    #[inline]
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Is the set empty?
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// `self ∪= other` (universes must match).
+    #[inline]
+    pub fn union_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= *b;
+        }
+    }
+
+    /// `self ∩= other`.
+    #[inline]
+    pub fn intersect_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= *b;
+        }
+    }
+
+    /// `self ∖= other`.
+    #[inline]
+    pub fn difference_with(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.len, other.len);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !*b;
+        }
+    }
+
+    /// Is `self ⊆ other`?
+    #[inline]
+    pub fn is_subset(&self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & !b == 0)
+    }
+
+    /// Is `self ∩ other = ∅`?
+    #[inline]
+    pub fn is_disjoint(&self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.len, other.len);
+        self.words.iter().zip(&other.words).all(|(a, b)| a & b == 0)
+    }
+
+    /// Iterate over members in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    /// Collect members into a vector (test convenience).
+    pub fn to_vec(&self) -> Vec<usize> {
+        self.iter().collect()
+    }
+
+    /// Remove all elements.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+}
+
+impl fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Builds a set sized to the maximum element + 1. Prefer
+    /// [`BitSet::new`] + inserts when the universe size is known.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let len = items.iter().max().map_or(0, |m| m + 1);
+        let mut s = BitSet::new(len);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(!s.contains(0));
+        s.insert(0);
+        s.insert(64);
+        s.insert(129);
+        assert!(s.contains(0) && s.contains(64) && s.contains(129));
+        assert_eq!(s.count(), 3);
+        s.remove(64);
+        assert!(!s.contains(64));
+        assert_eq!(s.count(), 2);
+    }
+
+    #[test]
+    fn out_of_universe_contains_is_false() {
+        let s = BitSet::new(5);
+        assert!(!s.contains(100));
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_universe_insert_panics() {
+        let mut s = BitSet::new(5);
+        s.insert(5);
+    }
+
+    #[test]
+    fn set_ops() {
+        let mut a = BitSet::new(70);
+        let mut b = BitSet::new(70);
+        a.insert(1);
+        a.insert(65);
+        b.insert(65);
+        b.insert(2);
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.to_vec(), vec![1, 2, 65]);
+
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.to_vec(), vec![65]);
+
+        let mut d = a.clone();
+        d.difference_with(&b);
+        assert_eq!(d.to_vec(), vec![1]);
+
+        assert!(i.is_subset(&a) && i.is_subset(&b));
+        assert!(!a.is_subset(&b));
+        assert!(!a.is_disjoint(&b));
+        assert!(d.is_disjoint(&b));
+    }
+
+    #[test]
+    fn full_and_clear() {
+        let mut s = BitSet::full(66);
+        assert_eq!(s.count(), 66);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn iter_order() {
+        let mut s = BitSet::new(200);
+        for i in [3, 199, 64, 63, 128] {
+            s.insert(i);
+        }
+        assert_eq!(s.to_vec(), vec![3, 63, 64, 128, 199]);
+    }
+
+    #[test]
+    fn from_iterator() {
+        let s: BitSet = [4usize, 9, 2].into_iter().collect();
+        assert_eq!(s.capacity(), 10);
+        assert_eq!(s.to_vec(), vec![2, 4, 9]);
+    }
+
+    #[test]
+    fn hash_and_eq_agree() {
+        use std::collections::HashSet;
+        let mut a = BitSet::new(64);
+        a.insert(3);
+        let mut b = BitSet::new(64);
+        b.insert(3);
+        let mut set = HashSet::new();
+        set.insert(a);
+        assert!(set.contains(&b));
+    }
+}

@@ -1,0 +1,478 @@
+//! Broadcast protocol state machines.
+//!
+//! Each protocol is a per-process pure state machine, independent of the
+//! transport: `broadcast` turns an application payload into an envelope
+//! (after immediate local delivery, §6.1 property 3), and `on_receive`
+//! turns an incoming envelope into the list of payloads now deliverable
+//! in protocol order. The transports ([`crate::sim::SimNet`],
+//! [`crate::thread_net::ThreadNet`]) move envelopes; the protocols
+//! decide delivery order:
+//!
+//! * [`RawBroadcast`] — reliable, unordered (baseline for eventual
+//!   consistency without causality);
+//! * [`FifoBroadcast`] — per-sender FIFO (PRAM / pipelined consistency);
+//! * [`CausalBroadcast`] — vector-clock causal delivery (the primitive
+//!   assumed by Figs. 4 and 5);
+//! * [`SequencerBroadcast`] — total order through a sequencer
+//!   (sequential consistency baseline; not wait-free).
+//!
+//! ```
+//! use cbm_net::broadcast::CausalBroadcast;
+//!
+//! let mut alice: CausalBroadcast<&str> = CausalBroadcast::new(0, 3);
+//! let mut bob: CausalBroadcast<&str> = CausalBroadcast::new(1, 3);
+//! let mut carol: CausalBroadcast<&str> = CausalBroadcast::new(2, 3);
+//!
+//! let question = alice.broadcast("2+2?");
+//! bob.on_receive(question.clone());
+//! let answer = bob.broadcast("4");
+//!
+//! // carol gets the answer first: buffered until the question arrives
+//! assert!(carol.on_receive(answer).is_empty());
+//! let both = carol.on_receive(question);
+//! assert_eq!(both.len(), 2);
+//! assert_eq!(both[0].payload, "2+2?");
+//! assert_eq!(both[1].payload, "4");
+//! ```
+
+use crate::clock::VectorClock;
+use crate::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// An envelope of the causal broadcast: payload plus causal metadata.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CausalMsg<P> {
+    /// Broadcaster.
+    pub sender: NodeId,
+    /// Vector timestamp: `vc[sender]` is the message's sequence number,
+    /// other components count the messages delivered at the sender
+    /// before the broadcast.
+    pub vc: VectorClock,
+    /// Application payload.
+    pub payload: P,
+}
+
+/// Per-process causal broadcast (CBCAST-style).
+///
+/// Delivery rule for a message `m` from `s ≠ me`:
+/// `m.vc[s] = delivered[s] + 1` and `m.vc[j] ≤ delivered[j]` for all
+/// `j ≠ s`. Out-of-order envelopes are buffered. This implements
+/// exactly the reliable causal broadcast of §6.1 when run over a
+/// transport that delivers every sent envelope eventually.
+#[derive(Debug, Clone)]
+pub struct CausalBroadcast<P> {
+    me: NodeId,
+    delivered: VectorClock,
+    buffer: Vec<CausalMsg<P>>,
+}
+
+impl<P: Clone> CausalBroadcast<P> {
+    /// A fresh endpoint for process `me` in a cluster of `n`.
+    pub fn new(me: NodeId, n: usize) -> Self {
+        CausalBroadcast {
+            me,
+            delivered: VectorClock::new(n),
+            buffer: Vec::new(),
+        }
+    }
+
+    /// Broadcast `payload`: the message is delivered locally at once
+    /// (property 3 of §6.1) and the returned envelope must be sent to
+    /// every other process.
+    pub fn broadcast(&mut self, payload: P) -> CausalMsg<P> {
+        let mut vc = self.delivered.clone();
+        vc.tick(self.me);
+        self.delivered.tick(self.me);
+        CausalMsg {
+            sender: self.me,
+            vc,
+            payload,
+        }
+    }
+
+    /// Receive an envelope; returns every message that becomes
+    /// deliverable, in causal delivery order.
+    #[allow(clippy::while_let_loop)] // the loop body borrows self.buffer twice
+    pub fn on_receive(&mut self, msg: CausalMsg<P>) -> Vec<CausalMsg<P>> {
+        self.buffer.push(msg);
+        let mut out = Vec::new();
+        loop {
+            let Some(pos) = self.buffer.iter().position(|m| self.deliverable(m)) else {
+                break;
+            };
+            let m = self.buffer.swap_remove(pos);
+            self.delivered.tick(m.sender);
+            out.push(m);
+        }
+        out
+    }
+
+    fn deliverable(&self, m: &CausalMsg<P>) -> bool {
+        if m.sender == self.me {
+            // own messages were already delivered locally
+            return false;
+        }
+        if m.vc.get(m.sender) != self.delivered.get(m.sender) + 1 {
+            return false;
+        }
+        (0..self.delivered.len())
+            .filter(|&j| j != m.sender)
+            .all(|j| m.vc.get(j) <= self.delivered.get(j))
+    }
+
+    /// Number of messages delivered from each sender.
+    pub fn delivered_clock(&self) -> &VectorClock {
+        &self.delivered
+    }
+
+    /// Envelopes waiting for their causal past.
+    pub fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+}
+
+/// An envelope of the FIFO broadcast.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FifoMsg<P> {
+    /// Broadcaster.
+    pub sender: NodeId,
+    /// Per-sender sequence number (1-based).
+    pub seq: u64,
+    /// Application payload.
+    pub payload: P,
+}
+
+/// Per-process FIFO broadcast: messages from each sender are delivered
+/// in send order, with no cross-sender constraint (the PRAM substrate).
+#[derive(Debug, Clone)]
+pub struct FifoBroadcast<P> {
+    me: NodeId,
+    sent: u64,
+    next: Vec<u64>,
+    buffer: Vec<FifoMsg<P>>,
+}
+
+impl<P: Clone> FifoBroadcast<P> {
+    /// A fresh endpoint for process `me` in a cluster of `n`.
+    pub fn new(me: NodeId, n: usize) -> Self {
+        FifoBroadcast {
+            me,
+            sent: 0,
+            next: vec![1; n],
+            buffer: Vec::new(),
+        }
+    }
+
+    /// Broadcast `payload` (delivered locally at once).
+    pub fn broadcast(&mut self, payload: P) -> FifoMsg<P> {
+        self.sent += 1;
+        self.next[self.me] = self.sent + 1;
+        FifoMsg {
+            sender: self.me,
+            seq: self.sent,
+            payload,
+        }
+    }
+
+    /// Receive an envelope; returns newly deliverable messages in FIFO
+    /// order.
+    #[allow(clippy::while_let_loop)]
+    pub fn on_receive(&mut self, msg: FifoMsg<P>) -> Vec<FifoMsg<P>> {
+        if msg.sender == self.me {
+            return Vec::new();
+        }
+        self.buffer.push(msg);
+        let mut out = Vec::new();
+        loop {
+            let Some(pos) = self
+                .buffer
+                .iter()
+                .position(|m| m.seq == self.next[m.sender])
+            else {
+                break;
+            };
+            let m = self.buffer.swap_remove(pos);
+            self.next[m.sender] += 1;
+            out.push(m);
+        }
+        out
+    }
+}
+
+/// Unordered reliable broadcast: every received envelope is delivered
+/// immediately (the weakest substrate; eventual consistency baselines
+/// build on it).
+#[derive(Debug, Clone, Default)]
+pub struct RawBroadcast;
+
+impl RawBroadcast {
+    /// Trivial pass-through (kept for symmetry with the other layers).
+    pub fn on_receive<P>(&mut self, msg: P) -> Vec<P> {
+        vec![msg]
+    }
+}
+
+/// Messages of the sequencer protocol.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SeqMsg<P> {
+    /// Client → sequencer: please order this payload.
+    Submit {
+        /// Originating process.
+        origin: NodeId,
+        /// Application payload.
+        payload: P,
+    },
+    /// Sequencer → everyone: payload with its global slot.
+    Ordered {
+        /// Global sequence number (1-based).
+        slot: u64,
+        /// Originating process.
+        origin: NodeId,
+        /// Application payload.
+        payload: P,
+    },
+}
+
+/// Totally ordered broadcast through a fixed sequencer (process 0).
+///
+/// Used by the sequential-consistency baseline: an update completes
+/// only when its `Ordered` envelope comes back, so operation latency is
+/// at least one round trip to the sequencer — precisely the
+/// communication dependence that §1 contrasts with wait-free causal
+/// objects.
+#[derive(Debug, Clone)]
+pub struct SequencerBroadcast<P> {
+    me: NodeId,
+    next_slot: u64,   // sequencer state
+    next_deliver: u64, // per-process delivery cursor
+    buffer: Vec<SeqMsg<P>>,
+}
+
+/// The sequencer role is fixed to process 0.
+pub const SEQUENCER: NodeId = 0;
+
+impl<P: Clone> SequencerBroadcast<P> {
+    /// A fresh endpoint for process `me`.
+    pub fn new(me: NodeId) -> Self {
+        SequencerBroadcast {
+            me,
+            next_slot: 1,
+            next_deliver: 1,
+            buffer: Vec::new(),
+        }
+    }
+
+    /// Submit a payload for total ordering. Returns the envelope to
+    /// send to the sequencer (or, if `me` is the sequencer, the
+    /// `Ordered` envelope to broadcast).
+    pub fn submit(&mut self, payload: P) -> SeqMsg<P> {
+        if self.me == SEQUENCER {
+            let slot = self.next_slot;
+            self.next_slot += 1;
+            SeqMsg::Ordered {
+                slot,
+                origin: self.me,
+                payload,
+            }
+        } else {
+            SeqMsg::Submit {
+                origin: self.me,
+                payload,
+            }
+        }
+    }
+
+    /// Handle an incoming envelope.
+    ///
+    /// Returns `(deliveries, to_broadcast)`: payloads now deliverable
+    /// in slot order, plus (at the sequencer) the `Ordered` envelope to
+    /// fan out.
+    #[allow(clippy::type_complexity, clippy::while_let_loop)]
+    pub fn on_receive(&mut self, msg: SeqMsg<P>) -> (Vec<(u64, NodeId, P)>, Option<SeqMsg<P>>) {
+        match msg {
+            SeqMsg::Submit { origin, payload } => {
+                assert_eq!(self.me, SEQUENCER, "Submit routed to non-sequencer");
+                let slot = self.next_slot;
+                self.next_slot += 1;
+                let ordered = SeqMsg::Ordered {
+                    slot,
+                    origin,
+                    payload,
+                };
+                (Vec::new(), Some(ordered))
+            }
+            ordered @ SeqMsg::Ordered { .. } => {
+                self.buffer.push(ordered);
+                let mut out = Vec::new();
+                loop {
+                    let Some(pos) = self.buffer.iter().position(|m| {
+                        matches!(m, SeqMsg::Ordered { slot, .. } if *slot == self.next_deliver)
+                    }) else {
+                        break;
+                    };
+                    let SeqMsg::Ordered {
+                        slot,
+                        origin,
+                        payload,
+                    } = self.buffer.swap_remove(pos)
+                    else {
+                        unreachable!()
+                    };
+                    self.next_deliver += 1;
+                    out.push((slot, origin, payload));
+                }
+                (out, None)
+            }
+        }
+    }
+
+    /// Slots delivered so far.
+    pub fn delivered(&self) -> u64 {
+        self.next_deliver - 1
+    }
+}
+
+/// A simple deterministic delivery queue used in protocol unit tests.
+#[derive(Debug, Default)]
+pub struct TestLink<M> {
+    queue: VecDeque<M>,
+}
+
+impl<M> TestLink<M> {
+    /// An empty link.
+    pub fn new() -> Self {
+        TestLink {
+            queue: VecDeque::new(),
+        }
+    }
+    /// Enqueue a message.
+    pub fn send(&mut self, m: M) {
+        self.queue.push_back(m);
+    }
+    /// Dequeue in order.
+    pub fn recv(&mut self) -> Option<M> {
+        self.queue.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn causal_broadcast_buffers_out_of_causal_order() {
+        // p0 broadcasts m1; p1 receives m1 then broadcasts m2.
+        // p2 receives m2 BEFORE m1: m2 must be buffered.
+        let mut p0 = CausalBroadcast::<&str>::new(0, 3);
+        let mut p1 = CausalBroadcast::<&str>::new(1, 3);
+        let mut p2 = CausalBroadcast::<&str>::new(2, 3);
+
+        let m1 = p0.broadcast("m1");
+        assert_eq!(p1.on_receive(m1.clone()).len(), 1);
+        let m2 = p1.broadcast("m2");
+
+        // m2 first: buffered
+        assert!(p2.on_receive(m2.clone()).is_empty());
+        assert_eq!(p2.buffered(), 1);
+        // m1 arrives: both deliverable, in causal order
+        let delivered = p2.on_receive(m1);
+        assert_eq!(delivered.len(), 2);
+        assert_eq!(delivered[0].payload, "m1");
+        assert_eq!(delivered[1].payload, "m2");
+        assert_eq!(p2.buffered(), 0);
+    }
+
+    #[test]
+    fn causal_broadcast_fifo_per_sender() {
+        let mut p0 = CausalBroadcast::<u32>::new(0, 2);
+        let mut p1 = CausalBroadcast::<u32>::new(1, 2);
+        let a = p0.broadcast(1);
+        let b = p0.broadcast(2);
+        // reversed arrival
+        assert!(p1.on_receive(b.clone()).is_empty());
+        let got = p1.on_receive(a);
+        assert_eq!(got.iter().map(|m| m.payload).collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn concurrent_messages_deliver_in_any_order() {
+        let mut p0 = CausalBroadcast::<u32>::new(0, 3);
+        let mut p1 = CausalBroadcast::<u32>::new(1, 3);
+        let mut p2 = CausalBroadcast::<u32>::new(2, 3);
+        let a = p0.broadcast(10);
+        let b = p1.broadcast(20);
+        // p2 receives b then a — both concurrent, both deliverable at once
+        assert_eq!(p2.on_receive(b).len(), 1);
+        assert_eq!(p2.on_receive(a).len(), 1);
+    }
+
+    #[test]
+    fn own_messages_not_redelivered() {
+        let mut p0 = CausalBroadcast::<u32>::new(0, 2);
+        let m = p0.broadcast(5);
+        assert!(p0.on_receive(m).is_empty());
+    }
+
+    #[test]
+    fn fifo_broadcast_orders_per_sender_only() {
+        let mut p1 = FifoBroadcast::<u32>::new(1, 3);
+        let mut p0 = FifoBroadcast::<u32>::new(0, 3);
+        let mut p2 = FifoBroadcast::<u32>::new(2, 3);
+        let a1 = p0.broadcast(1);
+        let a2 = p0.broadcast(2);
+        let b1 = p2.broadcast(7);
+        // a2 before a1: buffered; b1 independent: delivered at once
+        assert!(p1.on_receive(a2.clone()).is_empty());
+        assert_eq!(p1.on_receive(b1).len(), 1);
+        let got = p1.on_receive(a1);
+        assert_eq!(got.iter().map(|m| m.payload).collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn sequencer_orders_everything() {
+        let mut s = SequencerBroadcast::<&str>::new(SEQUENCER);
+        let mut p1 = SequencerBroadcast::<&str>::new(1);
+        let mut p2 = SequencerBroadcast::<&str>::new(2);
+
+        // p1 and p2 submit concurrently; sequencer orders
+        let sub1 = p1.submit("x");
+        let sub2 = p2.submit("y");
+        let (d, ord1) = s.on_receive(sub1);
+        assert!(d.is_empty());
+        let (_, ord2) = s.on_receive(sub2);
+        let ord1 = ord1.unwrap();
+        let ord2 = ord2.unwrap();
+
+        // out-of-order arrival at p1
+        let (d, _) = p1.on_receive(ord2.clone());
+        assert!(d.is_empty());
+        let (d, _) = p1.on_receive(ord1.clone());
+        assert_eq!(d.len(), 2);
+        assert_eq!(d[0].2, "x");
+        assert_eq!(d[1].2, "y");
+
+        // in-order at p2
+        let (d, _) = p2.on_receive(ord1);
+        assert_eq!(d.len(), 1);
+        let (d, _) = p2.on_receive(ord2);
+        assert_eq!(d.len(), 1);
+        assert_eq!(p2.delivered(), 2);
+    }
+
+    #[test]
+    fn raw_broadcast_is_immediate() {
+        let mut r = RawBroadcast;
+        assert_eq!(r.on_receive(42), vec![42]);
+    }
+
+    #[test]
+    fn test_link_is_fifo() {
+        let mut l = TestLink::new();
+        l.send(1);
+        l.send(2);
+        assert_eq!(l.recv(), Some(1));
+        assert_eq!(l.recv(), Some(2));
+        assert_eq!(l.recv(), None);
+    }
+}

@@ -1,0 +1,44 @@
+//! # cbm-net — Wait-free asynchronous message-passing substrate
+//!
+//! Implements Section 6.1 of Perrin, Mostéfaoui & Jard, *Causal
+//! Consistency: Beyond Memory* (PPoPP 2016): a message-passing system of
+//! `n` sequential processes, asynchronous (no bound on delivery delay),
+//! with crash faults, communicating through a **reliable causal
+//! broadcast** ([`broadcast::CausalBroadcast`]) with the four properties
+//! of §6.1:
+//!
+//! 1. every received message was broadcast;
+//! 2. a received message is eventually received by all non-faulty
+//!    processes;
+//! 3. a non-faulty broadcaster receives its own message immediately;
+//! 4. causal order: a message broadcast after a reception is never
+//!    delivered before the received message.
+//!
+//! Alongside the causal broadcast we provide the weaker and stronger
+//! layers the baselines in `cbm-core` need: FIFO broadcast (PRAM),
+//! unordered reliable broadcast (eventual consistency without
+//! causality), and a sequencer-based total-order broadcast (sequential
+//! consistency — *not* wait-free; its latency is the motivation metric
+//! of §1).
+//!
+//! Two transports run the protocols:
+//!
+//! * [`sim::SimNet`] — a deterministic, seeded discrete-event simulator
+//!   with pluggable latency models and crash injection; every test and
+//!   figure harness runs on it so executions are replayable;
+//! * [`thread_net::ThreadNet`] — real threads over crossbeam channels,
+//!   used by the Criterion benches for wall-clock numbers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod broadcast;
+pub mod clock;
+pub mod latency;
+pub mod msg;
+pub mod sim;
+pub mod thread_net;
+
+/// Identifier of a process/replica in a cluster of known size `n`
+/// (process ids are "unique and totally ordered", §6.3).
+pub type NodeId = usize;

@@ -1,0 +1,164 @@
+//! Real-thread transport over crossbeam channels.
+//!
+//! Used by the Criterion benches to measure wall-clock behaviour of the
+//! protocols under true parallelism. Each node owns a receiver;
+//! senders are cloneable handles. Unlike [`crate::sim::SimNet`] there
+//! is no virtual time — ordering comes from the OS scheduler, which is
+//! exactly the nondeterminism the wait-free algorithms must tolerate.
+
+use crate::NodeId;
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// Shared transport statistics.
+#[derive(Debug, Default)]
+pub struct ThreadNetStats {
+    /// Messages sent across all links.
+    pub msgs_sent: u64,
+}
+
+/// A mesh of channels between `n` nodes.
+pub struct ThreadNet<M> {
+    senders: Vec<Sender<(NodeId, M)>>,
+    receivers: Vec<Option<Receiver<(NodeId, M)>>>,
+    stats: Arc<Mutex<ThreadNetStats>>,
+}
+
+/// A per-node endpoint: send to anyone, receive your own queue.
+pub struct Endpoint<M> {
+    /// This node's id.
+    pub me: NodeId,
+    senders: Vec<Sender<(NodeId, M)>>,
+    receiver: Receiver<(NodeId, M)>,
+    stats: Arc<Mutex<ThreadNetStats>>,
+}
+
+impl<M: Send + 'static> ThreadNet<M> {
+    /// Build a fully connected mesh of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        let mut senders = Vec::with_capacity(n);
+        let mut receivers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (tx, rx) = unbounded();
+            senders.push(tx);
+            receivers.push(Some(rx));
+        }
+        ThreadNet {
+            senders,
+            receivers,
+            stats: Arc::new(Mutex::new(ThreadNetStats::default())),
+        }
+    }
+
+    /// Take the endpoint for node `me` (panics if taken twice).
+    pub fn endpoint(&mut self, me: NodeId) -> Endpoint<M> {
+        Endpoint {
+            me,
+            senders: self.senders.clone(),
+            receiver: self.receivers[me].take().expect("endpoint already taken"),
+            stats: Arc::clone(&self.stats),
+        }
+    }
+
+    /// Snapshot of the statistics.
+    pub fn stats(&self) -> u64 {
+        self.stats.lock().msgs_sent
+    }
+}
+
+impl<M: Clone + Send + 'static> Endpoint<M> {
+    /// Send to one peer.
+    pub fn send(&self, to: NodeId, msg: M) {
+        // a disconnected peer (dropped endpoint) models a crash: sends
+        // to it are silently lost, like the simulator's drops
+        if self.senders[to].send((self.me, msg)).is_ok() {
+            self.stats.lock().msgs_sent += 1;
+        }
+    }
+
+    /// Send to every other node.
+    pub fn broadcast(&self, msg: M) {
+        for to in 0..self.senders.len() {
+            if to != self.me {
+                self.send(to, msg.clone());
+            }
+        }
+    }
+
+    /// Blocking receive.
+    pub fn recv(&self) -> Option<(NodeId, M)> {
+        self.receiver.recv().ok()
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<(NodeId, M)> {
+        match self.receiver.try_recv() {
+            Ok(v) => Some(v),
+            Err(TryRecvError::Empty) | Err(TryRecvError::Disconnected) => None,
+        }
+    }
+
+    /// Cluster size.
+    pub fn cluster_size(&self) -> usize {
+        self.senders.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn point_to_point_delivery() {
+        let mut net: ThreadNet<u32> = ThreadNet::new(2);
+        let a = net.endpoint(0);
+        let b = net.endpoint(1);
+        a.send(1, 42);
+        assert_eq!(b.recv(), Some((0, 42)));
+        assert_eq!(net.stats(), 1);
+    }
+
+    #[test]
+    fn broadcast_reaches_all_peers() {
+        let mut net: ThreadNet<&str> = ThreadNet::new(3);
+        let e0 = net.endpoint(0);
+        let e1 = net.endpoint(1);
+        let e2 = net.endpoint(2);
+        e0.broadcast("hello");
+        assert_eq!(e1.recv(), Some((0, "hello")));
+        assert_eq!(e2.recv(), Some((0, "hello")));
+        assert_eq!(e1.try_recv(), None);
+    }
+
+    #[test]
+    fn cross_thread_exchange() {
+        let mut net: ThreadNet<u64> = ThreadNet::new(2);
+        let a = net.endpoint(0);
+        let b = net.endpoint(1);
+        let handle = thread::spawn(move || {
+            let mut sum = 0;
+            for _ in 0..100 {
+                let (_, v) = b.recv().unwrap();
+                sum += v;
+            }
+            sum
+        });
+        for i in 0..100u64 {
+            a.send(1, i);
+        }
+        assert_eq!(handle.join().unwrap(), 4950);
+    }
+
+    #[test]
+    fn send_to_dropped_endpoint_is_lost_not_panicking() {
+        let mut net: ThreadNet<u8> = ThreadNet::new(2);
+        let a = net.endpoint(0);
+        {
+            let _b = net.endpoint(1);
+            // dropped here: simulated crash
+        }
+        a.send(1, 1); // must not panic
+    }
+}

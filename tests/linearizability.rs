@@ -1,0 +1,111 @@
+//! Linearizability (real-time SC) on recorded executions — the §1
+//! contrast between SC and linearizability, made checkable.
+//!
+//! The cluster driver records the real-time interval order ("e
+//! completed before f was invoked"); `check_linearizable` decides SC
+//! under that extra constraint. The sequencer baseline is a
+//! linearizable RSM, so its histories must always pass; the wait-free
+//! causal flavour returns from stale local state, so once delays
+//! exceed think times its histories stop being linearizable (and
+//! usually stop being SC too).
+
+use cbm_adt::window::{WaInput, WindowArray};
+use cbm_check::sc::{check_linearizable, check_sc};
+use cbm_check::{Budget, Verdict};
+use cbm_core::causal::CausalShared;
+use cbm_core::cluster::{Cluster, Script, ScriptOp};
+use cbm_core::seq::SeqShared;
+use cbm_net::latency::LatencyModel;
+
+fn small_script() -> Script<WaInput> {
+    Script::new(vec![
+        vec![
+            ScriptOp { think: 5, input: WaInput::Write(0, 1) },
+            ScriptOp { think: 5, input: WaInput::Read(0) },
+        ],
+        vec![
+            ScriptOp { think: 7, input: WaInput::Write(0, 2) },
+            ScriptOp { think: 5, input: WaInput::Read(0) },
+        ],
+        vec![
+            ScriptOp { think: 9, input: WaInput::Read(0) },
+            ScriptOp { think: 9, input: WaInput::Read(0) },
+        ],
+    ])
+}
+
+#[test]
+fn sequencer_histories_are_linearizable() {
+    for seed in 0..15 {
+        let adt = WindowArray::new(1, 2);
+        let cluster: Cluster<WindowArray, SeqShared<WindowArray>> =
+            Cluster::new(3, adt, LatencyModel::Uniform(5, 60), seed);
+        let res = cluster.run(small_script());
+        let v = check_linearizable(&adt, &res.history, &res.realtime, &Budget::default());
+        assert_eq!(v.verdict, Verdict::Sat, "seed {seed}");
+    }
+}
+
+#[test]
+fn linearizable_implies_sc() {
+    for seed in 0..15 {
+        let adt = WindowArray::new(1, 2);
+        let cluster: Cluster<WindowArray, CausalShared<WindowArray>> =
+            Cluster::new(3, adt, LatencyModel::Uniform(5, 200), seed);
+        let res = cluster.run(small_script());
+        let lin = check_linearizable(&adt, &res.history, &res.realtime, &Budget::default());
+        let sc = check_sc(&adt, &res.history, &Budget::default());
+        if lin.verdict.is_sat() {
+            assert!(sc.verdict.is_sat(), "seed {seed}: linearizable but not SC?");
+        }
+    }
+}
+
+#[test]
+fn causal_flavour_loses_linearizability_under_delay() {
+    // stale reads: p2 reads the initial window long after both writes
+    // have *completed* in real time — SC can reorder, real time cannot.
+    let mut non_linearizable = 0;
+    for seed in 0..20 {
+        let adt = WindowArray::new(1, 2);
+        let cluster: Cluster<WindowArray, CausalShared<WindowArray>> = Cluster::new(
+            3,
+            adt,
+            LatencyModel::Constant(500), // delays far beyond think times
+            seed,
+        );
+        let res = cluster.run(small_script());
+        let v = check_linearizable(&adt, &res.history, &res.realtime, &Budget::default());
+        assert_ne!(v.verdict, Verdict::Unknown);
+        if v.verdict.is_unsat() {
+            non_linearizable += 1;
+        }
+    }
+    assert!(
+        non_linearizable > 0,
+        "expected stale local reads to break linearizability"
+    );
+}
+
+#[test]
+fn witness_respects_real_time() {
+    let adt = WindowArray::new(1, 2);
+    let cluster: Cluster<WindowArray, SeqShared<WindowArray>> =
+        Cluster::new(3, adt, LatencyModel::Constant(10), 3);
+    let res = cluster.run(small_script());
+    let v = check_linearizable(&adt, &res.history, &res.realtime, &Budget::default());
+    assert_eq!(v.verdict, Verdict::Sat);
+    let w = v.witness.expect("sat carries a witness");
+    assert!(w.contains(&res.realtime), "witness must embed real time");
+    assert!(w.contains(res.history.prog()), "witness must embed ↦");
+}
+
+#[test]
+fn realtime_contains_program_order_per_process() {
+    // within one process, e completes before the next op is invoked
+    let adt = WindowArray::new(1, 2);
+    let cluster: Cluster<WindowArray, CausalShared<WindowArray>> =
+        Cluster::new(3, adt, LatencyModel::Constant(50), 1);
+    let res = cluster.run(small_script());
+    assert!(res.realtime.contains(res.history.prog()));
+}

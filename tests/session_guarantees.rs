@@ -1,0 +1,157 @@
+//! Session guarantees (Terry et al., §1 of the paper) measured on
+//! recorded executions of each replica flavour over the memory ADT.
+//!
+//! The paper: causal consistency ensures all four guarantees; the
+//! weaker flavours lose some. Concretely, with our κ-based checkers
+//! (`cbm-check::session`):
+//!
+//! * `CausalShared` — all four, on every seed;
+//! * `PramShared` — RYW/MR always (per-process FIFO views), but
+//!   *writes follow reads* can break (no cross-sender causality);
+//! * `EcShared` — *monotonic writes* and WFR can break (unordered
+//!   delivery applies an effect before its cause).
+
+use cbm_adt::memory::Memory;
+use cbm_check::session::{check_session_guarantees, SessionReport};
+use cbm_core::causal::CausalShared;
+use cbm_core::cluster::{Cluster, RunResult, Script, ScriptOp};
+use cbm_core::ec::EcShared;
+use cbm_core::pram::PramShared;
+use cbm_core::replica::Replica;
+use cbm_core::workload::memory_script;
+use cbm_net::latency::LatencyModel;
+
+fn run<R: Replica<Memory>>(seed: u64, script: Script<cbm_adt::memory::MemInput>) -> RunResult<Memory> {
+    let cluster: Cluster<Memory, R> = Cluster::new(
+        script.ops.len(),
+        Memory::new(3),
+        LatencyModel::HeavyTail { base: 4, tail_prob: 0.4, tail_max: 250 },
+        seed,
+    );
+    cluster.run(script)
+}
+
+fn report<R: Replica<Memory>>(seed: u64) -> SessionReport {
+    let script = memory_script(4, 14, 3, 0.5, 12, seed);
+    let res = run::<R>(seed, script);
+    check_session_guarantees(&res.history).expect("distinct-value workload")
+}
+
+#[test]
+fn causal_shared_ensures_all_four_guarantees() {
+    for seed in 0..40 {
+        let rep = report::<CausalShared<Memory>>(seed);
+        assert!(rep.all(), "seed {seed}: {rep:?}");
+    }
+}
+
+#[test]
+fn pram_keeps_ryw_and_monotonic_reads() {
+    for seed in 0..40 {
+        let rep = report::<PramShared<Memory>>(seed);
+        assert!(rep.read_your_writes, "seed {seed}: {rep:?}");
+        assert!(rep.monotonic_reads, "seed {seed}: {rep:?}");
+    }
+}
+
+/// Per-sender FIFO preserves monotonic writes (a process's own writes
+/// arrive in order everywhere) but not writes-follow-reads: the
+/// directed scenario below breaks WFR because the answerer's write and
+/// the original write travel on *different* sender channels.
+#[test]
+fn pram_violates_writes_follow_reads_in_directed_scenario() {
+    fn script() -> Script<cbm_adt::memory::MemInput> {
+        use cbm_adt::memory::MemInput::*;
+        Script::new(vec![
+            vec![ScriptOp { think: 10, input: Write(0, 1) }],
+            vec![
+                ScriptOp { think: 40, input: Read(0) },
+                ScriptOp { think: 5, input: Write(1, 2) },
+            ],
+            (0..30)
+                .flat_map(|_| {
+                    vec![
+                        ScriptOp { think: 6, input: Read(1) },
+                        ScriptOp { think: 1, input: Read(0) },
+                    ]
+                })
+                .collect(),
+        ])
+    }
+    let mut violations = 0;
+    for seed in 0..60 {
+        let res = run::<PramShared<Memory>>(seed, script());
+        let rep = check_session_guarantees(&res.history).unwrap();
+        // FIFO keeps a process's own writes ordered: MW must hold here
+        assert!(rep.monotonic_writes, "seed {seed}: {rep:?}");
+        if !rep.writes_follow_reads {
+            violations += 1;
+        }
+    }
+    assert!(
+        violations > 0,
+        "expected at least one WFR violation under FIFO-only delivery"
+    );
+}
+
+#[test]
+fn ec_violates_monotonic_writes_somewhere() {
+    let mut violations = 0;
+    for seed in 0..60 {
+        let rep = report::<EcShared<Memory>>(seed);
+        if !rep.monotonic_writes || !rep.writes_follow_reads {
+            violations += 1;
+        }
+    }
+    assert!(
+        violations > 0,
+        "expected MW/WFR violations under unordered delivery"
+    );
+}
+
+#[test]
+fn ec_keeps_read_your_writes() {
+    // own updates are applied locally at invocation, so RYW holds even
+    // for the weakest flavour
+    for seed in 0..40 {
+        let rep = report::<EcShared<Memory>>(seed);
+        assert!(rep.read_your_writes, "seed {seed}: {rep:?}");
+    }
+}
+
+/// A handcrafted WFR scenario, flavour by flavour: p0 writes x=1;
+/// p1 reads it and then writes y=2; p2 polls y then x. Under causal
+/// delivery, any replica that sees y=2 must already have x=1.
+#[test]
+fn directed_wfr_scenario() {
+    fn script() -> Script<cbm_adt::memory::MemInput> {
+        use cbm_adt::memory::MemInput::*;
+        Script::new(vec![
+            vec![ScriptOp { think: 10, input: Write(0, 1) }],
+            vec![
+                ScriptOp { think: 40, input: Read(0) },
+                ScriptOp { think: 5, input: Write(1, 2) },
+            ],
+            (0..30)
+                .flat_map(|_| {
+                    vec![
+                        ScriptOp { think: 6, input: Read(1) },
+                        ScriptOp { think: 1, input: Read(0) },
+                    ]
+                })
+                .collect(),
+        ])
+    }
+    let mut cc_clean = true;
+    let mut ec_dirty = false;
+    for seed in 0..40 {
+        let res = run::<CausalShared<Memory>>(seed, script());
+        let rep = check_session_guarantees(&res.history).unwrap();
+        cc_clean &= rep.writes_follow_reads;
+        let res = run::<EcShared<Memory>>(seed, script());
+        let rep = check_session_guarantees(&res.history).unwrap();
+        ec_dirty |= !rep.writes_follow_reads;
+    }
+    assert!(cc_clean, "causal delivery must preserve WFR");
+    assert!(ec_dirty, "unordered delivery must eventually violate WFR");
+}
