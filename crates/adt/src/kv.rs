@@ -123,7 +123,12 @@ mod tests {
     fn scan_is_sorted_and_pure() {
         let kv = KvStore;
         let q = kv.fold_inputs(
-            [KvInput::Put(3, 30), KvInput::Put(1, 10), KvInput::Put(2, 20)].iter(),
+            [
+                KvInput::Put(3, 30),
+                KvInput::Put(1, 10),
+                KvInput::Put(2, 20),
+            ]
+            .iter(),
         );
         assert_eq!(
             kv.output(&q, &KvInput::Scan),

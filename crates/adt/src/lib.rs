@@ -90,7 +90,7 @@ pub mod prelude {
     pub use crate::log::{AppendLog, LogInput, LogOutput};
     pub use crate::memory::{MemInput, MemOutput, Memory};
     pub use crate::queue::{FifoQueue, HdRhQueue, QInput, QOutput, QpInput, QpOutput};
-    pub use crate::register::{Register, RegInput, RegOutput};
+    pub use crate::register::{RegInput, RegOutput, Register};
     pub use crate::set::{AddRemSet, SetInput, SetOutput};
     pub use crate::stack::{SkInput, SkOutput, Stack};
     pub use crate::window::{WInput, WOutput, WaInput, WaOutput, WindowArray, WindowStream};

@@ -83,7 +83,10 @@ mod tests {
     fn appends_preserve_order() {
         let l = AppendLog;
         let q = l.fold_inputs([LogInput::Append(1), LogInput::Append(2)].iter());
-        assert_eq!(l.output(&q, &LogInput::Read), LogOutput::Entries(vec![1, 2]));
+        assert_eq!(
+            l.output(&q, &LogInput::Read),
+            LogOutput::Entries(vec![1, 2])
+        );
         assert_eq!(l.output(&q, &LogInput::Len), LogOutput::Count(2));
     }
 

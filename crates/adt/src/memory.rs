@@ -115,7 +115,12 @@ mod tests {
     fn write_overwrites_whole_past() {
         let m = Memory::new(1);
         let q = m.fold_inputs(
-            [MemInput::Write(0, 1), MemInput::Write(0, 2), MemInput::Write(0, 3)].iter(),
+            [
+                MemInput::Write(0, 1),
+                MemInput::Write(0, 2),
+                MemInput::Write(0, 3),
+            ]
+            .iter(),
         );
         assert_eq!(m.output(&q, &MemInput::Read(0)), MemOutput::Val(3));
     }
@@ -123,7 +128,10 @@ mod tests {
     #[test]
     fn unwritten_register_reads_default() {
         let m = Memory::new(4);
-        assert_eq!(m.output(&m.initial(), &MemInput::Read(3)), MemOutput::Val(0));
+        assert_eq!(
+            m.output(&m.initial(), &MemInput::Read(3)),
+            MemOutput::Val(0)
+        );
     }
 
     #[test]

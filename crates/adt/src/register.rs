@@ -95,7 +95,10 @@ mod tests {
         let mut qw = w1.initial();
         for v in ops {
             assert_eq!(vec![qr], qw);
-            match (r.output(&qr, &RegInput::Read), w1.output(&qw, &WInput::Read)) {
+            match (
+                r.output(&qr, &RegInput::Read),
+                w1.output(&qw, &WInput::Read),
+            ) {
                 (RegOutput::Val(a), WOutput::Window(b)) => assert_eq!(vec![a], b),
                 _ => panic!("unexpected outputs"),
             }

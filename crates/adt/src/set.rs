@@ -96,10 +96,8 @@ mod tests {
     #[test]
     fn add_remove_order_matters() {
         let s = AddRemSet;
-        let add_then_rem =
-            s.fold_inputs([SetInput::Add(1), SetInput::Remove(1)].iter());
-        let rem_then_add =
-            s.fold_inputs([SetInput::Remove(1), SetInput::Add(1)].iter());
+        let add_then_rem = s.fold_inputs([SetInput::Add(1), SetInput::Remove(1)].iter());
+        let rem_then_add = s.fold_inputs([SetInput::Remove(1), SetInput::Add(1)].iter());
         assert_ne!(add_then_rem, rem_then_add);
     }
 

@@ -272,9 +272,18 @@ mod tests {
         let q = a.initial();
         let q = a.transition(&q, &WaInput::Write(0, 1));
         let q = a.transition(&q, &WaInput::Write(2, 9));
-        assert_eq!(a.output(&q, &WaOutput_read(0)), WaOutput::Window(vec![0, 1]));
-        assert_eq!(a.output(&q, &WaOutput_read(1)), WaOutput::Window(vec![0, 0]));
-        assert_eq!(a.output(&q, &WaOutput_read(2)), WaOutput::Window(vec![0, 9]));
+        assert_eq!(
+            a.output(&q, &WaOutput_read(0)),
+            WaOutput::Window(vec![0, 1])
+        );
+        assert_eq!(
+            a.output(&q, &WaOutput_read(1)),
+            WaOutput::Window(vec![0, 0])
+        );
+        assert_eq!(
+            a.output(&q, &WaOutput_read(2)),
+            WaOutput::Window(vec![0, 9])
+        );
     }
 
     #[allow(non_snake_case)]
@@ -305,10 +314,7 @@ mod proptests {
 
     fn arb_inputs(max_len: usize) -> impl Strategy<Value = Vec<WInput>> {
         prop::collection::vec(
-            prop_oneof![
-                (0u64..50).prop_map(WInput::Write),
-                Just(WInput::Read),
-            ],
+            prop_oneof![(0u64..50).prop_map(WInput::Write), Just(WInput::Read),],
             0..max_len,
         )
     }

@@ -77,10 +77,7 @@ pub fn longest_accepted_prefix<T: Adt>(adt: &T, word: &[Sym<T::Input, T::Output>
 /// Run a sequence of raw inputs from `q0`, returning the final state and
 /// the outputs `λ` produced along the way (the unique full word of
 /// `L(T)` with these inputs, by determinism).
-pub fn run_inputs<T: Adt>(
-    adt: &T,
-    inputs: &[T::Input],
-) -> (T::State, Vec<T::Output>) {
+pub fn run_inputs<T: Adt>(adt: &T, inputs: &[T::Input]) -> (T::State, Vec<T::Output>) {
     let mut q = adt.initial();
     let mut outs = Vec::with_capacity(inputs.len());
     for i in inputs {
@@ -161,7 +158,12 @@ mod tests {
     #[test]
     fn run_inputs_produces_unique_full_word() {
         let adt = WindowStream::new(2);
-        let inputs = vec![WInput::Write(1), WInput::Read, WInput::Write(2), WInput::Read];
+        let inputs = vec![
+            WInput::Write(1),
+            WInput::Read,
+            WInput::Write(2),
+            WInput::Read,
+        ];
         let (q, outs) = run_inputs(&adt, &inputs);
         assert_eq!(q, vec![1, 2]);
         assert_eq!(

@@ -35,8 +35,13 @@ fn bench_checkers(c: &mut Crit) {
     for ops in [3usize, 5, 7] {
         let h = recorded_history(ops);
         let events = h.len();
-        for crit in [Criterion::Sc, Criterion::Pc, Criterion::Wcc, Criterion::Cc, Criterion::Ccv]
-        {
+        for crit in [
+            Criterion::Sc,
+            Criterion::Pc,
+            Criterion::Wcc,
+            Criterion::Cc,
+            Criterion::Ccv,
+        ] {
             group.bench_with_input(
                 BenchmarkId::new(crit.name(), format!("{events}ev")),
                 &h,

@@ -14,9 +14,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 const N: usize = 2048;
 
 /// Build the envelopes once: a remote replica's N writes.
-fn envelopes(
-    reverse_blocks: bool,
-) -> Vec<cbm_net::broadcast::CausalMsg<ArbUpdate<WaInput>>> {
+fn envelopes(reverse_blocks: bool) -> Vec<cbm_net::broadcast::CausalMsg<ArbUpdate<WaInput>>> {
     let mut sender: CausalBroadcast<ArbUpdate<WaInput>> = CausalBroadcast::new(1, 2);
     let mut msgs: Vec<_> = (0..N as u64)
         .map(|i| {
@@ -48,23 +46,27 @@ fn bench_delivery(c: &mut Criterion) {
     group.throughput(Throughput::Elements(N as u64));
     for (name, rev) in [("ts_in_order", false), ("ts_swapped_pairs", true)] {
         let msgs = envelopes(rev);
-        group.bench_with_input(BenchmarkId::new("ConvergentShared", name), &msgs, |b, msgs| {
-            b.iter_batched(
-                || {
-                    let r: ConvergentShared<WindowArray> =
-                        ConvergentShared::new_replica(0, 2, WindowArray::new(1, 3));
-                    (r, msgs.clone())
-                },
-                |(mut r, msgs)| {
-                    let mut out: Vec<Outgoing<_>> = Vec::new();
-                    for m in msgs {
-                        r.on_deliver(1, m, &mut out, &mut Vec::new(), &mut Vec::new());
-                    }
-                    r.log_len()
-                },
-                criterion::BatchSize::SmallInput,
-            )
-        });
+        group.bench_with_input(
+            BenchmarkId::new("ConvergentShared", name),
+            &msgs,
+            |b, msgs| {
+                b.iter_batched(
+                    || {
+                        let r: ConvergentShared<WindowArray> =
+                            ConvergentShared::new_replica(0, 2, WindowArray::new(1, 3));
+                        (r, msgs.clone())
+                    },
+                    |(mut r, msgs)| {
+                        let mut out: Vec<Outgoing<_>> = Vec::new();
+                        for m in msgs {
+                            r.on_deliver(1, m, &mut out, &mut Vec::new(), &mut Vec::new());
+                        }
+                        r.log_len()
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            },
+        );
     }
     // verbatim Fig. 5: O(k) insert regardless of arrival order
     let mut sender = WkArrayCcv::new(1, 2, 1, 3);

@@ -1,0 +1,42 @@
+//! Scenario smoke bench: fault-injected convergence cost.
+//!
+//! Runs a fixed-seed slice of the `cbm-sim` registry (small clusters,
+//! deterministic fault plans) so the `BENCH_*` trajectories cover
+//! fault-injected convergence time and message cost, not just the
+//! fault-free happy path. Each sample also asserts the run verifies —
+//! a bench that silently measured broken runs would be worse than no
+//! bench.
+
+use cbm_sim::{registry, run_scenario};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// The slice of scenarios the smoke bench tracks: one partition-shaped,
+/// one duplication-shaped, one crash-shaped, one skew-shaped.
+const SMOKE: &[&str] = &[
+    "partition-while-writing",
+    "duplicate-storm",
+    "rolling-crashes",
+    "skewed-clocks",
+];
+
+fn bench_scenarios(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scenarios");
+    for name in SMOKE {
+        let scenario = registry::by_name(name).expect("smoke scenario exists");
+        group.bench_with_input(BenchmarkId::new("run", name), &scenario, |b, s| {
+            b.iter(|| {
+                let o = run_scenario(s, 3);
+                assert!(o.passes(), "{name}: {:?}", o.failure());
+                (o.convergence_time, o.msgs_sent)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_scenarios
+}
+criterion_main!(benches);

@@ -91,8 +91,18 @@ fn main() {
     add_history(&mut ev, "fig3e", &FifoQueue, &figures::fig3e());
     add_history(&mut ev, "fig3f", &FifoQueue, &figures::fig3f());
     add_history(&mut ev, "fig3g", &HdRhQueue, &figures::fig3g());
-    add_history(&mut ev, "fig3h", &cbm_adt::memory::Memory::new(5), &figures::fig3h());
-    add_history(&mut ev, "fig3i", &cbm_adt::memory::Memory::new(4), &figures::fig3i());
+    add_history(
+        &mut ev,
+        "fig3h",
+        &cbm_adt::memory::Memory::new(5),
+        &figures::fig3h(),
+    );
+    add_history(
+        &mut ev,
+        "fig3i",
+        &cbm_adt::memory::Memory::new(4),
+        &figures::fig3i(),
+    );
 
     // randomized sweep
     for seed in 0..4 {
@@ -145,7 +155,10 @@ fn main() {
 
     // paper arrows, spelled out
     let arrows = [
-        ("EC <- CCv", "CCv implies convergence (see convergence tests; EC itself is a liveness property)"),
+        (
+            "EC <- CCv",
+            "CCv implies convergence (see convergence tests; EC itself is a liveness property)",
+        ),
         ("WCC <- CCv", "confirmed above"),
         ("WCC <- CC", "confirmed above"),
         ("PC <- CC", "confirmed above"),

@@ -56,10 +56,26 @@ fn main() {
     // respected totally (outputs too) and which contribute updates only.
     println!("per-criterion constraints on the present event's value:\n");
     let rows = [
-        ("PC  (Def. 6)", "program past: outputs + updates", "writes of an arbitrary prefix of every other process"),
-        ("WCC (Def. 8)", "—", "updates of the whole causal past (and only them)"),
-        ("CC  (Def. 9)", "program past: outputs + updates", "updates of the whole causal past"),
-        ("SC  (Def. 5)", "every past event: outputs + updates", "total order: concurrent present is empty"),
+        (
+            "PC  (Def. 6)",
+            "program past: outputs + updates",
+            "writes of an arbitrary prefix of every other process",
+        ),
+        (
+            "WCC (Def. 8)",
+            "—",
+            "updates of the whole causal past (and only them)",
+        ),
+        (
+            "CC  (Def. 9)",
+            "program past: outputs + updates",
+            "updates of the whole causal past",
+        ),
+        (
+            "SC  (Def. 5)",
+            "every past event: outputs + updates",
+            "total order: concurrent present is empty",
+        ),
     ];
     for (c, plain, striped) in rows {
         println!("  {c:<14}");

@@ -42,9 +42,7 @@ fn main() {
                 mismatches.push(format!("{tag}/CM"));
             }
         }
-        let fmt = |i: usize| {
-            format!("{}/{}", expect_mark(expected[i]), mark(measured[i]))
-        };
+        let fmt = |i: usize| format!("{}/{}", expect_mark(expected[i]), mark(measured[i]));
         rows.push(vec![
             tag.to_string(),
             object.to_string(),
@@ -60,13 +58,55 @@ fn main() {
         ]);
     };
 
-    push_row("3a", "W2", classify(&w2, &figures::fig3a(), &budget), None, &mut mismatches);
-    push_row("3b", "W2", classify(&w2, &figures::fig3b(), &budget), None, &mut mismatches);
-    push_row("3c", "W2", classify(&w2, &figures::fig3c(), &budget), None, &mut mismatches);
-    push_row("3d", "W2", classify(&w2, &figures::fig3d(), &budget), None, &mut mismatches);
-    push_row("3e", "Q", classify(&FifoQueue, &figures::fig3e(), &budget), None, &mut mismatches);
-    push_row("3f", "Q", classify(&FifoQueue, &figures::fig3f(), &budget), None, &mut mismatches);
-    push_row("3g", "Q'", classify(&HdRhQueue, &figures::fig3g(), &budget), None, &mut mismatches);
+    push_row(
+        "3a",
+        "W2",
+        classify(&w2, &figures::fig3a(), &budget),
+        None,
+        &mut mismatches,
+    );
+    push_row(
+        "3b",
+        "W2",
+        classify(&w2, &figures::fig3b(), &budget),
+        None,
+        &mut mismatches,
+    );
+    push_row(
+        "3c",
+        "W2",
+        classify(&w2, &figures::fig3c(), &budget),
+        None,
+        &mut mismatches,
+    );
+    push_row(
+        "3d",
+        "W2",
+        classify(&w2, &figures::fig3d(), &budget),
+        None,
+        &mut mismatches,
+    );
+    push_row(
+        "3e",
+        "Q",
+        classify(&FifoQueue, &figures::fig3e(), &budget),
+        None,
+        &mut mismatches,
+    );
+    push_row(
+        "3f",
+        "Q",
+        classify(&FifoQueue, &figures::fig3f(), &budget),
+        None,
+        &mut mismatches,
+    );
+    push_row(
+        "3g",
+        "Q'",
+        classify(&HdRhQueue, &figures::fig3g(), &budget),
+        None,
+        &mut mismatches,
+    );
     let mem5 = Memory::new(5);
     push_row(
         "3h",

@@ -107,10 +107,8 @@ fn main() {
             seed: mean_delay,
         };
         let adt2 = WindowArray::new(2, 2);
-        let sc: Cluster<WindowArray, SeqShared<WindowArray>> =
-            Cluster::new(4, adt2, latency, 1);
-        let cc: Cluster<WindowArray, CausalShared<WindowArray>> =
-            Cluster::new(4, adt2, latency, 1);
+        let sc: Cluster<WindowArray, SeqShared<WindowArray>> = Cluster::new(4, adt2, latency, 1);
+        let cc: Cluster<WindowArray, CausalShared<WindowArray>> = Cluster::new(4, adt2, latency, 1);
         let rs = sc.run(window_script(&cfg));
         let rc = cc.run(window_script(&cfg));
         rows.push(vec![
@@ -122,7 +120,10 @@ fn main() {
     }
     println!(
         "{}",
-        render_table(&["delay", "CC latency", "SC latency", "SC latency bar"], &rows)
+        render_table(
+            &["delay", "CC latency", "SC latency", "SC latency bar"],
+            &rows
+        )
     );
 
     // small runs double-checked by the search decision procedure

@@ -52,8 +52,7 @@ fn main() {
                 // the delivered-before causal order
                 let arb = res.arbitration.clone().expect("arbitrated flavour");
                 if let Some(total) = res.ccv_total(&arb) {
-                    let ok =
-                        verify_ccv_execution(&adt, &res.history, &res.causal, &total, 1);
+                    let ok = verify_ccv_execution(&adt, &res.history, &res.causal, &total, 1);
                     assert_eq!(
                         ok,
                         Ok(()),
@@ -100,7 +99,11 @@ fn main() {
         let cluster: Cluster<WindowArray, ConvergentShared<WindowArray>> = Cluster::new(
             4,
             adt2,
-            LatencyModel::HeavyTail { base: 5, tail_prob: 0.4, tail_max: tail },
+            LatencyModel::HeavyTail {
+                base: 5,
+                tail_prob: 0.4,
+                tail_max: tail,
+            },
             tail,
         );
         let res = cluster.run(quiescent_script(4, 10, 2, tail * 20, tail));

@@ -1,0 +1,287 @@
+//! List, run, and explore `cbm-sim` fault-injection scenarios.
+//!
+//! ```text
+//! scenario_runner list
+//! scenario_runner run [NAME] [--seed N]
+//! scenario_runner explore [NAME] --seeds LO..HI [--record PATH]
+//! ```
+//!
+//! * `list` — every registry scenario with flavour and expectations;
+//! * `run` — run one scenario (or all of them) under one seed and
+//!   print per-scenario stats: verification verdict, convergence time,
+//!   messages/bytes, drop/duplicate counts;
+//! * `explore` — sweep a seed range hunting for verification
+//!   failures; with `--record`, failing `(scenario, seed)` pairs are
+//!   appended to the regression corpus so `tests/scenarios.rs` replays
+//!   them forever (see `docs/SIMULATION.md`).
+//!
+//! Exit status is non-zero if any run or sweep failed, so the binary
+//! can gate CI jobs.
+
+use cbm_bench::render_table;
+use cbm_sim::corpus::CorpusEntry;
+use cbm_sim::{corpus, explore, registry, run_scenario, Scenario, ScenarioOutcome};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut words = args.iter().map(String::as_str);
+    match words.next() {
+        None | Some("run") => cmd_run(&args),
+        Some("list") => {
+            cmd_list();
+            ExitCode::SUCCESS
+        }
+        Some("explore") => cmd_explore(&args),
+        Some("help") | Some("--help") | Some("-h") => {
+            print_help();
+            ExitCode::SUCCESS
+        }
+        Some(other) => {
+            eprintln!("unknown command '{other}'\n");
+            print_help();
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn print_help() {
+    println!(
+        "scenario_runner — fault-injection scenarios over the cbm stack\n\n\
+         USAGE:\n  scenario_runner list\n  scenario_runner run [NAME] [--seed N]\n  \
+         scenario_runner explore [NAME] --seeds LO..HI [--record PATH]\n\n\
+         Scenarios come from cbm-sim's registry; every run is verified\n\
+         against its criterion (CC/CCv) and is a pure function of\n\
+         (scenario, seed)."
+    );
+}
+
+fn cmd_list() {
+    let rows: Vec<Vec<String>> = registry::scenarios()
+        .iter()
+        .map(|s| {
+            vec![
+                s.name.to_string(),
+                s.flavour.criterion().to_string(),
+                s.procs.to_string(),
+                format!("{}x{}", s.ops_per_proc, s.procs),
+                if s.expect_converge { "yes" } else { "-" }.to_string(),
+                s.description.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "scenario",
+                "checks",
+                "procs",
+                "ops",
+                "converge",
+                "description"
+            ],
+            &rows
+        )
+    );
+}
+
+fn cmd_run(args: &[String]) -> ExitCode {
+    let mut seed = 0u64;
+    let mut name: Option<String> = None;
+    let mut it = args
+        .iter()
+        .skip(if args.first().map(String::as_str) == Some("run") {
+            1
+        } else {
+            0
+        });
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => {
+                seed = parse_or_die(it.next(), "--seed needs a value");
+            }
+            other if !other.starts_with('-') => name = Some(other.to_string()),
+            other => {
+                eprintln!("unknown flag '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let targets: Vec<Scenario> = match &name {
+        Some(n) => match registry::by_name(n) {
+            Some(s) => vec![s],
+            None => {
+                eprintln!("unknown scenario '{n}' (try `scenario_runner list`)");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => registry::scenarios(),
+    };
+
+    let outcomes: Vec<ScenarioOutcome> = targets.iter().map(|s| run_scenario(s, seed)).collect();
+    let rows: Vec<Vec<String>> = outcomes.iter().map(outcome_row).collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "scenario", "seed", "verdict", "conv", "t_conv", "msgs", "bytes", "dropped", "dup",
+                "parked",
+            ],
+            &rows
+        )
+    );
+    let failed: Vec<&ScenarioOutcome> = outcomes.iter().filter(|o| !o.passes()).collect();
+    if failed.is_empty() {
+        println!(
+            "\n{} scenario(s) verified under seed {seed}",
+            outcomes.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &failed {
+            eprintln!("FAIL {} seed {}: {:?}", f.scenario, f.seed, f.failure());
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn outcome_row(o: &ScenarioOutcome) -> Vec<String> {
+    vec![
+        o.scenario.clone(),
+        o.seed.to_string(),
+        match &o.verified {
+            Ok(()) => format!("{} ok", o.criterion),
+            Err(_) => format!("{} FAIL", o.criterion),
+        },
+        if o.converged { "yes" } else { "-" }.to_string(),
+        o.convergence_time.to_string(),
+        o.msgs_sent.to_string(),
+        o.bytes_sent.to_string(),
+        o.msgs_dropped.to_string(),
+        o.msgs_duplicated.to_string(),
+        o.msgs_parked.to_string(),
+    ]
+}
+
+fn cmd_explore(args: &[String]) -> ExitCode {
+    let mut name: Option<String> = None;
+    let mut seeds = 0u64..16;
+    let mut record: Option<PathBuf> = None;
+    let mut it = args.iter().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seeds" => {
+                let spec: String = parse_or_die(it.next(), "--seeds needs LO..HI");
+                let Some((lo, hi)) = spec.split_once("..") else {
+                    eprintln!("--seeds wants LO..HI, got '{spec}'");
+                    return ExitCode::FAILURE;
+                };
+                let (Ok(lo), Ok(hi)) = (lo.parse::<u64>(), hi.parse::<u64>()) else {
+                    eprintln!("--seeds wants integers, got '{spec}'");
+                    return ExitCode::FAILURE;
+                };
+                if lo >= hi {
+                    eprintln!("--seeds range '{spec}' is empty — nothing would run");
+                    return ExitCode::FAILURE;
+                }
+                seeds = lo..hi;
+            }
+            "--record" => {
+                record = Some(PathBuf::from(parse_or_die::<String>(
+                    it.next(),
+                    "--record needs a path",
+                )));
+            }
+            other if !other.starts_with('-') => name = Some(other.to_string()),
+            other => {
+                eprintln!("unknown flag '{other}'");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let reports = match &name {
+        Some(n) => match registry::by_name(n) {
+            Some(s) => vec![explore::explore(&s, seeds.clone())],
+            None => {
+                eprintln!("unknown scenario '{n}'");
+                return ExitCode::FAILURE;
+            }
+        },
+        None => explore::explore_all(seeds.clone()),
+    };
+
+    let rows: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.clone(),
+                r.runs.to_string(),
+                r.failures.len().to_string(),
+                format!("{}/{}", r.converged_runs, r.runs),
+                format!("{:.0}", r.mean_convergence_time),
+                format!("{:.0}", r.mean_msgs_sent),
+                r.total_dropped.to_string(),
+                r.total_duplicated.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "scenario",
+                "runs",
+                "fails",
+                "converged",
+                "mean_t_conv",
+                "mean_msgs",
+                "dropped",
+                "dup",
+            ],
+            &rows
+        )
+    );
+
+    let mut any_fail = false;
+    for r in &reports {
+        for f in &r.failures {
+            any_fail = true;
+            eprintln!("FAIL {} seed {}: {}", f.scenario, f.seed, f.reason);
+            if let Some(path) = &record {
+                let entry = CorpusEntry {
+                    scenario: f.scenario.clone(),
+                    seed: f.seed,
+                    note: format!("explorer: {}", f.reason),
+                };
+                if let Err(e) = corpus::append(path, &entry) {
+                    eprintln!("could not record to corpus: {e}");
+                } else {
+                    println!("recorded {} {} to {}", f.scenario, f.seed, path.display());
+                }
+            }
+        }
+    }
+    if any_fail {
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "\nall scenarios clean over seeds {}..{}",
+            seeds.start, seeds.end
+        );
+        ExitCode::SUCCESS
+    }
+}
+
+fn parse_or_die<T: std::str::FromStr>(v: Option<&String>, msg: &str) -> T {
+    match v.and_then(|s| s.parse().ok()) {
+        Some(t) => t,
+        None => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    }
+}

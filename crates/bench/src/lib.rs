@@ -162,7 +162,10 @@ mod tests {
 
     #[test]
     fn random_histories_are_deterministic() {
-        let cfg = RandomHistories { count: 5, ..Default::default() };
+        let cfg = RandomHistories {
+            count: 5,
+            ..Default::default()
+        };
         let a = random_histories(&cfg);
         let b = random_histories(&cfg);
         assert_eq!(a.len(), 5);
@@ -176,7 +179,10 @@ mod tests {
 
     #[test]
     fn classify_returns_five_verdicts() {
-        let cfg = RandomHistories { count: 1, ..Default::default() };
+        let cfg = RandomHistories {
+            count: 1,
+            ..Default::default()
+        };
         let h = &random_histories(&cfg)[0];
         let v = classify(&random_histories_adt(&cfg), h, &Budget::default());
         assert_eq!(v.len(), 5);

@@ -46,7 +46,7 @@
 use crate::kernel::{is_constrained_read, LinQuery, Outcome};
 use crate::{label_table, Budget, CheckResult, Verdict};
 use cbm_adt::{Adt, OpKind};
-use cbm_history::{BitSet, History, Relation};
+use cbm_history::{BitSet, Fnv, History, Relation};
 use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
 
@@ -60,11 +60,7 @@ pub fn check_wcc<T: Adt>(
 }
 
 /// Is `h` causally consistent with `adt` (Definition 9)?
-pub fn check_cc<T: Adt>(
-    adt: &T,
-    h: &History<T::Input, T::Output>,
-    budget: &Budget,
-) -> CheckResult {
+pub fn check_cc<T: Adt>(adt: &T, h: &History<T::Input, T::Output>, budget: &Budget) -> CheckResult {
     Searcher::new(adt, h, Mode::Cc, budget).run()
 }
 
@@ -94,12 +90,7 @@ struct Searcher<'a, T: Adt> {
 }
 
 impl<'a, T: Adt> Searcher<'a, T> {
-    fn new(
-        adt: &'a T,
-        h: &'a History<T::Input, T::Output>,
-        mode: Mode,
-        budget: &Budget,
-    ) -> Self {
+    fn new(adt: &'a T, h: &'a History<T::Input, T::Output>, mode: Mode, budget: &Budget) -> Self {
         let labels = label_table::<T>(h);
         let n = h.len();
         let is_read: Vec<bool> = labels.iter().map(|l| is_constrained_read(adt, l)).collect();
@@ -143,9 +134,7 @@ impl<'a, T: Adt> Searcher<'a, T> {
         // (a malformed "ack" forgery can be rejected without search).
         for (input, out) in &self.labels {
             if let Some(o) = out {
-                if !self.adt.is_query(input)
-                    && self.adt.output(&self.adt.initial(), input) != *o
-                {
+                if !self.adt.is_query(input) && self.adt.output(&self.adt.initial(), input) != *o {
                     return CheckResult::new(Verdict::Unsat, 0);
                 }
             }
@@ -329,28 +318,6 @@ fn state_hash(placed: &BitSet, pasts: &[BitSet]) -> u64 {
     h.finish()
 }
 
-/// Minimal FNV-1a hasher (stable across runs, unlike `RandomState`).
-#[derive(Default)]
-struct Fnv(u64);
-
-impl Hasher for Fnv {
-    fn finish(&self) -> u64 {
-        if self.0 == 0 {
-            0xcbf2_9ce4_8422_2325
-        } else {
-            self.0
-        }
-    }
-    fn write(&mut self, bytes: &[u8]) {
-        let mut h = if self.0 == 0 { 0xcbf2_9ce4_8422_2325 } else { self.0 };
-        for &b in bytes {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x1000_0000_01b3);
-        }
-        self.0 = h;
-    }
-}
-
 /// Convenience: does `kind` denote an update? (Re-exported for tests.)
 pub fn kind_is_update(k: OpKind) -> bool {
     k.is_update()
@@ -478,7 +445,10 @@ mod tests {
         wr(&mut b, 0, 1);
         rd(&mut b, 0, &[7]);
         let h = b.build();
-        assert_eq!(check_wcc(&adt, &h, &Budget::default()).verdict, Verdict::Unsat);
+        assert_eq!(
+            check_wcc(&adt, &h, &Budget::default()).verdict,
+            Verdict::Unsat
+        );
     }
 
     #[test]
@@ -496,7 +466,10 @@ mod tests {
         let mut b = WB::new();
         b.op(0, WInput::Write(1), WOutput::Window(vec![9, 9]));
         let h = b.build();
-        assert_eq!(check_wcc(&adt, &h, &Budget::default()).verdict, Verdict::Unsat);
+        assert_eq!(
+            check_wcc(&adt, &h, &Budget::default()).verdict,
+            Verdict::Unsat
+        );
     }
 
     #[test]

@@ -31,7 +31,7 @@
 use crate::kernel::{is_constrained_read, LinQuery};
 use crate::{label_table, Budget, CheckResult, Verdict};
 use cbm_adt::Adt;
-use cbm_history::{BitSet, History, Relation};
+use cbm_history::{BitSet, Fnv, History, Relation};
 use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
 
@@ -108,9 +108,7 @@ impl<'a, T: Adt> CcvSearcher<'a, T> {
     fn run(mut self) -> CheckResult {
         for (input, out) in &self.labels {
             if let Some(o) = out {
-                if !self.adt.is_query(input)
-                    && self.adt.output(&self.adt.initial(), input) != *o
-                {
+                if !self.adt.is_query(input) && self.adt.output(&self.adt.initial(), input) != *o {
                     return CheckResult::new(Verdict::Unsat, 0);
                 }
             }
@@ -293,27 +291,6 @@ impl<'a, T: Adt> CcvSearcher<'a, T> {
     }
 }
 
-#[derive(Default)]
-struct Fnv(u64);
-
-impl Hasher for Fnv {
-    fn finish(&self) -> u64 {
-        if self.0 == 0 {
-            0xcbf2_9ce4_8422_2325
-        } else {
-            self.0
-        }
-    }
-    fn write(&mut self, bytes: &[u8]) {
-        let mut h = if self.0 == 0 { 0xcbf2_9ce4_8422_2325 } else { self.0 };
-        for &b in bytes {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x1000_0000_01b3);
-        }
-        self.0 = h;
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -360,7 +337,10 @@ mod tests {
         wr(&mut b, 1, 2);
         rd(&mut b, 1, &[1, 2]);
         let h = b.build();
-        assert_eq!(check_ccv(&adt, &h, &Budget::default()).verdict, Verdict::Unsat);
+        assert_eq!(
+            check_ccv(&adt, &h, &Budget::default()).verdict,
+            Verdict::Unsat
+        );
     }
 
     /// Fig. 3d (SC) is also CCv.
@@ -373,7 +353,10 @@ mod tests {
         wr(&mut b, 1, 2);
         rd(&mut b, 1, &[1, 2]);
         let h = b.build();
-        assert_eq!(check_ccv(&adt, &h, &Budget::default()).verdict, Verdict::Sat);
+        assert_eq!(
+            check_ccv(&adt, &h, &Budget::default()).verdict,
+            Verdict::Sat
+        );
     }
 
     /// Fig. 3h (memory): CCv.
@@ -397,14 +380,20 @@ mod tests {
         b.op(1, MemInput::Read(d), MemOutput::Val(1));
         b.op(1, MemInput::Read(c), MemOutput::Val(3));
         let h = b.build();
-        assert_eq!(check_ccv(&mem, &h, &Budget::default()).verdict, Verdict::Sat);
+        assert_eq!(
+            check_ccv(&mem, &h, &Budget::default()).verdict,
+            Verdict::Sat
+        );
     }
 
     #[test]
     fn empty_history_is_ccv() {
         let adt = WindowStream::new(2);
         let h = WB::new().build();
-        assert_eq!(check_ccv(&adt, &h, &Budget::default()).verdict, Verdict::Sat);
+        assert_eq!(
+            check_ccv(&adt, &h, &Budget::default()).verdict,
+            Verdict::Sat
+        );
     }
 
     #[test]
@@ -421,7 +410,10 @@ mod tests {
         rd(&mut b, 3, &[1]);
         rd(&mut b, 3, &[2]);
         let h = b.build();
-        assert_eq!(check_ccv(&adt, &h, &Budget::default()).verdict, Verdict::Unsat);
+        assert_eq!(
+            check_ccv(&adt, &h, &Budget::default()).verdict,
+            Verdict::Unsat
+        );
     }
 
     #[test]
@@ -431,6 +423,9 @@ mod tests {
         wr(&mut b, 0, 1);
         rd(&mut b, 0, &[0, 1]);
         let h = b.build();
-        assert_eq!(check_ccv(&adt, &h, &Budget::nodes(0)).verdict, Verdict::Unknown);
+        assert_eq!(
+            check_ccv(&adt, &h, &Budget::nodes(0)).verdict,
+            Verdict::Unknown
+        );
     }
 }

@@ -23,11 +23,7 @@ use cbm_adt::memory::{MemInput, MemOutput, Memory};
 use cbm_history::{BitSet, History};
 
 /// Is `h` `M_X`-causal (Definition 11)?
-pub fn check_cm(
-    mem: &Memory,
-    h: &History<MemInput, MemOutput>,
-    budget: &Budget,
-) -> CheckResult {
+pub fn check_cm(mem: &Memory, h: &History<MemInput, MemOutput>, budget: &Budget) -> CheckResult {
     let n = h.len();
     // Per-read candidate antecedents.
     let mut reads: Vec<usize> = Vec::new();
@@ -207,7 +203,10 @@ mod tests {
         wr(&mut b, 0, 0, 1);
         rd(&mut b, 0, 0, 0); // own write lost
         let h = b.build();
-        assert_eq!(check_cm(&mem, &h, &Budget::default()).verdict, Verdict::Unsat);
+        assert_eq!(
+            check_cm(&mem, &h, &Budget::default()).verdict,
+            Verdict::Unsat
+        );
     }
 
     #[test]
@@ -229,7 +228,10 @@ mod tests {
         let mut b = B::new();
         rd(&mut b, 0, 0, 7);
         let h = b.build();
-        assert_eq!(check_cm(&mem, &h, &Budget::default()).verdict, Verdict::Unsat);
+        assert_eq!(
+            check_cm(&mem, &h, &Budget::default()).verdict,
+            Verdict::Unsat
+        );
     }
 
     #[test]

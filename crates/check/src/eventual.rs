@@ -54,7 +54,16 @@ pub fn check_quiescent_convergence<T: Adt>(
     let mut memo: HashSet<(BitSet, T::State)> = HashSet::new();
     let done = BitSet::new(n);
     let outcome = dfs(
-        adt, h, &labels, &uset, stable, mode, done, adt.initial(), &mut memo, &mut nodes,
+        adt,
+        h,
+        &labels,
+        &uset,
+        stable,
+        mode,
+        done,
+        adt.initial(),
+        &mut memo,
+        &mut nodes,
     );
     let used = budget.max_nodes - nodes;
     match outcome {
@@ -109,7 +118,9 @@ fn dfs<T: Adt>(
         let next_state = adt.transition(&state, &labels[u].0);
         let mut next_done = done.clone();
         next_done.insert(u);
-        match dfs(adt, h, labels, uset, stable, mode, next_done, next_state, memo, nodes) {
+        match dfs(
+            adt, h, labels, uset, stable, mode, next_done, next_state, memo, nodes,
+        ) {
             Some(true) => return Some(true),
             Some(false) => {}
             None => out_of_budget = true,
@@ -167,7 +178,11 @@ mod tests {
         let stable = trailing_queries(&adt, &h);
         assert_eq!(stable.len(), 2);
         let res = check_quiescent_convergence(
-            &adt, &h, &stable, UpdateOrderMode::Any, &Budget::default(),
+            &adt,
+            &h,
+            &stable,
+            UpdateOrderMode::Any,
+            &Budget::default(),
         );
         assert_eq!(res.verdict, Verdict::Sat);
     }
@@ -185,7 +200,11 @@ mod tests {
         let h = b.build();
         let stable = trailing_queries(&adt, &h);
         let res = check_quiescent_convergence(
-            &adt, &h, &stable, UpdateOrderMode::Any, &Budget::default(),
+            &adt,
+            &h,
+            &stable,
+            UpdateOrderMode::Any,
+            &Budget::default(),
         );
         assert_eq!(res.verdict, Verdict::Unsat);
     }
@@ -205,10 +224,18 @@ mod tests {
         let h = b.build();
         let stable = trailing_queries(&adt, &h);
         let any = check_quiescent_convergence(
-            &adt, &h, &stable, UpdateOrderMode::Any, &Budget::default(),
+            &adt,
+            &h,
+            &stable,
+            UpdateOrderMode::Any,
+            &Budget::default(),
         );
         let po = check_quiescent_convergence(
-            &adt, &h, &stable, UpdateOrderMode::ProgramOrder, &Budget::default(),
+            &adt,
+            &h,
+            &stable,
+            UpdateOrderMode::ProgramOrder,
+            &Budget::default(),
         );
         assert_eq!(any.verdict, Verdict::Sat);
         assert_eq!(po.verdict, Verdict::Unsat);
@@ -235,7 +262,11 @@ mod tests {
         let h = b.build();
         let stable = trailing_queries(&adt, &h);
         let res = check_quiescent_convergence(
-            &adt, &h, &stable, UpdateOrderMode::Any, &Budget::default(),
+            &adt,
+            &h,
+            &stable,
+            UpdateOrderMode::Any,
+            &Budget::default(),
         );
         assert_eq!(res.verdict, Verdict::Sat);
     }

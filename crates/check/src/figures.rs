@@ -222,18 +222,90 @@ pub struct Expected {
 
 /// The expected classification matrix (see [`Expected`]).
 pub const EXPECTED: [Expected; 9] = [
-    Expected { tag: "3a", sc: Some(false), cc: Some(false), ccv: Some(true), wcc: Some(true), pc: Some(false), cm: None },
-    Expected { tag: "3b", sc: Some(false), cc: Some(false), ccv: Some(false), wcc: Some(false), pc: Some(true), cm: None },
-    Expected { tag: "3c", sc: Some(false), cc: Some(true), ccv: Some(false), wcc: Some(true), pc: Some(true), cm: None },
-    Expected { tag: "3d", sc: Some(true), cc: Some(true), ccv: Some(true), wcc: Some(true), pc: Some(true), cm: None },
-    Expected { tag: "3e", sc: Some(false), cc: Some(false), ccv: None, wcc: Some(true), pc: Some(true), cm: None },
-    Expected { tag: "3f", sc: Some(false), cc: Some(true), ccv: None, wcc: Some(true), pc: Some(true), cm: None },
+    Expected {
+        tag: "3a",
+        sc: Some(false),
+        cc: Some(false),
+        ccv: Some(true),
+        wcc: Some(true),
+        pc: Some(false),
+        cm: None,
+    },
+    Expected {
+        tag: "3b",
+        sc: Some(false),
+        cc: Some(false),
+        ccv: Some(false),
+        wcc: Some(false),
+        pc: Some(true),
+        cm: None,
+    },
+    Expected {
+        tag: "3c",
+        sc: Some(false),
+        cc: Some(true),
+        ccv: Some(false),
+        wcc: Some(true),
+        pc: Some(true),
+        cm: None,
+    },
+    Expected {
+        tag: "3d",
+        sc: Some(true),
+        cc: Some(true),
+        ccv: Some(true),
+        wcc: Some(true),
+        pc: Some(true),
+        cm: None,
+    },
+    Expected {
+        tag: "3e",
+        sc: Some(false),
+        cc: Some(false),
+        ccv: None,
+        wcc: Some(true),
+        pc: Some(true),
+        cm: None,
+    },
+    Expected {
+        tag: "3f",
+        sc: Some(false),
+        cc: Some(true),
+        ccv: None,
+        wcc: Some(true),
+        pc: Some(true),
+        cm: None,
+    },
     // 3g: the caption says "CC, not SC", but the history as drawn *is*
     // sequentially consistent (a valid interleaving exists; see
     // EXPERIMENTS.md) — we claim only CC and measure the rest.
-    Expected { tag: "3g", sc: None, cc: Some(true), ccv: None, wcc: Some(true), pc: Some(true), cm: None },
-    Expected { tag: "3h", sc: Some(false), cc: Some(false), ccv: Some(true), wcc: Some(true), pc: None, cm: Some(false) },
-    Expected { tag: "3i", sc: Some(false), cc: Some(false), ccv: None, wcc: None, pc: None, cm: Some(true) },
+    Expected {
+        tag: "3g",
+        sc: None,
+        cc: Some(true),
+        ccv: None,
+        wcc: Some(true),
+        pc: Some(true),
+        cm: None,
+    },
+    Expected {
+        tag: "3h",
+        sc: Some(false),
+        cc: Some(false),
+        ccv: Some(true),
+        wcc: Some(true),
+        pc: None,
+        cm: Some(false),
+    },
+    Expected {
+        tag: "3i",
+        sc: Some(false),
+        cc: Some(false),
+        ccv: None,
+        wcc: None,
+        pc: None,
+        cm: Some(true),
+    },
 ];
 
 #[cfg(test)]

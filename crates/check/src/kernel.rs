@@ -194,10 +194,7 @@ enum DfsResult {
 /// Helper: does the input-kind make the event a potential read (i.e. an
 /// event with a state-dependent, visible output that the causal search
 /// must branch on)?
-pub(crate) fn is_constrained_read<T: Adt>(
-    adt: &T,
-    label: &(T::Input, Option<T::Output>),
-) -> bool {
+pub(crate) fn is_constrained_read<T: Adt>(adt: &T, label: &(T::Input, Option<T::Output>)) -> bool {
     label.1.is_some() && matches!(adt.kind(&label.0), OpKind::PureQuery | OpKind::UpdateQuery)
 }
 

@@ -54,10 +54,10 @@
 #![warn(missing_docs)]
 
 pub mod causal;
-pub mod figures;
 pub mod ccv;
 pub mod cm;
 pub mod eventual;
+pub mod figures;
 pub mod kernel;
 pub mod pc;
 pub mod sc;

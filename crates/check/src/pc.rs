@@ -12,11 +12,7 @@ use cbm_adt::Adt;
 use cbm_history::{BitSet, History};
 
 /// Is `h` pipelined consistent with `adt`?
-pub fn check_pc<T: Adt>(
-    adt: &T,
-    h: &History<T::Input, T::Output>,
-    budget: &Budget,
-) -> CheckResult {
+pub fn check_pc<T: Adt>(adt: &T, h: &History<T::Input, T::Output>, budget: &Budget) -> CheckResult {
     let labels = label_table::<T>(h);
     let include = h.all_set();
     let chains = h.maximal_chains(budget.max_chains);
@@ -36,9 +32,7 @@ pub fn check_pc<T: Adt>(
         };
         match q.run(&mut nodes) {
             Outcome::Sat(_) => {}
-            Outcome::Unsat => {
-                return CheckResult::new(Verdict::Unsat, budget.max_nodes - nodes)
-            }
+            Outcome::Unsat => return CheckResult::new(Verdict::Unsat, budget.max_nodes - nodes),
             Outcome::Unknown => unknown = true,
         }
     }
@@ -79,7 +73,10 @@ mod tests {
         rd(&mut b, 1, &[0, 2]);
         rd(&mut b, 1, &[1, 2]);
         let h = b.build();
-        assert_eq!(check_pc(&adt, &h, &Budget::default()).verdict, Verdict::Unsat);
+        assert_eq!(
+            check_pc(&adt, &h, &Budget::default()).verdict,
+            Verdict::Unsat
+        );
     }
 
     /// Fig. 3b: p0: w(1) ↦ r/(2,1); p1: r/(0,1) ↦ w(2) — PC.
@@ -116,7 +113,10 @@ mod tests {
         wr(&mut b, 0, 1);
         rd(&mut b, 0, &[2]);
         let h = b.build();
-        assert_eq!(check_pc(&adt, &h, &Budget::default()).verdict, Verdict::Unsat);
+        assert_eq!(
+            check_pc(&adt, &h, &Budget::default()).verdict,
+            Verdict::Unsat
+        );
     }
 
     /// PRAM's defining freedom: two processes may see two concurrent

@@ -12,11 +12,7 @@ use cbm_history::{History, Relation};
 /// On `Sat` the witness is the total order of the found linearization
 /// (which is by construction a causal order, so downstream tooling can
 /// reuse it).
-pub fn check_sc<T: Adt>(
-    adt: &T,
-    h: &History<T::Input, T::Output>,
-    budget: &Budget,
-) -> CheckResult {
+pub fn check_sc<T: Adt>(adt: &T, h: &History<T::Input, T::Output>, budget: &Budget) -> CheckResult {
     check_sc_constrained(adt, h, None, budget)
 }
 
@@ -178,7 +174,10 @@ mod tests {
         let (i, o) = r(&[1, 2]);
         b.op(1, i, o);
         let h = b.build();
-        assert_eq!(check_sc(&adt, &h, &Budget::default()).verdict, Verdict::Unsat);
+        assert_eq!(
+            check_sc(&adt, &h, &Budget::default()).verdict,
+            Verdict::Unsat
+        );
     }
 
     #[test]

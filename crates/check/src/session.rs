@@ -67,7 +67,10 @@ pub fn check_session_guarantees(
     for e in 0..n {
         if let MemInput::Write(x, v) = h.label(EventId(e as u32)).input {
             if writer_of.insert((x, v), e).is_some() {
-                return Err(SessionError::DuplicateWrittenValue { register: x, value: v });
+                return Err(SessionError::DuplicateWrittenValue {
+                    register: x,
+                    value: v,
+                });
             }
         }
     }
@@ -309,7 +312,10 @@ mod tests {
         let h = b.build();
         assert!(matches!(
             check_session_guarantees(&h),
-            Err(SessionError::DuplicateWrittenValue { register: 0, value: 1 })
+            Err(SessionError::DuplicateWrittenValue {
+                register: 0,
+                value: 1
+            })
         ));
     }
 

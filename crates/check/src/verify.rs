@@ -90,8 +90,7 @@ pub fn verify_cc_execution<T: Adt>(
             seen.insert(e.idx());
         }
         // (ii) per own event: applied prefix = relevant causal past
-        let own_set: std::collections::HashSet<u32> =
-            own[p].iter().map(|e| e.0).collect();
+        let own_set: std::collections::HashSet<u32> = own[p].iter().map(|e| e.0).collect();
         let mut relevant = updates.clone();
         for e in &own[p] {
             relevant.insert(e.idx());
@@ -105,7 +104,10 @@ pub fn verify_cc_execution<T: Adt>(
                 with_e.insert(e.idx());
                 with_e.intersect_with(&relevant);
                 if with_e != floor {
-                    return Err(CcViolation::PrefixMismatch { process: p, event: *e });
+                    return Err(CcViolation::PrefixMismatch {
+                        process: p,
+                        event: *e,
+                    });
                 }
             }
             prefix.insert(e.idx());
@@ -117,7 +119,10 @@ pub fn verify_cc_execution<T: Adt>(
             if own_set.contains(&e.0) {
                 if let Some(expected) = out {
                     if adt.output(&state, input) != *expected {
-                        return Err(CcViolation::OutputMismatch { process: p, event: *e });
+                        return Err(CcViolation::OutputMismatch {
+                            process: p,
+                            event: *e,
+                        });
                     }
                 }
             }

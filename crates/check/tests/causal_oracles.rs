@@ -32,7 +32,11 @@ fn all_causal_orders(h: &H) -> Vec<Relation> {
     let mut cross: Vec<(usize, usize)> = Vec::new();
     for a in 0..n {
         for b in 0..n {
-            if a != b && !h.prog_lt(cbm_history::EventId(a as u32), cbm_history::EventId(b as u32))
+            if a != b
+                && !h.prog_lt(
+                    cbm_history::EventId(a as u32),
+                    cbm_history::EventId(b as u32),
+                )
             {
                 cross.push((a, b));
             }
@@ -65,7 +69,13 @@ fn all_causal_orders(h: &H) -> Vec<Relation> {
 
 /// Does some permutation of `include` (respecting `rel`) with outputs
 /// of `visible` checked belong to `L(T)`? Brute force over factorial.
-fn exists_lin(adt: &WindowStream, h: &H, rel: &Relation, include: &BitSet, visible: &BitSet) -> bool {
+fn exists_lin(
+    adt: &WindowStream,
+    h: &H,
+    rel: &Relation,
+    include: &BitSet,
+    visible: &BitSet,
+) -> bool {
     let items: Vec<usize> = include.iter().collect();
     permutations(&items).into_iter().any(|perm| {
         // respects rel?
@@ -150,7 +160,11 @@ fn ccv_oracle(adt: &WindowStream, h: &H) -> bool {
                 let mut visible = BitSet::new(h.len());
                 visible.insert(e);
                 // the unique ≤-sorted linearization
-                let seq: Vec<usize> = perm.iter().copied().filter(|x| include.contains(*x)).collect();
+                let seq: Vec<usize> = perm
+                    .iter()
+                    .copied()
+                    .filter(|x| include.contains(*x))
+                    .collect();
                 let _ = &total;
                 replay(adt, h, &seq, &visible)
             });

@@ -1,0 +1,147 @@
+//! Offline stand-in for the subset of `bytes` used by the wire codec:
+//! `BytesMut` + `BufMut` big-endian writers, `Bytes` + `Buf`
+//! big-endian readers, `freeze`, and `len`.
+
+#![forbid(unsafe_code)]
+
+/// Growable byte buffer (writer side).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+/// Immutable byte buffer with a read cursor (reader side).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl BytesMut {
+    /// An empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Freeze into an immutable `Bytes`.
+    pub fn freeze(self) -> Bytes {
+        Bytes {
+            data: self.data,
+            pos: 0,
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Is the buffer empty?
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+impl Bytes {
+    /// Remaining unread bytes.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Any bytes left?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+/// Big-endian write access.
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8);
+    /// Append a big-endian u16.
+    fn put_u16(&mut self, v: u16);
+    /// Append a big-endian u32.
+    fn put_u32(&mut self, v: u32);
+    /// Append a big-endian u64.
+    fn put_u64(&mut self, v: u64);
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.data.push(v);
+    }
+    fn put_u16(&mut self, v: u16) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u32(&mut self, v: u32) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+    fn put_u64(&mut self, v: u64) {
+        self.data.extend_from_slice(&v.to_be_bytes());
+    }
+}
+
+/// Big-endian read access (consumes from the front).
+pub trait Buf {
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Read a big-endian u16.
+    fn get_u16(&mut self) -> u16;
+    /// Read a big-endian u32.
+    fn get_u32(&mut self) -> u32;
+    /// Read a big-endian u64.
+    fn get_u64(&mut self) -> u64;
+}
+
+impl Bytes {
+    fn take(&mut self, n: usize) -> &[u8] {
+        let s = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        s
+    }
+}
+
+impl Buf for Bytes {
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+    fn get_u16(&mut self) -> u16 {
+        u16::from_be_bytes(self.take(2).try_into().unwrap())
+    }
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take(4).try_into().unwrap())
+    }
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take(8).try_into().unwrap())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut b = BytesMut::with_capacity(16);
+        b.put_u8(1);
+        b.put_u16(0xBEEF);
+        b.put_u32(0xDEAD_BEEF);
+        b.put_u64(0x0123_4567_89AB_CDEF);
+        assert_eq!(b.len(), 15);
+        let mut r = b.freeze();
+        assert_eq!(r.len(), 15);
+        assert_eq!(r.get_u8(), 1);
+        assert_eq!(r.get_u16(), 0xBEEF);
+        assert_eq!(r.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(r.get_u64(), 0x0123_4567_89AB_CDEF);
+        assert!(r.is_empty());
+    }
+}

@@ -1,0 +1,72 @@
+//! Offline stand-in for the `crossbeam` API subset used here, mapped
+//! onto `std`: `channel::{unbounded, Sender, Receiver, TryRecvError}`
+//! over `std::sync::mpsc`, and `thread::scope` over
+//! `std::thread::scope`.
+
+#![forbid(unsafe_code)]
+
+/// MPSC channels (maps onto `std::sync::mpsc`).
+pub mod channel {
+    pub use std::sync::mpsc::{Receiver, SendError, Sender, TryRecvError};
+
+    /// An unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        std::sync::mpsc::channel()
+    }
+}
+
+/// Scoped threads (maps onto `std::thread::scope`).
+pub mod thread {
+    /// Handle passed to scoped closures; crossbeam's spawn closures
+    /// receive `&Scope` (usually ignored as `|_|`).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope. The closure receives a
+        /// `&Scope` so nested spawns compile, like crossbeam's.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` with a scope; all spawned threads are joined before
+    /// returning. Panics in scoped threads propagate as `Err`, like
+    /// crossbeam's `scope(...)` result.
+    #[allow(clippy::type_complexity)]
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn channel_roundtrip() {
+        let (tx, rx) = super::channel::unbounded();
+        tx.send(5).unwrap();
+        assert_eq!(rx.try_recv(), Ok(5));
+        assert!(rx.try_recv().is_err());
+    }
+
+    #[test]
+    fn scope_joins_threads() {
+        let mut hits = 0;
+        super::thread::scope(|s| {
+            let h = s.spawn(|_| 21);
+            hits += h.join().unwrap();
+            hits += s.spawn(|_| 21).join().unwrap();
+        })
+        .unwrap();
+        assert_eq!(hits, 42);
+    }
+}

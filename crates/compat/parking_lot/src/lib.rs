@@ -1,0 +1,39 @@
+//! Offline stand-in for `parking_lot::Mutex` over `std::sync::Mutex`:
+//! `lock()` returns the guard directly (poisoning is treated as a
+//! bug, matching parking_lot's no-poisoning semantics).
+
+#![forbid(unsafe_code)]
+
+/// Mutex with parking_lot's `lock() -> guard` signature.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized> {
+    inner: std::sync::Mutex<T>,
+}
+
+impl<T> Mutex<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, returning the guard directly.
+    pub fn lock(&self) -> std::sync::MutexGuard<'_, T> {
+        self.inner.lock().expect("mutex poisoned")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_returns_guard() {
+        let m = Mutex::new(3);
+        *m.lock() += 4;
+        assert_eq!(*m.lock(), 7);
+    }
+}

@@ -1,0 +1,152 @@
+//! The `Strategy` trait and combinators (generation only, no
+//! shrinking).
+
+use crate::test_runner::TestRunner;
+use rand::Rng;
+
+/// A generated value wrapper; `current()` returns the value. Real
+/// proptest shrinks through this — here it is a plain holder.
+pub struct Node<V>(V);
+
+/// Access to a generated value (`proptest::strategy::ValueTree`).
+pub trait ValueTree {
+    /// The value type.
+    type Value;
+    /// The current (here: only) value.
+    fn current(&self) -> Self::Value;
+}
+
+impl<V: Clone> ValueTree for Node<V> {
+    type Value = V;
+    fn current(&self) -> V {
+        self.0.clone()
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, runner: &mut TestRunner) -> Self::Value;
+
+    /// Draw one value wrapped in a [`ValueTree`] (proptest-compatible
+    /// entry point used with `TestRunner` directly).
+    fn new_tree(&self, runner: &mut TestRunner) -> Result<Node<Self::Value>, String> {
+        Ok(Node(self.generate(runner)))
+    }
+
+    /// Transform generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erase the strategy (used by `prop_oneof!`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        std::rc::Rc::new(self)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub type BoxedStrategy<V> = std::rc::Rc<dyn Strategy<Value = V>>;
+
+impl<V> Strategy for std::rc::Rc<dyn Strategy<Value = V>> {
+    type Value = V;
+    fn generate(&self, runner: &mut TestRunner) -> V {
+        (**self).generate(runner)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<V>(pub V);
+
+impl<V: Clone> Strategy for Just<V> {
+    type Value = V;
+    fn generate(&self, _runner: &mut TestRunner) -> V {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` combinator.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, runner: &mut TestRunner) -> O {
+        (self.f)(self.inner.generate(runner))
+    }
+}
+
+/// Uniform choice among type-erased strategies (`prop_oneof!`).
+#[derive(Clone)]
+pub struct Union<V> {
+    branches: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Choose uniformly among `branches` (must be non-empty).
+    pub fn new(branches: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(
+            !branches.is_empty(),
+            "prop_oneof! needs at least one branch"
+        );
+        Union { branches }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, runner: &mut TestRunner) -> V {
+        let i = runner.rng().gen_range(0..self.branches.len());
+        self.branches[i].generate(runner)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, runner: &mut TestRunner) -> $t {
+                runner.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, runner: &mut TestRunner) -> Self::Value {
+                ($(self.$idx.generate(runner),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+);

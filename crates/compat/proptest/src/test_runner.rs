@@ -1,0 +1,69 @@
+//! Deterministic test runner and configuration.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// How many cases each property runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of accepted cases required.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Run `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the suite fast while
+        // still exploring a meaningful slice of each space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// Hypothesis not met (`prop_assume!`); the case is discarded.
+    Reject(String),
+    /// Assertion failed; the whole property fails.
+    Fail(String),
+}
+
+/// Result of one case body.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Seeded RNG state threaded through strategies.
+pub struct TestRunner {
+    rng: StdRng,
+}
+
+impl TestRunner {
+    /// A runner with a fixed seed — every run generates the same
+    /// cases.
+    pub fn deterministic() -> Self {
+        TestRunner {
+            rng: StdRng::seed_from_u64(0x5EED_CA5E_D00D_F00D),
+        }
+    }
+
+    /// A runner honouring `config` (seeding is fixed either way).
+    pub fn new(_config: ProptestConfig) -> Self {
+        Self::deterministic()
+    }
+
+    /// The underlying RNG.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+}
+
+impl Default for TestRunner {
+    fn default() -> Self {
+        Self::deterministic()
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`. The workspace uses serde only to tag
+//! message types with `#[derive(Serialize, Deserialize)]`; no actual
+//! serialization happens in-process (the wire codec in `cbm-net::msg`
+//! is hand-rolled). Both traits are blanket-implemented markers and
+//! the derives are no-ops, so swapping the real serde back in is a
+//! manifest-only change.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}

@@ -1,0 +1,17 @@
+//! No-op `Serialize` / `Deserialize` derives. The vendored `serde`
+//! crate blanket-implements both traits for every type, so the derive
+//! only needs to exist syntactically.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing — `serde::Serialize` is blanket-implemented.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing — `serde::Deserialize` is blanket-implemented.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -144,10 +144,18 @@ mod tests {
         from: NodeId,
     ) {
         for m in msgs {
-            let Outgoing::Broadcast(env) = m else { panic!("cc never sends p2p") };
+            let Outgoing::Broadcast(env) = m else {
+                panic!("cc never sends p2p")
+            };
             for (to, r) in reps.iter_mut().enumerate() {
                 if to != from {
-                    r.on_deliver(from, env.clone(), &mut Vec::new(), &mut Vec::new(), &mut Vec::new());
+                    r.on_deliver(
+                        from,
+                        env.clone(),
+                        &mut Vec::new(),
+                        &mut Vec::new(),
+                        &mut Vec::new(),
+                    );
                 }
             }
         }
@@ -180,7 +188,9 @@ mod tests {
         );
         let (head, tail) = reps.split_at_mut(1);
         let _ = head;
-        let Outgoing::Broadcast(env) = out.pop().unwrap() else { unreachable!() };
+        let Outgoing::Broadcast(env) = out.pop().unwrap() else {
+            unreachable!()
+        };
         let mut applied = Vec::new();
         tail[0].on_deliver(0, env, &mut Vec::new(), &mut Vec::new(), &mut applied);
         assert_eq!(applied, vec![0]);
@@ -197,13 +207,23 @@ mod tests {
         let mut reps = cluster(3);
         let mut out0 = Vec::new();
         reps[0].invoke(0, &WaInput::Write(0, 1), &mut out0);
-        let Outgoing::Broadcast(q_env) = out0.pop().unwrap() else { unreachable!() };
+        let Outgoing::Broadcast(q_env) = out0.pop().unwrap() else {
+            unreachable!()
+        };
 
         // deliver Q to p1 only
-        reps[1].on_deliver(0, q_env.clone(), &mut Vec::new(), &mut Vec::new(), &mut Vec::new());
+        reps[1].on_deliver(
+            0,
+            q_env.clone(),
+            &mut Vec::new(),
+            &mut Vec::new(),
+            &mut Vec::new(),
+        );
         let mut out1 = Vec::new();
         reps[1].invoke(1, &WaInput::Write(0, 2), &mut out1);
-        let Outgoing::Broadcast(a_env) = out1.pop().unwrap() else { unreachable!() };
+        let Outgoing::Broadcast(a_env) = out1.pop().unwrap() else {
+            unreachable!()
+        };
 
         // p2 gets A first: buffered; then Q: both applied in causal order
         let mut applied = Vec::new();

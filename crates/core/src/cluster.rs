@@ -22,8 +22,9 @@
 use crate::replica::{InvokeOutcome, Outgoing, Replica};
 use cbm_adt::Adt;
 use cbm_history::{EventId, History, HistoryBuilder, Relation};
+use cbm_net::fault::{Fault, FaultPlan};
 use cbm_net::latency::LatencyModel;
-use cbm_net::sim::SimNet;
+use cbm_net::sim::{NetStats, SimNet};
 use cbm_net::NodeId;
 use std::collections::HashMap;
 
@@ -86,6 +87,9 @@ pub struct RunStats {
     pub converged: bool,
     /// Operations still pending at the end (SC baseline under crashes).
     pub incomplete_ops: usize,
+    /// Full transport statistics (drop/duplicate/parked counts,
+    /// per-node drops).
+    pub net: NetStats,
 }
 
 impl RunStats {
@@ -150,8 +154,12 @@ impl<T: Adt> RunResult<T> {
             return None;
         }
         let topo = rel.topo_order();
-        Some(topo.into_iter().map(|i| EventId(i as u32)).collect::<Vec<_>>())
-            .filter(|v| v.len() == n)
+        Some(
+            topo.into_iter()
+                .map(|i| EventId(i as u32))
+                .collect::<Vec<_>>(),
+        )
+        .filter(|v| v.len() == n)
     }
 }
 
@@ -162,19 +170,32 @@ pub struct Cluster<T: Adt, R: Replica<T>> {
     replicas: Vec<R>,
 }
 
+/// Earliest of two optional times (both timed sources pending → the
+/// sooner one; one pending → it; none → none).
+fn opt_min(a: Option<u64>, b: Option<u64>) -> Option<u64> {
+    match (a, b) {
+        (Some(x), Some(y)) => Some(x.min(y)),
+        (x, None) => x,
+        (None, y) => y,
+    }
+}
+
 struct ProcState<I> {
     remaining: std::vec::IntoIter<ScriptOp<I>>,
     ready_at: u64,
     pending: Option<u64>,
+    /// Mirror of the transport's crash state (the fault layer is the
+    /// single source of truth; see [`Cluster::run_faulted`]).
     crashed: bool,
-    crash_at: Option<u64>,
 }
 
 impl<T: Adt + Clone, R: Replica<T>> Cluster<T, R> {
     /// Build a cluster of `n` replicas of flavour `R` over a simulated
     /// network.
     pub fn new(n: usize, adt: T, latency: LatencyModel, seed: u64) -> Self {
-        let replicas = (0..n).map(|me| R::new_replica(me, n, adt.clone())).collect();
+        let replicas = (0..n)
+            .map(|me| R::new_replica(me, n, adt.clone()))
+            .collect();
         Cluster {
             adt,
             net: SimNet::new(n, latency, seed),
@@ -189,20 +210,45 @@ impl<T: Adt + Clone, R: Replica<T>> Cluster<T, R> {
 
     /// Run a script to completion (all ops done or crashed, network
     /// quiescent) and return the recorded execution.
-    pub fn run(mut self, script: Script<T::Input>) -> RunResult<T> {
+    ///
+    /// Equivalent to [`Cluster::run_faulted`] with an empty
+    /// [`FaultPlan`] — `Script::crash_at` entries still apply (they
+    /// are routed through the fault layer).
+    pub fn run(self, script: Script<T::Input>) -> RunResult<T> {
+        self.run_faulted(script, FaultPlan::new())
+    }
+
+    /// Run a script under a [`FaultPlan`] (see `cbm-net::fault`).
+    ///
+    /// `Script::crash_at` entries are merged into the plan as
+    /// [`Fault::Crash`] events, so a driver-level crash and a
+    /// transport-level crash are the same thing: the transport is the
+    /// single source of truth for crash state, and the driver mirrors
+    /// it (a crashed process stops invoking; a recovered one resumes
+    /// its remaining script). All fault events — including those later
+    /// than the last delivery — participate in simulated-time
+    /// ordering, so a post-quiescence heal still releases parked
+    /// messages.
+    pub fn run_faulted(mut self, script: Script<T::Input>, faults: FaultPlan) -> RunResult<T> {
         let n = self.replicas.len();
         assert_eq!(script.n_procs(), n, "script size must match cluster");
+
+        let mut plan = faults;
+        for (p, crash) in script.crash_at.iter().enumerate() {
+            if let Some(at) = crash {
+                plan.push(*at, Fault::Crash(p));
+            }
+        }
+        let mut schedule = plan.into_schedule();
 
         let mut procs: Vec<ProcState<T::Input>> = script
             .ops
             .into_iter()
-            .zip(script.crash_at.iter())
-            .map(|(ops, crash)| ProcState {
+            .map(|ops| ProcState {
                 remaining: ops.into_iter(),
                 ready_at: 0,
                 pending: None,
                 crashed: false,
-                crash_at: *crash,
             })
             .collect();
         // peek the first think times
@@ -237,30 +283,41 @@ impl<T: Adt + Clone, R: Replica<T>> Cluster<T, R> {
             }
             let net_time = self.net.peek_time();
 
-            // apply crashes that fire before the next action
-            let next_action_time = match (inv, net_time) {
-                (Some((ti, _)), Some(tn)) => ti.min(tn),
-                (Some((ti, _)), None) => ti,
-                (None, Some(tn)) => tn,
+            // faults fire before any action at the same instant
+            let next_action_time = opt_min(inv.map(|(ti, _)| ti), net_time);
+            match (next_action_time, schedule.peek_time()) {
                 (None, None) => break,
-            };
-            for (p, st) in procs.iter_mut().enumerate() {
-                if let Some(ct) = st.crash_at {
-                    if !st.crashed && ct <= next_action_time {
-                        st.crashed = true;
-                        self.net.crash(p);
+                (ta, Some(tf)) if ta.is_none_or(|ta| tf <= ta) => {
+                    self.net.advance_time(tf);
+                    schedule.apply_due(&mut self.net, tf);
+                    // mirror transport crash state into the driver
+                    for (p, st) in procs.iter_mut().enumerate() {
+                        let down = self.net.is_crashed(p);
+                        if st.crashed && !down {
+                            // recovered: resume the script from now.
+                            // An operation that was pending at crash
+                            // time is abandoned (its completion was
+                            // dropped with the crash; it stays in
+                            // `incomplete_ops`) so the script can
+                            // continue.
+                            st.ready_at = st.ready_at.max(tf);
+                            if st.pending.take().is_some() {
+                                next_op[p] = st.remaining.next();
+                                if let Some(next) = &next_op[p] {
+                                    st.ready_at = tf + next.think.max(1);
+                                }
+                            }
+                        }
+                        st.crashed = down;
                     }
+                    continue;
                 }
+                _ => {}
             }
 
             match (inv, net_time) {
                 (Some((ti, p)), tn) if tn.is_none_or(|tn| ti <= tn) => {
                     // invoke next op of p at time ti
-                    let st = &mut procs[p];
-                    if st.crashed {
-                        next_op[p] = None;
-                        continue;
-                    }
                     let op = next_op[p].take().unwrap();
                     self.net.advance_time(ti);
                     let event = inputs.len() as u64;
@@ -293,16 +350,27 @@ impl<T: Adt + Clone, R: Replica<T>> Cluster<T, R> {
                     }
                 }
                 (_, Some(_)) => {
-                    // deliver next message
-                    let Some(d) = self.net.pop() else { continue };
-                    let to = d.to;
-                    if procs[to].crashed {
+                    // deliver next message, bounded by the next
+                    // invocation/fault time: peek_time() is only a
+                    // lower bound (the top entry may be dropped or
+                    // parked), so an unbounded pop could return a
+                    // delivery from beyond an action that must fire
+                    // first
+                    let limit = opt_min(inv.map(|(ti, _)| ti), schedule.peek_time());
+                    let Some(d) = self.net.pop_due(limit) else {
                         continue;
-                    }
+                    };
+                    let to = d.to;
                     let mut out = Vec::new();
                     let mut completed = Vec::new();
                     let mut applied = Vec::new();
-                    self.replicas[to].on_deliver(d.from, d.msg, &mut out, &mut completed, &mut applied);
+                    self.replicas[to].on_deliver(
+                        d.from,
+                        d.msg,
+                        &mut out,
+                        &mut completed,
+                        &mut applied,
+                    );
                     self.route(to, out, &mut stats);
                     apply_orders[to].extend(applied);
                     for (ev, o) in completed {
@@ -312,10 +380,16 @@ impl<T: Adt + Clone, R: Replica<T>> Cluster<T, R> {
                             let lat = d.time.saturating_sub(t_inv);
                             stats.op_latencies.push(lat);
                             stats.makespan = stats.makespan.max(d.time);
-                            procs[p].pending = None;
-                            next_op[p] = procs[p].remaining.next();
-                            if let Some(next) = &next_op[p] {
-                                procs[p].ready_at = d.time + next.think.max(1);
+                            // advance the script only if the process
+                            // is still waiting on this operation (a
+                            // crash-recovery may have abandoned it and
+                            // moved on already)
+                            if procs[p].pending == Some(ev) {
+                                procs[p].pending = None;
+                                next_op[p] = procs[p].remaining.next();
+                                if let Some(next) = &next_op[p] {
+                                    procs[p].ready_at = d.time + next.think.max(1);
+                                }
                             }
                         }
                     }
@@ -330,6 +404,7 @@ impl<T: Adt + Clone, R: Replica<T>> Cluster<T, R> {
         let net_stats = self.net.stats();
         stats.msgs_sent = net_stats.msgs_sent;
         stats.bytes_sent = net_stats.bytes_sent;
+        stats.net = net_stats;
 
         let final_states: Vec<T::State> = self.replicas.iter().map(|r| r.local_state()).collect();
         let arbitration = self.replicas.first().and_then(|r| {
@@ -369,8 +444,8 @@ impl<T: Adt + Clone, R: Replica<T>> Cluster<T, R> {
                 prefix.push(e);
             }
         }
-        let causal = Relation::from_edges(m, &edges)
-            .expect("delivered-before relation must be acyclic");
+        let causal =
+            Relation::from_edges(m, &edges).expect("delivered-before relation must be acyclic");
 
         // real-time interval order: e < f iff complete(e) < invoke(f)
         let mut rt_edges: Vec<(usize, usize)> = Vec::new();
@@ -382,8 +457,7 @@ impl<T: Adt + Clone, R: Replica<T>> Cluster<T, R> {
                 }
             }
         }
-        let realtime = Relation::from_edges(m, &rt_edges)
-            .expect("real time is acyclic");
+        let realtime = Relation::from_edges(m, &rt_edges).expect("real time is acyclic");
 
         RunResult {
             history,
@@ -471,7 +545,10 @@ mod tests {
         let c: Cluster<WindowArray, ConvergentShared<WindowArray>> =
             Cluster::new(4, WindowArray::new(2, 3), LatencyModel::Uniform(1, 80), 7);
         let res = c.run(write_read_script(4, 5));
-        assert!(res.stats.converged, "CCv replicas must converge at quiescence");
+        assert!(
+            res.stats.converged,
+            "CCv replicas must converge at quiescence"
+        );
     }
 
     #[test]
@@ -515,10 +592,57 @@ mod tests {
     }
 
     #[test]
+    fn crash_while_pending_resumes_script_after_recovery() {
+        use cbm_net::fault::{Fault, FaultPlan};
+        // SC baseline: non-sequencer ops block on the sequencer round
+        // trip, so p1's first op is pending when it crashes at t=5.
+        // After recovery it must abandon that op and invoke the rest
+        // of its script instead of stalling forever.
+        let script: Script<WaInput> = Script::new(vec![
+            vec![
+                ScriptOp {
+                    think: 1,
+                    input: WaInput::Write(0, 1),
+                },
+                ScriptOp {
+                    think: 1,
+                    input: WaInput::Write(0, 2),
+                },
+            ],
+            vec![
+                ScriptOp {
+                    think: 1,
+                    input: WaInput::Write(0, 10),
+                },
+                ScriptOp {
+                    think: 1,
+                    input: WaInput::Write(0, 20),
+                },
+            ],
+        ]);
+        let plan = FaultPlan::new()
+            .at(5, Fault::Crash(1))
+            .at(50, Fault::Recover(1));
+        let c: Cluster<WindowArray, SeqShared<WindowArray>> =
+            Cluster::new(2, WindowArray::new(1, 2), LatencyModel::Constant(10), 3);
+        let res = c.run_faulted(script, plan);
+        // both of p1's ops were invoked (the second one post-recovery)
+        assert_eq!(res.own[1].len(), 2, "recovered process resumed its script");
+        // the abandoned first op never completed
+        assert!(res.stats.incomplete_ops >= 1);
+        // the sequencer side finished everything
+        assert_eq!(res.own[0].len(), 2);
+    }
+
+    #[test]
     fn deterministic_replay() {
         let run = |seed: u64| {
-            let c: Cluster<WindowArray, ConvergentShared<WindowArray>> =
-                Cluster::new(3, WindowArray::new(1, 2), LatencyModel::Uniform(1, 60), seed);
+            let c: Cluster<WindowArray, ConvergentShared<WindowArray>> = Cluster::new(
+                3,
+                WindowArray::new(1, 2),
+                LatencyModel::Uniform(1, 60),
+                seed,
+            );
             let res = c.run(write_read_script(3, 3));
             (
                 res.stats.msgs_sent,
@@ -541,10 +665,19 @@ mod result_tests {
         let c: Cluster<WindowArray, ConvergentShared<WindowArray>> =
             Cluster::new(2, WindowArray::new(1, 2), LatencyModel::Constant(5), 1);
         c.run(Script::new(vec![
-            vec![ScriptOp { think: 2, input: WaInput::Write(0, 1) }],
+            vec![ScriptOp {
+                think: 2,
+                input: WaInput::Write(0, 1),
+            }],
             vec![
-                ScriptOp { think: 3, input: WaInput::Write(0, 2) },
-                ScriptOp { think: 50, input: WaInput::Read(0) },
+                ScriptOp {
+                    think: 3,
+                    input: WaInput::Write(0, 2),
+                },
+                ScriptOp {
+                    think: 50,
+                    input: WaInput::Read(0),
+                },
             ],
         ]))
     }
@@ -597,7 +730,10 @@ mod result_tests {
     #[test]
     fn script_helpers() {
         let s: Script<WaInput> = Script::new(vec![
-            vec![ScriptOp { think: 1, input: WaInput::Read(0) }],
+            vec![ScriptOp {
+                think: 1,
+                input: WaInput::Read(0),
+            }],
             vec![],
         ]);
         assert_eq!(s.n_procs(), 2);
@@ -611,8 +747,14 @@ mod result_tests {
         let c: Cluster<WindowArray, CausalShared<WindowArray>> =
             Cluster::new(2, WindowArray::new(1, 1), LatencyModel::Constant(1000), 2);
         let res = c.run(Script::new(vec![
-            vec![ScriptOp { think: 5, input: WaInput::Write(0, 1) }],
-            vec![ScriptOp { think: 5, input: WaInput::Write(0, 2) }],
+            vec![ScriptOp {
+                think: 5,
+                input: WaInput::Write(0, 1),
+            }],
+            vec![ScriptOp {
+                think: 5,
+                input: WaInput::Write(0, 2),
+            }],
         ]));
         // both invoked at t=5 and completed at t=5: concurrent in real time
         assert!(res.realtime.concurrent(0, 1));

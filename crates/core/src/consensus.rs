@@ -54,10 +54,7 @@ fn decide(window: &[Value]) -> Option<Value> {
     window.iter().copied().find(|&v| v != 0)
 }
 
-fn extract_decisions(
-    history: &cbm_history::History<WaInput, WaOutput>,
-    n: usize,
-) -> Decisions {
+fn extract_decisions(history: &cbm_history::History<WaInput, WaOutput>, n: usize) -> Decisions {
     let mut decisions = vec![None; n];
     for e in history.events() {
         let l = history.label(e);
@@ -76,11 +73,13 @@ fn extract_decisions(
 /// decisions; the consensus properties (validity, agreement,
 /// termination) are guaranteed and asserted in tests.
 pub fn solve_consensus(proposals: &[Value], latency: LatencyModel, seed: u64) -> Decisions {
-    assert!(proposals.iter().all(|&v| v != 0), "proposals must be non-default");
+    assert!(
+        proposals.iter().all(|&v| v != 0),
+        "proposals must be non-default"
+    );
     let n = proposals.len();
     let adt = WindowArray::new(1, n);
-    let cluster: Cluster<WindowArray, SeqShared<WindowArray>> =
-        Cluster::new(n, adt, latency, seed);
+    let cluster: Cluster<WindowArray, SeqShared<WindowArray>> = Cluster::new(n, adt, latency, seed);
     let res = cluster.run(consensus_script(proposals));
     extract_decisions(&res.history, n)
 }
@@ -90,11 +89,7 @@ pub fn solve_consensus(proposals: &[Value], latency: LatencyModel, seed: u64) ->
 /// Returns `(decisions, agreed)`. With non-trivial latencies the
 /// processes usually disagree: each reads its own proposal first —
 /// the impossibility the consensus-number argument predicts.
-pub fn causal_attempt(
-    proposals: &[Value],
-    latency: LatencyModel,
-    seed: u64,
-) -> (Decisions, bool) {
+pub fn causal_attempt(proposals: &[Value], latency: LatencyModel, seed: u64) -> (Decisions, bool) {
     assert!(proposals.iter().all(|&v| v != 0));
     let n = proposals.len();
     let adt = WindowArray::new(1, n);
@@ -144,8 +139,7 @@ mod tests {
     #[test]
     fn causal_attempt_violates_agreement_under_latency() {
         // with slow links each process reads only its own proposal
-        let (decisions, agreed) =
-            causal_attempt(&[7, 8, 9], LatencyModel::Constant(1_000), 1);
+        let (decisions, agreed) = causal_attempt(&[7, 8, 9], LatencyModel::Constant(1_000), 1);
         assert!(!agreed, "expected disagreement, got {decisions:?}");
         // each decided its own proposal
         assert_eq!(decisions, vec![Some(7), Some(8), Some(9)]);

@@ -145,7 +145,9 @@ impl<T: Adt> ConvergentShared<T> {
 
     /// Fold the stable prefix into `base` when large enough.
     fn maybe_compact(&mut self) {
-        let Some(chunk) = self.compact_chunk else { return };
+        let Some(chunk) = self.compact_chunk else {
+            return;
+        };
         let horizon = self.stability_horizon();
         let stable = self.log.partition_point(|e| e.ts.time < horizon);
         if stable < chunk {
@@ -187,9 +189,7 @@ impl<T: Adt> ConvergentShared<T> {
     /// Insert an update at its timestamp position; invalidates the head
     /// fold if the insertion is not at the tail.
     fn insert(&mut self, up: ArbUpdate<T::Input>) {
-        let pos = self
-            .log
-            .partition_point(|entry| entry.ts < up.ts);
+        let pos = self.log.partition_point(|entry| entry.ts < up.ts);
         if pos == self.log.len() && self.head_len == self.log.len() {
             // tail append: extend the fold incrementally
             self.head = self.adt.transition(&self.head, &up.op.input);
@@ -312,12 +312,24 @@ mod tests {
     }
 
     #[allow(clippy::needless_range_loop)]
-    fn deliver_all(reps: &mut [Rep], from: NodeId, out: Vec<Outgoing<CausalMsg<ArbUpdate<WaInput>>>>) {
+    fn deliver_all(
+        reps: &mut [Rep],
+        from: NodeId,
+        out: Vec<Outgoing<CausalMsg<ArbUpdate<WaInput>>>>,
+    ) {
         for m in out {
-            let Outgoing::Broadcast(env) = m else { panic!() };
+            let Outgoing::Broadcast(env) = m else {
+                panic!()
+            };
             for (to, r) in reps.iter_mut().enumerate() {
                 if to != from {
-                    r.on_deliver(from, env.clone(), &mut Vec::new(), &mut Vec::new(), &mut Vec::new());
+                    r.on_deliver(
+                        from,
+                        env.clone(),
+                        &mut Vec::new(),
+                        &mut Vec::new(),
+                        &mut Vec::new(),
+                    );
                 }
             }
         }
@@ -424,7 +436,9 @@ mod tests {
             let mut o = Vec::new();
             reps[i].invoke(v, &WaInput::Write(0, v), &mut o);
             for m in o {
-                let Outgoing::Broadcast(env) = m else { panic!() };
+                let Outgoing::Broadcast(env) = m else {
+                    panic!()
+                };
                 envs.push((i, env));
             }
         }
@@ -433,7 +447,13 @@ mod tests {
         for (from, env) in envs.into_iter().rev() {
             for to in 0..3 {
                 if to != from {
-                    reps[to].on_deliver(from, env.clone(), &mut Vec::new(), &mut Vec::new(), &mut Vec::new());
+                    reps[to].on_deliver(
+                        from,
+                        env.clone(),
+                        &mut Vec::new(),
+                        &mut Vec::new(),
+                        &mut Vec::new(),
+                    );
                 }
             }
         }
@@ -455,8 +475,7 @@ mod compaction_tests {
     /// Drive two replicas through `rounds` of alternating increments
     /// with immediate cross-delivery; return (compacting, plain).
     fn run_pair(rounds: usize, chunk: usize) -> (Rep, Rep) {
-        let mut a: Rep =
-            Rep::with_checkpoint_interval(0, 2, Counter, 8).with_compaction(chunk);
+        let mut a: Rep = Rep::with_checkpoint_interval(0, 2, Counter, 8).with_compaction(chunk);
         let mut b: Rep = Rep::with_checkpoint_interval(1, 2, Counter, 8);
         for i in 0..rounds as u64 {
             let (src, dst, me) = if i % 2 == 0 {
@@ -466,7 +485,9 @@ mod compaction_tests {
             };
             let mut out = Vec::new();
             src.invoke(i, &CtInput::Add(1), &mut out);
-            let Outgoing::Broadcast(env) = out.pop().unwrap() else { panic!() };
+            let Outgoing::Broadcast(env) = out.pop().unwrap() else {
+                panic!()
+            };
             let _ = me;
             dst.on_deliver(
                 env.sender,
@@ -507,7 +528,9 @@ mod compaction_tests {
         for i in 0..50u64 {
             let mut out = Vec::new();
             b.invoke(i, &CtInput::Add(1), &mut out);
-            let Outgoing::Broadcast(env) = out.pop().unwrap() else { panic!() };
+            let Outgoing::Broadcast(env) = out.pop().unwrap() else {
+                panic!()
+            };
             a.on_deliver(1, env, &mut Vec::new(), &mut Vec::new(), &mut Vec::new());
         }
         // peer 2 was silent: horizon stuck at 0, nothing compacted
@@ -533,7 +556,9 @@ mod compaction_tests {
         assert!(before > 0);
         let mut out = Vec::new();
         b.invoke(1000, &CtInput::Add(5), &mut out);
-        let Outgoing::Broadcast(env) = out.pop().unwrap() else { panic!() };
+        let Outgoing::Broadcast(env) = out.pop().unwrap() else {
+            panic!()
+        };
         a.on_deliver(1, env, &mut Vec::new(), &mut Vec::new(), &mut Vec::new());
         // 100 increments from the pair run + the straggler's 5
         assert_eq!(a.peek(&CtInput::Read), CtOutput::Val(105));

@@ -159,8 +159,12 @@ mod tests {
         let mut ob = Vec::new();
         a.invoke(0, &WaInput::Write(0, 1), &mut oa);
         b.invoke(1, &WaInput::Write(0, 2), &mut ob);
-        let Outgoing::Broadcast(ma) = oa.pop().unwrap() else { panic!() };
-        let Outgoing::Broadcast(mb) = ob.pop().unwrap() else { panic!() };
+        let Outgoing::Broadcast(ma) = oa.pop().unwrap() else {
+            panic!()
+        };
+        let Outgoing::Broadcast(mb) = ob.pop().unwrap() else {
+            panic!()
+        };
         b.on_deliver(0, ma, &mut Vec::new(), &mut Vec::new(), &mut Vec::new());
         a.on_deliver(1, mb, &mut Vec::new(), &mut Vec::new(), &mut Vec::new());
         assert_eq!(a.local_state(), b.local_state());
@@ -178,13 +182,23 @@ mod tests {
 
         let mut oq = Vec::new();
         p0.invoke(0, &LogInput::Append(100), &mut oq); // question
-        let Outgoing::Broadcast(q) = oq.pop().unwrap() else { panic!() };
-        p1.on_deliver(0, q.clone(), &mut Vec::new(), &mut Vec::new(), &mut Vec::new());
+        let Outgoing::Broadcast(q) = oq.pop().unwrap() else {
+            panic!()
+        };
+        p1.on_deliver(
+            0,
+            q.clone(),
+            &mut Vec::new(),
+            &mut Vec::new(),
+            &mut Vec::new(),
+        );
         assert_eq!(p1.peek(&LogInput::Read), LogOutput::Entries(vec![100]));
 
         let mut oa = Vec::new();
         p1.invoke(1, &LogInput::Append(200), &mut oa); // answer
-        let Outgoing::Broadcast(a) = oa.pop().unwrap() else { panic!() };
+        let Outgoing::Broadcast(a) = oa.pop().unwrap() else {
+            panic!()
+        };
 
         // p2 receives only the answer
         p2.on_deliver(1, a, &mut Vec::new(), &mut Vec::new(), &mut Vec::new());

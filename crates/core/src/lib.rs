@@ -26,7 +26,12 @@
 //! deterministic simulator, records the resulting [`cbm_history`]
 //! history with its ground-truth causal witness, and hands both to the
 //! checkers (`cbm-check::verify`) — this is how Propositions 6 and 7
-//! are validated on thousands of randomized executions.
+//! are validated on thousands of randomized executions. Runs can be
+//! fault-injected through [`cluster::Cluster::run_faulted`] with a
+//! `cbm-net` `FaultPlan` (partitions, loss, duplication, latency
+//! degradation, crash/recover, clock skew); the fault architecture and
+//! the scenario subsystem built on it (`cbm-sim`) are described in
+//! `docs/SIMULATION.md`.
 
 //! ## Example
 //!

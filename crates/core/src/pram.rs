@@ -107,10 +107,22 @@ mod tests {
                 _ => panic!(),
             })
             .collect();
-        b.on_deliver(0, envs[1].clone(), &mut Vec::new(), &mut Vec::new(), &mut Vec::new());
+        b.on_deliver(
+            0,
+            envs[1].clone(),
+            &mut Vec::new(),
+            &mut Vec::new(),
+            &mut Vec::new(),
+        );
         assert_eq!(b.peek(&WaInput::Read(0)), WaOutput::Window(vec![0, 0]));
         let mut applied = Vec::new();
-        b.on_deliver(0, envs[0].clone(), &mut Vec::new(), &mut Vec::new(), &mut applied);
+        b.on_deliver(
+            0,
+            envs[0].clone(),
+            &mut Vec::new(),
+            &mut Vec::new(),
+            &mut applied,
+        );
         assert_eq!(applied, vec![0, 1]);
         assert_eq!(b.peek(&WaInput::Read(0)), WaOutput::Window(vec![1, 2]));
     }
@@ -125,17 +137,31 @@ mod tests {
 
         let mut out_q = Vec::new();
         p0.invoke(0, &WaInput::Write(0, 1), &mut out_q);
-        let Outgoing::Broadcast(q) = out_q.pop().unwrap() else { panic!() };
-        p1.on_deliver(0, q.clone(), &mut Vec::new(), &mut Vec::new(), &mut Vec::new());
+        let Outgoing::Broadcast(q) = out_q.pop().unwrap() else {
+            panic!()
+        };
+        p1.on_deliver(
+            0,
+            q.clone(),
+            &mut Vec::new(),
+            &mut Vec::new(),
+            &mut Vec::new(),
+        );
 
         let mut out_a = Vec::new();
         p1.invoke(1, &WaInput::Write(0, 2), &mut out_a);
-        let Outgoing::Broadcast(a) = out_a.pop().unwrap() else { panic!() };
+        let Outgoing::Broadcast(a) = out_a.pop().unwrap() else {
+            panic!()
+        };
 
         // p2 receives the answer first — and applies it immediately
         let mut applied = Vec::new();
         p2.on_deliver(1, a, &mut Vec::new(), &mut Vec::new(), &mut applied);
-        assert_eq!(applied, vec![1], "FIFO applies the answer before the question");
+        assert_eq!(
+            applied,
+            vec![1],
+            "FIFO applies the answer before the question"
+        );
         assert_eq!(p2.peek(&WaInput::Read(0)), WaOutput::Window(vec![0, 2]));
         p2.on_deliver(0, q, &mut Vec::new(), &mut Vec::new(), &mut applied);
         assert_eq!(p2.peek(&WaInput::Read(0)), WaOutput::Window(vec![2, 1]));

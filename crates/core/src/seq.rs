@@ -165,7 +165,9 @@ mod tests {
         let mut out1 = Vec::new();
         let r = p1.invoke(7, &WaInput::Write(0, 3), &mut out1);
         assert_eq!(r, InvokeOutcome::Pending(7));
-        let Outgoing::To(to, submit) = out1.pop().unwrap() else { panic!() };
+        let Outgoing::To(to, submit) = out1.pop().unwrap() else {
+            panic!()
+        };
         assert_eq!(to, SEQUENCER);
 
         // sequencer orders and fans out
@@ -173,11 +175,19 @@ mod tests {
         let mut completed0 = Vec::new();
         seq.on_deliver(1, submit, &mut out0, &mut completed0, &mut Vec::new());
         assert!(completed0.is_empty(), "not the origin");
-        let Outgoing::Broadcast(ordered) = out0.pop().unwrap() else { panic!() };
+        let Outgoing::Broadcast(ordered) = out0.pop().unwrap() else {
+            panic!()
+        };
 
         // p1 receives the ordered slot: its op completes
         let mut completed1 = Vec::new();
-        p1.on_deliver(0, ordered, &mut Vec::new(), &mut completed1, &mut Vec::new());
+        p1.on_deliver(
+            0,
+            ordered,
+            &mut Vec::new(),
+            &mut completed1,
+            &mut Vec::new(),
+        );
         assert_eq!(completed1, vec![(7, WaOutput::Ack)]);
         assert_eq!(p1.peek(&WaInput::Read(0)), WaOutput::Window(vec![3]));
         assert_eq!(seq.peek(&WaInput::Read(0)), WaOutput::Window(vec![3]));
@@ -194,8 +204,12 @@ mod tests {
         p1.invoke(1, &WaInput::Write(0, 11), &mut o1);
         let mut o2 = Vec::new();
         p2.invoke(2, &WaInput::Write(0, 22), &mut o2);
-        let Outgoing::To(_, s1) = o1.pop().unwrap() else { panic!() };
-        let Outgoing::To(_, s2) = o2.pop().unwrap() else { panic!() };
+        let Outgoing::To(_, s1) = o1.pop().unwrap() else {
+            panic!()
+        };
+        let Outgoing::To(_, s2) = o2.pop().unwrap() else {
+            panic!()
+        };
 
         // sequencer handles p2's first
         let mut fan = Vec::new();
@@ -210,14 +224,29 @@ mod tests {
             .collect();
         // deliver to p1 and p2 in opposite orders: slot buffering fixes it
         for e in envs.iter() {
-            p1.on_deliver(0, e.clone(), &mut Vec::new(), &mut Vec::new(), &mut Vec::new());
+            p1.on_deliver(
+                0,
+                e.clone(),
+                &mut Vec::new(),
+                &mut Vec::new(),
+                &mut Vec::new(),
+            );
         }
         for e in envs.iter().rev() {
-            p2.on_deliver(0, e.clone(), &mut Vec::new(), &mut Vec::new(), &mut Vec::new());
+            p2.on_deliver(
+                0,
+                e.clone(),
+                &mut Vec::new(),
+                &mut Vec::new(),
+                &mut Vec::new(),
+            );
         }
         assert_eq!(p1.local_state(), p2.local_state());
         assert_eq!(p1.local_state(), seq.local_state());
-        assert_eq!(p1.peek(&WaInput::Read(0)), WaOutput::Window(vec![0, 22, 11]));
+        assert_eq!(
+            p1.peek(&WaInput::Read(0)),
+            WaOutput::Window(vec![0, 22, 11])
+        );
     }
 
     #[test]

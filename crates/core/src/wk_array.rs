@@ -377,10 +377,8 @@ mod tests {
     fn fig5_matches_generalized_convergent_replica() {
         use crate::convergent::ConvergentShared;
         let adt = WindowArray::new(2, 3);
-        let mut spec: ConvergentShared<WindowArray> =
-            ConvergentShared::new_replica(0, 2, adt);
-        let mut spec1: ConvergentShared<WindowArray> =
-            ConvergentShared::new_replica(1, 2, adt);
+        let mut spec: ConvergentShared<WindowArray> = ConvergentShared::new_replica(0, 2, adt);
+        let mut spec1: ConvergentShared<WindowArray> = ConvergentShared::new_replica(1, 2, adt);
         let mut f0 = WkArrayCcv::new(0, 2, 2, 3);
         let mut f1 = WkArrayCcv::new(1, 2, 2, 3);
 
@@ -406,7 +404,9 @@ mod tests {
         }
         for (from, outs) in env_spec {
             for m in outs {
-                let Outgoing::Broadcast(env) = m else { panic!() };
+                let Outgoing::Broadcast(env) = m else {
+                    panic!()
+                };
                 if from == 0 {
                     spec1.on_deliver(0, env, &mut Vec::new(), &mut Vec::new(), &mut Vec::new());
                 } else {

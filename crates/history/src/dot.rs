@@ -111,7 +111,10 @@ mod tests {
         b.hidden(0, "a\"b");
         let h = b.build();
         let dot = to_dot(&h, None, "t");
-        let label_line = dot.lines().find(|l| l.contains("label=\"a") || l.contains("\\\"a")).unwrap();
+        let label_line = dot
+            .lines()
+            .find(|l| l.contains("label=\"a") || l.contains("\\\"a"))
+            .unwrap();
         assert!(label_line.ends_with("\"];"));
     }
 }

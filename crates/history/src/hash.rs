@@ -1,0 +1,58 @@
+//! A minimal, stable FNV-1a hasher.
+//!
+//! `std`'s `RandomState` is seeded per process, so anything that must
+//! hash identically across runs — checker memo keys, scenario run
+//! fingerprints — uses this instead. One canonical copy lives here so
+//! every crate hashes with the same constants.
+
+use std::hash::Hasher;
+
+/// FNV-1a over bytes; `Default` starts at the offset basis.
+#[derive(Debug, Clone)]
+pub struct Fnv(u64);
+
+const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Fnv {
+    fn default() -> Self {
+        Fnv(OFFSET)
+    }
+}
+
+impl Hasher for Fnv {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+        self.0 = h;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_is_the_offset_basis() {
+        assert_eq!(Fnv::default().finish(), OFFSET);
+    }
+
+    #[test]
+    fn stable_and_input_sensitive() {
+        let hash = |bytes: &[u8]| {
+            let mut h = Fnv::default();
+            h.write(bytes);
+            h.finish()
+        };
+        assert_eq!(hash(b"abc"), hash(b"abc"));
+        assert_ne!(hash(b"abc"), hash(b"abd"));
+        assert_ne!(hash(b""), hash(b"\0"));
+    }
+}

@@ -211,8 +211,7 @@ impl<I: Clone, O: Clone> History<I, O> {
                 }
             })
             .collect();
-        let proc_of: Vec<Option<ProcId>> =
-            mapping.iter().map(|e| self.proc_of[e.idx()]).collect();
+        let proc_of: Vec<Option<ProcId>> = mapping.iter().map(|e| self.proc_of[e.idx()]).collect();
         let m = mapping.len();
         let mut edges = Vec::new();
         for (ni, e) in mapping.iter().enumerate() {
@@ -304,10 +303,7 @@ mod tests {
         chains.sort();
         assert_eq!(
             chains,
-            vec![
-                vec![EventId(0), EventId(1)],
-                vec![EventId(2), EventId(3)],
-            ]
+            vec![vec![EventId(0), EventId(1)], vec![EventId(2), EventId(3)],]
         );
     }
 

@@ -51,6 +51,7 @@ pub mod bitset;
 pub mod builder;
 pub mod dot;
 pub mod event;
+pub mod hash;
 pub mod history;
 pub mod order;
 pub mod zones;
@@ -58,5 +59,6 @@ pub mod zones;
 pub use bitset::BitSet;
 pub use builder::HistoryBuilder;
 pub use event::{EventId, Label, ProcId};
+pub use hash::Fnv;
 pub use history::History;
 pub use order::Relation;

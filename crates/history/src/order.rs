@@ -255,9 +255,7 @@ impl Relation {
             for a in self.past[b].to_vec() {
                 let mut between = self.past[b].clone();
                 // c with a < c < b: c ∈ past[b] and a ∈ past[c]
-                let has_middle = between
-                    .iter()
-                    .any(|c| c != a && self.past[c].contains(a));
+                let has_middle = between.iter().any(|c| c != a && self.past[c].contains(a));
                 between.clear();
                 if !has_middle {
                     covers.push((a, b));

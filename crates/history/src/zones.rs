@@ -45,11 +45,7 @@ impl Zone {
 ///
 /// `causal` must contain the program order (Definition 7); this is
 /// asserted in debug builds.
-pub fn classify<I: Clone, O: Clone>(
-    h: &History<I, O>,
-    causal: &Relation,
-    e: usize,
-) -> Vec<Zone> {
+pub fn classify<I: Clone, O: Clone>(h: &History<I, O>, causal: &Relation, e: usize) -> Vec<Zone> {
     debug_assert!(causal.contains(h.prog()), "not a causal order: ↦ ⊄ →");
     (0..h.len())
         .map(|f| {

@@ -92,10 +92,16 @@ impl<P: Clone> CausalBroadcast<P> {
     }
 
     /// Receive an envelope; returns every message that becomes
-    /// deliverable, in causal delivery order.
+    /// deliverable, in causal delivery order. Stale envelopes — own
+    /// messages and duplicates of anything already delivered (a lossy
+    /// or duplicating transport may redeliver) — are discarded, so the
+    /// buffer stays bounded by the number of genuinely out-of-order
+    /// messages.
     #[allow(clippy::while_let_loop)] // the loop body borrows self.buffer twice
     pub fn on_receive(&mut self, msg: CausalMsg<P>) -> Vec<CausalMsg<P>> {
-        self.buffer.push(msg);
+        if !self.stale(&msg) {
+            self.buffer.push(msg);
+        }
         let mut out = Vec::new();
         loop {
             let Some(pos) = self.buffer.iter().position(|m| self.deliverable(m)) else {
@@ -105,7 +111,20 @@ impl<P: Clone> CausalBroadcast<P> {
             self.delivered.tick(m.sender);
             out.push(m);
         }
+        // delivery may have made buffered duplicates stale; if nothing
+        // was delivered, staleness is unchanged and the scan is a no-op
+        if !out.is_empty() {
+            let delivered = &self.delivered;
+            let me = self.me;
+            self.buffer
+                .retain(|m| m.sender != me && m.vc.get(m.sender) > delivered.get(m.sender));
+        }
         out
+    }
+
+    /// Already delivered (or sent by us)?
+    fn stale(&self, m: &CausalMsg<P>) -> bool {
+        m.sender == self.me || m.vc.get(m.sender) <= self.delivered.get(m.sender)
     }
 
     fn deliverable(&self, m: &CausalMsg<P>) -> bool {
@@ -244,7 +263,7 @@ pub enum SeqMsg<P> {
 #[derive(Debug, Clone)]
 pub struct SequencerBroadcast<P> {
     me: NodeId,
-    next_slot: u64,   // sequencer state
+    next_slot: u64,    // sequencer state
     next_deliver: u64, // per-process delivery cursor
     buffer: Vec<SeqMsg<P>>,
 }
@@ -306,9 +325,9 @@ impl<P: Clone> SequencerBroadcast<P> {
                 self.buffer.push(ordered);
                 let mut out = Vec::new();
                 loop {
-                    let Some(pos) = self.buffer.iter().position(|m| {
-                        matches!(m, SeqMsg::Ordered { slot, .. } if *slot == self.next_deliver)
-                    }) else {
+                    let Some(pos) = self.buffer.iter().position(
+                        |m| matches!(m, SeqMsg::Ordered { slot, .. } if *slot == self.next_deliver),
+                    ) else {
                         break;
                     };
                     let SeqMsg::Ordered {
@@ -392,7 +411,10 @@ mod tests {
         // reversed arrival
         assert!(p1.on_receive(b.clone()).is_empty());
         let got = p1.on_receive(a);
-        assert_eq!(got.iter().map(|m| m.payload).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(
+            got.iter().map(|m| m.payload).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
     }
 
     #[test]
@@ -426,7 +448,10 @@ mod tests {
         assert!(p1.on_receive(a2.clone()).is_empty());
         assert_eq!(p1.on_receive(b1).len(), 1);
         let got = p1.on_receive(a1);
-        assert_eq!(got.iter().map(|m| m.payload).collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(
+            got.iter().map(|m| m.payload).collect::<Vec<_>>(),
+            vec![1, 2]
+        );
     }
 
     #[test]

@@ -34,6 +34,7 @@
 
 pub mod broadcast;
 pub mod clock;
+pub mod fault;
 pub mod latency;
 pub mod msg;
 pub mod sim;

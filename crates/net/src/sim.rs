@@ -1,34 +1,77 @@
-//! Deterministic discrete-event message transport.
+//! Deterministic discrete-event message transport with fault
+//! injection.
 //!
 //! [`SimNet`] is intentionally *only* a transport: it carries opaque
-//! messages between nodes with randomized (seeded) per-message delays
-//! and crash suppression. The protocol logic lives in
+//! messages between nodes with randomized (seeded) per-message delays,
+//! and applies transport-level faults — crash/recover, link blocking
+//! (partitions), probabilistic loss and duplication, latency
+//! degradation, and clock skew. The protocol logic lives in
 //! [`crate::broadcast`] and the replica logic in `cbm-core`; a driver
 //! loop pops deliveries ([`SimNet::pop`]) and pushes sends
 //! ([`SimNet::send`] / [`SimNet::broadcast`]), interleaving application
 //! invocations at chosen simulation times. Keeping the event loop in
 //! the driver makes every execution a pure function of
-//! `(seed, workload)` — which is what lets the figure harnesses attach
-//! exact causal witnesses to each run.
+//! `(seed, workload, fault plan)` — which is what lets the figure and
+//! scenario harnesses attach exact causal witnesses to each run.
+//!
+//! Faults are usually not toggled by hand but scheduled through a
+//! [`crate::fault::FaultPlan`]; the architecture of the fault layer
+//! and the scenario subsystem on top of it is described in
+//! `docs/SIMULATION.md`.
+//!
+//! Fault semantics at this layer:
+//!
+//! * **Blocked links park messages.** A delivery reaching a blocked
+//!   link waits in a parked queue and is re-injected with a fresh
+//!   latency draw when the link heals (modelling retransmission
+//!   across an outage). Parked messages do not count as in-flight, so
+//!   a run can quiesce under a permanent partition.
+//! * **Loss is final.** A message failing its per-link drop roll is
+//!   counted ([`NetStats::msgs_dropped`], per-recipient in
+//!   [`NetStats::dropped_per_node`]) and never delivered.
+//! * **Crash drops eagerly.** [`SimNet::crash`] removes the node's
+//!   in-flight *and parked* inbound messages immediately, so drop
+//!   counters are accurate per fault window; [`SimNet::recover`]
+//!   resumes the node without restoring anything it missed.
 
 use crate::latency::LatencyModel;
 use crate::NodeId;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 /// Transport-level statistics.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NetStats {
     /// Point-to-point messages sent.
     pub msgs_sent: u64,
     /// Payload bytes sent (as reported by senders' size hints).
     pub bytes_sent: u64,
-    /// Messages dropped because the recipient had crashed.
+    /// Messages lost: recipient crashed or the link dropped them.
     pub msgs_dropped: u64,
     /// Messages delivered.
     pub msgs_delivered: u64,
+    /// Extra copies injected by link duplication.
+    pub msgs_duplicated: u64,
+    /// Messages parked on blocked links right now.
+    pub msgs_parked: u64,
+    /// Lost messages per recipient node.
+    pub dropped_per_node: Vec<u64>,
+}
+
+impl NetStats {
+    fn new(n: usize) -> Self {
+        NetStats {
+            dropped_per_node: vec![0; n],
+            ..NetStats::default()
+        }
+    }
+
+    fn drop_to(&mut self, to: NodeId) {
+        self.msgs_dropped += 1;
+        self.dropped_per_node[to] += 1;
+    }
 }
 
 /// A pending delivery.
@@ -53,6 +96,15 @@ pub struct Delivery<M> {
     pub msg: M,
 }
 
+/// Per-directed-link fault state.
+#[derive(Debug, Clone, Copy, Default)]
+struct LinkState {
+    blocked: bool,
+    drop_prob: f64,
+    dup_prob: f64,
+    extra_delay: u64,
+}
+
 /// The simulated network.
 #[derive(Debug)]
 pub struct SimNet<M> {
@@ -63,6 +115,9 @@ pub struct SimNet<M> {
     slots: Vec<Option<InFlight<M>>>,
     free: Vec<usize>,
     crashed: Vec<bool>,
+    links: Vec<LinkState>,
+    skew: Vec<u64>,
+    parked: Vec<InFlight<M>>,
     latency: LatencyModel,
     rng: StdRng,
     stats: NetStats,
@@ -86,9 +141,12 @@ impl<M: Clone> SimNet<M> {
             slots: Vec::new(),
             free: Vec::new(),
             crashed: vec![false; n],
+            links: vec![LinkState::default(); n * n],
+            skew: vec![0; n],
+            parked: Vec::new(),
             latency,
             rng: StdRng::seed_from_u64(seed),
-            stats: NetStats::default(),
+            stats: NetStats::new(n),
         }
     }
 
@@ -107,10 +165,44 @@ impl<M: Clone> SimNet<M> {
         self.time
     }
 
+    fn link(&self, from: NodeId, to: NodeId) -> &LinkState {
+        &self.links[from * self.n + to]
+    }
+
+    fn link_mut(&mut self, from: NodeId, to: NodeId) -> &mut LinkState {
+        &mut self.links[from * self.n + to]
+    }
+
     /// Mark a node as crashed: it stops sending and receiving ("a
-    /// process that crashes simply stops operating", §6.1).
+    /// process that crashes simply stops operating", §6.1). Its
+    /// in-flight and parked inbound messages are dropped *now*, so
+    /// [`NetStats`] drop counts are attributable to the fault window.
     pub fn crash(&mut self, node: NodeId) {
+        if self.crashed[node] {
+            return;
+        }
         self.crashed[node] = true;
+        // Eagerly drop in-flight inbound: take the destined slots out;
+        // pop() discards their orphaned heap keys lazily.
+        for slot in self.slots.iter_mut() {
+            if slot.as_ref().is_some_and(|f| f.to == node) {
+                *slot = None;
+                self.stats.drop_to(node);
+            }
+        }
+        let before = self.parked.len();
+        self.parked.retain(|f| f.to != node);
+        for _ in 0..(before - self.parked.len()) {
+            self.stats.drop_to(node);
+        }
+        self.stats.msgs_parked = self.parked.len() as u64;
+    }
+
+    /// Un-crash a node: it resumes sending and receiving. Messages
+    /// dropped while it was down stay lost (crash-recovery without a
+    /// durable log), so causally later messages may buffer above.
+    pub fn recover(&mut self, node: NodeId) {
+        self.crashed[node] = false;
     }
 
     /// Has the node crashed?
@@ -118,22 +210,60 @@ impl<M: Clone> SimNet<M> {
         self.crashed[node]
     }
 
-    /// Send one point-to-point message; `size_hint` feeds the byte
-    /// counter (use the wire codec in [`crate::msg`] or an estimate).
-    pub fn send(&mut self, from: NodeId, to: NodeId, msg: M, size_hint: usize) {
-        if self.crashed[from] {
-            return;
+    /// Block or unblock the directed link `from → to`. Unblocking
+    /// re-injects parked messages with fresh latency draws.
+    pub fn set_link_blocked(&mut self, from: NodeId, to: NodeId, blocked: bool) {
+        self.link_mut(from, to).blocked = blocked;
+        if !blocked {
+            self.release_parked();
         }
-        self.stats.msgs_sent += 1;
-        self.stats.bytes_sent += size_hint as u64;
-        let delay = self.latency.sample(&mut self.rng).max(1);
-        let deliver_at = self.time + delay;
+    }
+
+    /// Is the directed link blocked?
+    pub fn is_link_blocked(&self, from: NodeId, to: NodeId) -> bool {
+        self.link(from, to).blocked
+    }
+
+    /// Unblock every link; parked messages re-enter the network.
+    pub fn heal_all(&mut self) {
+        for l in self.links.iter_mut() {
+            l.blocked = false;
+        }
+        self.release_parked();
+    }
+
+    /// Set the loss probability of the directed link (0.0–1.0).
+    pub fn set_link_drop(&mut self, from: NodeId, to: NodeId, prob: f64) {
+        self.link_mut(from, to).drop_prob = prob.clamp(0.0, 1.0);
+    }
+
+    /// Set the duplication probability of the directed link (0.0–1.0).
+    pub fn set_link_dup(&mut self, from: NodeId, to: NodeId, prob: f64) {
+        self.link_mut(from, to).dup_prob = prob.clamp(0.0, 1.0);
+    }
+
+    /// Add constant extra delay to the directed link (0 resets).
+    pub fn set_link_delay(&mut self, from: NodeId, to: NodeId, extra: u64) {
+        self.link_mut(from, to).extra_delay = extra;
+    }
+
+    /// Skew a node's clock: every message it sends arrives `offset`
+    /// ticks later (0 resets).
+    pub fn set_clock_skew(&mut self, node: NodeId, offset: u64) {
+        self.skew[node] = offset;
+    }
+
+    /// Messages currently parked on blocked links.
+    pub fn parked_count(&self) -> usize {
+        self.parked.len()
+    }
+
+    fn enqueue(&mut self, flight: InFlight<M>) {
         self.seq += 1;
-        let flight = InFlight {
-            deliver_at,
-            from,
-            to,
-            msg,
+        let key = HeapKey {
+            deliver_at: flight.deliver_at,
+            seq: self.seq,
+            slot: 0, // patched below
         };
         let slot = match self.free.pop() {
             Some(s) => {
@@ -145,11 +275,57 @@ impl<M: Clone> SimNet<M> {
                 self.slots.len() - 1
             }
         };
-        self.heap.push(Reverse(HeapKey {
-            deliver_at,
-            seq: self.seq,
-            slot,
-        }));
+        self.heap.push(Reverse(HeapKey { slot, ..key }));
+    }
+
+    /// Re-inject parked messages whose link is now open, with fresh
+    /// latency draws (the same delay composition as [`SimNet::send`]:
+    /// base latency + link extra + sender skew).
+    fn release_parked(&mut self) {
+        let mut still_parked = Vec::new();
+        for f in std::mem::take(&mut self.parked) {
+            if self.link(f.from, f.to).blocked {
+                still_parked.push(f);
+            } else {
+                let delay = self.latency.sample(&mut self.rng).max(1);
+                let deliver_at =
+                    self.time + delay + self.link(f.from, f.to).extra_delay + self.skew[f.from];
+                self.enqueue(InFlight { deliver_at, ..f });
+            }
+        }
+        self.parked = still_parked;
+        self.stats.msgs_parked = self.parked.len() as u64;
+    }
+
+    /// Send one point-to-point message; `size_hint` feeds the byte
+    /// counter (use the wire codec in [`crate::msg`] or an estimate).
+    pub fn send(&mut self, from: NodeId, to: NodeId, msg: M, size_hint: usize) {
+        if self.crashed[from] {
+            return;
+        }
+        self.stats.msgs_sent += 1;
+        self.stats.bytes_sent += size_hint as u64;
+        let link = *self.link(from, to);
+        if link.drop_prob > 0.0 && self.rng.gen_bool(link.drop_prob) {
+            self.stats.drop_to(to);
+            return;
+        }
+        let copies = if link.dup_prob > 0.0 && self.rng.gen_bool(link.dup_prob) {
+            self.stats.msgs_duplicated += 1;
+            2
+        } else {
+            1
+        };
+        for _ in 0..copies {
+            let delay = self.latency.sample(&mut self.rng).max(1);
+            let deliver_at = self.time + delay + link.extra_delay + self.skew[from];
+            self.enqueue(InFlight {
+                deliver_at,
+                from,
+                to,
+                msg: msg.clone(),
+            });
+        }
     }
 
     /// Send to every node except `from`.
@@ -162,14 +338,41 @@ impl<M: Clone> SimNet<M> {
     }
 
     /// Pop the next delivery (in delivery-time order, deterministic
-    /// tie-break). Deliveries to crashed nodes are silently dropped.
+    /// tie-break). Deliveries to crashed nodes are dropped; deliveries
+    /// over blocked links are parked until the link heals.
     pub fn pop(&mut self) -> Option<Delivery<M>> {
-        while let Some(Reverse(key)) = self.heap.pop() {
-            let flight = self.slots[key.slot].take().expect("slot occupied");
+        self.pop_due(None)
+    }
+
+    /// Like [`SimNet::pop`], but only processes deliveries due at or
+    /// before `limit`; later entries are left untouched. Drivers
+    /// interleaving deliveries with other timed actions (scheduled
+    /// faults, invocations) pass the next action time here, so a pop
+    /// can never skip over dropped/parked entries and deliver a
+    /// message from *beyond* an action that should have fired first —
+    /// [`SimNet::peek_time`] is only a lower bound on the next real
+    /// delivery.
+    pub fn pop_due(&mut self, limit: Option<u64>) -> Option<Delivery<M>> {
+        loop {
+            let Reverse(key) = self.heap.peek().copied()?;
+            if limit.is_some_and(|l| key.deliver_at > l) {
+                return None;
+            }
+            self.heap.pop();
+            // slot may have been vacated by an eager crash drop
+            let Some(flight) = self.slots[key.slot].take() else {
+                self.free.push(key.slot);
+                continue;
+            };
             self.free.push(key.slot);
             self.time = self.time.max(flight.deliver_at);
             if self.crashed[flight.to] {
-                self.stats.msgs_dropped += 1;
+                self.stats.drop_to(flight.to);
+                continue;
+            }
+            if self.link(flight.from, flight.to).blocked {
+                self.parked.push(flight);
+                self.stats.msgs_parked = self.parked.len() as u64;
                 continue;
             }
             self.stats.msgs_delivered += 1;
@@ -180,15 +383,19 @@ impl<M: Clone> SimNet<M> {
                 msg: flight.msg,
             });
         }
-        None
     }
 
-    /// Delivery time of the next in-flight message, if any.
+    /// Delivery time of the next in-flight heap entry, if any. This is
+    /// a *lower bound* on the next actual delivery: the entry may turn
+    /// out to be dropped (crashed recipient) or parked (blocked link)
+    /// when popped. Use [`SimNet::pop_due`] to pop without
+    /// overshooting other timed actions.
     pub fn peek_time(&self) -> Option<u64> {
         self.heap.peek().map(|Reverse(k)| k.deliver_at)
     }
 
-    /// Are any messages still in flight?
+    /// Are any messages still in flight? (Parked messages are not in
+    /// flight: they move only when a heal fault fires.)
     pub fn has_in_flight(&self) -> bool {
         !self.heap.is_empty()
     }
@@ -201,7 +408,7 @@ impl<M: Clone> SimNet<M> {
 
     /// Transport statistics so far.
     pub fn stats(&self) -> NetStats {
-        self.stats
+        self.stats.clone()
     }
 }
 
@@ -267,6 +474,124 @@ mod tests {
         net.crash(0);
         net.send(0, 1, 2, 1);
         assert!(!net.has_in_flight());
+    }
+
+    #[test]
+    fn crash_drops_in_flight_eagerly_and_per_node() {
+        let mut net: SimNet<u8> = SimNet::new(3, LatencyModel::Constant(10), 1);
+        net.send(0, 2, 1, 1);
+        net.send(1, 2, 2, 1);
+        net.send(0, 1, 3, 1);
+        net.crash(2);
+        // drops are counted at crash time, before any pop
+        let s = net.stats();
+        assert_eq!(s.msgs_dropped, 2);
+        assert_eq!(s.dropped_per_node, vec![0, 0, 2]);
+        // the message to the live node still flows
+        let d = net.pop().expect("delivery to node 1");
+        assert_eq!(d.to, 1);
+        assert!(net.pop().is_none());
+    }
+
+    #[test]
+    fn recover_resumes_sending_and_receiving() {
+        let mut net: SimNet<u8> = SimNet::new(2, LatencyModel::Constant(1), 1);
+        net.crash(1);
+        net.send(0, 1, 1, 1);
+        assert!(net.pop().is_none());
+        net.recover(1);
+        net.send(0, 1, 2, 1);
+        let d = net.pop().expect("post-recovery delivery");
+        assert_eq!(d.msg, 2);
+        // the message sent while down stays lost
+        assert_eq!(net.stats().msgs_dropped, 1);
+        assert_eq!(net.stats().msgs_delivered, 1);
+    }
+
+    #[test]
+    fn blocked_links_park_then_release_on_heal() {
+        let mut net: SimNet<u8> = SimNet::new(2, LatencyModel::Constant(5), 1);
+        net.set_link_blocked(0, 1, true);
+        net.send(0, 1, 7, 1);
+        assert!(net.pop().is_none(), "blocked link must not deliver");
+        assert_eq!(net.parked_count(), 1);
+        assert_eq!(net.stats().msgs_parked, 1);
+        net.set_link_blocked(0, 1, false);
+        let d = net.pop().expect("released after heal");
+        assert_eq!(d.msg, 7);
+        assert_eq!(net.parked_count(), 0);
+        assert_eq!(net.stats().msgs_dropped, 0);
+    }
+
+    #[test]
+    fn blocked_links_are_directional() {
+        let mut net: SimNet<u8> = SimNet::new(2, LatencyModel::Constant(5), 1);
+        net.set_link_blocked(0, 1, true);
+        net.send(1, 0, 9, 1);
+        let d = net.pop().expect("reverse direction open");
+        assert_eq!(d.msg, 9);
+    }
+
+    #[test]
+    fn drop_probability_loses_messages() {
+        let mut net: SimNet<u32> = SimNet::new(2, LatencyModel::Constant(1), 3);
+        net.set_link_drop(0, 1, 1.0);
+        for i in 0..5 {
+            net.send(0, 1, i, 1);
+        }
+        assert!(net.pop().is_none());
+        let s = net.stats();
+        assert_eq!(s.msgs_dropped, 5);
+        assert_eq!(s.dropped_per_node[1], 5);
+        assert_eq!(s.msgs_sent, 5, "drops still count as sends");
+    }
+
+    #[test]
+    fn dup_probability_duplicates_messages() {
+        let mut net: SimNet<u32> = SimNet::new(2, LatencyModel::Constant(1), 3);
+        net.set_link_dup(0, 1, 1.0);
+        net.send(0, 1, 42, 1);
+        let a = net.pop().expect("first copy");
+        let b = net.pop().expect("second copy");
+        assert_eq!((a.msg, b.msg), (42, 42));
+        assert!(net.pop().is_none());
+        let s = net.stats();
+        assert_eq!(s.msgs_duplicated, 1);
+        assert_eq!(s.msgs_delivered, 2);
+        assert_eq!(s.msgs_sent, 1);
+    }
+
+    #[test]
+    fn link_delay_and_skew_push_delivery_later() {
+        let mut net: SimNet<u8> = SimNet::new(2, LatencyModel::Constant(10), 1);
+        net.send(0, 1, 1, 1);
+        let base = net.pop().unwrap().time;
+        net.set_link_delay(0, 1, 100);
+        net.send(0, 1, 2, 1);
+        let delayed = net.pop().unwrap().time;
+        assert!(delayed >= base + 100);
+        net.set_link_delay(0, 1, 0);
+        net.set_clock_skew(0, 1000);
+        net.send(0, 1, 3, 1);
+        let skewed = net.pop().unwrap().time;
+        assert!(skewed >= delayed + 1000);
+    }
+
+    #[test]
+    fn pop_due_never_overshoots_the_limit() {
+        let mut net: SimNet<u8> = SimNet::new(3, LatencyModel::Constant(5), 1);
+        net.set_link_blocked(0, 1, true);
+        net.send(0, 1, 1, 1); // due t=5 but parks when popped
+        net.set_link_delay(0, 2, 200);
+        net.send(0, 2, 2, 1); // due t=205
+                              // peek_time is only a lower bound (the t=5 entry will park)
+        assert_eq!(net.peek_time(), Some(5));
+        // a bounded pop must not skip ahead and deliver the t=205
+        // message past the caller's limit
+        assert!(net.pop_due(Some(100)).is_none());
+        assert_eq!(net.parked_count(), 1, "blocked entry parked in passing");
+        let d = net.pop_due(Some(300)).expect("within the raised limit");
+        assert_eq!((d.msg, d.time), (2, 205));
     }
 
     #[test]

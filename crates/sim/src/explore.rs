@@ -1,0 +1,134 @@
+//! Seed exploration: sweep `(scenario, seed)` pairs hunting for
+//! verification failures.
+//!
+//! A failure found here is a bug — in a replica algorithm, the fault
+//! layer, or a checker — and its `(scenario, seed)` coordinates are
+//! enough to replay it exactly. The `scenario_runner` binary can
+//! append failures to the committed regression corpus
+//! (`tests/regression_corpus.txt`), which the tier-1 test
+//! `tests/scenarios.rs` replays on every run.
+
+use crate::runner::{run_scenario, ScenarioOutcome};
+use crate::scenario::Scenario;
+use std::ops::Range;
+
+/// One failing `(scenario, seed)` pair.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Scenario name.
+    pub scenario: String,
+    /// The failing seed.
+    pub seed: u64,
+    /// What went wrong.
+    pub reason: String,
+}
+
+/// Aggregate result of sweeping one scenario over a seed range.
+#[derive(Debug, Clone)]
+pub struct ExplorationReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Seeds run.
+    pub runs: usize,
+    /// Verification or expectation failures found.
+    pub failures: Vec<Failure>,
+    /// Mean simulated quiescence time across seeds.
+    pub mean_convergence_time: f64,
+    /// Mean messages sent per run.
+    pub mean_msgs_sent: f64,
+    /// Mean bytes sent per run.
+    pub mean_bytes_sent: f64,
+    /// Total messages lost across all runs.
+    pub total_dropped: u64,
+    /// Total duplicate copies injected across all runs.
+    pub total_duplicated: u64,
+    /// How many runs converged.
+    pub converged_runs: usize,
+}
+
+impl ExplorationReport {
+    /// No failures?
+    pub fn clean(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Sweep one scenario across a seed range.
+pub fn explore(scenario: &Scenario, seeds: Range<u64>) -> ExplorationReport {
+    let mut report = ExplorationReport {
+        scenario: scenario.name.to_string(),
+        runs: 0,
+        failures: Vec::new(),
+        mean_convergence_time: 0.0,
+        mean_msgs_sent: 0.0,
+        mean_bytes_sent: 0.0,
+        total_dropped: 0,
+        total_duplicated: 0,
+        converged_runs: 0,
+    };
+    let mut sum_ct = 0u64;
+    let mut sum_msgs = 0u64;
+    let mut sum_bytes = 0u64;
+    for seed in seeds {
+        let o = run_scenario(scenario, seed);
+        report.runs += 1;
+        sum_ct += o.convergence_time;
+        sum_msgs += o.msgs_sent;
+        sum_bytes += o.bytes_sent;
+        report.total_dropped += o.msgs_dropped;
+        report.total_duplicated += o.msgs_duplicated;
+        if o.converged {
+            report.converged_runs += 1;
+        }
+        if let Some(reason) = o.failure() {
+            report.failures.push(Failure {
+                scenario: o.scenario.clone(),
+                seed,
+                reason,
+            });
+        }
+    }
+    if report.runs > 0 {
+        report.mean_convergence_time = sum_ct as f64 / report.runs as f64;
+        report.mean_msgs_sent = sum_msgs as f64 / report.runs as f64;
+        report.mean_bytes_sent = sum_bytes as f64 / report.runs as f64;
+    }
+    report
+}
+
+/// Sweep every registry scenario across the same seed range.
+pub fn explore_all(seeds: Range<u64>) -> Vec<ExplorationReport> {
+    crate::registry::scenarios()
+        .iter()
+        .map(|s| explore(s, seeds.clone()))
+        .collect()
+}
+
+/// Replay a single `(scenario, seed)` pair by name (corpus replays and
+/// the CLI use this).
+pub fn replay(scenario_name: &str, seed: u64) -> Option<ScenarioOutcome> {
+    crate::registry::by_name(scenario_name).map(|s| run_scenario(&s, seed))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry;
+
+    #[test]
+    fn exploration_aggregates_runs() {
+        let s = registry::by_name("skewed-clocks").unwrap();
+        let r = explore(&s, 0..3);
+        assert_eq!(r.runs, 3);
+        assert!(r.clean(), "failures: {:?}", r.failures);
+        assert!(r.mean_msgs_sent > 0.0);
+        assert!(r.mean_convergence_time > 0.0);
+        assert_eq!(r.converged_runs, 3);
+    }
+
+    #[test]
+    fn replay_resolves_names() {
+        assert!(replay("flapping-links", 1).is_some());
+        assert!(replay("nope", 1).is_none());
+    }
+}

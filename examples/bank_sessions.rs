@@ -36,20 +36,44 @@ fn banking_script() -> Script<MemInput> {
     use MemInput::*;
     Script::new(vec![
         vec![
-            ScriptOp { think: 10, input: Write(BALANCE, 100) },
-            ScriptOp { think: 5, input: Write(CONFIRMED, 1) },
-            ScriptOp { think: 5, input: Read(BALANCE) }, // RYW probe
+            ScriptOp {
+                think: 10,
+                input: Write(BALANCE, 100),
+            },
+            ScriptOp {
+                think: 5,
+                input: Write(CONFIRMED, 1),
+            },
+            ScriptOp {
+                think: 5,
+                input: Read(BALANCE),
+            }, // RYW probe
         ],
         vec![
-            ScriptOp { think: 40, input: Read(CONFIRMED) },
-            ScriptOp { think: 5, input: Write(RECEIPT, 7) }, // WFR source
+            ScriptOp {
+                think: 40,
+                input: Read(CONFIRMED),
+            },
+            ScriptOp {
+                think: 5,
+                input: Write(RECEIPT, 7),
+            }, // WFR source
         ],
         (0..25)
             .flat_map(|_| {
                 vec![
-                    ScriptOp { think: 7, input: Read(RECEIPT) },
-                    ScriptOp { think: 1, input: Read(CONFIRMED) },
-                    ScriptOp { think: 1, input: Read(BALANCE) },
+                    ScriptOp {
+                        think: 7,
+                        input: Read(RECEIPT),
+                    },
+                    ScriptOp {
+                        think: 1,
+                        input: Read(CONFIRMED),
+                    },
+                    ScriptOp {
+                        think: 1,
+                        input: Read(BALANCE),
+                    },
                 ]
             })
             .collect(),
@@ -62,12 +86,15 @@ fn tally<R: Replica<Memory>>() -> [u32; 4] {
         let cluster: Cluster<Memory, R> = Cluster::new(
             3,
             Memory::new(3),
-            LatencyModel::HeavyTail { base: 4, tail_prob: 0.4, tail_max: 220 },
+            LatencyModel::HeavyTail {
+                base: 4,
+                tail_prob: 0.4,
+                tail_max: 220,
+            },
             seed,
         );
         let res = cluster.run(banking_script());
-        let rep = check_session_guarantees(&res.history)
-            .expect("distinct values by construction");
+        let rep = check_session_guarantees(&res.history).expect("distinct values by construction");
         broke[0] += !rep.read_your_writes as u32;
         broke[1] += !rep.monotonic_reads as u32;
         broke[2] += !rep.monotonic_writes as u32;
@@ -83,8 +110,14 @@ fn main() {
         "flavour (violation counts)", "RYW", "MR", "MW", "WFR"
     );
     let rows: [(&str, [u32; 4]); 3] = [
-        (CausalShared::<Memory>::flavour(), tally::<CausalShared<Memory>>()),
-        (PramShared::<Memory>::flavour(), tally::<PramShared<Memory>>()),
+        (
+            CausalShared::<Memory>::flavour(),
+            tally::<CausalShared<Memory>>(),
+        ),
+        (
+            PramShared::<Memory>::flavour(),
+            tally::<PramShared<Memory>>(),
+        ),
         (EcShared::<Memory>::flavour(), tally::<EcShared<Memory>>()),
     ];
     for (name, broke) in &rows {

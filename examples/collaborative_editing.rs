@@ -37,19 +37,46 @@ fn main() {
     // p2 "(PPoPP'16) reproduced"; everyone reads after a long pause.
     let script = Script::new(vec![
         vec![
-            ScriptOp { think: 2, input: LogInput::Append(1) },
-            ScriptOp { think: 2, input: LogInput::Append(2) },
-            ScriptOp { think: 500, input: LogInput::Read },
+            ScriptOp {
+                think: 2,
+                input: LogInput::Append(1),
+            },
+            ScriptOp {
+                think: 2,
+                input: LogInput::Append(2),
+            },
+            ScriptOp {
+                think: 500,
+                input: LogInput::Read,
+            },
         ],
         vec![
-            ScriptOp { think: 3, input: LogInput::Append(3) },
-            ScriptOp { think: 3, input: LogInput::Append(4) },
-            ScriptOp { think: 500, input: LogInput::Read },
+            ScriptOp {
+                think: 3,
+                input: LogInput::Append(3),
+            },
+            ScriptOp {
+                think: 3,
+                input: LogInput::Append(4),
+            },
+            ScriptOp {
+                think: 500,
+                input: LogInput::Read,
+            },
         ],
         vec![
-            ScriptOp { think: 4, input: LogInput::Append(5) },
-            ScriptOp { think: 4, input: LogInput::Append(6) },
-            ScriptOp { think: 500, input: LogInput::Read },
+            ScriptOp {
+                think: 4,
+                input: LogInput::Append(5),
+            },
+            ScriptOp {
+                think: 4,
+                input: LogInput::Append(6),
+            },
+            ScriptOp {
+                think: 500,
+                input: LogInput::Read,
+            },
         ],
     ]);
 
@@ -67,7 +94,12 @@ fn main() {
     for pair in [(1u64, 2u64), (3, 4), (5, 6)] {
         let a = doc.iter().position(|&v| v == pair.0).unwrap();
         let b = doc.iter().position(|&v| v == pair.1).unwrap();
-        assert!(a < b, "intention violated: {} after {}", word(pair.0), word(pair.1));
+        assert!(
+            a < b,
+            "intention violated: {} after {}",
+            word(pair.0),
+            word(pair.1)
+        );
     }
     println!("authors' own word orders preserved (causality preservation)");
 
@@ -80,8 +112,7 @@ fn main() {
             by_value.insert(v, e);
         }
     }
-    let arbitration: Vec<cbm_history::EventId> =
-        doc.iter().map(|v| by_value[v]).collect();
+    let arbitration: Vec<cbm_history::EventId> = doc.iter().map(|v| by_value[v]).collect();
     let total = result
         .ccv_total(&arbitration)
         .expect("arbitration must extend the causal order");

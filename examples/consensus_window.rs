@@ -42,8 +42,7 @@ fn main() {
     println!("--- over CausalShared (wait-free, causally consistent) ---");
     let mut disagreements = 0;
     for seed in 0..25 {
-        let (decisions, agreed) =
-            causal_attempt(&proposals, LatencyModel::Uniform(50, 400), seed);
+        let (decisions, agreed) = causal_attempt(&proposals, LatencyModel::Uniform(50, 400), seed);
         if !agreed {
             disagreements += 1;
             if disagreements <= 3 {

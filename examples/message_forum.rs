@@ -38,7 +38,10 @@ fn forum_script(rounds: usize, readers: usize) -> Script<LogInput> {
     // p0 asks questions, one every 50 ticks
     ops.push(
         (0..rounds)
-            .map(|i| ScriptOp { think: 50, input: LogInput::Append(2 * i as u64 + 1) })
+            .map(|i| ScriptOp {
+                think: 50,
+                input: LogInput::Append(2 * i as u64 + 1),
+            })
             .collect(),
     );
     // p1 reads then answers, offset +25 into each round
@@ -48,14 +51,20 @@ fn forum_script(rounds: usize, readers: usize) -> Script<LogInput> {
             think: if i == 0 { 60 } else { 35 },
             input: LogInput::Read,
         });
-        answers.push(ScriptOp { think: 15, input: LogInput::Append(2 * i as u64 + 2) });
+        answers.push(ScriptOp {
+            think: 15,
+            input: LogInput::Append(2 * i as u64 + 2),
+        });
     }
     ops.push(answers);
     // reader processes poll the forum
     for _ in 0..readers {
         ops.push(
             (0..rounds * 6)
-                .map(|_| ScriptOp { think: 11, input: LogInput::Read })
+                .map(|_| ScriptOp {
+                    think: 11,
+                    input: LogInput::Read,
+                })
                 .collect(),
         );
     }
@@ -104,7 +113,11 @@ where
     let cluster: Cluster<AppendLog, R> = Cluster::new(
         4,
         AppendLog,
-        LatencyModel::HeavyTail { base: 5, tail_prob: 0.4, tail_max: 200 },
+        LatencyModel::HeavyTail {
+            base: 5,
+            tail_prob: 0.4,
+            tail_max: 200,
+        },
         seed,
     );
     let result = cluster.run(forum_script(6, 2));
@@ -147,7 +160,10 @@ fn main() {
         cc_msgs
     );
     println!("\n(20 seeded runs each; causal delivery makes orphans impossible)");
-    assert_eq!(cc_total, 0, "causal broadcast must never show an orphan answer");
+    assert_eq!(
+        cc_total, 0,
+        "causal broadcast must never show an orphan answer"
+    );
     assert!(
         ec_total > 0,
         "expected at least one anomaly under unordered delivery across 20 runs"

@@ -22,10 +22,22 @@ fn main() {
         (0..3u64)
             .map(|p| {
                 vec![
-                    ScriptOp { think: 5, input: WaInput::Write(0, 10 * p + 1) },
-                    ScriptOp { think: 5, input: WaInput::Write(1, 10 * p + 2) },
-                    ScriptOp { think: 5, input: WaInput::Read(0) },
-                    ScriptOp { think: 5, input: WaInput::Read(1) },
+                    ScriptOp {
+                        think: 5,
+                        input: WaInput::Write(0, 10 * p + 1),
+                    },
+                    ScriptOp {
+                        think: 5,
+                        input: WaInput::Write(1, 10 * p + 2),
+                    },
+                    ScriptOp {
+                        think: 5,
+                        input: WaInput::Read(0),
+                    },
+                    ScriptOp {
+                        think: 5,
+                        input: WaInput::Read(1),
+                    },
                 ]
             })
             .collect(),
@@ -55,7 +67,10 @@ fn main() {
         &result.apply_orders,
         &result.own,
     );
-    println!("\nProp. 6 witness check (linear-time): {:?}", witness.is_ok());
+    println!(
+        "\nProp. 6 witness check (linear-time): {:?}",
+        witness.is_ok()
+    );
     assert!(witness.is_ok());
 
     // 2. Independently decide causal consistency by search (Def. 9).

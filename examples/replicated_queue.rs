@@ -32,15 +32,32 @@ fn plain_pop_queue() {
     for seed in 0..10 {
         let script = Script::new(vec![
             (1..=jobs)
-                .map(|v| ScriptOp { think: 4, input: QInput::Push(v) })
+                .map(|v| ScriptOp {
+                    think: 4,
+                    input: QInput::Push(v),
+                })
                 .collect(),
-            (0..jobs).map(|_| ScriptOp { think: 7, input: QInput::Pop }).collect(),
-            (0..jobs).map(|_| ScriptOp { think: 7, input: QInput::Pop }).collect(),
+            (0..jobs)
+                .map(|_| ScriptOp {
+                    think: 7,
+                    input: QInput::Pop,
+                })
+                .collect(),
+            (0..jobs)
+                .map(|_| ScriptOp {
+                    think: 7,
+                    input: QInput::Pop,
+                })
+                .collect(),
         ]);
         let cluster: Cluster<FifoQueue, CausalShared<FifoQueue>> = Cluster::new(
             3,
             FifoQueue,
-            LatencyModel::HeavyTail { base: 3, tail_prob: 0.5, tail_max: 60 },
+            LatencyModel::HeavyTail {
+                base: 3,
+                tail_prob: 0.5,
+                tail_max: 60,
+            },
             seed,
         );
         let result = cluster.run(script);
@@ -74,13 +91,19 @@ fn hd_rh_queue() {
             // interleave hd and conditional rh: pop the head we saw
             let mut ops = Vec::new();
             for _ in 0..jobs {
-                ops.push(ScriptOp { think: 7, input: QpInput::Hd });
+                ops.push(ScriptOp {
+                    think: 7,
+                    input: QpInput::Hd,
+                });
                 // `rh` uses the *previous* hd's value; the script cannot
                 // look at outputs, so remove-head of every possible head
                 // is modelled by rh on the value most recently pushed by
                 // the producer schedule — instead we issue rh(v) for each
                 // job value in order, which removes only on match.
-                ops.push(ScriptOp { think: 2, input: QpInput::RemoveHead(0) });
+                ops.push(ScriptOp {
+                    think: 2,
+                    input: QpInput::RemoveHead(0),
+                });
             }
             ops
         };
@@ -89,7 +112,10 @@ fn hd_rh_queue() {
         // in the integration tests where outputs can drive inputs.
         let script = Script::new(vec![
             (1..=jobs)
-                .map(|v| ScriptOp { think: 4, input: QpInput::Push(v) })
+                .map(|v| ScriptOp {
+                    think: 4,
+                    input: QpInput::Push(v),
+                })
                 .collect(),
             worker(1),
             worker(2),
@@ -97,7 +123,11 @@ fn hd_rh_queue() {
         let cluster: Cluster<HdRhQueue, CausalShared<HdRhQueue>> = Cluster::new(
             3,
             HdRhQueue,
-            LatencyModel::HeavyTail { base: 3, tail_prob: 0.5, tail_max: 60 },
+            LatencyModel::HeavyTail {
+                base: 3,
+                tail_prob: 0.5,
+                tail_max: 60,
+            },
             seed,
         );
         let result = cluster.run(script);

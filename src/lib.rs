@@ -1,0 +1,25 @@
+//! # cbm — Causal consistency: beyond memory
+//!
+//! Facade crate re-exporting the workspace layers, so downstream code
+//! (and the integration tests and examples in this package) can reach
+//! everything through one dependency:
+//!
+//! * [`adt`] — abstract data type specifications (`cbm-adt`);
+//! * [`history`] — histories, relations, causal orders (`cbm-history`);
+//! * [`net`] — broadcast layers and transports (`cbm-net`);
+//! * [`check`] — consistency checkers and witness verifiers
+//!   (`cbm-check`);
+//! * [`core`] — replica flavours and the simulation driver
+//!   (`cbm-core`);
+//! * [`sim`] — fault-injection scenarios and seed exploration
+//!   (`cbm-sim`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cbm_adt as adt;
+pub use cbm_check as check;
+pub use cbm_core as core;
+pub use cbm_history as history;
+pub use cbm_net as net;
+pub use cbm_sim as sim;

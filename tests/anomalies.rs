@@ -118,7 +118,10 @@ fn forum_script() -> Script<LogInput> {
     let mut ops: Vec<Vec<ScriptOp<LogInput>>> = Vec::new();
     ops.push(
         (0..rounds)
-            .map(|i| ScriptOp { think: 50, input: LogInput::Append(2 * i as u64 + 1) })
+            .map(|i| ScriptOp {
+                think: 50,
+                input: LogInput::Append(2 * i as u64 + 1),
+            })
             .collect(),
     );
     let mut answers = Vec::new();
@@ -127,13 +130,19 @@ fn forum_script() -> Script<LogInput> {
             think: if i == 0 { 60 } else { 35 },
             input: LogInput::Read,
         });
-        answers.push(ScriptOp { think: 15, input: LogInput::Append(2 * i as u64 + 2) });
+        answers.push(ScriptOp {
+            think: 15,
+            input: LogInput::Append(2 * i as u64 + 2),
+        });
     }
     ops.push(answers);
     for _ in 0..2 {
         ops.push(
             (0..rounds * 6)
-                .map(|_| ScriptOp { think: 9, input: LogInput::Read })
+                .map(|_| ScriptOp {
+                    think: 9,
+                    input: LogInput::Read,
+                })
                 .collect(),
         );
     }
@@ -146,7 +155,11 @@ fn forum_orphans<R: Replica<AppendLog>>() -> usize {
         let cluster: Cluster<AppendLog, R> = Cluster::new(
             4,
             AppendLog,
-            LatencyModel::HeavyTail { base: 5, tail_prob: 0.4, tail_max: 200 },
+            LatencyModel::HeavyTail {
+                base: 5,
+                tail_prob: 0.4,
+                tail_max: 200,
+            },
             seed,
         );
         total += orphan_answers(&cluster.run(forum_script()));
@@ -179,12 +192,24 @@ fn concurrent_write_order_divergence() {
     let script = || {
         Script::new(vec![
             vec![
-                ScriptOp { think: 2, input: WaInput::Write(0, 1) },
-                ScriptOp { think: 400, input: WaInput::Read(0) },
+                ScriptOp {
+                    think: 2,
+                    input: WaInput::Write(0, 1),
+                },
+                ScriptOp {
+                    think: 400,
+                    input: WaInput::Read(0),
+                },
             ],
             vec![
-                ScriptOp { think: 2, input: WaInput::Write(0, 2) },
-                ScriptOp { think: 400, input: WaInput::Read(0) },
+                ScriptOp {
+                    think: 2,
+                    input: WaInput::Write(0, 2),
+                },
+                ScriptOp {
+                    think: 400,
+                    input: WaInput::Read(0),
+                },
             ],
         ])
     };

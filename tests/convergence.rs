@@ -46,7 +46,11 @@ fn arbitrated_flavours_always_converge() {
     for seed in 0..15 {
         let (state_eq, ec) = converged::<ConvergentShared<WindowArray>>(seed);
         assert!(state_eq, "CCv replica states diverged, seed {seed}");
-        assert_eq!(ec, Verdict::Sat, "EC checker rejected a CCv run, seed {seed}");
+        assert_eq!(
+            ec,
+            Verdict::Sat,
+            "EC checker rejected a CCv run, seed {seed}"
+        );
         let (state_eq, ec) = converged::<EcShared<WindowArray>>(seed);
         assert!(state_eq, "EC replica states diverged, seed {seed}");
         assert_eq!(ec, Verdict::Sat, "seed {seed}");
@@ -118,16 +122,34 @@ fn add_remove_set_converges_on_conflicts() {
     for seed in 0..12 {
         let script = Script::new(vec![
             vec![
-                ScriptOp { think: 3, input: SetInput::Add(7) },
-                ScriptOp { think: 1500, input: SetInput::Contains(7) },
+                ScriptOp {
+                    think: 3,
+                    input: SetInput::Add(7),
+                },
+                ScriptOp {
+                    think: 1500,
+                    input: SetInput::Contains(7),
+                },
             ],
             vec![
-                ScriptOp { think: 3, input: SetInput::Remove(7) },
-                ScriptOp { think: 1500, input: SetInput::Contains(7) },
+                ScriptOp {
+                    think: 3,
+                    input: SetInput::Remove(7),
+                },
+                ScriptOp {
+                    think: 1500,
+                    input: SetInput::Contains(7),
+                },
             ],
             vec![
-                ScriptOp { think: 3, input: SetInput::Add(9) },
-                ScriptOp { think: 1500, input: SetInput::Contains(9) },
+                ScriptOp {
+                    think: 3,
+                    input: SetInput::Add(9),
+                },
+                ScriptOp {
+                    think: 1500,
+                    input: SetInput::Contains(9),
+                },
             ],
         ]);
         let cluster: Cluster<AddRemSet, ConvergentShared<AddRemSet>> =
@@ -148,7 +170,11 @@ fn convergence_time_tracks_latency_tail() {
         let cluster: Cluster<WindowArray, ConvergentShared<WindowArray>> = Cluster::new(
             3,
             adt,
-            LatencyModel::HeavyTail { base: 5, tail_prob: 0.5, tail_max },
+            LatencyModel::HeavyTail {
+                base: 5,
+                tail_prob: 0.5,
+                tail_max,
+            },
             99,
         );
         let res = cluster.run(quiescent_script(3, 10, 1, tail_max * 10, 99));
@@ -170,18 +196,42 @@ fn kv_store_converges_with_deletes() {
     for seed in 0..10 {
         let script = Script::new(vec![
             vec![
-                ScriptOp { think: 3, input: KvInput::Put(1, 11) },
-                ScriptOp { think: 3, input: KvInput::Put(2, 22) },
-                ScriptOp { think: 1500, input: KvInput::Scan },
+                ScriptOp {
+                    think: 3,
+                    input: KvInput::Put(1, 11),
+                },
+                ScriptOp {
+                    think: 3,
+                    input: KvInput::Put(2, 22),
+                },
+                ScriptOp {
+                    think: 1500,
+                    input: KvInput::Scan,
+                },
             ],
             vec![
-                ScriptOp { think: 3, input: KvInput::Del(1) },
-                ScriptOp { think: 3, input: KvInput::Put(3, 33) },
-                ScriptOp { think: 1500, input: KvInput::Scan },
+                ScriptOp {
+                    think: 3,
+                    input: KvInput::Del(1),
+                },
+                ScriptOp {
+                    think: 3,
+                    input: KvInput::Put(3, 33),
+                },
+                ScriptOp {
+                    think: 1500,
+                    input: KvInput::Scan,
+                },
             ],
             vec![
-                ScriptOp { think: 3, input: KvInput::Put(1, 99) },
-                ScriptOp { think: 1500, input: KvInput::Scan },
+                ScriptOp {
+                    think: 3,
+                    input: KvInput::Put(1, 99),
+                },
+                ScriptOp {
+                    think: 1500,
+                    input: KvInput::Scan,
+                },
             ],
         ]);
         let cluster: Cluster<KvStore, ConvergentShared<KvStore>> =
@@ -222,7 +272,11 @@ fn ec_shared_runs_are_strongly_update_consistent() {
         let cluster: Cluster<WindowArray, EcShared<WindowArray>> = Cluster::new(
             2,
             adt,
-            LatencyModel::HeavyTail { base: 2, tail_prob: 0.5, tail_max: 80 },
+            LatencyModel::HeavyTail {
+                base: 2,
+                tail_prob: 0.5,
+                tail_max: 80,
+            },
             seed,
         );
         let res = cluster.run(window_script(&cfg));

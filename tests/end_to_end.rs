@@ -19,7 +19,11 @@ use cbm_net::latency::LatencyModel;
 const LATENCIES: [LatencyModel; 3] = [
     LatencyModel::Constant(10),
     LatencyModel::Uniform(1, 120),
-    LatencyModel::HeavyTail { base: 4, tail_prob: 0.3, tail_max: 400 },
+    LatencyModel::HeavyTail {
+        base: 4,
+        tail_prob: 0.3,
+        tail_max: 400,
+    },
 ];
 
 /// Prop. 6 at scale: generalized Fig. 4, many seeds, three latency
@@ -106,10 +110,26 @@ fn prop7_convergent_flavours_agree_and_converge() {
             seed: seed + 500,
         };
         let adt = WindowArray::new(2, 3);
-        let a: Cluster<WindowArray, ConvergentShared<WindowArray>> =
-            Cluster::new(4, adt, LatencyModel::HeavyTail { base: 2, tail_prob: 0.4, tail_max: 300 }, seed);
-        let b: Cluster<WindowArray, WkArrayCcv> =
-            Cluster::new(4, adt, LatencyModel::HeavyTail { base: 2, tail_prob: 0.4, tail_max: 300 }, seed);
+        let a: Cluster<WindowArray, ConvergentShared<WindowArray>> = Cluster::new(
+            4,
+            adt,
+            LatencyModel::HeavyTail {
+                base: 2,
+                tail_prob: 0.4,
+                tail_max: 300,
+            },
+            seed,
+        );
+        let b: Cluster<WindowArray, WkArrayCcv> = Cluster::new(
+            4,
+            adt,
+            LatencyModel::HeavyTail {
+                base: 2,
+                tail_prob: 0.4,
+                tail_max: 300,
+            },
+            seed,
+        );
         let ra = a.run(window_script(&cfg));
         let rb = b.run(window_script(&cfg));
         assert!(ra.stats.converged, "generalized must converge, seed {seed}");
@@ -262,8 +282,16 @@ fn full_pipeline_is_deterministic() {
             seed: 77,
         };
         let adt = WindowArray::new(2, 2);
-        let cluster: Cluster<WindowArray, ConvergentShared<WindowArray>> =
-            Cluster::new(3, adt, LatencyModel::HeavyTail { base: 3, tail_prob: 0.5, tail_max: 100 }, 77);
+        let cluster: Cluster<WindowArray, ConvergentShared<WindowArray>> = Cluster::new(
+            3,
+            adt,
+            LatencyModel::HeavyTail {
+                base: 3,
+                tail_prob: 0.5,
+                tail_max: 100,
+            },
+            77,
+        );
         let res = cluster.run(window_script(&cfg));
         (
             res.stats.msgs_sent,
@@ -298,8 +326,7 @@ fn append_log_causal_prefixes() {
         let res = cluster.run(script);
         for st in &res.final_states {
             for p in 0..3u64 {
-                let authors: Vec<u64> =
-                    st.iter().copied().filter(|v| v / 100 == p).collect();
+                let authors: Vec<u64> = st.iter().copied().filter(|v| v / 100 == p).collect();
                 let mut sorted = authors.clone();
                 sorted.sort_unstable();
                 assert_eq!(authors, sorted, "author {p} out of order in {st:?}");

@@ -20,16 +20,34 @@ use cbm_net::latency::LatencyModel;
 fn small_script() -> Script<WaInput> {
     Script::new(vec![
         vec![
-            ScriptOp { think: 5, input: WaInput::Write(0, 1) },
-            ScriptOp { think: 5, input: WaInput::Read(0) },
+            ScriptOp {
+                think: 5,
+                input: WaInput::Write(0, 1),
+            },
+            ScriptOp {
+                think: 5,
+                input: WaInput::Read(0),
+            },
         ],
         vec![
-            ScriptOp { think: 7, input: WaInput::Write(0, 2) },
-            ScriptOp { think: 5, input: WaInput::Read(0) },
+            ScriptOp {
+                think: 7,
+                input: WaInput::Write(0, 2),
+            },
+            ScriptOp {
+                think: 5,
+                input: WaInput::Read(0),
+            },
         ],
         vec![
-            ScriptOp { think: 9, input: WaInput::Read(0) },
-            ScriptOp { think: 9, input: WaInput::Read(0) },
+            ScriptOp {
+                think: 9,
+                input: WaInput::Read(0),
+            },
+            ScriptOp {
+                think: 9,
+                input: WaInput::Read(0),
+            },
         ],
     ])
 }

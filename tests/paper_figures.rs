@@ -44,7 +44,11 @@ fn assert_expected(tag: &str, expected: &Expected, measured: [Verdict; 5], cm: O
         }
     }
     if let (Some(e), Some(got)) = (expected.cm, cm) {
-        assert_eq!(got.is_sat(), e, "{tag}/CM: paper claims {e}, measured {got}");
+        assert_eq!(
+            got.is_sat(),
+            e,
+            "{tag}/CM: paper claims {e}, measured {got}"
+        );
     }
 }
 
@@ -55,25 +59,45 @@ fn expected_for(tag: &str) -> &'static Expected {
 #[test]
 fn fig3a_matrix() {
     let h = figures::fig3a();
-    assert_expected("3a", expected_for("3a"), verdicts(&WindowStream::new(2), &h), None);
+    assert_expected(
+        "3a",
+        expected_for("3a"),
+        verdicts(&WindowStream::new(2), &h),
+        None,
+    );
 }
 
 #[test]
 fn fig3b_matrix() {
     let h = figures::fig3b();
-    assert_expected("3b", expected_for("3b"), verdicts(&WindowStream::new(2), &h), None);
+    assert_expected(
+        "3b",
+        expected_for("3b"),
+        verdicts(&WindowStream::new(2), &h),
+        None,
+    );
 }
 
 #[test]
 fn fig3c_matrix() {
     let h = figures::fig3c();
-    assert_expected("3c", expected_for("3c"), verdicts(&WindowStream::new(2), &h), None);
+    assert_expected(
+        "3c",
+        expected_for("3c"),
+        verdicts(&WindowStream::new(2), &h),
+        None,
+    );
 }
 
 #[test]
 fn fig3d_matrix() {
     let h = figures::fig3d();
-    assert_expected("3d", expected_for("3d"), verdicts(&WindowStream::new(2), &h), None);
+    assert_expected(
+        "3d",
+        expected_for("3d"),
+        verdicts(&WindowStream::new(2), &h),
+        None,
+    );
 }
 
 #[test]

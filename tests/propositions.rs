@@ -58,10 +58,7 @@ fn prop1_wcc_with_total_update_order_implies_sc() {
         assert_ne!(wcc, Verdict::Unknown);
         assert_ne!(sc, Verdict::Unknown);
         if wcc.is_sat() {
-            assert!(
-                sc.is_sat(),
-                "Prop. 1 violated: WCC but not SC for {h:?}"
-            );
+            assert!(sc.is_sat(), "Prop. 1 violated: WCC but not SC for {h:?}");
             checked += 1;
         }
         // the converse always holds (SC ⇒ WCC)
@@ -114,7 +111,11 @@ fn prop3_prop4_cc_iff_cm_under_distinct_values() {
         for p in 0..2 {
             for _ in 0..rng.gen_range(1..4) {
                 if rng.gen_bool(0.5) {
-                    b.op(p, MemInput::Write(rng.gen_range(0..2), next_val), MemOutput::Ack);
+                    b.op(
+                        p,
+                        MemInput::Write(rng.gen_range(0..2), next_val),
+                        MemOutput::Ack,
+                    );
                     next_val += 1;
                 } else {
                     let x = rng.gen_range(0..2);

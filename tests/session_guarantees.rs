@@ -21,11 +21,18 @@ use cbm_core::replica::Replica;
 use cbm_core::workload::memory_script;
 use cbm_net::latency::LatencyModel;
 
-fn run<R: Replica<Memory>>(seed: u64, script: Script<cbm_adt::memory::MemInput>) -> RunResult<Memory> {
+fn run<R: Replica<Memory>>(
+    seed: u64,
+    script: Script<cbm_adt::memory::MemInput>,
+) -> RunResult<Memory> {
     let cluster: Cluster<Memory, R> = Cluster::new(
         script.ops.len(),
         Memory::new(3),
-        LatencyModel::HeavyTail { base: 4, tail_prob: 0.4, tail_max: 250 },
+        LatencyModel::HeavyTail {
+            base: 4,
+            tail_prob: 0.4,
+            tail_max: 250,
+        },
         seed,
     );
     cluster.run(script)
@@ -63,16 +70,31 @@ fn pram_violates_writes_follow_reads_in_directed_scenario() {
     fn script() -> Script<cbm_adt::memory::MemInput> {
         use cbm_adt::memory::MemInput::*;
         Script::new(vec![
-            vec![ScriptOp { think: 10, input: Write(0, 1) }],
+            vec![ScriptOp {
+                think: 10,
+                input: Write(0, 1),
+            }],
             vec![
-                ScriptOp { think: 40, input: Read(0) },
-                ScriptOp { think: 5, input: Write(1, 2) },
+                ScriptOp {
+                    think: 40,
+                    input: Read(0),
+                },
+                ScriptOp {
+                    think: 5,
+                    input: Write(1, 2),
+                },
             ],
             (0..30)
                 .flat_map(|_| {
                     vec![
-                        ScriptOp { think: 6, input: Read(1) },
-                        ScriptOp { think: 1, input: Read(0) },
+                        ScriptOp {
+                            think: 6,
+                            input: Read(1),
+                        },
+                        ScriptOp {
+                            think: 1,
+                            input: Read(0),
+                        },
                     ]
                 })
                 .collect(),
@@ -127,16 +149,31 @@ fn directed_wfr_scenario() {
     fn script() -> Script<cbm_adt::memory::MemInput> {
         use cbm_adt::memory::MemInput::*;
         Script::new(vec![
-            vec![ScriptOp { think: 10, input: Write(0, 1) }],
+            vec![ScriptOp {
+                think: 10,
+                input: Write(0, 1),
+            }],
             vec![
-                ScriptOp { think: 40, input: Read(0) },
-                ScriptOp { think: 5, input: Write(1, 2) },
+                ScriptOp {
+                    think: 40,
+                    input: Read(0),
+                },
+                ScriptOp {
+                    think: 5,
+                    input: Write(1, 2),
+                },
             ],
             (0..30)
                 .flat_map(|_| {
                     vec![
-                        ScriptOp { think: 6, input: Read(1) },
-                        ScriptOp { think: 1, input: Read(0) },
+                        ScriptOp {
+                            think: 6,
+                            input: Read(1),
+                        },
+                        ScriptOp {
+                            think: 1,
+                            input: Read(0),
+                        },
                     ]
                 })
                 .collect(),
