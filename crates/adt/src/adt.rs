@@ -67,6 +67,19 @@ pub trait Adt {
     /// module docs on why this is declared rather than computed).
     fn kind(&self, i: &Self::Input) -> OpKind;
 
+    /// Does `λ(q, i)` equal `expected`?
+    ///
+    /// Semantically identical to `self.output(q, i) == *expected`, but
+    /// overridable: types whose outputs carry owned data (window
+    /// vectors, popped values) can compare against the state directly
+    /// instead of materializing an output per comparison. The search
+    /// kernels call this once per (node, candidate), so the override
+    /// is worth it on hot ADTs.
+    #[inline]
+    fn output_matches(&self, q: &Self::State, i: &Self::Input, expected: &Self::Output) -> bool {
+        self.output(q, i) == *expected
+    }
+
     /// Whether `i` is an update (has a side effect somewhere).
     #[inline]
     fn is_update(&self, i: &Self::Input) -> bool {

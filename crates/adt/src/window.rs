@@ -90,6 +90,14 @@ impl Adt for WindowStream {
             WInput::Read => OpKind::PureQuery,
         }
     }
+
+    fn output_matches(&self, q: &Self::State, i: &Self::Input, expected: &Self::Output) -> bool {
+        match (i, expected) {
+            (WInput::Write(_), WOutput::Ack) => true,
+            (WInput::Read, WOutput::Window(w)) => w == q,
+            _ => false,
+        }
+    }
 }
 
 /// `(q1, …, qk) ↦ (q2, …, qk, v)`.
@@ -157,23 +165,42 @@ impl WindowArray {
         debug_assert!(self.streams > 0, "WindowArray with zero streams");
         x % self.streams.max(1)
     }
+
+    /// Stream `x`'s window within a flat state.
+    #[inline]
+    fn window<'q>(&self, q: &'q [Value], x: usize) -> &'q [Value] {
+        &q[x * self.k..(x + 1) * self.k]
+    }
+
+    /// Mutable view of stream `x`'s window within a flat state.
+    #[inline]
+    fn window_mut<'q>(&self, q: &'q mut [Value], x: usize) -> &'q mut [Value] {
+        &mut q[x * self.k..(x + 1) * self.k]
+    }
 }
 
 impl Adt for WindowArray {
     type Input = WaInput;
     type Output = WaOutput;
-    type State = Vec<Vec<Value>>;
+    /// All `K` windows in one flat vector, stream-major: stream `x`
+    /// occupies `q[x·k .. (x+1)·k]`. One allocation per state (the
+    /// checkers clone a state per search node, so the layout matters).
+    type State = Vec<Value>;
 
     fn initial(&self) -> Self::State {
-        vec![vec![DEFAULT_VALUE; self.k]; self.streams]
+        vec![DEFAULT_VALUE; self.k * self.streams]
     }
 
     fn transition(&self, q: &Self::State, i: &Self::Input) -> Self::State {
         match i {
             WaInput::Write(x, v) => {
-                let x = self.addr(*x);
                 let mut next = q.clone();
-                next[x] = shift_in(&q[x], *v);
+                let w = self.window_mut(&mut next, self.addr(*x));
+                if !w.is_empty() {
+                    w.copy_within(1.., 0);
+                    let last = w.len() - 1;
+                    w[last] = *v;
+                }
                 next
             }
             WaInput::Read(_) => q.clone(),
@@ -183,7 +210,7 @@ impl Adt for WindowArray {
     fn output(&self, q: &Self::State, i: &Self::Input) -> Self::Output {
         match i {
             WaInput::Write(..) => WaOutput::Ack,
-            WaInput::Read(x) => WaOutput::Window(q[self.addr(*x)].clone()),
+            WaInput::Read(x) => WaOutput::Window(self.window(q, self.addr(*x)).to_vec()),
         }
     }
 
@@ -193,6 +220,14 @@ impl Adt for WindowArray {
             WaInput::Write(..) => OpKind::PureUpdate,
             WaInput::Read(_) if self.k == 0 => OpKind::Noop,
             WaInput::Read(_) => OpKind::PureQuery,
+        }
+    }
+
+    fn output_matches(&self, q: &Self::State, i: &Self::Input, expected: &Self::Output) -> bool {
+        match (i, expected) {
+            (WaInput::Write(..), WaOutput::Ack) => true,
+            (WaInput::Read(x), WaOutput::Window(w)) => w[..] == *self.window(q, self.addr(*x)),
+            _ => false,
         }
     }
 }

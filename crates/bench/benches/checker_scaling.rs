@@ -3,37 +3,15 @@
 //! practical envelope on recorded causal executions, which are
 //! satisfiable and hence near the easy end).
 
-use cbm_adt::window::WindowArray;
+use cbm_bench::{recorded_window_adt, recorded_window_history};
 use cbm_check::{check, Budget, Criterion};
-use cbm_core::causal::CausalShared;
-use cbm_core::cluster::Cluster;
-use cbm_core::workload::{window_script, WindowWorkload};
-use cbm_history::History;
-use cbm_net::latency::LatencyModel;
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion as Crit};
 
-fn recorded_history(
-    ops_per_proc: usize,
-) -> History<cbm_adt::window::WaInput, cbm_adt::window::WaOutput> {
-    let cfg = WindowWorkload {
-        procs: 2,
-        ops_per_proc,
-        streams: 1,
-        write_ratio: 0.5,
-        max_think: 20,
-        seed: 7,
-    };
-    let adt = WindowArray::new(1, 2);
-    let cluster: Cluster<WindowArray, CausalShared<WindowArray>> =
-        Cluster::new(2, adt, LatencyModel::Uniform(1, 50), 7);
-    cluster.run(window_script(&cfg)).history
-}
-
 fn bench_checkers(c: &mut Crit) {
-    let adt = WindowArray::new(1, 2);
+    let adt = recorded_window_adt();
     let mut group = c.benchmark_group("checker_scaling");
     for ops in [3usize, 5, 7] {
-        let h = recorded_history(ops);
+        let h = recorded_window_history(ops, 7);
         let events = h.len();
         for crit in [
             Criterion::Sc,

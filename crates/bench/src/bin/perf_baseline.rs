@@ -1,0 +1,220 @@
+//! Emit the committed checker performance baseline (`BENCH_checker.json`).
+//!
+//! ```text
+//! perf_baseline [--quick] [--out PATH] [--iters N]
+//! ```
+//!
+//! Runs a **fixed workload matrix** — every generic criterion over the
+//! recorded window-array histories of `checker_scaling` (3/5/7 ops per
+//! process, seed 7), plus a scenario-sweep leg over the registry — and
+//! writes one JSON document with, per cell: the verdict, the search
+//! nodes used, and best/mean wall time over the measured iterations.
+//!
+//! Two consumers:
+//!
+//! * **the perf trajectory** — the emitted file is committed at the
+//!   repo root as `BENCH_checker.json`; future PRs regenerate it on
+//!   the same machine and diff `best_ns`/`nodes` to demonstrate (or
+//!   catch) checker-speed movement;
+//! * **CI `perf-smoke`** — runs `perf_baseline --quick` and fails on a
+//!   panic or on any `unknown` verdict in the matrix (an
+//!   "Unknown-storm" means a search regression blew the node budget);
+//!   wall times are recorded but **never** gate CI, since runner
+//!   hardware varies.
+//!
+//! Exit status: non-zero iff a verdict in the matrix is `unknown` or a
+//! scenario run fails verification.
+
+use cbm_bench::{recorded_window_adt, recorded_window_history};
+use cbm_check::{check, Budget, Criterion, Verdict};
+use cbm_sim::{registry, run_scenario};
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct CheckerCell {
+    criterion: &'static str,
+    ops_per_proc: usize,
+    events: usize,
+    verdict: Verdict,
+    nodes: u64,
+    best_ns: u128,
+    mean_ns: u128,
+}
+
+struct ScenarioCell {
+    scenario: String,
+    seeds: u64,
+    failures: usize,
+    total_ms: u128,
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_checker.json");
+    let mut iters: u32 = 0;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("--out needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--iters" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => iters = n,
+                None => {
+                    eprintln!("--iters needs a number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("perf_baseline [--quick] [--out PATH] [--iters N]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag '{other}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if iters == 0 {
+        iters = if quick { 3 } else { 15 };
+    }
+    let ops_matrix: &[usize] = if quick { &[3, 5] } else { &[3, 5, 7] };
+    let seeds_per_scenario: u64 = if quick { 2 } else { 4 };
+
+    // --- Checker matrix -------------------------------------------------
+    let adt = recorded_window_adt();
+    let budget = Budget::default();
+    let mut cells: Vec<CheckerCell> = Vec::new();
+    let mut unknowns = 0usize;
+    for &ops in ops_matrix {
+        let h = recorded_window_history(ops, 7);
+        for crit in Criterion::ALL {
+            let mut best = u128::MAX;
+            let mut total = 0u128;
+            let mut verdict = Verdict::Unknown;
+            let mut nodes = 0u64;
+            for _ in 0..iters {
+                let t = Instant::now();
+                let r = check(crit, &adt, &h, &budget);
+                let ns = t.elapsed().as_nanos();
+                best = best.min(ns);
+                total += ns;
+                verdict = r.verdict;
+                nodes = r.nodes_used;
+            }
+            if verdict == Verdict::Unknown {
+                unknowns += 1;
+                eprintln!(
+                    "UNKNOWN verdict: {} at {} ops/proc — node budget exhausted",
+                    crit.name(),
+                    ops
+                );
+            }
+            cells.push(CheckerCell {
+                criterion: crit.name(),
+                ops_per_proc: ops,
+                events: h.len(),
+                verdict,
+                nodes,
+                best_ns: best,
+                mean_ns: total / iters as u128,
+            });
+        }
+    }
+
+    // --- Scenario leg ---------------------------------------------------
+    let mut scen_cells: Vec<ScenarioCell> = Vec::new();
+    let mut scen_failures = 0usize;
+    for scenario in registry::scenarios() {
+        let t = Instant::now();
+        let mut failures = 0usize;
+        for seed in 0..seeds_per_scenario {
+            let o = run_scenario(&scenario, seed);
+            if !o.passes() {
+                failures += 1;
+                eprintln!("FAIL {} seed {}: {:?}", scenario.name, seed, o.failure());
+            }
+        }
+        scen_failures += failures;
+        scen_cells.push(ScenarioCell {
+            scenario: scenario.name.to_string(),
+            seeds: seeds_per_scenario,
+            failures,
+            total_ms: t.elapsed().as_millis(),
+        });
+    }
+
+    // --- Emit -----------------------------------------------------------
+    let json = render_json(quick, iters, &cells, &scen_cells);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("could not write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "wrote {out_path} ({} checker cells, {} scenarios)",
+        cells.len(),
+        scen_cells.len()
+    );
+    for c in &cells {
+        println!(
+            "  {:>4} {:>2} ops  {:>3}ev  {:>8}  nodes {:>6}  best {:>9} ns  mean {:>9} ns",
+            c.criterion, c.ops_per_proc, c.events, c.verdict, c.nodes, c.best_ns, c.mean_ns
+        );
+    }
+
+    if unknowns > 0 || scen_failures > 0 {
+        eprintln!(
+            "perf_baseline: {unknowns} unknown verdict(s), {scen_failures} scenario failure(s)"
+        );
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Hand-rolled JSON writer: the offline `serde` stand-in has no
+/// serializer, and the schema is small enough that explicit rendering
+/// doubles as its documentation.
+fn render_json(quick: bool, iters: u32, cells: &[CheckerCell], scens: &[ScenarioCell]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"cbm-perf-baseline-v1\",\n");
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str(&format!("  \"iters\": {iters},\n"));
+    s.push_str("  \"workload\": \"recorded_window_history(ops, seed=7), 2 procs, W2^1\",\n");
+    s.push_str("  \"checker\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"criterion\": \"{}\", \"ops_per_proc\": {}, \"events\": {}, \"verdict\": \"{}\", \"nodes\": {}, \"best_ns\": {}, \"mean_ns\": {}}}{}\n",
+            c.criterion,
+            c.ops_per_proc,
+            c.events,
+            c.verdict,
+            c.nodes,
+            c.best_ns,
+            c.mean_ns,
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"scenarios\": [\n");
+    for (i, c) in scens.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"scenario\": \"{}\", \"seeds\": {}, \"failures\": {}, \"total_ms\": {}}}{}\n",
+            c.scenario,
+            c.seeds,
+            c.failures,
+            c.total_ms,
+            if i + 1 < scens.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}

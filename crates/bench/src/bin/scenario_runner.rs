@@ -3,7 +3,7 @@
 //! ```text
 //! scenario_runner list
 //! scenario_runner run [NAME] [--seed N]
-//! scenario_runner explore [NAME] --seeds LO..HI [--record PATH]
+//! scenario_runner explore [NAME] --seeds LO..HI [--threads N] [--record PATH]
 //! ```
 //!
 //! * `list` — every registry scenario with flavour and expectations;
@@ -11,9 +11,11 @@
 //!   print per-scenario stats: verification verdict, convergence time,
 //!   messages/bytes, drop/duplicate counts;
 //! * `explore` — sweep a seed range hunting for verification
-//!   failures; with `--record`, failing `(scenario, seed)` pairs are
-//!   appended to the regression corpus so `tests/scenarios.rs` replays
-//!   them forever (see `docs/SIMULATION.md`).
+//!   failures; `--threads N` spreads the `(scenario, seed)` pairs over
+//!   N workers (reports stay byte-identical to `--threads 1`); with
+//!   `--record`, failing `(scenario, seed)` pairs are appended to the
+//!   regression corpus so `tests/scenarios.rs` replays them forever
+//!   (see `docs/SIMULATION.md` and `docs/PERFORMANCE.md`).
 //!
 //! Exit status is non-zero if any run or sweep failed, so the binary
 //! can gate CI jobs.
@@ -50,7 +52,7 @@ fn print_help() {
     println!(
         "scenario_runner — fault-injection scenarios over the cbm stack\n\n\
          USAGE:\n  scenario_runner list\n  scenario_runner run [NAME] [--seed N]\n  \
-         scenario_runner explore [NAME] --seeds LO..HI [--record PATH]\n\n\
+         scenario_runner explore [NAME] --seeds LO..HI [--threads N] [--record PATH]\n\n\
          Scenarios come from cbm-sim's registry; every run is verified\n\
          against its criterion (CC/CCv) and is a pure function of\n\
          (scenario, seed)."
@@ -170,9 +172,17 @@ fn cmd_explore(args: &[String]) -> ExitCode {
     let mut name: Option<String> = None;
     let mut seeds = 0u64..16;
     let mut record: Option<PathBuf> = None;
+    let mut threads = 1usize;
     let mut it = args.iter().skip(1);
     while let Some(a) = it.next() {
         match a.as_str() {
+            "--threads" => {
+                threads = parse_or_die(it.next(), "--threads needs a count");
+                if threads == 0 {
+                    eprintln!("--threads must be at least 1");
+                    return ExitCode::FAILURE;
+                }
+            }
             "--seeds" => {
                 let spec: String = parse_or_die(it.next(), "--seeds needs LO..HI");
                 let Some((lo, hi)) = spec.split_once("..") else {
@@ -205,13 +215,13 @@ fn cmd_explore(args: &[String]) -> ExitCode {
 
     let reports = match &name {
         Some(n) => match registry::by_name(n) {
-            Some(s) => vec![explore::explore(&s, seeds.clone())],
+            Some(s) => vec![explore::explore_threaded(&s, seeds.clone(), threads)],
             None => {
                 eprintln!("unknown scenario '{n}'");
                 return ExitCode::FAILURE;
             }
         },
-        None => explore::explore_all(seeds.clone()),
+        None => explore::explore_all_threaded(seeds.clone(), threads),
     };
 
     let rows: Vec<Vec<String>> = reports

@@ -139,6 +139,36 @@ pub fn random_histories_adt(cfg: &RandomHistories) -> WindowStream {
     WindowStream::new(cfg.k)
 }
 
+/// Record a `WindowArray` history from a two-replica causal cluster —
+/// the fixed checker workload shared by the `checker_scaling` bench
+/// and the `perf_baseline` binary, so both measure the same histories.
+pub fn recorded_window_history(
+    ops_per_proc: usize,
+    seed: u64,
+) -> cbm_history::History<cbm_adt::window::WaInput, cbm_adt::window::WaOutput> {
+    use cbm_core::causal::CausalShared;
+    use cbm_core::cluster::Cluster;
+    use cbm_core::workload::{window_script, WindowWorkload};
+
+    let cfg = WindowWorkload {
+        procs: 2,
+        ops_per_proc,
+        streams: 1,
+        write_ratio: 0.5,
+        max_think: 20,
+        seed,
+    };
+    let adt = cbm_adt::window::WindowArray::new(1, 2);
+    let cluster: Cluster<cbm_adt::window::WindowArray, CausalShared<cbm_adt::window::WindowArray>> =
+        Cluster::new(2, adt, cbm_net::latency::LatencyModel::Uniform(1, 50), seed);
+    cluster.run(window_script(&cfg)).history
+}
+
+/// The ADT matching [`recorded_window_history`].
+pub fn recorded_window_adt() -> cbm_adt::window::WindowArray {
+    cbm_adt::window::WindowArray::new(1, 2)
+}
+
 /// Simple text bar for latency tables.
 pub fn bar(value: f64, scale: f64, width: usize) -> String {
     let filled = ((value / scale).min(1.0) * width as f64).round() as usize;

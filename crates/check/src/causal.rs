@@ -42,12 +42,24 @@
 //!
 //! The search memoises on `(placed-set, past-rows)` hashes and is
 //! budget-bounded.
+//!
+//! ## Allocation discipline
+//!
+//! Like the kernel, the placement DFS is mutate-and-undo: one `placed`
+//! set, one `pasts` row table, and one placement sequence are threaded
+//! through the recursion by `&mut`, and every placement — eager or
+//! branched — is undone on backtrack (an unplaced event's past row is
+//! always empty, so undo is a word-level `clear`). Branching still
+//! materializes candidate past sets (they are genuinely distinct
+//! values), but no level clones the whole `Vec<BitSet>` row table any
+//! more; kernel queries reuse one [`KernelScratch`], and per-event
+//! condition verdicts are cached across sibling branches.
 
-use crate::kernel::{is_constrained_read, LinQuery, Outcome};
+use crate::kernel::{is_constrained_read, KernelScratch, LinQuery, Outcome};
 use crate::{label_table, Budget, CheckResult, Verdict};
 use cbm_adt::{Adt, OpKind};
-use cbm_history::{BitSet, Fnv, History, Relation};
-use std::collections::HashSet;
+use cbm_history::{BitSet, History, MixHasher, Relation, U64Set};
+use std::collections::{HashMap, HashSet};
 use std::hash::{Hash, Hasher};
 
 /// Is `h` weakly causally consistent with `adt` (Definition 8)?
@@ -85,8 +97,23 @@ struct Searcher<'a, T: Adt> {
     nodes: u64,
     max_nodes: u64,
     exhausted: bool,
-    memo: HashSet<u64>,
+    memo: U64Set,
     witness: Option<Vec<BitSet>>,
+    /// Reusable buffer for closed-program-past computations.
+    scratch: BitSet,
+    /// Reusable kernel working buffers (one kernel query at a time).
+    kscratch: KernelScratch,
+    /// Cache of per-event condition verdicts, keyed on the event, the
+    /// **owned** candidate past, and a 64-bit hash of the past rows of
+    /// its members. The same candidate is re-proposed across many
+    /// sibling branches; its kernel verdict only depends on those
+    /// ingredients, so hits skip the inner search entirely. Only
+    /// fully-decided verdicts are cached (never ones cut short by
+    /// budget exhaustion). Keeping `(event, past)` exact confines
+    /// wrong-verdict risk to a 64-bit collision **among row tables of
+    /// the identical candidate** — the same accepted-risk class as the
+    /// kernel memo (see `kernel`'s module docs).
+    check_cache: HashMap<(usize, BitSet, u64), bool>,
 }
 
 impl<'a, T: Adt> Searcher<'a, T> {
@@ -124,8 +151,11 @@ impl<'a, T: Adt> Searcher<'a, T> {
             nodes: budget.max_nodes,
             max_nodes: budget.max_nodes,
             exhausted: false,
-            memo: HashSet::new(),
+            memo: U64Set::default(),
             witness: None,
+            scratch: BitSet::new(n),
+            kscratch: KernelScratch::default(),
+            check_cache: HashMap::new(),
         }
     }
 
@@ -139,20 +169,15 @@ impl<'a, T: Adt> Searcher<'a, T> {
                 }
             }
         }
-        let placed = BitSet::new(self.n);
-        let pasts = vec![BitSet::new(self.n); self.n];
-        let found = self.dfs(placed, pasts, Vec::new());
+        let mut placed = BitSet::new(self.n);
+        let mut pasts = vec![BitSet::new(self.n); self.n];
+        let mut seq = Vec::with_capacity(self.n);
+        let found = self.dfs(&mut placed, &mut pasts, &mut seq);
         let used = self.max_nodes - self.nodes;
         if found {
-            let witness = self.witness.take().map(|rows| {
-                let mut edges = Vec::new();
-                for (e, row) in rows.iter().enumerate() {
-                    for p in row.iter() {
-                        edges.push((p, e));
-                    }
-                }
-                Relation::from_edges(self.n, &edges).expect("witness pasts are acyclic")
-            });
+            // The searcher's rows are transitively closed by
+            // construction, so no re-closure pass is needed.
+            let witness = self.witness.take().map(Relation::from_closed_rows);
             CheckResult::new(Verdict::Sat, used).with_witness(witness)
         } else if self.exhausted {
             CheckResult::new(Verdict::Unknown, used)
@@ -161,16 +186,39 @@ impl<'a, T: Adt> Searcher<'a, T> {
         }
     }
 
-    /// Closure of the program past of `e` under already-fixed past rows.
-    fn base_of(&self, e: usize, pasts: &[BitSet]) -> BitSet {
-        let mut base = self.h.prog_past(cbm_history::EventId(e as u32)).clone();
-        for d in base.to_vec() {
-            base.union_with(&pasts[d]);
+    /// Closure of the program past of `e` under already-fixed past
+    /// rows, computed into `self.scratch` (no allocation).
+    fn base_into_scratch(&mut self, e: usize, pasts: &[BitSet]) {
+        let pp = self.h.prog_past(cbm_history::EventId(e as u32));
+        self.scratch.clear_and_copy_from(pp);
+        for d in pp.iter() {
+            self.scratch.union_with(&pasts[d]);
         }
-        base
     }
 
-    fn dfs(&mut self, mut placed: BitSet, mut pasts: Vec<BitSet>, mut seq: Vec<usize>) -> bool {
+    /// Backtracking wrapper: `dfs_core` mutates `placed`/`pasts`/`seq`
+    /// in place; on failure every placement made below `mark` is
+    /// undone, restoring the caller's exact state (unplaced events
+    /// always have empty past rows).
+    fn dfs(&mut self, placed: &mut BitSet, pasts: &mut Vec<BitSet>, seq: &mut Vec<usize>) -> bool {
+        let mark = seq.len();
+        if self.dfs_core(placed, pasts, seq) {
+            return true;
+        }
+        for &e in &seq[mark..] {
+            placed.remove(e);
+            pasts[e].clear();
+        }
+        seq.truncate(mark);
+        false
+    }
+
+    fn dfs_core(
+        &mut self,
+        placed: &mut BitSet,
+        pasts: &mut Vec<BitSet>,
+        seq: &mut Vec<usize>,
+    ) -> bool {
         // Eager phase: place all available non-reads with minimal pasts.
         loop {
             let mut progress = false;
@@ -181,9 +229,10 @@ impl<'a, T: Adt> Searcher<'a, T> {
                 if self
                     .h
                     .prog_past(cbm_history::EventId(e as u32))
-                    .is_subset(&placed)
+                    .is_subset(placed)
                 {
-                    pasts[e] = self.base_of(e, &pasts);
+                    self.base_into_scratch(e, pasts);
+                    pasts[e].clear_and_copy_from(&self.scratch);
                     placed.insert(e);
                     seq.push(e);
                     progress = true;
@@ -194,7 +243,7 @@ impl<'a, T: Adt> Searcher<'a, T> {
             }
         }
         if placed.count() == self.n {
-            self.witness = Some(pasts);
+            self.witness = Some(pasts.clone());
             return true;
         }
         if self.nodes == 0 {
@@ -202,7 +251,7 @@ impl<'a, T: Adt> Searcher<'a, T> {
             return false;
         }
         self.nodes -= 1;
-        if !self.memo.insert(state_hash(&placed, &pasts)) {
+        if !self.memo.insert(state_hash(placed, pasts)) {
             return false;
         }
 
@@ -214,18 +263,22 @@ impl<'a, T: Adt> Searcher<'a, T> {
             if !self
                 .h
                 .prog_past(cbm_history::EventId(e as u32))
-                .is_subset(&placed)
+                .is_subset(placed)
             {
                 continue;
             }
-            let base = self.base_of(e, &pasts);
+            self.base_into_scratch(e, pasts);
+            let base = self.scratch.clone();
             let optional: Vec<usize> = placed
-                .iter()
-                .filter(|&u| self.is_update[u] && !base.contains(u))
+                .iter_difference(&base)
+                .filter(|&u| self.is_update[u])
                 .collect();
-            // Enumerate distinct closed supersets of `base`.
+            // Enumerate distinct closed supersets of `base` (owned
+            // keys: an exact dedup here is cheap — candidates are few
+            // — and a hash-only set could silently skip the one past
+            // that satisfies the condition).
             let mut seen_pasts: HashSet<BitSet> = HashSet::new();
-            let mut stack: Vec<(usize, BitSet)> = vec![(0, base.clone())];
+            let mut stack: Vec<(usize, BitSet)> = vec![(0, base)];
             while let Some((i, current)) = stack.pop() {
                 if i == optional.len() {
                     if !seen_pasts.insert(current.clone()) {
@@ -236,16 +289,17 @@ impl<'a, T: Adt> Searcher<'a, T> {
                         return false;
                     }
                     self.nodes -= 1;
-                    if self.check_event(e, &current, &mut pasts) {
-                        pasts[e] = current.clone();
-                        let mut next_placed = placed.clone();
-                        next_placed.insert(e);
-                        let mut next_seq = seq.clone();
-                        next_seq.push(e);
-                        if self.dfs(next_placed, pasts.clone(), next_seq) {
+                    if self.check_event_cached(e, &current, pasts) {
+                        // check_event left pasts[e] = current
+                        placed.insert(e);
+                        seq.push(e);
+                        if self.dfs(placed, pasts, seq) {
                             return true;
                         }
+                        seq.pop();
+                        placed.remove(e);
                     }
+                    pasts[e].clear();
                     continue;
                 }
                 let u = optional[i];
@@ -263,29 +317,71 @@ impl<'a, T: Adt> Searcher<'a, T> {
         false
     }
 
+    /// [`Searcher::check_event`] behind the verdict cache. On a hit the
+    /// kernel is skipped; `pasts[e]` is still left holding `past` on
+    /// success, exactly like a fresh check.
+    fn check_event_cached(&mut self, e: usize, past: &BitSet, pasts: &mut [BitSet]) -> bool {
+        let mut h = MixHasher::default();
+        for x in past.iter() {
+            pasts[x].hash(&mut h);
+        }
+        let rows_hash = h.finish();
+        let key = (e, past.clone(), rows_hash);
+        if let Some(&ok) = self.check_cache.get(&key) {
+            if ok {
+                pasts[e].clear_and_copy_from(past);
+            }
+            return ok;
+        }
+        let before_exhausted = self.exhausted;
+        let ok = self.check_event(e, past, pasts);
+        if self.exhausted == before_exhausted {
+            self.check_cache.insert(key, ok);
+        }
+        ok
+    }
+
     /// The per-event condition of Def. 8 / Def. 9 for read `e` with
-    /// candidate past `past`.
+    /// candidate past `past`. On return `pasts[e]` holds `past` (the
+    /// kernel reads it for order constraints); the caller keeps it on
+    /// success and clears it otherwise.
     fn check_event(&mut self, e: usize, past: &BitSet, pasts: &mut [BitSet]) -> bool {
+        pasts[e].clear_and_copy_from(past);
         let mut include = past.clone();
         include.insert(e);
-        // the kernel reads `pasts[e]` for order constraints
-        let saved = std::mem::replace(&mut pasts[e], past.clone());
-        let ok = match self.mode {
+        match self.mode {
             Mode::Wcc => {
                 let mut visible = BitSet::new(self.n);
                 visible.insert(e);
                 self.kernel_sat(&include, &visible, pasts)
             }
             Mode::Cc => {
-                let chain_ids = self.chains_of[e].clone();
-                chain_ids.iter().all(|&ci| {
-                    let visible = self.chain_sets[ci].clone();
-                    self.kernel_sat(&include, &visible, pasts)
-                })
+                let mut ok = true;
+                for k in 0..self.chains_of[e].len() {
+                    let ci = self.chains_of[e][k];
+                    let q = LinQuery {
+                        adt: self.adt,
+                        labels: &self.labels,
+                        pasts: &*pasts,
+                        include: &include,
+                        visible: &self.chain_sets[ci],
+                    };
+                    match q.decide_with(&mut self.kscratch, &mut self.nodes) {
+                        Outcome::Sat(_) => {}
+                        Outcome::Unsat => {
+                            ok = false;
+                            break;
+                        }
+                        Outcome::Unknown => {
+                            self.exhausted = true;
+                            ok = false;
+                            break;
+                        }
+                    }
+                }
+                ok
             }
-        };
-        pasts[e] = saved;
-        ok
+        }
     }
 
     fn kernel_sat(&mut self, include: &BitSet, visible: &BitSet, pasts: &[BitSet]) -> bool {
@@ -296,7 +392,7 @@ impl<'a, T: Adt> Searcher<'a, T> {
             include,
             visible,
         };
-        match q.run(&mut self.nodes) {
+        match q.decide_with(&mut self.kscratch, &mut self.nodes) {
             Outcome::Sat(_) => true,
             Outcome::Unsat => false,
             Outcome::Unknown => {
@@ -309,7 +405,7 @@ impl<'a, T: Adt> Searcher<'a, T> {
 
 /// Order-insensitive hash of the search state.
 fn state_hash(placed: &BitSet, pasts: &[BitSet]) -> u64 {
-    let mut h = Fnv::default();
+    let mut h = MixHasher::default();
     placed.hash(&mut h);
     for e in placed.iter() {
         e.hash(&mut h);

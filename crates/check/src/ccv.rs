@@ -28,10 +28,10 @@
 //! transitive causal order. [`check_suc`] exposes that variant; the
 //! `EcShared` baseline in `cbm-core` implements precisely SUC.
 
-use crate::kernel::{is_constrained_read, LinQuery};
+use crate::kernel::is_constrained_read;
 use crate::{label_table, Budget, CheckResult, Verdict};
 use cbm_adt::Adt;
-use cbm_history::{BitSet, Fnv, History, Relation};
+use cbm_history::{BitSet, History, MixHasher, Relation, U64Set};
 use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
 
@@ -72,10 +72,12 @@ struct CcvSearcher<'a, T: Adt> {
     nodes: u64,
     max_nodes: u64,
     exhausted: bool,
-    memo: HashSet<u64>,
-    witness: Option<(Vec<usize>, Vec<BitSet>)>,
+    memo: U64Set,
+    witness: Option<Vec<BitSet>>,
     /// true = CCv (visibility transitively closed); false = SUC.
     closure: bool,
+    /// Reusable buffer for closed-program-past computations.
+    scratch: BitSet,
 }
 
 impl<'a, T: Adt> CcvSearcher<'a, T> {
@@ -99,9 +101,10 @@ impl<'a, T: Adt> CcvSearcher<'a, T> {
             nodes: budget.max_nodes,
             max_nodes: budget.max_nodes,
             exhausted: false,
-            memo: HashSet::new(),
+            memo: U64Set::default(),
             witness: None,
             closure,
+            scratch: BitSet::new(n),
         }
     }
 
@@ -113,19 +116,28 @@ impl<'a, T: Adt> CcvSearcher<'a, T> {
                 }
             }
         }
-        let placed = BitSet::new(self.n);
-        let pasts = vec![BitSet::new(self.n); self.n];
-        let found = self.dfs(placed, pasts, Vec::new());
+        let mut placed = BitSet::new(self.n);
+        let mut pasts = vec![BitSet::new(self.n); self.n];
+        let mut seq = Vec::with_capacity(self.n);
+        let found = self.dfs(&mut placed, &mut pasts, &mut seq);
         let used = self.max_nodes - self.nodes;
         if found {
-            let witness = self.witness.take().map(|(_, rows)| {
-                let mut edges = Vec::new();
-                for (e, row) in rows.iter().enumerate() {
-                    for p in row.iter() {
-                        edges.push((p, e));
+            let closure = self.closure;
+            let witness = self.witness.take().map(|rows| {
+                if closure {
+                    // CCv rows are transitively closed by construction.
+                    Relation::from_closed_rows(rows)
+                } else {
+                    // SUC visibility sets need not be closed; report
+                    // the closure of the witnessed visibility order.
+                    let mut edges = Vec::new();
+                    for (e, row) in rows.iter().enumerate() {
+                        for p in row.iter() {
+                            edges.push((p, e));
+                        }
                     }
+                    Relation::from_edges(rows.len(), &edges).expect("witness pasts are acyclic")
                 }
-                Relation::from_edges(self.n, &edges).expect("witness pasts are acyclic")
             });
             CheckResult::new(Verdict::Sat, used).with_witness(witness)
         } else if self.exhausted {
@@ -135,12 +147,14 @@ impl<'a, T: Adt> CcvSearcher<'a, T> {
         }
     }
 
-    fn base_of(&self, e: usize, pasts: &[BitSet]) -> BitSet {
-        let mut base = self.h.prog_past(cbm_history::EventId(e as u32)).clone();
-        for d in base.to_vec() {
-            base.union_with(&pasts[d]);
+    /// Closure of the program past of `e` under already-fixed past
+    /// rows, computed into `self.scratch` (no allocation).
+    fn base_into_scratch(&mut self, e: usize, pasts: &[BitSet]) {
+        let pp = self.h.prog_past(cbm_history::EventId(e as u32));
+        self.scratch.clear_and_copy_from(pp);
+        for d in pp.iter() {
+            self.scratch.union_with(&pasts[d]);
         }
-        base
     }
 
     /// Is `e` placement-order-sensitive (update) or check-carrying (read)?
@@ -148,7 +162,28 @@ impl<'a, T: Adt> CcvSearcher<'a, T> {
         self.is_update[e] || self.is_read[e]
     }
 
-    fn dfs(&mut self, mut placed: BitSet, mut pasts: Vec<BitSet>, mut seq: Vec<usize>) -> bool {
+    /// Backtracking wrapper around [`CcvSearcher::dfs_core`]: on
+    /// failure, every placement made below `mark` is undone (unplaced
+    /// events always have empty past rows).
+    fn dfs(&mut self, placed: &mut BitSet, pasts: &mut Vec<BitSet>, seq: &mut Vec<usize>) -> bool {
+        let mark = seq.len();
+        if self.dfs_core(placed, pasts, seq) {
+            return true;
+        }
+        for &e in &seq[mark..] {
+            placed.remove(e);
+            pasts[e].clear();
+        }
+        seq.truncate(mark);
+        false
+    }
+
+    fn dfs_core(
+        &mut self,
+        placed: &mut BitSet,
+        pasts: &mut Vec<BitSet>,
+        seq: &mut Vec<usize>,
+    ) -> bool {
         // Eager phase: hidden pure queries / noops.
         loop {
             let mut progress = false;
@@ -159,9 +194,10 @@ impl<'a, T: Adt> CcvSearcher<'a, T> {
                 if self
                     .h
                     .prog_past(cbm_history::EventId(e as u32))
-                    .is_subset(&placed)
+                    .is_subset(placed)
                 {
-                    pasts[e] = self.base_of(e, &pasts);
+                    self.base_into_scratch(e, pasts);
+                    pasts[e].clear_and_copy_from(&self.scratch);
                     placed.insert(e);
                     seq.push(e);
                     progress = true;
@@ -172,7 +208,7 @@ impl<'a, T: Adt> CcvSearcher<'a, T> {
             }
         }
         if placed.count() == self.n {
-            self.witness = Some((seq, pasts));
+            self.witness = Some(pasts.clone());
             return true;
         }
         if self.nodes == 0 {
@@ -180,7 +216,7 @@ impl<'a, T: Adt> CcvSearcher<'a, T> {
             return false;
         }
         self.nodes -= 1;
-        if !self.memo.insert(self.state_hash(&placed, &pasts, &seq)) {
+        if !self.memo.insert(self.state_hash(placed, pasts, seq)) {
             return false;
         }
 
@@ -191,11 +227,11 @@ impl<'a, T: Adt> CcvSearcher<'a, T> {
             if !self
                 .h
                 .prog_past(cbm_history::EventId(e as u32))
-                .is_subset(&placed)
+                .is_subset(placed)
             {
                 continue;
             }
-            let base = self.base_of(e, &pasts);
+            self.base_into_scratch(e, pasts);
             if !self.is_read[e] {
                 // unconstrained update: minimal past, position branches
                 if self.nodes == 0 {
@@ -203,23 +239,27 @@ impl<'a, T: Adt> CcvSearcher<'a, T> {
                     return false;
                 }
                 self.nodes -= 1;
-                pasts[e] = base;
-                let mut next_placed = placed.clone();
-                next_placed.insert(e);
-                let mut next_seq = seq.clone();
-                next_seq.push(e);
-                if self.dfs(next_placed, pasts.clone(), next_seq) {
+                pasts[e].clear_and_copy_from(&self.scratch);
+                placed.insert(e);
+                seq.push(e);
+                if self.dfs(placed, pasts, seq) {
                     return true;
                 }
+                seq.pop();
+                placed.remove(e);
+                pasts[e].clear();
                 continue;
             }
             // constrained read: branch on closed past supersets
+            let base = self.scratch.clone();
             let optional: Vec<usize> = placed
-                .iter()
-                .filter(|&u| self.is_update[u] && !base.contains(u))
+                .iter_difference(&base)
+                .filter(|&u| self.is_update[u])
                 .collect();
+            // Exact owned-key dedup: candidates are few, and a
+            // hash-only set could silently skip the one viable past.
             let mut seen_pasts: HashSet<BitSet> = HashSet::new();
-            let mut stack: Vec<(usize, BitSet)> = vec![(0, base.clone())];
+            let mut stack: Vec<(usize, BitSet)> = vec![(0, base)];
             while let Some((i, current)) = stack.pop() {
                 if i == optional.len() {
                     if !seen_pasts.insert(current.clone()) {
@@ -230,15 +270,16 @@ impl<'a, T: Adt> CcvSearcher<'a, T> {
                         return false;
                     }
                     self.nodes -= 1;
-                    if self.replay_check(e, &current, &seq) {
-                        pasts[e] = current.clone();
-                        let mut next_placed = placed.clone();
-                        next_placed.insert(e);
-                        let mut next_seq = seq.clone();
-                        next_seq.push(e);
-                        if self.dfs(next_placed, pasts.clone(), next_seq) {
+                    if self.replay_check(e, &current, seq) {
+                        pasts[e].clear_and_copy_from(&current);
+                        placed.insert(e);
+                        seq.push(e);
+                        if self.dfs(placed, pasts, seq) {
                             return true;
                         }
+                        seq.pop();
+                        placed.remove(e);
+                        pasts[e].clear();
                     }
                     continue;
                 }
@@ -257,29 +298,30 @@ impl<'a, T: Adt> CcvSearcher<'a, T> {
         false
     }
 
-    /// Replay `past ∪ {e}` in placement order; `e` comes last.
+    /// Replay `past ∪ {e}` in placement order with `e` last, checking
+    /// only `e`'s output. Allocation-free: folds `δ` directly over the
+    /// placement sequence filtered to `past` (every member of `past` is
+    /// placed, so the filter loses nothing).
     fn replay_check(&self, e: usize, past: &BitSet, seq: &[usize]) -> bool {
-        let mut include = past.clone();
-        include.insert(e);
-        let mut visible = BitSet::new(self.n);
-        visible.insert(e);
-        let mut order: Vec<usize> = seq.iter().copied().filter(|x| past.contains(*x)).collect();
-        order.push(e);
-        let dummy = Relation::empty(0); // replay ignores order rows
-        let q = LinQuery {
-            adt: self.adt,
-            labels: &self.labels,
-            pasts: &dummy,
-            include: &include,
-            visible: &visible,
-        };
-        q.replay(&order)
+        let mut state = self.adt.initial();
+        for &x in seq {
+            if past.contains(x) {
+                state = self.adt.transition(&state, &self.labels[x].0);
+            }
+        }
+        let (input, out) = &self.labels[e];
+        match out {
+            Some(expected) => self.adt.output_matches(&state, input, expected),
+            None => true,
+        }
     }
 
     /// Placement-order-sensitive hash: the sequence of placed *updates*
     /// plus all past rows (query positions are unobservable).
     fn state_hash(&self, placed: &BitSet, pasts: &[BitSet], seq: &[usize]) -> u64 {
-        let mut h = Fnv::default();
+        // (kept order-sensitive: two placements differing only in
+        // update order must not collapse in the memo)
+        let mut h = MixHasher::default();
         placed.hash(&mut h);
         for &e in seq.iter().filter(|&&e| self.is_update[e]) {
             e.hash(&mut h);

@@ -57,13 +57,7 @@ pub fn check_cm(mem: &Memory, h: &History<MemInput, MemOutput>, budget: &Budget)
     let chains = h.maximal_chains(budget.max_chains);
     let chain_sets: Vec<BitSet> = chains
         .iter()
-        .map(|chain| {
-            let mut s = BitSet::new(n);
-            for e in chain {
-                s.insert(e.idx());
-            }
-            s
-        })
+        .map(|chain| BitSet::with_capacity_from(chain.iter().map(|e| e.idx()), n))
         .collect();
 
     let mut nodes = budget.max_nodes;

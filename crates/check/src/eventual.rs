@@ -52,7 +52,7 @@ pub fn check_quiescent_convergence<T: Adt>(
     }
     let mut nodes = budget.max_nodes;
     let mut memo: HashSet<(BitSet, T::State)> = HashSet::new();
-    let done = BitSet::new(n);
+    let mut done = BitSet::new(n);
     let outcome = dfs(
         adt,
         h,
@@ -60,8 +60,8 @@ pub fn check_quiescent_convergence<T: Adt>(
         &uset,
         stable,
         mode,
-        done,
-        adt.initial(),
+        &mut done,
+        &adt.initial(),
         &mut memo,
         &mut nodes,
     );
@@ -73,6 +73,9 @@ pub fn check_quiescent_convergence<T: Adt>(
     }
 }
 
+/// Mutate-and-undo DFS: `done` is updated in place around each
+/// recursive call (and always restored), so only the memo keys are
+/// cloned.
 #[allow(clippy::too_many_arguments)]
 fn dfs<T: Adt>(
     adt: &T,
@@ -81,16 +84,16 @@ fn dfs<T: Adt>(
     uset: &BitSet,
     stable: &[EventId],
     mode: UpdateOrderMode,
-    done: BitSet,
-    state: T::State,
+    done: &mut BitSet,
+    state: &T::State,
     memo: &mut HashSet<(BitSet, T::State)>,
     nodes: &mut u64,
 ) -> Option<bool> {
-    if done == *uset {
+    if done == uset {
         let ok = stable.iter().all(|&q| {
             let l = h.label(q);
             match &l.output {
-                Some(expected) => adt.output(&state, &l.input) == *expected,
+                Some(expected) => adt.output_matches(state, &l.input, expected),
                 None => true,
             }
         });
@@ -108,19 +111,29 @@ fn dfs<T: Adt>(
         if done.contains(u) {
             continue;
         }
-        if mode == UpdateOrderMode::ProgramOrder {
-            let mut preds = h.prog_past(EventId(u as u32)).clone();
-            preds.intersect_with(uset);
-            if !preds.is_subset(&done) {
-                continue;
-            }
+        if mode == UpdateOrderMode::ProgramOrder
+            && !h
+                .prog_past(EventId(u as u32))
+                .subset_of_with_mask(done, uset)
+        {
+            continue;
         }
-        let next_state = adt.transition(&state, &labels[u].0);
-        let mut next_done = done.clone();
-        next_done.insert(u);
-        match dfs(
-            adt, h, labels, uset, stable, mode, next_done, next_state, memo, nodes,
-        ) {
+        let next_state = adt.transition(state, &labels[u].0);
+        done.insert(u);
+        let r = dfs(
+            adt,
+            h,
+            labels,
+            uset,
+            stable,
+            mode,
+            done,
+            &next_state,
+            memo,
+            nodes,
+        );
+        done.remove(u);
+        match r {
             Some(true) => return Some(true),
             Some(false) => {}
             None => out_of_budget = true,

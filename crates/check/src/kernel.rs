@@ -19,10 +19,25 @@
 //!    set.
 //! 2. The order is consulted only between retained events (again sound
 //!    thanks to transitive closure).
+//!
+//! ## Allocation discipline
+//!
+//! The DFS is **mutate-and-undo**: a single `done` set is updated in
+//! place around each recursive call, the ready frontier (retained
+//! events whose retained predecessors are all done) is maintained
+//! incrementally via per-event missing-predecessor counters over a
+//! precomputed successor CSR, and the memo stores seeded 64-bit hashes
+//! — the done-set part Zobrist-maintained, the ADT-state part hashed
+//! once per node — instead of owned `(BitSet, State)` keys. The
+//! steady-state path allocates nothing beyond what `δ` itself clones;
+//! only query setup (reduction, CSR) touches the allocator. The u64
+//! memo admits a ~`nodes²/2⁶⁴` collision probability (a collision can
+//! prune a live branch); [`crate::kernel_ref`] retains the exact
+//! owned-key search as a differential oracle.
 
 use cbm_adt::{Adt, OpKind};
-use cbm_history::BitSet;
-use std::collections::HashSet;
+use cbm_history::{mix64, BitSet, MixHasher, U64Set};
+use std::hash::{Hash, Hasher};
 
 /// Search verdict of a single kernel query or of a full criterion check.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -80,11 +95,10 @@ pub struct LinQuery<'a, T: Adt, P: Pasts + ?Sized> {
 }
 
 impl<'a, T: Adt, P: Pasts + ?Sized> LinQuery<'a, T, P> {
-    /// Run the search. `nodes` is decremented per explored node; on
-    /// reaching zero the query gives up with [`Outcome::Unknown`].
-    pub fn run(&self, nodes: &mut u64) -> Outcome {
+    /// Compute the retained event set (reduction 1): constrained
+    /// outputs and updates, restricted to `include`.
+    pub(crate) fn effective_set(&self) -> BitSet {
         let n = self.labels.len();
-        // Reduction 1: drop unconstrained non-updates.
         let mut eff = BitSet::new(n);
         for e in self.include.iter() {
             let (input, out) = &self.labels[e];
@@ -93,70 +107,43 @@ impl<'a, T: Adt, P: Pasts + ?Sized> LinQuery<'a, T, P> {
                 eff.insert(e);
             }
         }
-        let mut memo: HashSet<(BitSet, T::State)> = HashSet::new();
-        let mut seq = Vec::with_capacity(eff.count());
-        let done = BitSet::new(n);
+        eff
+    }
+
+    /// Run the search. `nodes` is decremented per explored node; on
+    /// reaching zero the query gives up with [`Outcome::Unknown`].
+    pub fn run(&self, nodes: &mut u64) -> Outcome {
+        let mut scratch = KernelScratch::default();
+        self.run_with(&mut scratch, nodes)
+    }
+
+    /// [`LinQuery::run`] with caller-owned scratch buffers. Callers
+    /// issuing many queries over the same arena (the causal searchers)
+    /// reuse one [`KernelScratch`] so per-query setup stops touching
+    /// the allocator after the first call.
+    pub fn run_with(&self, scratch: &mut KernelScratch, nodes: &mut u64) -> Outcome {
+        let eff = self.effective_set();
+        let mut search = Dfs::new(self, eff, scratch);
         let state = self.adt.initial();
-        match self.dfs(&eff, done, state, &mut seq, &mut memo, nodes) {
-            DfsResult::Found => Outcome::Sat(seq),
+        match search.dfs(&state, nodes) {
+            DfsResult::Found => Outcome::Sat(search.s.seq.clone()),
             DfsResult::Exhausted => Outcome::Unsat,
             DfsResult::OutOfBudget => Outcome::Unknown,
         }
     }
 
-    fn dfs(
-        &self,
-        eff: &BitSet,
-        done: BitSet,
-        state: T::State,
-        seq: &mut Vec<usize>,
-        memo: &mut HashSet<(BitSet, T::State)>,
-        nodes: &mut u64,
-    ) -> DfsResult {
-        if done == *eff {
-            return DfsResult::Found;
-        }
-        if *nodes == 0 {
-            return DfsResult::OutOfBudget;
-        }
-        *nodes -= 1;
-        if !memo.insert((done.clone(), state.clone())) {
-            return DfsResult::Exhausted;
-        }
-        let mut ran_out = false;
-        for e in eff.iter() {
-            if done.contains(e) {
-                continue;
-            }
-            // all retained predecessors must be done
-            let mut preds = self.pasts.past_of(e).clone();
-            preds.intersect_with(eff);
-            if !preds.is_subset(&done) {
-                continue;
-            }
-            let (input, out) = &self.labels[e];
-            if self.visible.contains(e) {
-                if let Some(expected) = out {
-                    if self.adt.output(&state, input) != *expected {
-                        continue;
-                    }
-                }
-            }
-            let next_state = self.adt.transition(&state, input);
-            let mut next_done = done.clone();
-            next_done.insert(e);
-            seq.push(e);
-            match self.dfs(eff, next_done, next_state, seq, memo, nodes) {
-                DfsResult::Found => return DfsResult::Found,
-                DfsResult::Exhausted => {}
-                DfsResult::OutOfBudget => ran_out = true,
-            }
-            seq.pop();
-        }
-        if ran_out {
-            DfsResult::OutOfBudget
-        } else {
-            DfsResult::Exhausted
+    /// Decide satisfiability without materializing the witness
+    /// sequence — the checkers that only need yes/no (PC, the causal
+    /// searchers' per-event conditions) use this to skip the final
+    /// `Vec` clone of [`LinQuery::run_with`].
+    pub fn decide_with(&self, scratch: &mut KernelScratch, nodes: &mut u64) -> Outcome {
+        let eff = self.effective_set();
+        let mut search = Dfs::new(self, eff, scratch);
+        let state = self.adt.initial();
+        match search.dfs(&state, nodes) {
+            DfsResult::Found => Outcome::Sat(Vec::new()),
+            DfsResult::Exhausted => Outcome::Unsat,
+            DfsResult::OutOfBudget => Outcome::Unknown,
         }
     }
 
@@ -174,7 +161,7 @@ impl<'a, T: Adt, P: Pasts + ?Sized> LinQuery<'a, T, P> {
             let (input, out) = &self.labels[e];
             if self.visible.contains(e) {
                 if let Some(expected) = out {
-                    if self.adt.output(&state, input) != *expected {
+                    if !self.adt.output_matches(&state, input, expected) {
                         return false;
                     }
                 }
@@ -189,6 +176,215 @@ enum DfsResult {
     Found,
     Exhausted,
     OutOfBudget,
+}
+
+/// Seed for the per-event Zobrist keys of the done-set hash.
+const ZOBRIST_SEED: u64 = 0xC0FF_EE00_5EED_0001;
+
+/// Reusable buffers for [`LinQuery::run_with`]. One search's working
+/// state: the done/ready sets, the successor CSR with
+/// missing-predecessor counters, the shared candidate stack, the
+/// witness sequence, and the memo. Reusing one of these across many
+/// queries keeps the per-query setup allocation-free once the buffers
+/// have grown to the arena size.
+#[derive(Default)]
+pub struct KernelScratch {
+    done: BitSet,
+    ready: BitSet,
+    /// CSR of retained successor lists: for retained `p`,
+    /// `succ_dat[succ_off[p]..succ_off[p+1]]` are the retained events
+    /// whose past contains `p`.
+    succ_off: Vec<u32>,
+    succ_dat: Vec<u32>,
+    /// Per-event count of retained predecessors not yet done.
+    missing: Vec<u32>,
+    /// Shared candidate stack: each dfs level snapshots its ready set
+    /// into a `[mark..]` suffix and truncates on exit, so no per-node
+    /// vector is allocated.
+    cand: Vec<u32>,
+    /// The linearization being built (the eventual witness).
+    seq: Vec<usize>,
+    /// Seeded-hash memo over `(done, state)`.
+    memo: U64Set,
+}
+
+/// Mutable search state for one [`LinQuery::run_with`]. All buffer
+/// growth happens in [`Dfs::new`]; the recursion itself only mutates
+/// in place and undoes on the way back up.
+struct Dfs<'q, 'a, 's, T: Adt, P: Pasts + ?Sized> {
+    q: &'q LinQuery<'a, T, P>,
+    s: &'s mut KernelScratch,
+    /// Cardinality of the retained event set (reduction 1).
+    eff_count: usize,
+    done_count: usize,
+    /// Zobrist hash of `done`, maintained incrementally.
+    done_hash: u64,
+}
+
+impl<'q, 'a, 's, T: Adt, P: Pasts + ?Sized> Dfs<'q, 'a, 's, T, P> {
+    fn new(q: &'q LinQuery<'a, T, P>, eff: BitSet, s: &'s mut KernelScratch) -> Self {
+        let n = q.labels.len();
+        let eff_count = eff.count();
+        // Build the retained-successor CSR and missing-pred counters.
+        s.missing.clear();
+        s.missing.resize(n, 0);
+        s.succ_off.clear();
+        s.succ_off.resize(n + 1, 0);
+        for e in eff.iter() {
+            for p in q.pasts.past_of(e).iter() {
+                if eff.contains(p) {
+                    s.succ_off[p + 1] += 1;
+                    s.missing[e] += 1;
+                }
+            }
+        }
+        for i in 0..n {
+            s.succ_off[i + 1] += s.succ_off[i];
+        }
+        let total = s.succ_off[n] as usize;
+        s.succ_dat.clear();
+        s.succ_dat.resize(total, 0);
+        // second pass: fill, using missing-of-p? no — use a cursor over
+        // succ_off copies kept in cand (repurposed as temporary space)
+        s.cand.clear();
+        s.cand.extend_from_slice(&s.succ_off[..n]);
+        for e in eff.iter() {
+            for p in q.pasts.past_of(e).iter() {
+                if eff.contains(p) {
+                    s.succ_dat[s.cand[p] as usize] = e as u32;
+                    s.cand[p] += 1;
+                }
+            }
+        }
+        s.cand.clear();
+        if s.ready.capacity() == n {
+            s.ready.clear();
+            s.done.clear();
+        } else {
+            s.ready = BitSet::new(n);
+            s.done = BitSet::new(n);
+        }
+        for e in eff.iter() {
+            if s.missing[e] == 0 {
+                s.ready.insert(e);
+            }
+        }
+        s.seq.clear();
+        s.memo.clear();
+        Dfs {
+            q,
+            s,
+            eff_count,
+            done_count: 0,
+            done_hash: 0,
+        }
+    }
+
+    #[inline]
+    fn zobrist(e: usize) -> u64 {
+        mix64(ZOBRIST_SEED ^ e as u64)
+    }
+
+    /// Memo key of the current `(done, state)` pair.
+    #[inline]
+    fn node_key(&self, state: &T::State) -> u64 {
+        let mut h = MixHasher::default();
+        state.hash(&mut h);
+        mix64(self.done_hash ^ h.finish().rotate_left(32))
+    }
+
+    /// Linearize `e`: update done set, hash, frontier, and witness.
+    fn place(&mut self, e: usize) {
+        let s = &mut *self.s;
+        s.done.insert(e);
+        self.done_count += 1;
+        self.done_hash ^= Self::zobrist(e);
+        s.ready.remove(e);
+        s.seq.push(e);
+        let (lo, hi) = (s.succ_off[e] as usize, s.succ_off[e + 1] as usize);
+        for i in lo..hi {
+            let f = s.succ_dat[i] as usize;
+            s.missing[f] -= 1;
+            if s.missing[f] == 0 && !s.done.contains(f) {
+                s.ready.insert(f);
+            }
+        }
+    }
+
+    /// Exact inverse of [`Dfs::place`].
+    fn unplace(&mut self, e: usize) {
+        let s = &mut *self.s;
+        let (lo, hi) = (s.succ_off[e] as usize, s.succ_off[e + 1] as usize);
+        for i in lo..hi {
+            let f = s.succ_dat[i] as usize;
+            if s.missing[f] == 0 {
+                s.ready.remove(f);
+            }
+            s.missing[f] += 1;
+        }
+        s.seq.pop();
+        s.ready.insert(e);
+        self.done_hash ^= Self::zobrist(e);
+        self.done_count -= 1;
+        s.done.remove(e);
+    }
+
+    fn dfs(&mut self, state: &T::State, nodes: &mut u64) -> DfsResult {
+        if self.done_count == self.eff_count {
+            return DfsResult::Found;
+        }
+        if *nodes == 0 {
+            return DfsResult::OutOfBudget;
+        }
+        *nodes -= 1;
+        let key = self.node_key(state);
+        if !self.s.memo.insert(key) {
+            return DfsResult::Exhausted;
+        }
+        // Snapshot the frontier: recursion mutates `ready`, but undoes
+        // its changes, so the suffix stays valid across iterations.
+        let mark = self.s.cand.len();
+        {
+            let s = &mut *self.s;
+            for e in s.ready.iter() {
+                s.cand.push(e as u32);
+            }
+        }
+        let end = self.s.cand.len();
+        let mut ran_out = false;
+        for i in mark..end {
+            let e = self.s.cand[i] as usize;
+            let (input, out) = &self.q.labels[e];
+            if self.q.visible.contains(e) {
+                if let Some(expected) = out {
+                    if !self.q.adt.output_matches(state, input, expected) {
+                        continue;
+                    }
+                }
+            }
+            // Leaf shortcut: placing the last retained event completes
+            // the linearization; skip the needless transition clone.
+            if self.done_count + 1 == self.eff_count {
+                self.s.seq.push(e);
+                return DfsResult::Found;
+            }
+            let next_state = self.q.adt.transition(state, input);
+            self.place(e);
+            let r = self.dfs(&next_state, nodes);
+            match r {
+                DfsResult::Found => return DfsResult::Found,
+                DfsResult::Exhausted => {}
+                DfsResult::OutOfBudget => ran_out = true,
+            }
+            self.unplace(e);
+        }
+        self.s.cand.truncate(mark);
+        if ran_out {
+            DfsResult::OutOfBudget
+        } else {
+            DfsResult::Exhausted
+        }
+    }
 }
 
 /// Helper: does the input-kind make the event a potential read (i.e. an

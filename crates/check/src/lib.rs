@@ -59,6 +59,7 @@ pub mod cm;
 pub mod eventual;
 pub mod figures;
 pub mod kernel;
+pub mod kernel_ref;
 pub mod pc;
 pub mod sc;
 pub mod session;

@@ -6,7 +6,7 @@
 //! the *program order* and the outputs of *its own* events (the return
 //! values of all other events are hidden by the projection).
 
-use crate::kernel::{LinQuery, Outcome};
+use crate::kernel::{KernelScratch, LinQuery, Outcome};
 use crate::{label_table, Budget, CheckResult, Verdict};
 use cbm_adt::Adt;
 use cbm_history::{BitSet, History};
@@ -18,11 +18,9 @@ pub fn check_pc<T: Adt>(adt: &T, h: &History<T::Input, T::Output>, budget: &Budg
     let chains = h.maximal_chains(budget.max_chains);
     let mut nodes = budget.max_nodes;
     let mut unknown = false;
+    let mut scratch = KernelScratch::default();
     for chain in &chains {
-        let mut visible = BitSet::new(h.len());
-        for e in chain {
-            visible.insert(e.idx());
-        }
+        let visible = BitSet::with_capacity_from(chain.iter().map(|e| e.idx()), h.len());
         let q = LinQuery {
             adt,
             labels: &labels,
@@ -30,7 +28,7 @@ pub fn check_pc<T: Adt>(adt: &T, h: &History<T::Input, T::Output>, budget: &Budg
             include: &include,
             visible: &visible,
         };
-        match q.run(&mut nodes) {
+        match q.decide_with(&mut scratch, &mut nodes) {
             Outcome::Sat(_) => {}
             Outcome::Unsat => return CheckResult::new(Verdict::Unsat, budget.max_nodes - nodes),
             Outcome::Unknown => unknown = true,

@@ -43,8 +43,9 @@ pub fn check_sc_constrained<T: Adt>(
     budget: &Budget,
 ) -> CheckResult {
     let labels = label_table::<T>(h);
-    let include = h.all_set();
-    let visible = h.all_set();
+    // Everything is linearized and every output checked: one set
+    // serves as both `include` and `visible`.
+    let all = h.all_set();
     let mut nodes = budget.max_nodes;
 
     let combined;
@@ -66,8 +67,8 @@ pub fn check_sc_constrained<T: Adt>(
         adt,
         labels: &labels,
         pasts,
-        include: &include,
-        visible: &visible,
+        include: &all,
+        visible: &all,
     };
     let outcome = q.run(&mut nodes);
     let used = budget.max_nodes - nodes;

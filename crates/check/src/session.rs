@@ -74,9 +74,12 @@ pub fn check_session_guarantees(
             }
         }
     }
-    // src[e] = Some(writer) for reads of non-default values
+    // src[e] = Some(writer) for reads of non-default values; the
+    // is_read/is_write/reg_of tables are precomputed once so the
+    // guarantee loops below stop re-matching labels per pair.
     let mut src: Vec<Option<usize>> = vec![None; n];
     let mut is_read = vec![false; n];
+    let mut is_write = vec![false; n];
     let mut reg_of = vec![usize::MAX; n];
     for e in 0..n {
         let l = h.label(EventId(e as u32));
@@ -92,6 +95,7 @@ pub fn check_session_guarantees(
                 }
             }
             (MemInput::Write(x, _), _) => {
+                is_write[e] = true;
                 reg_of[e] = *x;
             }
             _ => {}
@@ -132,9 +136,8 @@ pub fn check_session_guarantees(
         }
         // RYW: for each own earlier write on the same register
         for w in 0..n {
-            if reg_of[w] == reg_of[r]
-                && !is_read[w]
-                && matches!(h.label(EventId(w as u32)).input, MemInput::Write(..))
+            if is_write[w]
+                && reg_of[w] == reg_of[r]
                 && h.prog().lt(w, r)
                 && older(src[r], w, &kappa)
             {
@@ -160,16 +163,14 @@ pub fn check_session_guarantees(
     // MW: w1 ↦ w2 (writes), some read observes w2, later same-session
     // reads of w1's register must not be older than w1.
     for w1 in 0..n {
-        let MemInput::Write(x1, _) = h.label(EventId(w1 as u32)).input else {
+        if !is_write[w1] {
             continue;
-        };
+        }
+        let x1 = reg_of[w1];
         for w2 in 0..n {
-            if w1 == w2 || !h.prog().lt(w1, w2) {
+            if !is_write[w2] || w1 == w2 || !h.prog().lt(w1, w2) {
                 continue;
             }
-            let MemInput::Write(..) = h.label(EventId(w2 as u32)).input else {
-                continue;
-            };
             for r2 in 0..n {
                 if src[r2] != Some(w2) {
                     continue;
@@ -192,12 +193,9 @@ pub fn check_session_guarantees(
     for r1 in 0..n {
         let Some(w_old) = src[r1] else { continue };
         for w2 in 0..n {
-            if !h.prog().lt(r1, w2) {
+            if !is_write[w2] || !h.prog().lt(r1, w2) {
                 continue;
             }
-            let MemInput::Write(..) = h.label(EventId(w2 as u32)).input else {
-                continue;
-            };
             for r2 in 0..n {
                 if src[r2] != Some(w2) {
                     continue;

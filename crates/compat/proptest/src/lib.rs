@@ -75,6 +75,28 @@ pub mod collection {
     }
 }
 
+/// Boolean strategies (`proptest::bool::ANY`).
+pub mod bool {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRunner;
+    use rand::Rng;
+
+    /// Strategy producing uniformly random booleans.
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any;
+
+    /// The canonical boolean strategy.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+
+        fn generate(&self, runner: &mut TestRunner) -> bool {
+            runner.rng().gen_range(0u8..2) == 1
+        }
+    }
+}
+
 /// Sampling strategies (`proptest::sample::subsequence`).
 pub mod sample {
     use crate::strategy::Strategy;
@@ -130,6 +152,7 @@ pub mod prelude {
 
     /// The `prop::` module alias exported by proptest's prelude.
     pub mod prop {
+        pub use crate::bool;
         pub use crate::collection;
         pub use crate::sample;
         pub use crate::strategy;

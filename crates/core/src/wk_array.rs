@@ -116,8 +116,8 @@ impl Replica<WindowArray> for WkArrayCc {
         applied.extend(self.receive(msg));
     }
 
-    fn local_state(&self) -> Vec<Vec<Value>> {
-        self.streams.clone()
+    fn local_state(&self) -> Vec<Value> {
+        self.streams.concat()
     }
 
     fn msg_size(&self, msg: &Self::Msg) -> usize {
@@ -289,8 +289,8 @@ impl Replica<WindowArray> for WkArrayCcv {
         applied.extend(self.receive(msg));
     }
 
-    fn local_state(&self) -> Vec<Vec<Value>> {
-        (0..self.streams.len()).map(|x| self.read(x)).collect()
+    fn local_state(&self) -> Vec<Value> {
+        (0..self.streams.len()).flat_map(|x| self.read(x)).collect()
     }
 
     fn msg_size(&self, msg: &Self::Msg) -> usize {
@@ -335,8 +335,9 @@ mod tests {
             spec.invoke(i as u64, &WaInput::Write(*x, *v), &mut out);
             fig4.write(i as u64, *x, *v);
         }
+        let spec_state = spec.local_state();
         for x in 0..3 {
-            assert_eq!(spec.local_state()[x], fig4.read(x));
+            assert_eq!(spec_state[x * 2..(x + 1) * 2], fig4.read(x));
         }
     }
 

@@ -59,6 +59,6 @@ pub mod zones;
 pub use bitset::BitSet;
 pub use builder::HistoryBuilder;
 pub use event::{EventId, Label, ProcId};
-pub use hash::Fnv;
+pub use hash::{mix64, Fnv, MixHasher, NoHash, U64Map, U64Set};
 pub use history::History;
 pub use order::Relation;

@@ -42,6 +42,26 @@ impl Relation {
         r.is_acyclic().then_some(r)
     }
 
+    /// Adopt per-event predecessor rows that are **already transitively
+    /// closed and acyclic** (e.g. the causal searchers' witness rows,
+    /// closed by construction). Debug builds verify both invariants;
+    /// release builds trust the caller and skip the `O(n²)` closure
+    /// pass of [`Relation::from_edges`].
+    pub fn from_closed_rows(past: Vec<BitSet>) -> Self {
+        let r = Relation { past };
+        debug_assert!(r.is_acyclic(), "from_closed_rows: cyclic rows");
+        #[cfg(debug_assertions)]
+        {
+            let mut closed = r.clone();
+            closed.close_transitive();
+            debug_assert!(
+                closed == r,
+                "from_closed_rows: rows are not transitively closed"
+            );
+        }
+        r
+    }
+
     /// Build a total order from a permutation of `0..n` (`order[i]` is
     /// the `i`-th event).
     pub fn total_from_sequence(n: usize, order: &[usize]) -> Self {
