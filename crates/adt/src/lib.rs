@@ -54,6 +54,7 @@
 //! | [`AddRemSet`](set::AddRemSet) | [`set`] | non-commutative set (add/remove/contains) |
 //! | [`AppendLog`](log::AppendLog) | [`log`] | append-only sequence (collaborative-editing substrate) |
 //! | [`KvStore`](kv::KvStore) | [`kv`] | put/get/del/scan map (multi-key queries beyond Def. 10's memory) |
+//! | [`ObjectSpace`](space::ObjectSpace) | [`space`] | a whole multi-object space of any base type as one composite ADT (the `cbm-store` object model) |
 //!
 //! ## Update / query classification
 //!
@@ -75,6 +76,7 @@ pub mod memory;
 pub mod queue;
 pub mod register;
 pub mod set;
+pub mod space;
 pub mod stack;
 pub mod window;
 pub mod word;
@@ -92,6 +94,7 @@ pub mod prelude {
     pub use crate::queue::{FifoQueue, HdRhQueue, QInput, QOutput, QpInput, QpOutput};
     pub use crate::register::{RegInput, RegOutput, Register};
     pub use crate::set::{AddRemSet, SetInput, SetOutput};
+    pub use crate::space::{ObjId, ObjectSpace, SpaceInput};
     pub use crate::stack::{SkInput, SkOutput, Stack};
     pub use crate::window::{WInput, WOutput, WaInput, WaOutput, WindowArray, WindowStream};
     pub use crate::word::{accepts, run_inputs, Sym};

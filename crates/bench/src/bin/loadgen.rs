@@ -1,0 +1,478 @@
+//! Drive the live store engine (`cbm-store`) across a workload matrix
+//! and emit the committed throughput baseline (`BENCH_throughput.json`).
+//!
+//! ```text
+//! loadgen [--quick] [--out PATH]
+//!         [--workers N] [--objects N] [--ops N] [--read-ratio R]
+//!         [--batch N|off] [--mode cc|ccv] [--seed S]
+//! ```
+//!
+//! With no workload flags, runs the **fixed matrix** (threads ×
+//! objects × read-ratio × batching × mode) and writes one JSON
+//! document; passing any workload flag runs that single configuration
+//! instead. Two consumers:
+//!
+//! * **the perf trajectory** — the matrix output is committed at the
+//!   repo root as `BENCH_throughput.json`, the second axis next to
+//!   `BENCH_checker.json`: future PRs regenerate it on the same
+//!   machine and diff ops/sec, latency percentiles, and message
+//!   counts. Message/batch/payload counts are **deterministic**
+//!   (rendezvous points are operation-counted, not timed), so those
+//!   columns diff exactly; wall-clock columns are machine-dependent.
+//! * **CI `throughput-smoke`** — runs `loadgen --quick` and fails on a
+//!   panic or on any failed sampled-window verification; wall times
+//!   never gate CI.
+//!
+//! Exit status: non-zero iff any leg reports a failed window or a
+//! drain-point divergence (convergent mode).
+
+use cbm_adt::register::RegInput;
+use cbm_adt::register::Register;
+use cbm_adt::space::SpaceInput;
+use cbm_store::{run, BatchPolicy, Mode, StoreConfig, StoreReport, VerifyConfig};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::process::ExitCode;
+
+/// One matrix cell.
+#[derive(Clone)]
+struct Leg {
+    name: String,
+    cfg: StoreConfig,
+    read_ratio: f64,
+}
+
+#[allow(clippy::too_many_arguments)] // a matrix-cell literal, not an API
+fn leg(
+    name: &str,
+    mode: Mode,
+    workers: usize,
+    objects: usize,
+    ops: usize,
+    batch: BatchPolicy,
+    read_ratio: f64,
+    verify_every: usize,
+    window_ops: usize,
+    seed: u64,
+) -> Leg {
+    Leg {
+        name: name.to_string(),
+        cfg: StoreConfig {
+            workers,
+            objects,
+            ops_per_worker: ops,
+            mode,
+            batch,
+            verify: VerifyConfig {
+                every_ops: verify_every,
+                window_ops,
+                sample_every: 1,
+            },
+            seed,
+        },
+        read_ratio,
+    }
+}
+
+/// The committed matrix: the headline 1M-op batched run, its unbatched
+/// twin (the ≥5× message-cut comparison), the convergent flavour, and
+/// threads / objects / read-ratio sweep legs.
+fn full_matrix() -> Vec<Leg> {
+    let b32 = BatchPolicy::Every(32);
+    vec![
+        leg(
+            "cc-4w-1024o-b32-r50",
+            Mode::Causal,
+            4,
+            1024,
+            250_000,
+            b32,
+            0.5,
+            50_000,
+            48,
+            42,
+        ),
+        leg(
+            "cc-4w-1024o-nobatch-r50",
+            Mode::Causal,
+            4,
+            1024,
+            250_000,
+            BatchPolicy::Off,
+            0.5,
+            50_000,
+            48,
+            42,
+        ),
+        leg(
+            "ccv-4w-1024o-b32-r50",
+            Mode::Convergent,
+            4,
+            1024,
+            250_000,
+            b32,
+            0.5,
+            50_000,
+            48,
+            42,
+        ),
+        leg(
+            "cc-2w-1024o-b32-r50",
+            Mode::Causal,
+            2,
+            1024,
+            250_000,
+            b32,
+            0.5,
+            50_000,
+            48,
+            42,
+        ),
+        leg(
+            "cc-8w-1024o-b32-r50",
+            Mode::Causal,
+            8,
+            1024,
+            125_000,
+            b32,
+            0.5,
+            25_000,
+            48,
+            42,
+        ),
+        leg(
+            "cc-4w-64o-b32-r50",
+            Mode::Causal,
+            4,
+            64,
+            250_000,
+            b32,
+            0.5,
+            50_000,
+            48,
+            42,
+        ),
+        leg(
+            "cc-4w-1024o-b32-r90",
+            Mode::Causal,
+            4,
+            1024,
+            250_000,
+            b32,
+            0.9,
+            50_000,
+            48,
+            42,
+        ),
+    ]
+}
+
+/// CI smoke matrix: small enough for a debug-capable runner, still one
+/// leg per mode plus the unbatched comparison.
+fn quick_matrix() -> Vec<Leg> {
+    let b8 = BatchPolicy::Every(8);
+    vec![
+        leg(
+            "cc-4w-64o-b8-r50-quick",
+            Mode::Causal,
+            4,
+            64,
+            4_000,
+            b8,
+            0.5,
+            1_000,
+            24,
+            42,
+        ),
+        leg(
+            "cc-4w-64o-nobatch-r50-quick",
+            Mode::Causal,
+            4,
+            64,
+            4_000,
+            BatchPolicy::Off,
+            0.5,
+            1_000,
+            24,
+            42,
+        ),
+        leg(
+            "ccv-4w-64o-b8-r50-quick",
+            Mode::Convergent,
+            4,
+            64,
+            4_000,
+            b8,
+            0.5,
+            1_000,
+            24,
+            42,
+        ),
+    ]
+}
+
+fn run_leg(l: &Leg) -> StoreReport {
+    let objects = l.cfg.objects as u32;
+    let read_ratio = l.read_ratio;
+    run(&Register, &l.cfg, move |_, _, rng: &mut StdRng| {
+        let obj = rng.gen_range(0u32..objects);
+        if rng.gen_bool(read_ratio) {
+            SpaceInput::new(obj, RegInput::Read)
+        } else {
+            SpaceInput::new(obj, RegInput::Write(rng.gen_range(1u64..1_000_000)))
+        }
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_throughput.json");
+    let mut custom = StoreConfig::default();
+    let mut custom_read_ratio = 0.5;
+    let mut is_custom = false;
+
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let next_usize = |flag: &str, it: &mut std::slice::Iter<String>| -> Option<usize> {
+            let v = it.next().and_then(|v| v.parse().ok());
+            if v.is_none() {
+                eprintln!("{flag} needs a number");
+            }
+            v
+        };
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("--out needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--workers" => match next_usize("--workers", &mut it) {
+                Some(v) => {
+                    custom.workers = v;
+                    is_custom = true;
+                }
+                None => return ExitCode::from(2),
+            },
+            "--objects" => match next_usize("--objects", &mut it) {
+                Some(v) => {
+                    custom.objects = v.max(1);
+                    is_custom = true;
+                }
+                None => return ExitCode::from(2),
+            },
+            "--ops" => match next_usize("--ops", &mut it) {
+                Some(v) => {
+                    custom.ops_per_worker = v;
+                    is_custom = true;
+                }
+                None => return ExitCode::from(2),
+            },
+            "--read-ratio" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) => {
+                    custom_read_ratio = v.clamp(0.0, 1.0);
+                    is_custom = true;
+                }
+                None => {
+                    eprintln!("--read-ratio needs a number in [0,1]");
+                    return ExitCode::from(2);
+                }
+            },
+            "--batch" => match it.next().map(String::as_str) {
+                Some("off") => {
+                    custom.batch = BatchPolicy::Off;
+                    is_custom = true;
+                }
+                Some(v) => match v.parse() {
+                    Ok(k) => {
+                        custom.batch = BatchPolicy::Every(k);
+                        is_custom = true;
+                    }
+                    Err(_) => {
+                        eprintln!("--batch needs a number or 'off'");
+                        return ExitCode::from(2);
+                    }
+                },
+                None => {
+                    eprintln!("--batch needs a number or 'off'");
+                    return ExitCode::from(2);
+                }
+            },
+            "--mode" => match it.next().map(String::as_str) {
+                Some("cc") => {
+                    custom.mode = Mode::Causal;
+                    is_custom = true;
+                }
+                Some("ccv") => {
+                    custom.mode = Mode::Convergent;
+                    is_custom = true;
+                }
+                _ => {
+                    eprintln!("--mode needs cc or ccv");
+                    return ExitCode::from(2);
+                }
+            },
+            "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(v) => {
+                    custom.seed = v;
+                    is_custom = true;
+                }
+                None => {
+                    eprintln!("--seed needs a number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "loadgen [--quick] [--out PATH] [--workers N] [--objects N] \
+                     [--ops N] [--read-ratio R] [--batch N|off] [--mode cc|ccv] [--seed S]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag '{other}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let legs: Vec<Leg> = if is_custom {
+        custom.verify.every_ops = custom
+            .verify
+            .every_ops
+            .min(custom.ops_per_worker / 2)
+            .max(1);
+        vec![Leg {
+            name: "custom".into(),
+            cfg: custom,
+            read_ratio: custom_read_ratio,
+        }]
+    } else if quick {
+        quick_matrix()
+    } else {
+        full_matrix()
+    };
+
+    let mut reports: Vec<(Leg, StoreReport)> = Vec::new();
+    let mut failures = 0usize;
+    for l in &legs {
+        eprint!("{} ... ", l.name);
+        let r = run_leg(l);
+        eprintln!(
+            "{:.0} ops/s, p50 {} ns, p99 {} ns, {} msgs, mean batch {:.1}, {} windows ({} failed)",
+            r.ops_per_sec,
+            r.latency.p50_ns,
+            r.latency.p99_ns,
+            r.msgs_sent,
+            r.mean_batch,
+            r.windows.len(),
+            r.windows_failed
+        );
+        for w in r.windows.iter().filter(|w| w.result.is_err()) {
+            eprintln!(
+                "  FAIL window {} [{}]: {:?}",
+                w.window, w.criterion, w.result
+            );
+        }
+        if !r.verified() {
+            failures += 1;
+        }
+        reports.push((l.clone(), r));
+    }
+
+    let json = render_json(quick, is_custom, &reports);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("could not write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path} ({} legs)", reports.len());
+
+    if failures > 0 {
+        eprintln!("loadgen: {failures} leg(s) failed verification");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Hand-rolled JSON (the offline `serde` stand-in has no serializer;
+/// the explicit schema doubles as documentation).
+fn render_json(quick: bool, custom: bool, reports: &[(Leg, StoreReport)]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"cbm-throughput-v1\",\n");
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str(&format!("  \"custom\": {custom},\n"));
+    s.push_str(
+        "  \"deterministic_columns\": [\"total_ops\", \"msgs_sent\", \"bytes_sent\", \
+         \"batches_sent\", \"payloads_sent\", \"mean_batch\", \"windows\"],\n",
+    );
+    s.push_str("  \"legs\": [\n");
+    for (i, (l, r)) in reports.iter().enumerate() {
+        let batch = match l.cfg.batch {
+            BatchPolicy::Off => "\"off\"".to_string(),
+            BatchPolicy::Every(k) => k.to_string(),
+        };
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"name\": \"{}\",\n", l.name));
+        s.push_str(&format!(
+            "      \"mode\": \"{}\",\n",
+            l.cfg.mode.criterion()
+        ));
+        s.push_str(&format!("      \"workers\": {},\n", l.cfg.workers));
+        s.push_str(&format!("      \"objects\": {},\n", l.cfg.objects));
+        s.push_str(&format!(
+            "      \"ops_per_worker\": {},\n",
+            l.cfg.ops_per_worker
+        ));
+        s.push_str(&format!("      \"read_ratio\": {},\n", l.read_ratio));
+        s.push_str(&format!("      \"batch\": {batch},\n"));
+        s.push_str(&format!("      \"seed\": {},\n", l.cfg.seed));
+        s.push_str(&format!("      \"total_ops\": {},\n", r.total_ops));
+        s.push_str(&format!("      \"wall_ms\": {},\n", r.wall_ns / 1_000_000));
+        s.push_str(&format!("      \"ops_per_sec\": {:.0},\n", r.ops_per_sec));
+        s.push_str(&format!("      \"p50_ns\": {},\n", r.latency.p50_ns));
+        s.push_str(&format!("      \"p99_ns\": {},\n", r.latency.p99_ns));
+        s.push_str(&format!("      \"max_ns\": {},\n", r.latency.max_ns));
+        s.push_str(&format!("      \"mean_ns\": {},\n", r.latency.mean_ns));
+        s.push_str(&format!("      \"msgs_sent\": {},\n", r.msgs_sent));
+        s.push_str(&format!("      \"bytes_sent\": {},\n", r.bytes_sent));
+        s.push_str(&format!("      \"batches_sent\": {},\n", r.batches_sent));
+        s.push_str(&format!("      \"payloads_sent\": {},\n", r.payloads_sent));
+        s.push_str(&format!("      \"mean_batch\": {:.2},\n", r.mean_batch));
+        s.push_str(&format!(
+            "      \"drains_converged\": {},\n",
+            r.drains_converged
+        ));
+        s.push_str(&format!(
+            "      \"windows_failed\": {},\n",
+            r.windows_failed
+        ));
+        s.push_str("      \"windows\": [\n");
+        for (j, w) in r.windows.iter().enumerate() {
+            let verdict = match &w.result {
+                Ok(()) => "\"ok\"".to_string(),
+                Err(e) => format!("\"{}\"", e.replace('"', "'")),
+            };
+            s.push_str(&format!(
+                "        {{\"window\": {}, \"criterion\": \"{}\", \"events\": {}, \"verdict\": {}}}{}\n",
+                w.window,
+                w.criterion,
+                w.events,
+                verdict,
+                if j + 1 < r.windows.len() { "," } else { "" }
+            ));
+        }
+        s.push_str("      ]\n");
+        s.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < reports.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}

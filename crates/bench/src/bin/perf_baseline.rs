@@ -1,7 +1,7 @@
 //! Emit the committed checker performance baseline (`BENCH_checker.json`).
 //!
 //! ```text
-//! perf_baseline [--quick] [--out PATH] [--iters N]
+//! perf_baseline [--quick] [--out PATH] [--iters N] [--gate PATH]
 //! ```
 //!
 //! Runs a **fixed workload matrix** — every generic criterion over the
@@ -16,14 +16,18 @@
 //!   repo root as `BENCH_checker.json`; future PRs regenerate it on
 //!   the same machine and diff `best_ns`/`nodes` to demonstrate (or
 //!   catch) checker-speed movement;
-//! * **CI `perf-smoke`** — runs `perf_baseline --quick` and fails on a
-//!   panic or on any `unknown` verdict in the matrix (an
-//!   "Unknown-storm" means a search regression blew the node budget);
-//!   wall times are recorded but **never** gate CI, since runner
-//!   hardware varies.
+//! * **CI `perf-smoke`** — runs `perf_baseline --quick --gate
+//!   BENCH_checker.json`: fails on a panic, on any `unknown` verdict
+//!   in the matrix (an "Unknown-storm" means a search regression blew
+//!   the node budget), or — the deterministic regression gate — when a
+//!   fresh cell's **search node count** exceeds the committed
+//!   baseline's by more than 10% (node counts are a pure function of
+//!   the seeded workload and the search, so they diff exactly across
+//!   machines). Wall times are recorded but **never** gate CI, since
+//!   runner hardware varies.
 //!
-//! Exit status: non-zero iff a verdict in the matrix is `unknown` or a
-//! scenario run fails verification.
+//! Exit status: non-zero iff a verdict in the matrix is `unknown`, a
+//! scenario run fails verification, or the node gate trips.
 
 use cbm_bench::{recorded_window_adt, recorded_window_history};
 use cbm_check::{check, Budget, Criterion, Verdict};
@@ -53,6 +57,7 @@ fn main() -> ExitCode {
     let mut quick = false;
     let mut out_path = String::from("BENCH_checker.json");
     let mut iters: u32 = 0;
+    let mut gate_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -64,6 +69,13 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--gate" => match it.next() {
+                Some(p) => gate_path = Some(p.clone()),
+                None => {
+                    eprintln!("--gate needs a path");
+                    return ExitCode::from(2);
+                }
+            },
             "--iters" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(n) => iters = n,
                 None => {
@@ -72,7 +84,7 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                println!("perf_baseline [--quick] [--out PATH] [--iters N]");
+                println!("perf_baseline [--quick] [--out PATH] [--iters N] [--gate PATH]");
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -168,14 +180,98 @@ fn main() -> ExitCode {
         );
     }
 
-    if unknowns > 0 || scen_failures > 0 {
+    // --- Node-count regression gate -------------------------------------
+    let mut gate_failures = 0usize;
+    if let Some(path) = gate_path {
+        match std::fs::read_to_string(&path) {
+            Err(e) => {
+                eprintln!("could not read gate baseline {path}: {e}");
+                gate_failures += 1;
+            }
+            Ok(baseline) => {
+                let committed = parse_checker_nodes(&baseline);
+                if committed.is_empty() {
+                    eprintln!("gate baseline {path} has no checker cells");
+                    gate_failures += 1;
+                }
+                let mut compared = 0usize;
+                for c in &cells {
+                    let Some(&base_nodes) =
+                        committed.get(&(c.criterion.to_string(), c.ops_per_proc))
+                    else {
+                        continue; // quick runs cover a subset of the committed matrix
+                    };
+                    compared += 1;
+                    // >10% growth fails; node counts are deterministic, so
+                    // this is machine-independent (wall times never gate)
+                    if c.nodes * 10 > base_nodes * 11 {
+                        gate_failures += 1;
+                        eprintln!(
+                            "NODE REGRESSION: {} at {} ops/proc used {} nodes vs committed {} (+{:.0}%)",
+                            c.criterion,
+                            c.ops_per_proc,
+                            c.nodes,
+                            base_nodes,
+                            (c.nodes as f64 / base_nodes as f64 - 1.0) * 100.0
+                        );
+                    }
+                }
+                if compared == 0 {
+                    eprintln!("gate baseline {path} shares no cells with this run's matrix");
+                    gate_failures += 1;
+                }
+                println!("node gate: {compared} cell(s) compared against {path}");
+            }
+        }
+    }
+
+    if unknowns > 0 || scen_failures > 0 || gate_failures > 0 {
         eprintln!(
-            "perf_baseline: {unknowns} unknown verdict(s), {scen_failures} scenario failure(s)"
+            "perf_baseline: {unknowns} unknown verdict(s), {scen_failures} scenario failure(s), \
+             {gate_failures} gate failure(s)"
         );
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Extract `(criterion, ops_per_proc) -> nodes` from a committed
+/// baseline document (the offline `serde` stand-in has no
+/// deserializer; the emitter writes one checker cell per line, which
+/// this scanner relies on).
+fn parse_checker_nodes(json: &str) -> std::collections::HashMap<(String, usize), u64> {
+    let mut out = std::collections::HashMap::new();
+    for line in json.lines() {
+        let Some(criterion) = field_str(line, "criterion") else {
+            continue;
+        };
+        let (Some(ops), Some(nodes)) = (field_u64(line, "ops_per_proc"), field_u64(line, "nodes"))
+        else {
+            continue;
+        };
+        out.insert((criterion, ops as usize), nodes);
+    }
+    out
+}
+
+/// `"key": "value"` on this line, if present.
+fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('"')?;
+    Some(line[start..start + end].to_string())
+}
+
+/// `"key": 123` on this line, if present.
+fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
 }
 
 /// Hand-rolled JSON writer: the offline `serde` stand-in has no

@@ -62,6 +62,41 @@ pub fn verify_cc_execution<T: Adt>(
     apply_orders: &[Vec<EventId>],
     own: &[Vec<EventId>],
 ) -> Result<(), CcViolation> {
+    verify_cc_from(adt, h, causal, apply_orders, own, |_| adt.initial())
+}
+
+/// Windowed variant of [`verify_cc_execution`] for **online sampled
+/// verification** of a live engine (`cbm-store`): the recorded events
+/// are a bounded window cut from a longer run at a *drained* point
+/// (every replica had delivered every earlier message), so replica `p`
+/// replays its window apply order from its own pre-window snapshot
+/// `initials[p]` instead of from `adt.initial()`.
+///
+/// Soundness of the cut: after a drain, every pre-window event is in
+/// the causal past of every window event and applied at every replica,
+/// so the floor/prefix comparisons restricted to the window are exactly
+/// the full-history comparisons minus a common pre-window set, and the
+/// seeded replay state equals the fold of the replica's pre-window
+/// apply order.
+pub fn verify_cc_window<T: Adt>(
+    adt: &T,
+    h: &History<T::Input, T::Output>,
+    causal: &Relation,
+    apply_orders: &[Vec<EventId>],
+    own: &[Vec<EventId>],
+    initials: &[T::State],
+) -> Result<(), CcViolation> {
+    verify_cc_from(adt, h, causal, apply_orders, own, |p| initials[p].clone())
+}
+
+fn verify_cc_from<T: Adt>(
+    adt: &T,
+    h: &History<T::Input, T::Output>,
+    causal: &Relation,
+    apply_orders: &[Vec<EventId>],
+    own: &[Vec<EventId>],
+    initial_of: impl Fn(usize) -> T::State,
+) -> Result<(), CcViolation> {
     if !causal.contains(h.prog()) {
         return Err(CcViolation::NotACausalOrder);
     }
@@ -113,7 +148,7 @@ pub fn verify_cc_execution<T: Adt>(
             prefix.insert(e.idx());
         }
         // (iii) replay with own outputs checked
-        let mut state = adt.initial();
+        let mut state = initial_of(p);
         for e in order {
             let (input, out) = &labels[e.idx()];
             if own_set.contains(&e.0) {
@@ -171,6 +206,36 @@ pub fn verify_ccv_execution<T: Adt>(
     total: &[EventId],
     sample_every: usize,
 ) -> Result<(), CcvViolation> {
+    verify_ccv_from(adt, h, causal, total, sample_every, &adt.initial())
+}
+
+/// Windowed variant of [`verify_ccv_execution`] for online sampled
+/// verification: the window was cut at a *drained* point of a
+/// **convergent** engine, so all replicas held the same state
+/// `initial`, and each event's replay folds its window causal past
+/// (sorted by the arbitration order) from that common snapshot.
+/// Timestamps of window events exceed every pre-window timestamp
+/// (Lamport clocks after a drain), so the window suffix of the full
+/// arbitration order is exactly the window's own timestamp order.
+pub fn verify_ccv_window<T: Adt>(
+    adt: &T,
+    h: &History<T::Input, T::Output>,
+    causal: &Relation,
+    total: &[EventId],
+    sample_every: usize,
+    initial: &T::State,
+) -> Result<(), CcvViolation> {
+    verify_ccv_from(adt, h, causal, total, sample_every, initial)
+}
+
+fn verify_ccv_from<T: Adt>(
+    adt: &T,
+    h: &History<T::Input, T::Output>,
+    causal: &Relation,
+    total: &[EventId],
+    sample_every: usize,
+    initial: &T::State,
+) -> Result<(), CcvViolation> {
     if !causal.contains(h.prog()) {
         return Err(CcvViolation::NotACausalOrder);
     }
@@ -201,7 +266,7 @@ pub fn verify_ccv_execution<T: Adt>(
         // replay ⌊e⌋ sorted by the total order
         let mut past: Vec<usize> = causal.past(e.idx()).to_vec();
         past.sort_by_key(|&x| pos[x]);
-        let mut state = adt.initial();
+        let mut state = initial.clone();
         for x in past {
             state = adt.transition(&state, &labels[x].0);
         }
@@ -317,6 +382,73 @@ mod tests {
         assert_eq!(
             verify_ccv_execution(&adt, &h, &causal, &total, 1),
             Err(CcvViolation::TotalOrderViolatesCausality)
+        );
+    }
+
+    /// A window cut mid-run: the pre-window prefix wrote 7, so reads
+    /// inside the window see (…, 7) histories that are only explainable
+    /// from the seeded snapshot, not from `initial()`.
+    #[test]
+    fn windowed_cc_accepts_with_snapshot_rejects_without() {
+        let adt = WindowStream::new(2);
+        let mut b = B::new();
+        let e0 = b.op(0, WInput::Write(9), WOutput::Ack);
+        let e1 = b.op(1, WInput::Read, WOutput::Window(vec![7, 9]));
+        let h = b.build();
+        let mut causal = h.prog().clone();
+        causal.add_pair_closed(e0.idx(), e1.idx());
+        let apply = vec![vec![e0], vec![e0, e1]];
+        let own = vec![vec![e0], vec![e1]];
+        // both replicas entered the window holding the drained state
+        // (0, 7): the read output (7, 9) replays correctly from it
+        let snapshot = vec![vec![0, 7], vec![0, 7]];
+        assert_eq!(
+            verify_cc_window(&adt, &h, &causal, &apply, &own, &snapshot),
+            Ok(())
+        );
+        // from the blank initial state the same window is inconsistent
+        assert!(matches!(
+            verify_cc_execution(&adt, &h, &causal, &apply, &own),
+            Err(CcViolation::OutputMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn windowed_cc_detects_wrong_snapshot() {
+        let adt = WindowStream::new(2);
+        let mut b = B::new();
+        let e0 = b.op(0, WInput::Write(9), WOutput::Ack);
+        let e1 = b.op(1, WInput::Read, WOutput::Window(vec![7, 9]));
+        let h = b.build();
+        let mut causal = h.prog().clone();
+        causal.add_pair_closed(e0.idx(), e1.idx());
+        let apply = vec![vec![e0], vec![e0, e1]];
+        let own = vec![vec![e0], vec![e1]];
+        let wrong = vec![vec![0, 3], vec![0, 3]];
+        assert!(matches!(
+            verify_cc_window(&adt, &h, &causal, &apply, &own, &wrong),
+            Err(CcViolation::OutputMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn windowed_ccv_replays_from_common_snapshot() {
+        let adt = WindowStream::new(2);
+        let mut b = B::new();
+        let e0 = b.op(0, WInput::Write(9), WOutput::Ack);
+        let e1 = b.op(1, WInput::Read, WOutput::Window(vec![7, 9]));
+        let h = b.build();
+        let mut causal = h.prog().clone();
+        causal.add_pair_closed(e0.idx(), e1.idx());
+        let total = vec![e0, e1];
+        let snapshot = vec![0, 7];
+        assert_eq!(
+            verify_ccv_window(&adt, &h, &causal, &total, 1, &snapshot),
+            Ok(())
+        );
+        assert_eq!(
+            verify_ccv_execution(&adt, &h, &causal, &total, 1),
+            Err(CcvViolation::OutputMismatch(e1))
         );
     }
 

@@ -19,7 +19,7 @@ pub mod collection {
     use crate::test_runner::TestRunner;
     use rand::Rng;
 
-    /// Number of elements a [`vec`] strategy may produce.
+    /// Number of elements a [`vec()`] strategy may produce.
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         lo: usize,

@@ -5,7 +5,7 @@
 //! crash *and recover*, clock skew — each firing at a simulated time.
 //! The plan is pure data: the driver (`cbm-core`'s `Cluster`) turns it
 //! into a [`FaultSchedule`] and applies due events to the
-//! [`SimNet`](crate::sim::SimNet) as simulated time advances, so
+//! [`SimNet`] as simulated time advances, so
 //! faults act entirely at the transport layer and no protocol or
 //! replica code knows they exist.
 //!

@@ -26,8 +26,15 @@
 //! * [`sim::SimNet`] — a deterministic, seeded discrete-event simulator
 //!   with pluggable latency models and crash injection; every test and
 //!   figure harness runs on it so executions are replayable;
-//! * [`thread_net::ThreadNet`] — real threads over crossbeam channels,
-//!   used by the Criterion benches for wall-clock numbers.
+//! * [`thread_net::ThreadNet`] — real threads over crossbeam channels
+//!   with lock-free message/byte accounting and graceful drain, used
+//!   by the live store engine (`cbm-store`) and the Criterion benches
+//!   for wall-clock numbers.
+//!
+//! For high-throughput callers the causal layer also has a **batched
+//! mode**, [`broadcast::BatchCausalBroadcast`]: payloads coalesce into
+//! one vector-clock-stamped envelope per flush, cutting message counts
+//! by the mean batch size while preserving causal order.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

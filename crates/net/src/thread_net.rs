@@ -1,28 +1,55 @@
 //! Real-thread transport over crossbeam channels.
 //!
-//! Used by the Criterion benches to measure wall-clock behaviour of the
-//! protocols under true parallelism. Each node owns a receiver;
-//! senders are cloneable handles. Unlike [`crate::sim::SimNet`] there
-//! is no virtual time — ordering comes from the OS scheduler, which is
-//! exactly the nondeterminism the wait-free algorithms must tolerate.
+//! Used by the live store engine (`cbm-store`) and the Criterion
+//! benches to measure wall-clock behaviour of the protocols under true
+//! parallelism. Each node owns a receiver; senders are cloneable
+//! handles. Unlike [`crate::sim::SimNet`] there is no virtual time —
+//! ordering comes from the OS scheduler, which is exactly the
+//! nondeterminism the wait-free algorithms must tolerate.
+//!
+//! Statistics are lock-free ([`AtomicU64`] counters): the send path is
+//! the hot path of every worker thread, so a shared mutex would be a
+//! needless serialization point.
 
 use crate::NodeId;
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
-use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-/// Shared transport statistics.
+/// Shared transport statistics, updated lock-free from every endpoint.
 #[derive(Debug, Default)]
 pub struct ThreadNetStats {
     /// Messages sent across all links.
+    pub msgs_sent: AtomicU64,
+    /// Payload bytes sent across all links (as declared by
+    /// [`Endpoint::send_sized`]; plain [`Endpoint::send`] counts 0).
+    pub bytes_sent: AtomicU64,
+}
+
+/// A point-in-time copy of [`ThreadNetStats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThreadNetSnapshot {
+    /// Messages sent across all links.
     pub msgs_sent: u64,
+    /// Payload bytes sent across all links.
+    pub bytes_sent: u64,
+}
+
+impl ThreadNetStats {
+    /// Read both counters (relaxed; exact once senders are quiescent).
+    pub fn snapshot(&self) -> ThreadNetSnapshot {
+        ThreadNetSnapshot {
+            msgs_sent: self.msgs_sent.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+        }
+    }
 }
 
 /// A mesh of channels between `n` nodes.
 pub struct ThreadNet<M> {
     senders: Vec<Sender<(NodeId, M)>>,
     receivers: Vec<Option<Receiver<(NodeId, M)>>>,
-    stats: Arc<Mutex<ThreadNetStats>>,
+    stats: Arc<ThreadNetStats>,
 }
 
 /// A per-node endpoint: send to anyone, receive your own queue.
@@ -31,10 +58,17 @@ pub struct Endpoint<M> {
     pub me: NodeId,
     senders: Vec<Sender<(NodeId, M)>>,
     receiver: Receiver<(NodeId, M)>,
-    stats: Arc<Mutex<ThreadNetStats>>,
+    stats: Arc<ThreadNetStats>,
 }
 
-impl<M: Send + 'static> ThreadNet<M> {
+/// The receive side of a shut-down [`Endpoint`]: all send handles have
+/// been dropped, only queued messages remain (see
+/// [`Endpoint::shutdown`]).
+pub struct Drain<M> {
+    receiver: Receiver<(NodeId, M)>,
+}
+
+impl<M: Send> ThreadNet<M> {
     /// Build a fully connected mesh of `n` nodes.
     pub fn new(n: usize) -> Self {
         let mut senders = Vec::with_capacity(n);
@@ -47,7 +81,7 @@ impl<M: Send + 'static> ThreadNet<M> {
         ThreadNet {
             senders,
             receivers,
-            stats: Arc::new(Mutex::new(ThreadNetStats::default())),
+            stats: Arc::new(ThreadNetStats::default()),
         }
     }
 
@@ -61,29 +95,64 @@ impl<M: Send + 'static> ThreadNet<M> {
         }
     }
 
-    /// Snapshot of the statistics.
-    pub fn stats(&self) -> u64 {
-        self.stats.lock().msgs_sent
+    /// Consume the mesh into all `n` endpoints at once.
+    ///
+    /// Unlike repeated [`ThreadNet::endpoint`] calls, this drops the
+    /// mesh's own copy of the sender table, so once every endpoint has
+    /// [`Endpoint::shutdown`] the channels actually disconnect and
+    /// blocking drains terminate. Panics if any endpoint was already
+    /// taken.
+    pub fn into_endpoints(mut self) -> Vec<Endpoint<M>> {
+        (0..self.senders.len())
+            .map(|me| Endpoint {
+                me,
+                senders: self.senders.clone(),
+                receiver: self.receivers[me].take().expect("endpoint already taken"),
+                stats: Arc::clone(&self.stats),
+            })
+            .collect()
+    }
+
+    /// Shared statistics handle (lock-free counters).
+    pub fn stats(&self) -> Arc<ThreadNetStats> {
+        Arc::clone(&self.stats)
     }
 }
 
-impl<M: Clone + Send + 'static> Endpoint<M> {
-    /// Send to one peer.
-    pub fn send(&self, to: NodeId, msg: M) {
+impl<M: Clone + Send> Endpoint<M> {
+    /// Send to one peer, counting `bytes` payload bytes.
+    ///
+    /// The transport moves typed values in memory, so the byte count is
+    /// declared by the caller (the protocol layer knows its wire
+    /// encoding; see `cbm_net::msg` for exact codecs).
+    pub fn send_sized(&self, to: NodeId, msg: M, bytes: usize) {
         // a disconnected peer (dropped endpoint) models a crash: sends
         // to it are silently lost, like the simulator's drops
         if self.senders[to].send((self.me, msg)).is_ok() {
-            self.stats.lock().msgs_sent += 1;
+            self.stats.msgs_sent.fetch_add(1, Ordering::Relaxed);
+            self.stats
+                .bytes_sent
+                .fetch_add(bytes as u64, Ordering::Relaxed);
         }
     }
 
-    /// Send to every other node.
-    pub fn broadcast(&self, msg: M) {
+    /// Send to one peer (no byte accounting).
+    pub fn send(&self, to: NodeId, msg: M) {
+        self.send_sized(to, msg, 0);
+    }
+
+    /// Send to every other node, counting `bytes` per copy.
+    pub fn broadcast_sized(&self, msg: M, bytes: usize) {
         for to in 0..self.senders.len() {
             if to != self.me {
-                self.send(to, msg.clone());
+                self.send_sized(to, msg.clone(), bytes);
             }
         }
+    }
+
+    /// Send to every other node (no byte accounting).
+    pub fn broadcast(&self, msg: M) {
+        self.broadcast_sized(msg, 0);
     }
 
     /// Blocking receive.
@@ -103,6 +172,42 @@ impl<M: Clone + Send + 'static> Endpoint<M> {
     pub fn cluster_size(&self) -> usize {
         self.senders.len()
     }
+
+    /// Shared statistics handle.
+    pub fn stats(&self) -> Arc<ThreadNetStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Graceful shutdown: drop this node's send handles, keeping the
+    /// receive side so already-queued messages can still be drained.
+    ///
+    /// Once every node of a mesh built with
+    /// [`ThreadNet::into_endpoints`] has shut down, the channels
+    /// disconnect and [`Drain::recv`] returns `None` after the queue
+    /// empties — the coordination-free termination used by the store
+    /// engine's teardown.
+    pub fn shutdown(self) -> Drain<M> {
+        Drain {
+            receiver: self.receiver,
+        }
+    }
+}
+
+impl<M> Drain<M> {
+    /// Next queued message: blocks while live senders exist, returns
+    /// `None` once the queue is empty and every sender has shut down.
+    pub fn recv(&self) -> Option<(NodeId, M)> {
+        self.receiver.recv().ok()
+    }
+
+    /// Drain whatever is queued right now, without blocking.
+    pub fn drain_now(&self) -> Vec<(NodeId, M)> {
+        let mut out = Vec::new();
+        while let Ok(m) = self.receiver.try_recv() {
+            out.push(m);
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -117,7 +222,7 @@ mod tests {
         let b = net.endpoint(1);
         a.send(1, 42);
         assert_eq!(b.recv(), Some((0, 42)));
-        assert_eq!(net.stats(), 1);
+        assert_eq!(net.stats().snapshot().msgs_sent, 1);
     }
 
     #[test]
@@ -160,5 +265,60 @@ mod tests {
             // dropped here: simulated crash
         }
         a.send(1, 1); // must not panic
+    }
+
+    #[test]
+    fn byte_accounting_is_per_copy() {
+        let mut net: ThreadNet<u8> = ThreadNet::new(3);
+        let e0 = net.endpoint(0);
+        let _e1 = net.endpoint(1);
+        let _e2 = net.endpoint(2);
+        e0.broadcast_sized(7, 10);
+        let s = net.stats().snapshot();
+        assert_eq!(s.msgs_sent, 2);
+        assert_eq!(s.bytes_sent, 20);
+    }
+
+    #[test]
+    fn shutdown_drains_queued_then_disconnects() {
+        let net: ThreadNet<u32> = ThreadNet::new(2);
+        let mut eps = net.into_endpoints();
+        let b = eps.pop().unwrap();
+        let a = eps.pop().unwrap();
+        a.send(1, 1);
+        a.send(1, 2);
+        // both nodes shut down; queued messages survive
+        let drain_b = b.shutdown();
+        drop(a.shutdown());
+        assert_eq!(drain_b.recv(), Some((0, 1)));
+        assert_eq!(drain_b.recv(), Some((0, 2)));
+        // every sender gone: recv terminates instead of blocking
+        assert_eq!(drain_b.recv(), None);
+        assert!(drain_b.drain_now().is_empty());
+    }
+
+    #[test]
+    fn concurrent_sends_count_exactly() {
+        let net: ThreadNet<u64> = ThreadNet::new(4);
+        let eps = net.into_endpoints();
+        let stats = eps[0].stats();
+        thread::scope(|s| {
+            for e in eps {
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        e.broadcast_sized(i, 8);
+                    }
+                    // hold the endpoint (and its receiver) open until
+                    // every peer's sends to us have landed, so no send
+                    // is lost to an early-dropped receiver
+                    for _ in 0..3 * 500 {
+                        e.recv().unwrap();
+                    }
+                });
+            }
+        });
+        let snap = stats.snapshot();
+        assert_eq!(snap.msgs_sent, 4 * 500 * 3);
+        assert_eq!(snap.bytes_sent, 4 * 500 * 3 * 8);
     }
 }

@@ -11,7 +11,7 @@
 //! The subsystem has four parts (see `docs/SIMULATION.md` for the
 //! architecture):
 //!
-//! * [`scenario`] — a [`Scenario`](scenario::Scenario) bundles a
+//! * [`scenario`] — a [`Scenario`] bundles a
 //!   cluster size, replica flavour, workload shape, latency model,
 //!   [`FaultPlan`](cbm_net::fault::FaultPlan), and expectations;
 //! * [`registry`] — ≥8 built-in scenarios (partitions, flapping
@@ -21,9 +21,9 @@
 //!   `cbm-core::Cluster` and verifies the history with
 //!   `cbm-check::verify` (CC for causal flavours, CCv for arbitrated
 //!   ones), producing a deterministic
-//!   [`ScenarioOutcome`](runner::ScenarioOutcome) with a replayable
+//!   [`ScenarioOutcome`] with a replayable
 //!   fingerprint;
-//! * [`explore`] + [`corpus`] — sweep seeds looking for failures and
+//! * [`explore`](mod@explore) + [`corpus`] — sweep seeds looking for failures and
 //!   record any failing `(scenario, seed)` into a committed regression
 //!   corpus that a tier-1 test replays forever after.
 //!

@@ -1,0 +1,126 @@
+//! Engine configuration.
+
+/// How a replica integrates remote updates, which decides the
+/// consistency criterion its sampled windows are verified against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mode {
+    /// Apply updates in causal delivery order (the Fig. 4 discipline
+    /// generalized to an object space). Windows verify **CC** (Def. 9).
+    Causal,
+    /// Arbitrate updates by Lamport timestamp into a per-object log
+    /// (the Fig. 5 discipline); replicas converge at every drain.
+    /// Windows verify **CCv** (Def. 12).
+    Convergent,
+}
+
+impl Mode {
+    /// Criterion name of the mode's window verification.
+    pub fn criterion(self) -> &'static str {
+        match self {
+            Mode::Causal => "CC",
+            Mode::Convergent => "CCv",
+        }
+    }
+}
+
+/// When pending update payloads are sealed into one causal batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchPolicy {
+    /// One envelope per update (the unbatched baseline).
+    Off,
+    /// Flush once `k` payloads are pending (plus at every drain point),
+    /// cutting envelope counts by roughly `k`.
+    Every(usize),
+}
+
+impl BatchPolicy {
+    /// The pending-payload count that triggers a flush.
+    pub fn threshold(self) -> usize {
+        match self {
+            BatchPolicy::Off => 1,
+            BatchPolicy::Every(k) => k.max(1),
+        }
+    }
+}
+
+/// Sampled online verification: how often to freeze a window and how
+/// much of the run it captures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyConfig {
+    /// Freeze a window every `every_ops` operations of each worker
+    /// (0 disables sampling; the workers then never rendezvous until
+    /// the final drain).
+    pub every_ops: usize,
+    /// Own operations each worker records per window (clamped to
+    /// `every_ops` so windows never overlap the next rendezvous).
+    pub window_ops: usize,
+    /// Replay sampling stride handed to the CCv checker (1 = check
+    /// every recorded output).
+    pub sample_every: usize,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        VerifyConfig {
+            every_ops: 50_000,
+            window_ops: 48,
+            sample_every: 1,
+        }
+    }
+}
+
+/// Full engine configuration.
+#[derive(Debug, Clone)]
+pub struct StoreConfig {
+    /// Replica worker threads (each a full replica of the space).
+    pub workers: usize,
+    /// Objects in the space (ids are taken modulo this).
+    pub objects: usize,
+    /// Operations each worker issues.
+    pub ops_per_worker: usize,
+    /// Replication mode (decides the verified criterion).
+    pub mode: Mode,
+    /// Batching policy of the causal broadcast.
+    pub batch: BatchPolicy,
+    /// Sampled verification windows.
+    pub verify: VerifyConfig,
+    /// Seed for every worker's workload generator.
+    pub seed: u64,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            workers: 4,
+            objects: 1024,
+            ops_per_worker: 250_000,
+            mode: Mode::Causal,
+            batch: BatchPolicy::Every(32),
+            verify: VerifyConfig::default(),
+            seed: 1,
+        }
+    }
+}
+
+impl StoreConfig {
+    /// Rendezvous points: worker op indexes at which every worker
+    /// pauses for a drain (and a verification window). Deterministic —
+    /// all workers share the schedule, so message counts do not depend
+    /// on thread interleaving.
+    pub(crate) fn rendezvous_at(&self, k: usize) -> bool {
+        self.verify.every_ops > 0 && k > 0 && k.is_multiple_of(self.verify.every_ops)
+    }
+
+    /// Own ops recorded per worker in the window starting at op `k`.
+    pub(crate) fn window_quota(&self, k: usize) -> usize {
+        self.verify
+            .window_ops
+            .min(self.verify.every_ops)
+            .min(self.ops_per_worker - k)
+    }
+
+    /// Total operations across all workers.
+    pub fn total_ops(&self) -> u64 {
+        self.workers as u64 * self.ops_per_worker as u64
+    }
+}

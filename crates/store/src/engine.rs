@@ -1,0 +1,419 @@
+//! The live engine: replica worker threads over [`ThreadNet`].
+//!
+//! ## Execution model
+//!
+//! Each of `workers` threads is a **full replica** of the sharded
+//! object space. A worker's loop is wait-free: it generates its next
+//! operation, answers queries from its local object table, applies and
+//! queues updates for the batched causal broadcast, and integrates
+//! whatever peers' batches have arrived — never blocking on another
+//! replica (§6.1's process model under a real scheduler).
+//!
+//! ## Deterministic rendezvous
+//!
+//! All workers issue the same number of operations and pause at the
+//! same *operation indexes* (`verify.every_ops`) for a drain: flush
+//! pending batches, publish cumulative batch counts, and receive until
+//! every published batch is delivered. Because the pause points are
+//! counted in operations — not wall time — the set of flushed batches
+//! (and therefore `msgs_sent`) is a pure function of the configuration
+//! and seed, independent of thread interleaving; only wall-clock
+//! numbers vary between runs.
+//!
+//! After each drain the workers record a bounded window of subsequent
+//! events; the verifier thread rebuilds each frozen window and checks
+//! it against the mode's criterion (see [`crate::record`]). Teardown
+//! reuses the same drain and the transport's graceful
+//! [`Endpoint::shutdown`].
+
+use crate::config::{Mode, StoreConfig};
+use crate::objects::ObjectTable;
+use crate::record::{verify_window, OwnEvent, WindowRecord, WindowRecorder};
+use crate::stats::{summarize_latencies, StoreReport, WindowVerdict, WorkerStats};
+use crate::wire::{batch_bytes, BatchMsg, WireOp};
+use cbm_adt::space::{ObjectSpace, SpaceInput};
+use cbm_adt::Adt;
+use cbm_net::broadcast::BatchCausalBroadcast;
+use cbm_net::clock::{LamportClock, Timestamp};
+use cbm_net::thread_net::{Endpoint, ThreadNet};
+use cbm_net::NodeId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Barrier;
+use std::time::Instant;
+
+/// Shared rendezvous state.
+struct Coordinator {
+    barrier: Barrier,
+    /// Cumulative flushed-batch count per worker, published at drains.
+    sent: Vec<AtomicU64>,
+    /// Per-worker state hash at the latest drain point.
+    hashes: Vec<AtomicU64>,
+    /// Drain points at which replicas diverged (convergent mode).
+    divergences: AtomicU64,
+}
+
+impl Coordinator {
+    fn new(n: usize) -> Self {
+        Coordinator {
+            barrier: Barrier::new(n),
+            sent: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            hashes: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            divergences: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Run the engine: `gen(worker, op_index, rng)` supplies each
+/// operation. Returns the full report; panics if a worker thread
+/// panics (a consistency monitor tripping is a test failure, not data).
+pub fn run<T, G>(adt: &T, cfg: &StoreConfig, gen: G) -> StoreReport
+where
+    T: Adt + Clone + Send + Sync,
+    T::Input: Send + Sync,
+    T::Output: Send,
+    T::State: Send + Sync,
+    G: Fn(NodeId, u64, &mut StdRng) -> SpaceInput<T::Input> + Sync,
+{
+    let n = cfg.workers.max(1);
+    let net: ThreadNet<BatchMsg<T::Input>> = ThreadNet::new(n);
+    let stats = net.stats();
+    let endpoints = net.into_endpoints();
+    let coord = Coordinator::new(n);
+    let (tx, rx) = mpsc::channel::<WindowRecord<T>>();
+
+    let t0 = Instant::now();
+    let (mut worker_results, verdicts) = std::thread::scope(|s| {
+        let mut handles = Vec::with_capacity(n);
+        for ep in endpoints {
+            let tx = tx.clone();
+            let coord = &coord;
+            let gen = &gen;
+            handles.push(s.spawn(move || Worker::new(adt, cfg, ep, coord, tx).run(gen)));
+        }
+        drop(tx); // verifier's channel closes once every worker exits
+
+        // the verifier thread: assemble frozen windows, verify, report
+        let space = ObjectSpace::new(adt.clone(), cfg.objects.max(1));
+        let mode = cfg.mode;
+        let sample_every = cfg.verify.sample_every.max(1);
+        let verifier = s.spawn(move || {
+            let mut pending: Vec<(u64, Vec<WindowRecord<T>>)> = Vec::new();
+            let mut verdicts: Vec<WindowVerdict> = Vec::new();
+            while let Ok(rec) = rx.recv() {
+                let wid = rec.window;
+                let slot = match pending.iter().position(|(w, _)| *w == wid) {
+                    Some(i) => i,
+                    None => {
+                        pending.push((wid, Vec::new()));
+                        pending.len() - 1
+                    }
+                };
+                pending[slot].1.push(rec);
+                if pending[slot].1.len() == n {
+                    let (_, mut parts) = pending.swap_remove(slot);
+                    parts.sort_by_key(|p| p.worker);
+                    let result = verify_window(&space, mode, sample_every, &parts);
+                    verdicts.push(WindowVerdict {
+                        window: wid,
+                        criterion: mode.criterion(),
+                        events: *result.as_ref().unwrap_or(&0),
+                        result: result.map(|_| ()),
+                    });
+                }
+            }
+            for (wid, parts) in pending {
+                verdicts.push(WindowVerdict {
+                    window: wid,
+                    criterion: mode.criterion(),
+                    events: 0,
+                    result: Err(format!(
+                        "window never completed: {}/{} worker records",
+                        parts.len(),
+                        n
+                    )),
+                });
+            }
+            verdicts.sort_by_key(|v| v.window);
+            verdicts
+        });
+
+        let results: Vec<WorkerResult> = handles
+            .into_iter()
+            .map(|h| h.join().expect("worker thread panicked"))
+            .collect();
+        let verdicts = verifier.join().expect("verifier thread panicked");
+        (results, verdicts)
+    });
+    let wall_ns = t0.elapsed().as_nanos();
+
+    worker_results.sort_by_key(|r| r.stats.worker);
+    let mut all_lat: Vec<u64> = Vec::new();
+    for r in &mut worker_results {
+        all_lat.append(&mut r.latencies);
+    }
+    let latency = summarize_latencies(&mut all_lat);
+    let per_worker: Vec<WorkerStats> = worker_results.into_iter().map(|r| r.stats).collect();
+
+    let batches_sent: u64 = per_worker.iter().map(|w| w.batches_sent).sum();
+    let payloads_sent: u64 = per_worker.iter().map(|w| w.payloads_sent).sum();
+    let total_ops: u64 = per_worker.iter().map(|w| w.ops).sum();
+    let windows_failed = verdicts.iter().filter(|v| v.result.is_err()).count();
+    let snap = stats.snapshot();
+
+    StoreReport {
+        config: cfg.clone(),
+        wall_ns,
+        total_ops,
+        ops_per_sec: if wall_ns == 0 {
+            0.0
+        } else {
+            total_ops as f64 / (wall_ns as f64 / 1e9)
+        },
+        latency,
+        msgs_sent: snap.msgs_sent,
+        bytes_sent: snap.bytes_sent,
+        batches_sent,
+        payloads_sent,
+        mean_batch: if batches_sent == 0 {
+            0.0
+        } else {
+            payloads_sent as f64 / batches_sent as f64
+        },
+        windows: verdicts,
+        windows_failed,
+        drains_converged: coord.divergences.load(Ordering::Relaxed) == 0,
+        per_worker,
+    }
+}
+
+/// What a worker thread returns.
+struct WorkerResult {
+    stats: WorkerStats,
+    latencies: Vec<u64>,
+}
+
+struct Worker<'a, T: Adt> {
+    adt: &'a T,
+    cfg: &'a StoreConfig,
+    ep: Endpoint<BatchMsg<T::Input>>,
+    coord: &'a Coordinator,
+    tx: mpsc::Sender<WindowRecord<T>>,
+    me: NodeId,
+    proto: BatchCausalBroadcast<WireOp<T::Input>>,
+    table: ObjectTable<T>,
+    clock: LamportClock,
+    recorder: WindowRecorder<T>,
+    batches_delivered: u64,
+    reads: u64,
+    updates: u64,
+    latencies: Vec<u64>,
+    windows_opened: u64,
+}
+
+impl<'a, T> Worker<'a, T>
+where
+    T: Adt + Sync,
+    T::Input: Send + Sync,
+    T::Output: Send,
+    T::State: Send + Sync,
+{
+    fn new(
+        adt: &'a T,
+        cfg: &'a StoreConfig,
+        ep: Endpoint<BatchMsg<T::Input>>,
+        coord: &'a Coordinator,
+        tx: mpsc::Sender<WindowRecord<T>>,
+    ) -> Self {
+        let me = ep.me;
+        let n = ep.cluster_size();
+        Worker {
+            adt,
+            cfg,
+            ep,
+            coord,
+            tx,
+            me,
+            proto: BatchCausalBroadcast::new(me, n),
+            table: ObjectTable::new(adt, cfg.objects.max(1), cfg.mode),
+            clock: LamportClock::new(),
+            recorder: WindowRecorder::new(),
+            batches_delivered: 0,
+            reads: 0,
+            updates: 0,
+            latencies: Vec::with_capacity(cfg.ops_per_worker),
+            windows_opened: 0,
+        }
+    }
+
+    fn run<G>(mut self, gen: &G) -> WorkerResult
+    where
+        G: Fn(NodeId, u64, &mut StdRng) -> SpaceInput<T::Input> + Sync,
+    {
+        let mut rng = StdRng::seed_from_u64(
+            self.cfg
+                .seed
+                .wrapping_add((self.me as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        );
+        let ops = self.cfg.ops_per_worker;
+        for k in 0..ops {
+            if self.cfg.rendezvous_at(k) {
+                self.open_window(k);
+            }
+            self.pump();
+            let op = gen(self.me, k as u64, &mut rng);
+            self.execute(op);
+            if self.recorder.active() && self.recorder.remaining() == 0 {
+                self.close_window();
+            }
+        }
+        self.final_drain();
+
+        let mut latencies = std::mem::take(&mut self.latencies);
+        let stats = WorkerStats {
+            worker: self.me,
+            ops: ops as u64,
+            reads: self.reads,
+            updates: self.updates,
+            batches_sent: self.proto.batches_sent(),
+            payloads_sent: self.proto.payloads_sent(),
+            batches_delivered: self.batches_delivered,
+            latency: summarize_latencies(&mut latencies),
+        };
+        WorkerResult { stats, latencies }
+    }
+
+    /// Execute one operation against the local replica (wait-free).
+    fn execute(&mut self, op: SpaceInput<T::Input>) {
+        let t = Instant::now();
+        let ts = Timestamp::new(self.clock.tick(), self.me);
+        let output = self.table.output(self.adt, op.obj, &op.input);
+        let is_update = self.adt.is_update(&op.input);
+        if is_update {
+            self.updates += 1;
+            self.table.apply_update(self.adt, op.obj, ts, &op.input);
+        } else {
+            self.reads += 1;
+        }
+        let wseq = self.recorder.on_own(
+            self.me,
+            OwnEvent {
+                obj: op.obj,
+                input: op.input.clone(),
+                output,
+                ts,
+            },
+        );
+        if is_update {
+            self.proto.push(WireOp {
+                obj: op.obj,
+                input: op.input,
+                ts,
+                wseq,
+            });
+            if self.proto.pending() >= self.cfg.batch.threshold() {
+                self.flush();
+            }
+        }
+        self.latencies.push(t.elapsed().as_nanos() as u64);
+    }
+
+    /// Ship the pending batch, if any.
+    fn flush(&mut self) {
+        if let Some(batch) = self.proto.flush() {
+            let bytes = batch_bytes(self.ep.cluster_size(), &batch.payload);
+            self.ep.broadcast_sized(batch, bytes);
+        }
+    }
+
+    /// Integrate every batch that has arrived (non-blocking).
+    fn pump(&mut self) -> bool {
+        let mut got_any = false;
+        while let Some((_, msg)) = self.ep.try_recv() {
+            got_any = true;
+            for batch in self.proto.on_receive(msg) {
+                self.batches_delivered += 1;
+                for op in batch.payload {
+                    self.clock.observe(op.ts.time);
+                    self.table.apply_update(self.adt, op.obj, op.ts, &op.input);
+                    self.recorder.on_remote(batch.sender, op.wseq);
+                }
+            }
+        }
+        got_any
+    }
+
+    /// Flush, publish, and receive until every published batch of every
+    /// peer has been delivered — one half of a drain point.
+    fn quiesce(&mut self) {
+        self.flush();
+        self.coord.sent[self.me].store(self.proto.batches_sent(), Ordering::SeqCst);
+        self.coord.barrier.wait(); // all counts final
+        loop {
+            let got_any = self.pump();
+            let all = (0..self.ep.cluster_size()).all(|q| {
+                q == self.me
+                    || self.proto.delivered_clock().get(q)
+                        >= self.coord.sent[q].load(Ordering::SeqCst)
+            });
+            if all {
+                break;
+            }
+            if !got_any {
+                std::thread::yield_now();
+            }
+        }
+        self.coord.barrier.wait(); // global quiesce
+    }
+
+    /// Drained rendezvous at op index `k`: compact, publish state
+    /// hashes, snapshot, and start recording the next window.
+    fn open_window(&mut self, k: usize) {
+        self.quiesce();
+        self.compact_and_check_convergence();
+        let quota = self.cfg.window_quota(k);
+        self.recorder
+            .start(self.windows_opened, quota, self.table.snapshot());
+        self.windows_opened += 1;
+    }
+
+    /// A worker met its window quota: drain so the window is closed
+    /// everywhere, then hand the record to the verifier.
+    fn close_window(&mut self) {
+        self.quiesce();
+        let record = self.recorder.finish(self.me);
+        // a full channel send only fails if the verifier died; surface
+        // that at join time, not here
+        let _ = self.tx.send(record);
+    }
+
+    /// Teardown: drain everything and release the endpoint.
+    fn final_drain(&mut self) {
+        if self.recorder.active() {
+            // ops_per_worker not a multiple of every_ops: the last
+            // window closes at the end of the run
+            self.close_window();
+        }
+        self.quiesce();
+        self.compact_and_check_convergence();
+    }
+
+    /// At a global quiesce: compact arbitration logs, publish this
+    /// replica's state hash, and (worker 0, convergent mode) record a
+    /// divergence if the replicas' hashes disagree.
+    fn compact_and_check_convergence(&mut self) {
+        self.table.compact();
+        self.coord.hashes[self.me].store(self.table.state_hash(), Ordering::SeqCst);
+        self.coord.barrier.wait(); // hashes published
+        if self.me == 0 && self.cfg.mode == Mode::Convergent {
+            let h0 = self.coord.hashes[0].load(Ordering::SeqCst);
+            if (1..self.ep.cluster_size())
+                .any(|q| self.coord.hashes[q].load(Ordering::SeqCst) != h0)
+            {
+                self.coord.divergences.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! # cbm-store — a live multi-threaded causally-consistent object store
+//!
+//! The rest of the workspace studies the paper's constructions in
+//! single-threaded simulated time; this crate runs them **live**: `N`
+//! replica worker threads serve a sharded multi-object space (object
+//! id → instance of any [`cbm_adt::Adt`]) over real channels
+//! ([`cbm_net::thread_net::ThreadNet`]), with
+//!
+//! * **wait-free local operations** — queries answer from the local
+//!   object table, updates apply locally and replicate asynchronously
+//!   (the paper's core claim: causal objects need no waiting);
+//! * **batched causal broadcast** — pending updates coalesce into one
+//!   vector-clock-stamped envelope per flush
+//!   ([`cbm_net::broadcast::BatchCausalBroadcast`]), cutting message
+//!   counts by the mean batch size;
+//! * two replication modes ([`Mode`]): delivery-order application
+//!   (Fig. 4 ⇒ causal consistency) and Lamport-timestamp arbitration
+//!   with epoch-compacted per-object logs (Fig. 5 ⇒ causal
+//!   convergence);
+//! * **sampled online verification** — the discipline of "On Verifying
+//!   Causal Consistency" (Bouajjani et al.) applied online: at
+//!   deterministic drain points the workers record a bounded window of
+//!   events plus its delivered-before witness, and a verifier thread
+//!   replays each frozen window through `cbm-check::verify` (CC or
+//!   CCv), so throughput numbers ship with live consistency evidence.
+//!
+//! The `loadgen` binary in `cbm-bench` drives this engine across a
+//! threads × objects × ops × read-ratio matrix and emits the committed
+//! `BENCH_throughput.json`; see `docs/THROUGHPUT.md`.
+//!
+//! ```
+//! use cbm_adt::register::{RegInput, Register};
+//! use cbm_adt::space::SpaceInput;
+//! use cbm_store::{run, BatchPolicy, Mode, StoreConfig, VerifyConfig};
+//! use rand::Rng;
+//!
+//! let cfg = StoreConfig {
+//!     workers: 2,
+//!     objects: 8,
+//!     ops_per_worker: 400,
+//!     mode: Mode::Causal,
+//!     batch: BatchPolicy::Every(4),
+//!     verify: VerifyConfig { every_ops: 200, window_ops: 16, sample_every: 1 },
+//!     seed: 7,
+//! };
+//! let report = run(&Register, &cfg, |_, _, rng| {
+//!     let obj = rng.gen_range(0u32..8);
+//!     if rng.gen_bool(0.5) {
+//!         SpaceInput::new(obj, RegInput::Read)
+//!     } else {
+//!         SpaceInput::new(obj, RegInput::Write(rng.gen_range(0u64..100)))
+//!     }
+//! });
+//! assert_eq!(report.total_ops, 800);
+//! assert!(report.verified(), "{:?}", report.windows);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod engine;
+pub mod objects;
+pub mod record;
+pub mod stats;
+pub mod wire;
+
+pub use config::{BatchPolicy, Mode, StoreConfig, VerifyConfig};
+pub use engine::run;
+pub use stats::{LatencySummary, StoreReport, WindowVerdict, WorkerStats};

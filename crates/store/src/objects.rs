@@ -1,0 +1,181 @@
+//! One replica's view of the sharded object space.
+//!
+//! Both modes keep a current state per object for **wait-free local
+//! reads** (a query is one `λ` evaluation on the local component; no
+//! locks, no messages):
+//!
+//! * [`Mode::Causal`] applies updates in delivery order — `δ` on the
+//!   addressed component, nothing else;
+//! * [`Mode::Convergent`] arbitrates updates by Lamport timestamp into
+//!   a per-object log (Fig. 5 generalized); an out-of-order arrival
+//!   refolds the object from its epoch seed. At every drain the engine
+//!   calls [`ObjectTable::compact`]: all replicas have delivered the
+//!   same set, every future timestamp exceeds every logged one, so the
+//!   fold becomes the new seed and the log is dropped — keeping memory
+//!   bounded by the epoch length instead of the run length.
+
+use crate::config::Mode;
+use cbm_adt::{Adt, AdtExt};
+use cbm_net::clock::Timestamp;
+use std::hash::{Hash, Hasher};
+
+/// Per-object replica state for one worker.
+pub struct ObjectTable<T: Adt> {
+    mode: Mode,
+    /// Current state per object (the read path in both modes).
+    states: Vec<T::State>,
+    /// Convergent mode: per-object epoch log, sorted by timestamp.
+    logs: Vec<Vec<(Timestamp, T::Input)>>,
+    /// Convergent mode: per-object state at the last compaction.
+    seeds: Vec<T::State>,
+    /// Mid-log inserts since the last compaction (arbitration work).
+    pub refolds: u64,
+}
+
+impl<T: Adt> ObjectTable<T> {
+    /// Fresh table of `objects` initial states.
+    pub fn new(adt: &T, objects: usize, mode: Mode) -> Self {
+        let states: Vec<T::State> = (0..objects).map(|_| adt.initial()).collect();
+        let (logs, seeds) = match mode {
+            Mode::Causal => (Vec::new(), Vec::new()),
+            Mode::Convergent => (vec![Vec::new(); objects], states.clone()),
+        };
+        ObjectTable {
+            mode,
+            states,
+            logs,
+            seeds,
+            refolds: 0,
+        }
+    }
+
+    /// Number of objects.
+    pub fn objects(&self) -> usize {
+        self.states.len()
+    }
+
+    /// The slot an object id maps to.
+    #[inline]
+    pub fn slot(&self, obj: u32) -> usize {
+        obj as usize % self.states.len()
+    }
+
+    /// Wait-free local read: `λ` on the addressed component.
+    #[inline]
+    pub fn output(&self, adt: &T, obj: u32, input: &T::Input) -> T::Output {
+        adt.output(&self.states[self.slot(obj)], input)
+    }
+
+    /// Integrate one update (own at invocation, remote at delivery).
+    pub fn apply_update(&mut self, adt: &T, obj: u32, ts: Timestamp, input: &T::Input) {
+        let slot = self.slot(obj);
+        match self.mode {
+            Mode::Causal => {
+                self.states[slot] = adt.transition(&self.states[slot], input);
+            }
+            Mode::Convergent => {
+                let log = &mut self.logs[slot];
+                if log.last().is_none_or(|(last, _)| *last < ts) {
+                    // in arbitration order already: extend the fold
+                    log.push((ts, input.clone()));
+                    self.states[slot] = adt.transition(&self.states[slot], input);
+                } else {
+                    // late arrival: insert and refold from the seed
+                    let pos = log.partition_point(|(t, _)| *t < ts);
+                    log.insert(pos, (ts, input.clone()));
+                    self.states[slot] =
+                        adt.fold_inputs_from(self.seeds[slot].clone(), log.iter().map(|(_, i)| i));
+                    self.refolds += 1;
+                }
+            }
+        }
+    }
+
+    /// Drain-point compaction (convergent mode; no-op in causal mode).
+    pub fn compact(&mut self) {
+        if self.mode == Mode::Convergent {
+            for (slot, log) in self.logs.iter_mut().enumerate() {
+                if !log.is_empty() {
+                    self.seeds[slot] = self.states[slot].clone();
+                    log.clear();
+                }
+            }
+        }
+    }
+
+    /// Snapshot every object's current state.
+    pub fn snapshot(&self) -> Vec<T::State> {
+        self.states.clone()
+    }
+
+    /// Order-sensitive hash of the full space state (drain-point
+    /// convergence evidence).
+    pub fn state_hash(&self) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for s in &self.states {
+            s.hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// Log entries currently held (convergent arbitration backlog).
+    pub fn log_len(&self) -> usize {
+        self.logs.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbm_adt::register::{RegInput, RegOutput, Register};
+
+    fn ts(t: u64, p: usize) -> Timestamp {
+        Timestamp::new(t, p)
+    }
+
+    #[test]
+    fn causal_mode_applies_in_delivery_order() {
+        let adt = Register;
+        let mut tab = ObjectTable::new(&adt, 4, Mode::Causal);
+        tab.apply_update(&adt, 1, ts(1, 0), &RegInput::Write(5));
+        tab.apply_update(&adt, 1, ts(2, 1), &RegInput::Write(7));
+        tab.apply_update(&adt, 5, ts(3, 0), &RegInput::Write(9)); // wraps to slot 1
+        assert_eq!(tab.output(&adt, 1, &RegInput::Read), RegOutput::Val(9));
+        assert_eq!(tab.output(&adt, 0, &RegInput::Read), RegOutput::Val(0));
+    }
+
+    #[test]
+    fn convergent_mode_arbitrates_by_timestamp() {
+        let adt = Register;
+        let mut a = ObjectTable::new(&adt, 2, Mode::Convergent);
+        let mut b = ObjectTable::new(&adt, 2, Mode::Convergent);
+        // same updates, opposite delivery orders
+        let u1 = (ts(1, 0), RegInput::Write(5));
+        let u2 = (ts(2, 1), RegInput::Write(7));
+        a.apply_update(&adt, 0, u1.0, &u1.1);
+        a.apply_update(&adt, 0, u2.0, &u2.1);
+        b.apply_update(&adt, 0, u2.0, &u2.1);
+        b.apply_update(&adt, 0, u1.0, &u1.1);
+        assert_eq!(a.output(&adt, 0, &RegInput::Read), RegOutput::Val(7));
+        assert_eq!(b.output(&adt, 0, &RegInput::Read), RegOutput::Val(7));
+        assert_eq!(a.state_hash(), b.state_hash());
+        assert_eq!(b.refolds, 1);
+        assert_eq!(a.refolds, 0);
+    }
+
+    #[test]
+    fn compaction_preserves_state_and_clears_logs() {
+        let adt = Register;
+        let mut tab = ObjectTable::new(&adt, 2, Mode::Convergent);
+        tab.apply_update(&adt, 0, ts(2, 0), &RegInput::Write(4));
+        tab.apply_update(&adt, 0, ts(1, 1), &RegInput::Write(3)); // refold
+        assert_eq!(tab.log_len(), 2);
+        let before = tab.state_hash();
+        tab.compact();
+        assert_eq!(tab.log_len(), 0);
+        assert_eq!(tab.state_hash(), before);
+        // post-compaction updates fold from the new seed
+        tab.apply_update(&adt, 0, ts(5, 0), &RegInput::Write(8));
+        assert_eq!(tab.output(&adt, 0, &RegInput::Read), RegOutput::Val(8));
+    }
+}

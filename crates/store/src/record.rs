@@ -1,0 +1,406 @@
+//! Window recording and reconstruction.
+//!
+//! During a sampled window each worker records its own events (input,
+//! output, timestamp) and its **apply order** — the sequence of window
+//! events it integrated, own ops at invocation and remote updates at
+//! delivery. Windows open and close at *drained* points (every replica
+//! has delivered every earlier message), so a window is self-contained:
+//! every window event's causal past inside the run splits into a
+//! common pre-window part (applied everywhere, folded into the
+//! recorded snapshots) and a window part fully visible to the
+//! recorder.
+//!
+//! The verifier thread reassembles the per-worker records into a
+//! `cbm-history::History` over the composite [`ObjectSpace`] ADT,
+//! derives the delivered-before causal order from the apply prefixes
+//! (exactly as the simulation driver does for recorded executions),
+//! and runs the witness checkers of `cbm-check::verify` — CC for
+//! delivery-order replicas, CCv (with the Lamport-timestamp total
+//! order) for arbitrated ones.
+
+use crate::config::Mode;
+use cbm_adt::space::{ObjectSpace, SpaceInput};
+use cbm_adt::Adt;
+use cbm_check::verify::{verify_cc_window, verify_ccv_window};
+use cbm_history::{EventId, HistoryBuilder, Relation};
+use cbm_net::clock::Timestamp;
+use cbm_net::NodeId;
+
+/// One recorded own event.
+#[derive(Debug, Clone)]
+pub struct OwnEvent<T: Adt> {
+    /// Target object.
+    pub obj: u32,
+    /// Input.
+    pub input: T::Input,
+    /// Observed output (local, wait-free).
+    pub output: T::Output,
+    /// Invocation timestamp (arbitration order in convergent mode).
+    pub ts: Timestamp,
+}
+
+/// A window event reference: (origin worker, origin's own-event index).
+pub type EventRef = (NodeId, u32);
+
+/// One worker's contribution to a window.
+pub struct WindowRecord<T: Adt> {
+    /// Recording worker.
+    pub worker: NodeId,
+    /// Window number.
+    pub window: u64,
+    /// Own events, in invocation order (index = the `wseq` tag peers
+    /// saw on the wire).
+    pub own: Vec<OwnEvent<T>>,
+    /// Apply order over window events (own + delivered remote).
+    pub applies: Vec<EventRef>,
+    /// Pre-window snapshot of this worker's object states.
+    pub snapshot: Vec<T::State>,
+    /// Untagged remote ops applied while recording (must be 0: windows
+    /// open and close at drained points).
+    pub foreign: u64,
+}
+
+/// The per-worker recorder driven by the engine's hot loop.
+pub struct WindowRecorder<T: Adt> {
+    active: bool,
+    window: u64,
+    quota: usize,
+    own: Vec<OwnEvent<T>>,
+    applies: Vec<EventRef>,
+    snapshot: Vec<T::State>,
+    foreign: u64,
+}
+
+impl<T: Adt> WindowRecorder<T> {
+    /// An idle recorder.
+    pub fn new() -> Self {
+        WindowRecorder {
+            active: false,
+            window: 0,
+            quota: 0,
+            own: Vec::new(),
+            applies: Vec::new(),
+            snapshot: Vec::new(),
+            foreign: 0,
+        }
+    }
+
+    /// Recording?
+    pub fn active(&self) -> bool {
+        self.active
+    }
+
+    /// Start recording `quota` own events from the drained state
+    /// `snapshot`.
+    pub fn start(&mut self, window: u64, quota: usize, snapshot: Vec<T::State>) {
+        self.active = true;
+        self.window = window;
+        self.quota = quota;
+        self.own.clear();
+        self.applies.clear();
+        self.snapshot = snapshot;
+        self.foreign = 0;
+    }
+
+    /// Record one own event; returns its wire tag. `None` when the
+    /// recorder is idle or this worker's quota is already met.
+    pub fn on_own(&mut self, me: NodeId, ev: OwnEvent<T>) -> Option<u32> {
+        if !self.active || self.own.len() >= self.quota {
+            return None;
+        }
+        let wseq = self.own.len() as u32;
+        self.own.push(ev);
+        self.applies.push((me, wseq));
+        Some(wseq)
+    }
+
+    /// Own events still to record before this worker's quota is met.
+    pub fn remaining(&self) -> usize {
+        if self.active {
+            self.quota - self.own.len()
+        } else {
+            0
+        }
+    }
+
+    /// Record the delivery of a remote update.
+    pub fn on_remote(&mut self, origin: NodeId, wseq: Option<u32>) {
+        if !self.active {
+            return;
+        }
+        match wseq {
+            Some(k) => self.applies.push((origin, k)),
+            None => self.foreign += 1,
+        }
+    }
+
+    /// Close the window and hand over the record.
+    pub fn finish(&mut self, me: NodeId) -> WindowRecord<T> {
+        self.active = false;
+        WindowRecord {
+            worker: me,
+            window: self.window,
+            own: std::mem::take(&mut self.own),
+            applies: std::mem::take(&mut self.applies),
+            snapshot: std::mem::take(&mut self.snapshot),
+            foreign: self.foreign,
+        }
+    }
+}
+
+impl<T: Adt> Default for WindowRecorder<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Rebuild a frozen window from all workers' records and verify it
+/// against the mode's criterion. Returns `Ok(events)` with the window
+/// size, or a violation description.
+pub fn verify_window<T: Adt>(
+    space: &ObjectSpace<T>,
+    mode: Mode,
+    sample_every: usize,
+    parts: &[WindowRecord<T>],
+) -> Result<usize, String> {
+    let n = parts.len();
+    for part in parts {
+        if part.foreign != 0 {
+            return Err(format!(
+                "worker {} applied {} untagged op(s) inside the window \
+                 (drain boundary violated)",
+                part.worker, part.foreign
+            ));
+        }
+    }
+
+    // global ids: worker-major over own events
+    let mut base = vec![0u32; n + 1];
+    for p in 0..n {
+        base[p + 1] = base[p] + parts[p].own.len() as u32;
+    }
+    let m = base[n] as usize;
+    let id_of = |(origin, wseq): EventRef| -> Result<EventId, String> {
+        if origin >= n || wseq >= parts[origin].own.len() as u32 {
+            return Err(format!(
+                "apply order references unknown event ({origin},{wseq})"
+            ));
+        }
+        Ok(EventId(base[origin] + wseq))
+    };
+
+    // the window history over the composite space ADT
+    let mut b: HistoryBuilder<SpaceInput<T::Input>, T::Output> = HistoryBuilder::new();
+    for (p, part) in parts.iter().enumerate() {
+        for ev in &part.own {
+            b.op(
+                p,
+                SpaceInput::new(ev.obj, ev.input.clone()),
+                ev.output.clone(),
+            );
+        }
+    }
+    let h = b.build();
+
+    // apply orders and own sets in global ids
+    let mut apply_orders: Vec<Vec<EventId>> = Vec::with_capacity(n);
+    let mut own: Vec<Vec<EventId>> = Vec::with_capacity(n);
+    for (p, part) in parts.iter().enumerate() {
+        let mut order = Vec::with_capacity(part.applies.len());
+        for &r in &part.applies {
+            order.push(id_of(r)?);
+        }
+        apply_orders.push(order);
+        own.push((base[p]..base[p + 1]).map(EventId).collect());
+    }
+
+    // delivered-before causal order from apply prefixes (the same
+    // construction the simulation driver uses on recorded executions)
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    for (p, order) in apply_orders.iter().enumerate() {
+        let lo = base[p];
+        let hi = base[p + 1];
+        let mut prefix: Vec<usize> = Vec::with_capacity(order.len());
+        for e in order {
+            if e.0 >= lo && e.0 < hi {
+                for &g in &prefix {
+                    edges.push((g, e.idx()));
+                }
+            }
+            prefix.push(e.idx());
+        }
+    }
+    let causal = Relation::from_edges(m, &edges)
+        .ok_or_else(|| "delivered-before relation is cyclic".to_string())?;
+
+    match mode {
+        Mode::Causal => {
+            let initials: Vec<Vec<T::State>> =
+                parts.iter().map(|part| part.snapshot.clone()).collect();
+            verify_cc_window(space, &h, &causal, &apply_orders, &own, &initials)
+                .map_err(|e| format!("CC violation: {e:?}"))?;
+        }
+        Mode::Convergent => {
+            for part in &parts[1..] {
+                if part.snapshot != parts[0].snapshot {
+                    return Err(format!(
+                        "replicas 0 and {} diverged at the window's drain point",
+                        part.worker
+                    ));
+                }
+            }
+            // arbitration total order: Lamport timestamps extend the
+            // causal order (broadcasts tick, deliveries observe)
+            let mut total: Vec<EventId> = (0..m as u32).map(EventId).collect();
+            let ts_of = |e: &EventId| -> Timestamp {
+                let p = match base[1..].iter().position(|&hi| e.0 < hi) {
+                    Some(p) => p,
+                    None => unreachable!("event id in range"),
+                };
+                parts[p].own[(e.0 - base[p]) as usize].ts
+            };
+            total.sort_by_key(|e| ts_of(e));
+            verify_ccv_window(space, &h, &causal, &total, sample_every, &parts[0].snapshot)
+                .map_err(|e| format!("CCv violation: {e:?}"))?;
+        }
+    }
+    Ok(m)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbm_adt::register::{RegInput, RegOutput, Register};
+
+    fn ev(obj: u32, input: RegInput, output: RegOutput, t: u64, p: usize) -> OwnEvent<Register> {
+        OwnEvent {
+            obj,
+            input,
+            output,
+            ts: Timestamp::new(t, p),
+        }
+    }
+
+    /// Two workers, two objects: w0 writes obj0=5 (seen by w1 before
+    /// its read), w1 reads obj0 then writes obj1.
+    fn healthy_parts() -> Vec<WindowRecord<Register>> {
+        let snapshot = vec![0u64, 9u64]; // obj1 carried 9 in from the prefix
+        vec![
+            WindowRecord {
+                worker: 0,
+                window: 0,
+                own: vec![ev(0, RegInput::Write(5), RegOutput::Ack, 1, 0)],
+                // own write, then w1's remote write (w1's read is a
+                // pure query: never broadcast, never applied remotely)
+                applies: vec![(0, 0), (1, 1)],
+                snapshot: snapshot.clone(),
+                foreign: 0,
+            },
+            WindowRecord {
+                worker: 1,
+                window: 0,
+                own: vec![
+                    ev(0, RegInput::Read, RegOutput::Val(5), 2, 1),
+                    ev(1, RegInput::Write(4), RegOutput::Ack, 3, 1),
+                ],
+                // w1 applied w0's write before reading it
+                applies: vec![(0, 0), (1, 0), (1, 1)],
+                snapshot,
+                foreign: 0,
+            },
+        ]
+    }
+
+    #[test]
+    fn healthy_window_verifies_under_both_modes() {
+        let space = ObjectSpace::new(Register, 2);
+        let parts = healthy_parts();
+        assert_eq!(verify_window(&space, Mode::Causal, 1, &parts), Ok(3));
+        assert_eq!(verify_window(&space, Mode::Convergent, 1, &parts), Ok(3));
+    }
+
+    #[test]
+    fn snapshot_feeds_the_replay() {
+        // w1 reads obj1 = 9: only explainable through the snapshot
+        let space = ObjectSpace::new(Register, 2);
+        let mut parts = healthy_parts();
+        parts[1].own[1] = ev(1, RegInput::Read, RegOutput::Val(9), 3, 1);
+        assert_eq!(verify_window(&space, Mode::Causal, 1, &parts), Ok(3));
+        // ...and a wrong carried-in value is caught
+        parts[1].own[1] = ev(1, RegInput::Read, RegOutput::Val(8), 3, 1);
+        let res = verify_window(&space, Mode::Causal, 1, &parts);
+        assert!(
+            res.is_err_and(|e| e.contains("OutputMismatch")),
+            "snapshot replay must gate"
+        );
+    }
+
+    #[test]
+    fn tampered_output_fails_both_modes() {
+        let space = ObjectSpace::new(Register, 2);
+        for mode in [Mode::Causal, Mode::Convergent] {
+            let mut parts = healthy_parts();
+            parts[1].own[0] = ev(0, RegInput::Read, RegOutput::Val(777), 2, 1);
+            let res = verify_window(&space, mode, 1, &parts);
+            assert!(res.is_err_and(|e| e.contains("OutputMismatch")), "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn non_causal_apply_order_rejected() {
+        let space = ObjectSpace::new(Register, 2);
+        let mut parts = healthy_parts();
+        // w1 claims it read 5 but applied the write *after* the read
+        parts[1].applies = vec![(1, 0), (0, 0), (1, 1)];
+        let res = verify_window(&space, Mode::Causal, 1, &parts);
+        assert!(res.is_err(), "read of 5 without its write applied first");
+    }
+
+    #[test]
+    fn foreign_ops_fail_fast() {
+        let space = ObjectSpace::new(Register, 2);
+        let mut parts = healthy_parts();
+        parts[0].foreign = 2;
+        let res = verify_window(&space, Mode::Causal, 1, &parts);
+        assert!(res.is_err_and(|e| e.contains("untagged")));
+    }
+
+    #[test]
+    fn divergent_snapshots_fail_convergent_windows() {
+        let space = ObjectSpace::new(Register, 2);
+        let mut parts = healthy_parts();
+        parts[1].snapshot = vec![1, 9];
+        let res = verify_window(&space, Mode::Convergent, 1, &parts);
+        assert!(res.is_err_and(|e| e.contains("diverged")));
+    }
+
+    #[test]
+    fn recorder_tags_up_to_quota() {
+        let mut r: WindowRecorder<Register> = WindowRecorder::new();
+        assert_eq!(
+            r.on_own(0, ev(0, RegInput::Read, RegOutput::Val(0), 1, 0)),
+            None
+        );
+        r.start(3, 2, vec![0, 0]);
+        assert!(r.active());
+        assert_eq!(
+            r.on_own(0, ev(0, RegInput::Read, RegOutput::Val(0), 1, 0)),
+            Some(0)
+        );
+        r.on_remote(1, Some(0));
+        assert_eq!(
+            r.on_own(0, ev(0, RegInput::Read, RegOutput::Val(0), 2, 0)),
+            Some(1)
+        );
+        assert_eq!(r.remaining(), 0);
+        assert_eq!(
+            r.on_own(0, ev(0, RegInput::Read, RegOutput::Val(0), 3, 0)),
+            None
+        );
+        let rec = r.finish(0);
+        assert_eq!(rec.own.len(), 2);
+        assert_eq!(rec.applies, vec![(0, 0), (1, 0), (0, 1)]);
+        assert_eq!(rec.window, 3);
+        assert!(!r.active());
+    }
+}

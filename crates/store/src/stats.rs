@@ -1,0 +1,133 @@
+//! Per-worker accounting and the run report.
+
+use crate::config::StoreConfig;
+
+/// Latency percentiles over recorded per-operation wall times.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LatencySummary {
+    /// Samples summarized.
+    pub count: u64,
+    /// Median, nanoseconds.
+    pub p50_ns: u64,
+    /// 99th percentile, nanoseconds.
+    pub p99_ns: u64,
+    /// Maximum, nanoseconds.
+    pub max_ns: u64,
+    /// Mean, nanoseconds.
+    pub mean_ns: u64,
+}
+
+/// Summarize a sample slice (sorted in place).
+pub fn summarize_latencies(ns: &mut [u64]) -> LatencySummary {
+    if ns.is_empty() {
+        return LatencySummary::default();
+    }
+    ns.sort_unstable();
+    let count = ns.len() as u64;
+    let pick = |q: f64| ns[((ns.len() - 1) as f64 * q) as usize];
+    LatencySummary {
+        count,
+        p50_ns: pick(0.50),
+        p99_ns: pick(0.99),
+        max_ns: *ns.last().unwrap(),
+        mean_ns: ns.iter().sum::<u64>() / count,
+    }
+}
+
+/// One worker's accounting.
+#[derive(Debug, Clone)]
+pub struct WorkerStats {
+    /// Worker id.
+    pub worker: usize,
+    /// Operations issued.
+    pub ops: u64,
+    /// Pure queries among them.
+    pub reads: u64,
+    /// Updates among them.
+    pub updates: u64,
+    /// Batch envelopes this worker flushed.
+    pub batches_sent: u64,
+    /// Update payloads across those batches.
+    pub payloads_sent: u64,
+    /// Batch envelopes delivered from peers.
+    pub batches_delivered: u64,
+    /// This worker's operation latency profile.
+    pub latency: LatencySummary,
+}
+
+/// Verdict of one sampled verification window.
+#[derive(Debug, Clone)]
+pub struct WindowVerdict {
+    /// Window number (0-based, in freeze order).
+    pub window: u64,
+    /// Criterion verified ("CC" or "CCv").
+    pub criterion: &'static str,
+    /// Events in the rebuilt window history.
+    pub events: usize,
+    /// `Ok(())` or a description of the violation.
+    pub result: Result<(), String>,
+}
+
+/// Everything one engine run produces.
+#[derive(Debug, Clone)]
+pub struct StoreReport {
+    /// The configuration that ran.
+    pub config: StoreConfig,
+    /// Wall-clock duration of the run, nanoseconds.
+    pub wall_ns: u128,
+    /// Total operations completed.
+    pub total_ops: u64,
+    /// Throughput over the whole run.
+    pub ops_per_sec: f64,
+    /// Merged latency profile across workers.
+    pub latency: LatencySummary,
+    /// Transport envelopes sent (per-copy: each batch counts once per
+    /// receiving peer).
+    pub msgs_sent: u64,
+    /// Estimated payload bytes sent.
+    pub bytes_sent: u64,
+    /// Batch envelopes flushed across workers (pre-fan-out).
+    pub batches_sent: u64,
+    /// Update payloads shipped across all batches.
+    pub payloads_sent: u64,
+    /// Mean payloads per batch (`payloads_sent / batches_sent`).
+    pub mean_batch: f64,
+    /// Sampled-window verdicts, in freeze order.
+    pub windows: Vec<WindowVerdict>,
+    /// Windows whose verification failed.
+    pub windows_failed: usize,
+    /// Convergent mode: did every drain point find all replicas in
+    /// identical states? (Always `true` in causal mode, which does not
+    /// promise convergence.)
+    pub drains_converged: bool,
+    /// Per-worker accounting.
+    pub per_worker: Vec<WorkerStats>,
+}
+
+impl StoreReport {
+    /// Zero failed windows and (in convergent mode) convergence at
+    /// every drain.
+    pub fn verified(&self) -> bool {
+        self.windows_failed == 0 && self.drains_converged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_empty_is_zero() {
+        assert_eq!(summarize_latencies(&mut []), LatencySummary::default());
+    }
+
+    #[test]
+    fn percentiles_are_order_statistics() {
+        let s = summarize_latencies(&mut (1..=100).collect::<Vec<u64>>());
+        assert_eq!(s.count, 100);
+        assert_eq!(s.p50_ns, 50);
+        assert_eq!(s.p99_ns, 99);
+        assert_eq!(s.max_ns, 100);
+        assert_eq!(s.mean_ns, 50); // 5050 / 100
+    }
+}

@@ -1,0 +1,195 @@
+//! End-to-end engine runs: live threads, batched broadcast, sampled
+//! window verification, deterministic message accounting.
+
+use cbm_adt::counter::{Counter, CtInput};
+use cbm_adt::register::{RegInput, Register};
+use cbm_adt::space::SpaceInput;
+use cbm_store::{run, BatchPolicy, Mode, StoreConfig, StoreReport, VerifyConfig};
+use rand::rngs::StdRng;
+use rand::Rng;
+
+fn reg_gen(
+    objects: u32,
+    read_ratio: f64,
+) -> impl Fn(usize, u64, &mut StdRng) -> SpaceInput<RegInput> + Sync {
+    move |_, _, rng| {
+        let obj = rng.gen_range(0u32..objects);
+        if rng.gen_bool(read_ratio) {
+            SpaceInput::new(obj, RegInput::Read)
+        } else {
+            SpaceInput::new(obj, RegInput::Write(rng.gen_range(1u64..1000)))
+        }
+    }
+}
+
+fn small_cfg(mode: Mode, batch: BatchPolicy) -> StoreConfig {
+    StoreConfig {
+        workers: 4,
+        objects: 32,
+        ops_per_worker: 3_000,
+        mode,
+        batch,
+        verify: VerifyConfig {
+            every_ops: 1_000,
+            window_ops: 24,
+            sample_every: 1,
+        },
+        seed: 11,
+    }
+}
+
+fn assert_healthy(r: &StoreReport) {
+    assert_eq!(r.total_ops, r.config.total_ops());
+    assert!(!r.windows.is_empty(), "sampling produced no windows");
+    for w in &r.windows {
+        assert!(
+            w.result.is_ok(),
+            "window {} failed: {:?}",
+            w.window,
+            w.result
+        );
+        assert!(w.events > 0);
+    }
+    assert!(r.verified());
+    assert!(r.latency.count == r.total_ops);
+}
+
+#[test]
+fn causal_mode_verifies_cc_windows() {
+    let cfg = small_cfg(Mode::Causal, BatchPolicy::Every(8));
+    let r = run(&Register, &cfg, reg_gen(32, 0.5));
+    assert_healthy(&r);
+    assert!(r.windows.iter().all(|w| w.criterion == "CC"));
+    // 2 interior rendezvous (k = 1000, 2000) -> 2 windows
+    assert_eq!(r.windows.len(), 2);
+    // message fan-out: every batch goes to n-1 peers
+    assert_eq!(r.msgs_sent, r.batches_sent * 3);
+    assert!(r.bytes_sent > 0);
+    assert!(r.mean_batch > 4.0, "mean batch {}", r.mean_batch);
+}
+
+#[test]
+fn convergent_mode_verifies_ccv_windows_and_converges() {
+    let cfg = small_cfg(Mode::Convergent, BatchPolicy::Every(8));
+    let r = run(&Register, &cfg, reg_gen(32, 0.5));
+    assert_healthy(&r);
+    assert!(r.windows.iter().all(|w| w.criterion == "CCv"));
+    assert!(r.drains_converged);
+}
+
+#[test]
+fn convergent_mode_with_counter_updates() {
+    // commutative updates: convergence must also hold
+    let cfg = small_cfg(Mode::Convergent, BatchPolicy::Every(4));
+    let r = run(&Counter, &cfg, |_, _, rng: &mut StdRng| {
+        let obj = rng.gen_range(0u32..16);
+        if rng.gen_bool(0.4) {
+            SpaceInput::new(obj, CtInput::Read)
+        } else {
+            SpaceInput::new(obj, CtInput::Add(rng.gen_range(1i64..5)))
+        }
+    });
+    assert_healthy(&r);
+}
+
+#[test]
+fn batching_cuts_messages_at_least_5x() {
+    let on = run(
+        &Register,
+        &small_cfg(Mode::Causal, BatchPolicy::Every(16)),
+        reg_gen(32, 0.5),
+    );
+    let off = run(
+        &Register,
+        &small_cfg(Mode::Causal, BatchPolicy::Off),
+        reg_gen(32, 0.5),
+    );
+    assert_healthy(&on);
+    assert_healthy(&off);
+    // same seed => same update stream => same payload counts
+    assert_eq!(on.payloads_sent, off.payloads_sent);
+    assert!(
+        off.msgs_sent >= 5 * on.msgs_sent,
+        "batching cut only {}x ({} vs {})",
+        off.msgs_sent as f64 / on.msgs_sent as f64,
+        off.msgs_sent,
+        on.msgs_sent
+    );
+    assert!((off.mean_batch - 1.0).abs() < f64::EPSILON);
+}
+
+#[test]
+fn message_counts_are_deterministic_across_runs() {
+    let cfg = small_cfg(Mode::Causal, BatchPolicy::Every(8));
+    let a = run(&Register, &cfg, reg_gen(32, 0.5));
+    let b = run(&Register, &cfg, reg_gen(32, 0.5));
+    assert_eq!(a.msgs_sent, b.msgs_sent);
+    assert_eq!(a.bytes_sent, b.bytes_sent);
+    assert_eq!(a.batches_sent, b.batches_sent);
+    assert_eq!(a.payloads_sent, b.payloads_sent);
+    assert_eq!(a.windows.len(), b.windows.len());
+    for (x, y) in a.per_worker.iter().zip(&b.per_worker) {
+        assert_eq!(x.updates, y.updates);
+        assert_eq!(x.batches_sent, y.batches_sent);
+    }
+}
+
+#[test]
+fn single_worker_degenerates_gracefully() {
+    let cfg = StoreConfig {
+        workers: 1,
+        objects: 8,
+        ops_per_worker: 500,
+        mode: Mode::Causal,
+        batch: BatchPolicy::Every(8),
+        verify: VerifyConfig {
+            every_ops: 200,
+            window_ops: 16,
+            sample_every: 1,
+        },
+        seed: 3,
+    };
+    let r = run(&Register, &cfg, reg_gen(8, 0.5));
+    assert_healthy(&r);
+    assert_eq!(r.msgs_sent, 0, "no peers, no messages");
+}
+
+#[test]
+fn sampling_disabled_still_completes() {
+    let cfg = StoreConfig {
+        workers: 3,
+        objects: 16,
+        ops_per_worker: 1_000,
+        mode: Mode::Causal,
+        batch: BatchPolicy::Every(8),
+        verify: VerifyConfig {
+            every_ops: 0,
+            window_ops: 16,
+            sample_every: 1,
+        },
+        seed: 5,
+    };
+    let r = run(&Register, &cfg, reg_gen(16, 0.5));
+    assert_eq!(r.total_ops, 3_000);
+    assert!(r.windows.is_empty());
+    assert!(r.verified());
+}
+
+#[test]
+fn read_heavy_workloads_send_fewer_payloads() {
+    let mostly_reads = run(
+        &Register,
+        &small_cfg(Mode::Causal, BatchPolicy::Every(8)),
+        reg_gen(32, 0.9),
+    );
+    let mostly_writes = run(
+        &Register,
+        &small_cfg(Mode::Causal, BatchPolicy::Every(8)),
+        reg_gen(32, 0.1),
+    );
+    assert_healthy(&mostly_reads);
+    assert_healthy(&mostly_writes);
+    assert!(mostly_reads.payloads_sent < mostly_writes.payloads_sent / 4);
+    let rw: u64 = mostly_reads.per_worker.iter().map(|w| w.reads).sum();
+    assert!(rw > mostly_reads.total_ops * 8 / 10);
+}

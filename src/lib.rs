@@ -12,7 +12,9 @@
 //! * [`core`] — replica flavours and the simulation driver
 //!   (`cbm-core`);
 //! * [`sim`] — fault-injection scenarios and seed exploration
-//!   (`cbm-sim`).
+//!   (`cbm-sim`);
+//! * [`store`] — the live multi-threaded causal object store with
+//!   batched broadcast and sampled online verification (`cbm-store`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -23,3 +25,4 @@ pub use cbm_core as core;
 pub use cbm_history as history;
 pub use cbm_net as net;
 pub use cbm_sim as sim;
+pub use cbm_store as store;
