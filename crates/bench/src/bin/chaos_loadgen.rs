@@ -1,0 +1,443 @@
+//! Drive the live store engine through the chaos fault-profile matrix
+//! and emit the committed chaos baseline (`BENCH_chaos.json`).
+//!
+//! ```text
+//! chaos_loadgen [--quick] [--out PATH] [--seeds N] [--summary PATH]
+//! ```
+//!
+//! For every **fault profile × mode × seed** cell this binary runs the
+//! engine **three times**:
+//!
+//! 1. the chaos run — fault plan active, sampled online verification
+//!    on (CC or CCv per mode);
+//! 2. the chaos run again — every deterministic column (messages,
+//!    bytes, drops, dups, nacks, repairs, replay counts) must
+//!    reproduce **exactly**, which is the live-engine determinism
+//!    contract of `docs/CHAOS.md`;
+//! 3. the fault-free twin of the same `(config, seed)` — the workload
+//!    is a counter space (commutative updates), so the chaos run must
+//!    converge to **byte-identical final state**: a crashed-and-
+//!    recovered worker resumes its script, and the recovery protocol
+//!    loses and duplicates nothing.
+//!
+//! A cell fails on: any unverified window, a drain divergence, a
+//! missing recovery (crash profiles must report every span recovered,
+//! with at least one verified window spanning the recovery drain), a
+//! final-state mismatch against the twin, or any determinism mismatch
+//! between the two chaos runs. Exit status is non-zero iff any cell
+//! failed — this is what the `chaos-smoke` CI job (and the nightly
+//! extended sweep) gates on. Wall-clock columns are recorded but never
+//! gate.
+
+use cbm_adt::counter::{Counter, CtInput};
+use cbm_adt::space::SpaceInput;
+use cbm_store::{
+    profile, run, BatchPolicy, Mode, StoreConfig, StoreReport, VerifyConfig, PROFILE_NAMES,
+};
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::process::ExitCode;
+
+struct Cell {
+    profile: &'static str,
+    mode: Mode,
+    seed: u64,
+    report: StoreReport,
+    ops_survived: u64,
+    windows_spanning_recovery: usize,
+    determinism_match: bool,
+    state_match: bool,
+    failures: Vec<String>,
+}
+
+/// Shared matrix dimensions: (workers, every_ops) feed both the
+/// config and the fault-profile constructors, so crash/recover ticks
+/// always land on this config's epoch boundaries.
+fn dims(quick: bool) -> (usize, usize) {
+    if quick {
+        (4, 500)
+    } else {
+        (4, 2_000)
+    }
+}
+
+fn cfg(mode: Mode, seed: u64, quick: bool, chaos: cbm_net::fault::FaultPlan) -> StoreConfig {
+    let (workers, every) = dims(quick);
+    let (ops, window) = if quick { (2_000, 16) } else { (20_000, 32) };
+    StoreConfig {
+        workers,
+        objects: 64,
+        ops_per_worker: ops,
+        mode,
+        batch: BatchPolicy::Every(8),
+        verify: VerifyConfig {
+            every_ops: every,
+            window_ops: window,
+            sample_every: 1,
+        },
+        seed,
+        chaos,
+    }
+}
+
+fn counter_gen() -> impl Fn(usize, u64, &mut StdRng) -> SpaceInput<CtInput> + Sync {
+    move |_, _, rng| {
+        let obj = rng.gen_range(0u32..64);
+        if rng.gen_bool(0.3) {
+            SpaceInput::new(obj, CtInput::Read)
+        } else {
+            SpaceInput::new(obj, CtInput::Add(rng.gen_range(1i64..1_000)))
+        }
+    }
+}
+
+/// The deterministic fingerprint of a run, diffed across the replay.
+fn det_columns(r: &StoreReport) -> Vec<(&'static str, String)> {
+    vec![
+        ("total_ops", r.total_ops.to_string()),
+        ("msgs_sent", r.msgs_sent.to_string()),
+        ("bytes_sent", r.bytes_sent.to_string()),
+        ("batches_sent", r.batches_sent.to_string()),
+        ("payloads_sent", r.payloads_sent.to_string()),
+        ("drops", r.chaos.drops.to_string()),
+        ("dups", r.chaos.dups.to_string()),
+        ("parked", r.chaos.parked.to_string()),
+        ("released", r.chaos.released.to_string()),
+        ("delayed", r.chaos.delayed.to_string()),
+        ("pruned", r.chaos.pruned.to_string()),
+        ("crash_discarded", r.chaos.crash_discarded.to_string()),
+        ("nacks", r.chaos.nacks.to_string()),
+        ("repairs", r.chaos.repairs.to_string()),
+        ("repaired_batches", r.chaos.repaired_batches.to_string()),
+        (
+            "dropped_per_node",
+            format!("{:?}", r.chaos.dropped_per_node),
+        ),
+        ("dup_per_node", format!("{:?}", r.chaos.dup_per_node)),
+        (
+            "replays",
+            format!(
+                "{:?}",
+                r.chaos
+                    .recoveries
+                    .iter()
+                    .map(|x| (x.worker, x.replayed_batches, x.replayed_ops))
+                    .collect::<Vec<_>>()
+            ),
+        ),
+        ("windows", r.windows.len().to_string()),
+    ]
+}
+
+fn run_cell(name: &'static str, mode: Mode, seed: u64, quick: bool) -> Cell {
+    let (workers, every) = dims(quick);
+    let plan = profile(name, workers, every).expect("known profile");
+    let chaos_cfg = cfg(mode, seed, quick, plan);
+    let free_cfg = cfg(mode, seed, quick, cbm_net::fault::FaultPlan::new());
+
+    let a = run(&Counter, &chaos_cfg, counter_gen());
+    let a2 = run(&Counter, &chaos_cfg, counter_gen());
+    let twin = run(&Counter, &free_cfg, counter_gen());
+
+    let mut failures = Vec::new();
+    for w in a.windows.iter().filter(|w| w.result.is_err()) {
+        failures.push(format!(
+            "window {} [{}]: {:?}",
+            w.window, w.criterion, w.result
+        ));
+    }
+    if !a.drains_converged {
+        failures.push("drain divergence".into());
+    }
+
+    let determinism_match = det_columns(&a) == det_columns(&a2);
+    if !determinism_match {
+        for ((k, va), (_, vb)) in det_columns(&a).iter().zip(det_columns(&a2).iter()) {
+            if va != vb {
+                failures.push(format!("nondeterministic {k}: {va} vs {vb}"));
+            }
+        }
+    }
+
+    let h = a.final_state_hashes[0];
+    let state_match = a.final_state_hashes.iter().all(|&x| x == h)
+        && twin.final_state_hashes.iter().all(|&x| x == h);
+    if !state_match {
+        failures.push(format!(
+            "final state mismatch: chaos {:x?} vs twin {:x?}",
+            a.final_state_hashes, twin.final_state_hashes
+        ));
+    }
+
+    // the schedule itself says how many crash spans the profile has —
+    // no hand-maintained table to drift out of sync with the profiles
+    let want_rec = cbm_store::ChaosSchedule::build(&chaos_cfg).spans.len();
+    if a.chaos.recoveries.len() != want_rec {
+        failures.push(format!(
+            "expected {want_rec} recoveries, saw {}",
+            a.chaos.recoveries.len()
+        ));
+    }
+    let windows_spanning_recovery = a
+        .windows
+        .iter()
+        .filter(|w| w.spans_recovery && w.result.is_ok())
+        .count();
+    if want_rec > 0 && windows_spanning_recovery == 0 {
+        failures.push("no verified window spans a recovery".into());
+    }
+    if a.total_ops != chaos_cfg.total_ops() {
+        failures.push(format!(
+            "ops lost: {} of {}",
+            a.total_ops,
+            chaos_cfg.total_ops()
+        ));
+    }
+
+    Cell {
+        profile: name,
+        mode,
+        seed,
+        ops_survived: a.total_ops,
+        windows_spanning_recovery,
+        determinism_match,
+        state_match,
+        failures,
+        report: a,
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out_path = String::from("BENCH_chaos.json");
+    let mut summary_path: Option<String> = None;
+    let mut seeds: u64 = 0;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--quick" => quick = true,
+            "--out" => match it.next() {
+                Some(p) => out_path = p.clone(),
+                None => {
+                    eprintln!("--out needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--summary" => match it.next() {
+                Some(p) => summary_path = Some(p.clone()),
+                None => {
+                    eprintln!("--summary needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--seeds" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => seeds = n,
+                None => {
+                    eprintln!("--seeds needs a number");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("chaos_loadgen [--quick] [--out PATH] [--seeds N] [--summary PATH]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag '{other}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if seeds == 0 {
+        seeds = if quick { 2 } else { 3 };
+    }
+
+    let mut cells: Vec<Cell> = Vec::new();
+    let mut failed = 0usize;
+    for name in PROFILE_NAMES {
+        for mode in [Mode::Causal, Mode::Convergent] {
+            for s in 0..seeds {
+                let seed = 42 + s;
+                let cell = run_cell(name, mode, seed, quick);
+                eprint!(
+                    "{:>16} {} seed {}: {} msgs, {} drops, {} dups, {} repairs",
+                    cell.profile,
+                    mode.criterion(),
+                    seed,
+                    cell.report.msgs_sent,
+                    cell.report.chaos.drops,
+                    cell.report.chaos.dups,
+                    cell.report.chaos.repairs,
+                );
+                if cell.failures.is_empty() {
+                    eprintln!(" ... ok");
+                } else {
+                    failed += 1;
+                    eprintln!(" ... FAIL");
+                    for f in &cell.failures {
+                        eprintln!("    {f}");
+                    }
+                }
+                cells.push(cell);
+            }
+        }
+    }
+
+    let json = render_json(quick, seeds, &cells);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("could not write {out_path}: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("wrote {out_path} ({} cells)", cells.len());
+
+    if let Some(path) = summary_path {
+        if let Err(e) = append_summary(&path, quick, &cells) {
+            eprintln!("could not write summary {path}: {e}");
+        }
+    }
+
+    if failed > 0 {
+        eprintln!("chaos_loadgen: {failed} cell(s) failed");
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Hand-rolled JSON (the offline `serde` stand-in has no serializer;
+/// the explicit schema doubles as documentation).
+fn render_json(quick: bool, seeds: u64, cells: &[Cell]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"cbm-chaos-v1\",\n");
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str(&format!("  \"seeds_per_cell\": {seeds},\n"));
+    s.push_str(
+        "  \"deterministic_columns\": [\"total_ops\", \"msgs_sent\", \"bytes_sent\", \
+         \"drops\", \"dups\", \"parked\", \"released\", \"delayed\", \"pruned\", \"crash_discarded\", \"nacks\", \"repairs\", \
+         \"repaired_batches\", \"recoveries\", \"windows\"],\n",
+    );
+    s.push_str("  \"cells\": [\n");
+    for (i, c) in cells.iter().enumerate() {
+        let r = &c.report;
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"profile\": \"{}\",\n", c.profile));
+        s.push_str(&format!("      \"mode\": \"{}\",\n", c.mode.criterion()));
+        s.push_str(&format!("      \"seed\": {},\n", c.seed));
+        s.push_str(&format!("      \"workers\": {},\n", r.config.workers));
+        s.push_str(&format!(
+            "      \"ops_per_worker\": {},\n",
+            r.config.ops_per_worker
+        ));
+        s.push_str(&format!("      \"ops_survived\": {},\n", c.ops_survived));
+        s.push_str(&format!("      \"wall_ms\": {},\n", r.wall_ns / 1_000_000));
+        s.push_str(&format!("      \"msgs_sent\": {},\n", r.msgs_sent));
+        s.push_str(&format!("      \"bytes_sent\": {},\n", r.bytes_sent));
+        s.push_str(&format!("      \"drops\": {},\n", r.chaos.drops));
+        s.push_str(&format!("      \"dups\": {},\n", r.chaos.dups));
+        s.push_str(&format!("      \"parked\": {},\n", r.chaos.parked));
+        s.push_str(&format!("      \"released\": {},\n", r.chaos.released));
+        s.push_str(&format!("      \"delayed\": {},\n", r.chaos.delayed));
+        s.push_str(&format!("      \"pruned\": {},\n", r.chaos.pruned));
+        s.push_str(&format!(
+            "      \"crash_discarded\": {},\n",
+            r.chaos.crash_discarded
+        ));
+        s.push_str(&format!("      \"nacks\": {},\n", r.chaos.nacks));
+        s.push_str(&format!("      \"repairs\": {},\n", r.chaos.repairs));
+        s.push_str(&format!(
+            "      \"repaired_batches\": {},\n",
+            r.chaos.repaired_batches
+        ));
+        s.push_str(&format!(
+            "      \"dropped_per_node\": {:?},\n",
+            r.chaos.dropped_per_node
+        ));
+        s.push_str("      \"recoveries\": [\n");
+        for (j, rec) in r.chaos.recoveries.iter().enumerate() {
+            s.push_str(&format!(
+                "        {{\"worker\": {}, \"helper\": {}, \"crash_epoch\": {}, \
+                 \"recover_epoch\": {}, \"replayed_batches\": {}, \"replayed_ops\": {}, \
+                 \"sync_ms\": {}}}{}\n",
+                rec.worker,
+                rec.helper,
+                rec.crash_epoch,
+                rec.recover_epoch,
+                rec.replayed_batches,
+                rec.replayed_ops,
+                rec.sync_wall_ns / 1_000_000,
+                if j + 1 < r.chaos.recoveries.len() {
+                    ","
+                } else {
+                    ""
+                }
+            ));
+        }
+        s.push_str("      ],\n");
+        s.push_str(&format!("      \"windows\": {},\n", r.windows.len()));
+        s.push_str(&format!(
+            "      \"windows_failed\": {},\n",
+            r.windows_failed
+        ));
+        s.push_str(&format!(
+            "      \"windows_spanning_recovery\": {},\n",
+            c.windows_spanning_recovery
+        ));
+        s.push_str(&format!(
+            "      \"determinism_match\": {},\n",
+            c.determinism_match
+        ));
+        s.push_str(&format!("      \"state_match\": {},\n", c.state_match));
+        s.push_str(&format!("      \"ok\": {}\n", c.failures.is_empty()));
+        s.push_str(&format!(
+            "    }}{}\n",
+            if i + 1 < cells.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ]\n");
+    s.push_str("}\n");
+    s
+}
+
+/// Append a GitHub Actions job-summary markdown table.
+fn append_summary(path: &str, quick: bool, cells: &[Cell]) -> std::io::Result<()> {
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            let r = &c.report;
+            vec![
+                c.profile.to_string(),
+                c.mode.criterion().to_string(),
+                c.seed.to_string(),
+                r.msgs_sent.to_string(),
+                r.chaos.drops.to_string(),
+                r.chaos.dups.to_string(),
+                r.chaos.repairs.to_string(),
+                r.chaos.recoveries.len().to_string(),
+                format!("{}/{}", r.windows.len() - r.windows_failed, r.windows.len()),
+                (if c.state_match { "✓" } else { "✗" }).to_string(),
+                (if c.determinism_match { "✓" } else { "✗" }).to_string(),
+                (if c.failures.is_empty() { "✓" } else { "✗" }).to_string(),
+            ]
+        })
+        .collect();
+    cbm_bench::append_summary_table(
+        path,
+        &format!("Chaos sweep ({})", if quick { "quick" } else { "full" }),
+        &[
+            "profile",
+            "mode",
+            "seed",
+            "msgs",
+            "drops",
+            "dups",
+            "repairs",
+            "recoveries",
+            "windows",
+            "state",
+            "det",
+            "ok",
+        ],
+        &rows,
+    )
+}

@@ -2,10 +2,19 @@
 //! and emit the committed throughput baseline (`BENCH_throughput.json`).
 //!
 //! ```text
-//! loadgen [--quick] [--out PATH]
+//! loadgen [--quick] [--out PATH] [--summary PATH] [--baseline PATH]
 //!         [--workers N] [--objects N] [--ops N] [--read-ratio R]
 //!         [--batch N|off] [--mode cc|ccv] [--seed S]
 //! ```
+//!
+//! `--summary` appends a markdown table (one row per leg, with the
+//! committed baseline's deterministic message count alongside when
+//! `--baseline` names a readable throughput JSON) — CI points it at
+//! `$GITHUB_STEP_SUMMARY` so regressions are readable without
+//! downloading artifacts. Leg names key the lookup, so pass the
+//! baseline generated from the **same matrix**: the committed
+//! `BENCH_throughput_quick.json` for `--quick` runs,
+//! `BENCH_throughput.json` for full runs.
 //!
 //! With no workload flags, runs the **fixed matrix** (threads ×
 //! objects × read-ratio × batching × mode) and writes one JSON
@@ -69,6 +78,7 @@ fn leg(
                 sample_every: 1,
             },
             seed,
+            chaos: cbm_net::fault::FaultPlan::new(),
         },
         read_ratio,
     }
@@ -228,6 +238,8 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
     let mut out_path = String::from("BENCH_throughput.json");
+    let mut summary_path: Option<String> = None;
+    let mut baseline_path: Option<String> = None;
     let mut custom = StoreConfig::default();
     let mut custom_read_ratio = 0.5;
     let mut is_custom = false;
@@ -247,6 +259,20 @@ fn main() -> ExitCode {
                 Some(p) => out_path = p.clone(),
                 None => {
                     eprintln!("--out needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--summary" => match it.next() {
+                Some(p) => summary_path = Some(p.clone()),
+                None => {
+                    eprintln!("--summary needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--baseline" => match it.next() {
+                Some(p) => baseline_path = Some(p.clone()),
+                None => {
+                    eprintln!("--baseline needs a path");
                     return ExitCode::from(2);
                 }
             },
@@ -327,8 +353,9 @@ fn main() -> ExitCode {
             },
             "--help" | "-h" => {
                 println!(
-                    "loadgen [--quick] [--out PATH] [--workers N] [--objects N] \
-                     [--ops N] [--read-ratio R] [--batch N|off] [--mode cc|ccv] [--seed S]"
+                    "loadgen [--quick] [--out PATH] [--summary PATH] [--baseline PATH] \
+                     [--workers N] [--objects N] [--ops N] [--read-ratio R] \
+                     [--batch N|off] [--mode cc|ccv] [--seed S]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -390,12 +417,89 @@ fn main() -> ExitCode {
     }
     println!("wrote {out_path} ({} legs)", reports.len());
 
+    if let Some(path) = summary_path {
+        let baseline = baseline_path
+            .as_deref()
+            .and_then(|p| std::fs::read_to_string(p).ok())
+            .map(|s| parse_baseline_msgs(&s))
+            .unwrap_or_default();
+        if let Err(e) = append_summary(&path, quick, &reports, &baseline) {
+            eprintln!("could not write summary {path}: {e}");
+        }
+    }
+
     if failures > 0 {
         eprintln!("loadgen: {failures} leg(s) failed verification");
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Extract `name -> msgs_sent` from a committed baseline document
+/// (one field per line; see `cbm_bench::field_str`).
+fn parse_baseline_msgs(json: &str) -> std::collections::HashMap<String, u64> {
+    let mut out = std::collections::HashMap::new();
+    let mut current: Option<String> = None;
+    for line in json.lines() {
+        if let Some(name) = cbm_bench::field_str(line, "name") {
+            current = Some(name);
+        } else if let Some(v) = cbm_bench::field_u64(line, "msgs_sent") {
+            if let Some(name) = current.take() {
+                out.insert(name, v);
+            }
+        }
+    }
+    out
+}
+
+/// Append a GitHub Actions job-summary markdown table.
+fn append_summary(
+    path: &str,
+    quick: bool,
+    reports: &[(Leg, StoreReport)],
+    baseline: &std::collections::HashMap<String, u64>,
+) -> std::io::Result<()> {
+    let rows: Vec<Vec<String>> = reports
+        .iter()
+        .map(|(l, r)| {
+            vec![
+                l.name.clone(),
+                l.cfg.mode.criterion().to_string(),
+                l.cfg.workers.to_string(),
+                format!("{:.0}", r.ops_per_sec),
+                r.latency.p50_ns.to_string(),
+                r.latency.p99_ns.to_string(),
+                r.msgs_sent.to_string(),
+                baseline
+                    .get(&l.name)
+                    .map(|v| v.to_string())
+                    .unwrap_or_else(|| "—".into()),
+                format!("{:.1}", r.mean_batch),
+                format!("{}/{}", r.windows.len() - r.windows_failed, r.windows.len()),
+            ]
+        })
+        .collect();
+    cbm_bench::append_summary_table(
+        path,
+        &format!(
+            "Throughput smoke ({})",
+            if quick { "quick" } else { "full" }
+        ),
+        &[
+            "leg",
+            "mode",
+            "workers",
+            "ops/s",
+            "p50 ns",
+            "p99 ns",
+            "msgs",
+            "baseline msgs",
+            "mean batch",
+            "windows",
+        ],
+        &rows,
+    )
 }
 
 /// Hand-rolled JSON (the offline `serde` stand-in has no serializer;

@@ -1,8 +1,13 @@
 //! Emit the committed checker performance baseline (`BENCH_checker.json`).
 //!
 //! ```text
-//! perf_baseline [--quick] [--out PATH] [--iters N] [--gate PATH]
+//! perf_baseline [--quick] [--out PATH] [--iters N] [--gate PATH] [--summary PATH]
 //! ```
+//!
+//! `--summary` appends a markdown table of checker cells (nodes vs
+//! the `--gate` baseline when given) — CI points it at
+//! `$GITHUB_STEP_SUMMARY` so node regressions are readable without
+//! downloading artifacts.
 //!
 //! Runs a **fixed workload matrix** — every generic criterion over the
 //! recorded window-array histories of `checker_scaling` (3/5/7 ops per
@@ -29,7 +34,7 @@
 //! Exit status: non-zero iff a verdict in the matrix is `unknown`, a
 //! scenario run fails verification, or the node gate trips.
 
-use cbm_bench::{recorded_window_adt, recorded_window_history};
+use cbm_bench::{field_str, field_u64, recorded_window_adt, recorded_window_history};
 use cbm_check::{check, Budget, Criterion, Verdict};
 use cbm_sim::{registry, run_scenario};
 use std::process::ExitCode;
@@ -58,6 +63,7 @@ fn main() -> ExitCode {
     let mut out_path = String::from("BENCH_checker.json");
     let mut iters: u32 = 0;
     let mut gate_path: Option<String> = None;
+    let mut summary_path: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -76,6 +82,13 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--summary" => match it.next() {
+                Some(p) => summary_path = Some(p.clone()),
+                None => {
+                    eprintln!("--summary needs a path");
+                    return ExitCode::from(2);
+                }
+            },
             "--iters" => match it.next().and_then(|v| v.parse().ok()) {
                 Some(n) => iters = n,
                 None => {
@@ -84,7 +97,10 @@ fn main() -> ExitCode {
                 }
             },
             "--help" | "-h" => {
-                println!("perf_baseline [--quick] [--out PATH] [--iters N] [--gate PATH]");
+                println!(
+                    "perf_baseline [--quick] [--out PATH] [--iters N] [--gate PATH] \
+                     [--summary PATH]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -182,8 +198,11 @@ fn main() -> ExitCode {
 
     // --- Node-count regression gate -------------------------------------
     let mut gate_failures = 0usize;
-    if let Some(path) = gate_path {
-        match std::fs::read_to_string(&path) {
+    // parsed once; reused by the job summary below
+    let mut committed_nodes: std::collections::HashMap<(String, usize), u64> =
+        std::collections::HashMap::new();
+    if let Some(path) = gate_path.as_deref() {
+        match std::fs::read_to_string(path) {
             Err(e) => {
                 eprintln!("could not read gate baseline {path}: {e}");
                 gate_failures += 1;
@@ -221,7 +240,14 @@ fn main() -> ExitCode {
                     gate_failures += 1;
                 }
                 println!("node gate: {compared} cell(s) compared against {path}");
+                committed_nodes = committed;
             }
+        }
+    }
+
+    if let Some(path) = summary_path {
+        if let Err(e) = append_summary(&path, quick, &cells, &scen_cells, &committed_nodes) {
+            eprintln!("could not write summary {path}: {e}");
         }
     }
 
@@ -234,6 +260,72 @@ fn main() -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Append a GitHub Actions job-summary markdown table: checker node
+/// counts against the committed baseline, plus the scenario sweep.
+fn append_summary(
+    path: &str,
+    quick: bool,
+    cells: &[CheckerCell],
+    scen: &[ScenarioCell],
+    committed: &std::collections::HashMap<(String, usize), u64>,
+) -> std::io::Result<()> {
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            let (base, delta) = match committed.get(&(c.criterion.to_string(), c.ops_per_proc)) {
+                Some(&b) if b > 0 => (
+                    b.to_string(),
+                    format!("{:+.1}%", (c.nodes as f64 / b as f64 - 1.0) * 100.0),
+                ),
+                _ => ("—".into(), "—".into()),
+            };
+            vec![
+                c.criterion.to_string(),
+                c.ops_per_proc.to_string(),
+                c.verdict.to_string(),
+                c.nodes.to_string(),
+                base,
+                delta,
+                format!("{:.1}", c.best_ns as f64 / 1_000.0),
+            ]
+        })
+        .collect();
+    cbm_bench::append_summary_table(
+        path,
+        &format!(
+            "Checker perf smoke ({})",
+            if quick { "quick" } else { "full" }
+        ),
+        &[
+            "criterion",
+            "ops/proc",
+            "verdict",
+            "nodes",
+            "baseline",
+            "Δ nodes",
+            "best µs",
+        ],
+        &rows,
+    )?;
+    let scen_rows: Vec<Vec<String>> = scen
+        .iter()
+        .map(|s| {
+            vec![
+                s.scenario.clone(),
+                s.seeds.to_string(),
+                s.failures.to_string(),
+                s.total_ms.to_string(),
+            ]
+        })
+        .collect();
+    cbm_bench::append_summary_table(
+        path,
+        "",
+        &["scenario", "seeds", "failures", "total ms"],
+        &scen_rows,
+    )
 }
 
 /// Extract `(criterion, ops_per_proc) -> nodes` from a committed
@@ -253,25 +345,6 @@ fn parse_checker_nodes(json: &str) -> std::collections::HashMap<(String, usize),
         out.insert((criterion, ops as usize), nodes);
     }
     out
-}
-
-/// `"key": "value"` on this line, if present.
-fn field_str(line: &str, key: &str) -> Option<String> {
-    let pat = format!("\"{key}\": \"");
-    let start = line.find(&pat)? + pat.len();
-    let end = line[start..].find('"')?;
-    Some(line[start..start + end].to_string())
-}
-
-/// `"key": 123` on this line, if present.
-fn field_u64(line: &str, key: &str) -> Option<u64> {
-    let pat = format!("\"{key}\": ");
-    let start = line.find(&pat)? + pat.len();
-    let digits: String = line[start..]
-        .chars()
-        .take_while(|c| c.is_ascii_digit())
-        .collect();
-    digits.parse().ok()
 }
 
 /// Hand-rolled JSON writer: the offline `serde` stand-in has no

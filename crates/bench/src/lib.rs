@@ -175,6 +175,56 @@ pub fn bar(value: f64, scale: f64, width: usize) -> String {
     format!("{}{}", "#".repeat(filled), ".".repeat(width - filled))
 }
 
+/// `"key": "value"` on a line of the hand-rolled baseline JSON, if
+/// present. The committed `BENCH_*.json` emitters write one field per
+/// line, so the binaries' baseline parsers share these scanners
+/// instead of a deserializer (the offline `serde` stand-in has none) —
+/// keeping the emitter convention and every parser in one crate.
+pub fn field_str(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let end = line[start..].find('\"')?;
+    Some(line[start..start + end].to_string())
+}
+
+/// `"key": 123` on a line of the hand-rolled baseline JSON, if present.
+pub fn field_u64(line: &str, key: &str) -> Option<u64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let digits: String = line[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// Append one titled markdown table to a GitHub Actions job-summary
+/// file (`$GITHUB_STEP_SUMMARY`). Shared by the `--summary` flags of
+/// `perf_baseline`, `loadgen`, and `chaos_loadgen`, so the summary
+/// format lives in one place. Pass an empty title to continue the
+/// previous section with another table.
+pub fn append_summary_table(
+    path: &str,
+    title: &str,
+    columns: &[&str],
+    rows: &[Vec<String>],
+) -> std::io::Result<()> {
+    use std::io::Write;
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)?;
+    if !title.is_empty() {
+        writeln!(f, "## {title}\n")?;
+    }
+    writeln!(f, "| {} |", columns.join(" | "))?;
+    writeln!(f, "|{}|", vec!["---"; columns.len()].join("|"))?;
+    for row in rows {
+        writeln!(f, "| {} |", row.join(" | "))?;
+    }
+    writeln!(f)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -65,6 +65,18 @@ pub struct CausalBroadcast<P> {
     me: NodeId,
     delivered: VectorClock,
     buffer: Vec<CausalMsg<P>>,
+    /// Duplicate-suppression set: `(sender, seq)` of every envelope
+    /// accepted into the buffer but not yet delivered. A duplicating
+    /// or retransmitting transport (duplicate-storm faults, the chaos
+    /// layer's repair path) can hand us the same out-of-order envelope
+    /// many times; without this set each copy would land in the buffer
+    /// and the set itself, unpruned, would grow with every message
+    /// ever received. Entries are pruned at the vector-clock floor of
+    /// what can still be re-offered: anything at or below `delivered`
+    /// is already suppressed by the stale check, so the set stays
+    /// bounded by the number of genuinely out-of-order envelopes —
+    /// independent of how many duplicates the transport injects.
+    seen: std::collections::HashSet<(NodeId, u64)>,
 }
 
 impl<P: Clone> CausalBroadcast<P> {
@@ -74,6 +86,7 @@ impl<P: Clone> CausalBroadcast<P> {
             me,
             delivered: VectorClock::new(n),
             buffer: Vec::new(),
+            seen: std::collections::HashSet::new(),
         }
     }
 
@@ -99,7 +112,10 @@ impl<P: Clone> CausalBroadcast<P> {
     /// messages.
     #[allow(clippy::while_let_loop)] // the loop body borrows self.buffer twice
     pub fn on_receive(&mut self, msg: CausalMsg<P>) -> Vec<CausalMsg<P>> {
-        if !self.stale(&msg) {
+        // suppression is two-tier: the delivered clock rejects
+        // anything already delivered (stale), the `seen` set rejects
+        // duplicates of envelopes still waiting in the buffer
+        if !self.stale(&msg) && self.seen.insert((msg.sender, msg.vc.get(msg.sender))) {
             self.buffer.push(msg);
         }
         let mut out = Vec::new();
@@ -111,15 +127,56 @@ impl<P: Clone> CausalBroadcast<P> {
             self.delivered.tick(m.sender);
             out.push(m);
         }
-        // delivery may have made buffered duplicates stale; if nothing
-        // was delivered, staleness is unchanged and the scan is a no-op
         if !out.is_empty() {
+            // prune the suppression set at the delivered floor:
+            // everything at or below it is suppressed by the stale
+            // check, so keeping it would only grow the set without
+            // bound under a duplicate storm
             let delivered = &self.delivered;
+            self.seen.retain(|&(s, q)| q > delivered.get(s));
+            // `seen` guarantees the buffer holds no duplicates of the
+            // just-delivered envelopes, but keep the invariant scan as
+            // a cheap safety net (it is O(buffer) only on delivery)
             let me = self.me;
             self.buffer
                 .retain(|m| m.sender != me && m.vc.get(m.sender) > delivered.get(m.sender));
         }
         out
+    }
+
+    /// Entries in the duplicate-suppression set (bounded by the number
+    /// of out-of-order envelopes awaiting delivery; see `on_receive`).
+    pub fn suppression_len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Distinct messages **received** from `sender`: delivered plus
+    /// buffered-out-of-order. Unlike the delivered clock, this count
+    /// does not depend on the vector-clock stamps of concurrent
+    /// messages (a message blocked behind a lost dependency still
+    /// counts), which makes it the right gap detector for lossy
+    /// transports: `received_from(q) < q's published send count` iff
+    /// something from `q` was physically lost.
+    pub fn received_from(&self, sender: NodeId) -> u64 {
+        self.delivered.get(sender) + self.seen.iter().filter(|&&(s, _)| s == sender).count() as u64
+    }
+
+    /// Reset this endpoint to a delivery frontier (crash recovery).
+    ///
+    /// A recovering replica installs a snapshot taken at a consistent
+    /// cut plus the cut's delivery frontier; everything below the
+    /// frontier is folded into the snapshot, everything above it will
+    /// be re-offered (replayed or freshly received) and must deliver
+    /// normally. The component for `me` must equal the number of
+    /// messages this endpoint has broadcast, so future broadcasts keep
+    /// their sequence numbers contiguous.
+    pub fn resync(&mut self, frontier: &[u64]) {
+        assert_eq!(frontier.len(), self.delivered.len(), "frontier arity");
+        for (i, &v) in frontier.iter().enumerate() {
+            self.delivered.set(i, v);
+        }
+        self.buffer.clear();
+        self.seen.clear();
     }
 
     /// Already delivered (or sent by us)?
@@ -221,6 +278,26 @@ impl<P: Clone> BatchCausalBroadcast<P> {
     /// Envelopes waiting for their causal past.
     pub fn buffered(&self) -> usize {
         self.inner.buffered()
+    }
+
+    /// Entries in the duplicate-suppression set (see
+    /// [`CausalBroadcast::suppression_len`]).
+    pub fn suppression_len(&self) -> usize {
+        self.inner.suppression_len()
+    }
+
+    /// Distinct batch envelopes received from `sender` (see
+    /// [`CausalBroadcast::received_from`]).
+    pub fn received_from(&self, sender: NodeId) -> u64 {
+        self.inner.received_from(sender)
+    }
+
+    /// Reset to a delivery frontier after crash recovery (see
+    /// [`CausalBroadcast::resync`]); pending unsent payloads are
+    /// discarded with the rest of the pre-crash in-flight state.
+    pub fn resync(&mut self, frontier: &[u64]) {
+        self.inner.resync(frontier);
+        self.pending.clear();
     }
 
     /// Batches flushed so far.
@@ -518,6 +595,58 @@ mod tests {
         let mut p0 = CausalBroadcast::<u32>::new(0, 2);
         let m = p0.broadcast(5);
         assert!(p0.on_receive(m).is_empty());
+    }
+
+    #[test]
+    fn duplicate_storm_keeps_buffer_and_suppression_bounded() {
+        // p0 broadcasts a chain m1..m8; p1 receives m2..m8 (m1 held
+        // back) in R duplicated rounds: the buffer and the suppression
+        // set must stay bounded by the 7 distinct undelivered
+        // envelopes, independent of R.
+        let mut p0 = CausalBroadcast::<u64>::new(0, 2);
+        let mut p1 = CausalBroadcast::<u64>::new(1, 2);
+        let msgs: Vec<_> = (0..8).map(|i| p0.broadcast(i)).collect();
+        for _round in 0..50 {
+            for m in &msgs[1..] {
+                assert!(p1.on_receive(m.clone()).is_empty());
+            }
+            assert_eq!(p1.buffered(), 7, "duplicates must not accumulate");
+            assert_eq!(p1.suppression_len(), 7);
+        }
+        // the missing head arrives: everything delivers, and the
+        // suppression set is pruned at the new delivered floor
+        let out = p1.on_receive(msgs[0].clone());
+        assert_eq!(out.len(), 8);
+        assert_eq!(p1.buffered(), 0);
+        assert_eq!(p1.suppression_len(), 0, "pruned below the floor");
+        // late duplicates of delivered envelopes stay suppressed by
+        // the delivered clock and never re-enter the set
+        for m in &msgs {
+            assert!(p1.on_receive(m.clone()).is_empty());
+        }
+        assert_eq!(p1.suppression_len(), 0);
+    }
+
+    #[test]
+    fn resync_installs_frontier_and_clears_state() {
+        let mut p0 = CausalBroadcast::<u32>::new(0, 3);
+        let mut p2 = CausalBroadcast::<u32>::new(2, 3);
+        let a = p0.broadcast(1);
+        let b = p0.broadcast(2);
+        let c = p0.broadcast(3);
+        // p2 buffers b out of order, then "crashes" and resyncs to a
+        // frontier that already covers a and b
+        assert!(p2.on_receive(b).is_empty());
+        assert_eq!(p2.buffered(), 1);
+        p2.resync(&[2, 0, 0]);
+        assert_eq!(p2.buffered(), 0);
+        assert_eq!(p2.suppression_len(), 0);
+        // below-frontier envelopes are stale; the next one delivers
+        assert!(p2.on_receive(a).is_empty());
+        let out = p2.on_receive(c);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].payload, 3);
+        assert_eq!(p2.delivered_clock().get(0), 3);
     }
 
     #[test]

@@ -1,0 +1,576 @@
+//! Sender-side fault injection for the real-thread transport.
+//!
+//! [`crate::sim::SimNet`] owns a global virtual clock, so it can apply
+//! faults centrally. A [`crate::thread_net::ThreadNet`] has no global
+//! time — only the OS scheduler — so reproducible fault injection has
+//! to live where determinism lives: **on the send path**, keyed to the
+//! sending worker's own operation counter. [`ChaosEndpoint`] wraps an
+//! [`Endpoint`] with exactly that:
+//!
+//! * **probabilistic drop/dup** — rolled from a per-endpoint seeded
+//!   RNG at each send; the send sequence is a pure function of the
+//!   workload seed, so loss and duplication patterns reproduce exactly
+//!   per `(config, seed)` even though wall-clock interleaving varies;
+//! * **partitions park-and-release** — a blocked link parks outbound
+//!   messages; they re-enter when the link heals (mid-epoch heals
+//!   release them immediately) or are pruned at the next drain, where
+//!   the store engine's nack/repair round re-delivers their payloads
+//!   (`docs/CHAOS.md` covers the split);
+//! * **latency degradation and clock skew** — outbound messages are
+//!   held back for a number of *operation ticks* instead of wall
+//!   time, keeping delays deterministic;
+//! * **crash with in-flight drop** — crashing discards the endpoint's
+//!   parked and held-back outbound immediately, and peers that know
+//!   the node is down (the store engine shares the fault schedule, so
+//!   everyone agrees at drain boundaries) suppress sends to it,
+//!   counting each suppressed copy as a drop to that node.
+//!
+//! Per-recipient drop/dup counts land in the shared lock-free
+//! [`crate::thread_net::ThreadNetStats`]. Repair and state-transfer
+//! traffic uses [`ChaosEndpoint::send_reliable`], which bypasses the
+//! fault state entirely — chaos applies to the replication fast path,
+//! never to the recovery protocol (a real system re-establishes a TCP
+//! stream for catch-up; see `docs/CHAOS.md` for the contract).
+//!
+//! The type implements [`FaultTarget`], so the same [`FaultPlan`]
+//! vocabulary drives the simulator and the live engine: each endpoint
+//! replays the full plan and applies the events that concern it (its
+//! own outbound links, its own crash state, everyone's liveness).
+//!
+//! [`FaultPlan`]: crate::fault::FaultPlan
+
+use crate::fault::FaultTarget;
+use crate::thread_net::{Drain, Endpoint, ThreadNetStats};
+use crate::NodeId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+/// Per-outbound-link fault state.
+#[derive(Debug, Clone, Copy, Default)]
+struct LinkChaos {
+    blocked: bool,
+    drop_prob: f64,
+    dup_prob: f64,
+    extra_delay: u64,
+}
+
+/// A message parked on a blocked outbound link.
+struct Parked<M> {
+    to: NodeId,
+    msg: M,
+    bytes: usize,
+}
+
+/// A message held back by a latency fault, due at an operation tick.
+struct Delayed<M> {
+    due: u64,
+    to: NodeId,
+    msg: M,
+    bytes: usize,
+}
+
+/// Local (single-owner, non-atomic) chaos accounting for one endpoint.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChaosCounters {
+    /// Sends lost to probabilistic drops or crashed recipients.
+    pub drops: u64,
+    /// Extra copies injected by duplication faults.
+    pub dups: u64,
+    /// Sends parked on blocked links.
+    pub parked: u64,
+    /// Parked sends released by a heal.
+    pub released: u64,
+    /// Parked sends pruned at a drain (payload re-delivered by the
+    /// engine's repair round, the parked copy discarded).
+    pub pruned: u64,
+    /// Sends held back by latency faults.
+    pub delayed: u64,
+    /// Outbound messages discarded by this endpoint crashing.
+    pub crash_discarded: u64,
+}
+
+/// An [`Endpoint`] with a deterministic sender-side fault layer.
+pub struct ChaosEndpoint<M> {
+    ep: Endpoint<M>,
+    vtime: u64,
+    links: Vec<LinkChaos>,
+    self_crashed: bool,
+    peer_crashed: Vec<bool>,
+    skew: u64,
+    rng: StdRng,
+    parked: Vec<Parked<M>>,
+    delayed: Vec<Delayed<M>>,
+    counters: ChaosCounters,
+}
+
+impl<M: Clone + Send> ChaosEndpoint<M> {
+    /// Wrap `ep` with a fault layer whose probabilistic rolls are
+    /// seeded by `seed` (derive it from the run seed and the node id
+    /// so endpoints roll independent, reproducible streams).
+    pub fn new(ep: Endpoint<M>, seed: u64) -> Self {
+        let n = ep.cluster_size();
+        ChaosEndpoint {
+            ep,
+            vtime: 0,
+            links: vec![LinkChaos::default(); n],
+            self_crashed: false,
+            peer_crashed: vec![false; n],
+            skew: 0,
+            rng: StdRng::seed_from_u64(seed),
+            parked: Vec::new(),
+            delayed: Vec::new(),
+            counters: ChaosCounters::default(),
+        }
+    }
+
+    /// This node's id.
+    pub fn me(&self) -> NodeId {
+        self.ep.me
+    }
+
+    /// Cluster size.
+    pub fn cluster_size(&self) -> usize {
+        self.ep.cluster_size()
+    }
+
+    /// Shared transport statistics.
+    pub fn stats(&self) -> Arc<ThreadNetStats> {
+        self.ep.stats()
+    }
+
+    /// Local chaos accounting so far.
+    pub fn counters(&self) -> ChaosCounters {
+        self.counters
+    }
+
+    /// Is this endpoint currently crashed?
+    pub fn is_crashed(&self) -> bool {
+        self.self_crashed
+    }
+
+    /// Advance the endpoint's operation clock and transmit every
+    /// held-back message that has come due. Call once per operation
+    /// (and at drain boundaries with the boundary tick).
+    pub fn advance_to(&mut self, vtime: u64) {
+        self.vtime = self.vtime.max(vtime);
+        if self.delayed.is_empty() {
+            return;
+        }
+        let now = self.vtime;
+        let (mut due, rest): (Vec<Delayed<M>>, Vec<Delayed<M>>) = std::mem::take(&mut self.delayed)
+            .into_iter()
+            .partition(|d| d.due <= now);
+        self.delayed = rest;
+        // preserve per-link send order: smaller due (and insertion
+        // order within a tick, which the stable partition/sort keep)
+        // first
+        due.sort_by_key(|d| d.due);
+        for d in due {
+            self.transmit(d.to, d.msg, d.bytes);
+        }
+    }
+
+    /// Send one message through the fault layer.
+    pub fn send(&mut self, to: NodeId, msg: M, bytes: usize) {
+        if self.self_crashed {
+            self.counters.crash_discarded += 1;
+            return;
+        }
+        if self.peer_crashed[to] {
+            // the recipient is down: the copy is lost in flight
+            self.count_drop(to);
+            return;
+        }
+        if self.links[to].blocked {
+            self.counters.parked += 1;
+            self.parked.push(Parked { to, msg, bytes });
+            return;
+        }
+        if self.links[to].drop_prob > 0.0 && self.rng.gen_bool(self.links[to].drop_prob) {
+            self.count_drop(to);
+            return;
+        }
+        let copies = if self.links[to].dup_prob > 0.0 && self.rng.gen_bool(self.links[to].dup_prob)
+        {
+            self.counters.dups += 1;
+            self.stats().dup_per_node[to].fetch_add(1, Ordering::Relaxed);
+            2
+        } else {
+            1
+        };
+        let delay = self.links[to].extra_delay + self.skew;
+        for _ in 0..copies {
+            if delay > 0 {
+                self.counters.delayed += 1;
+                self.delayed.push(Delayed {
+                    due: self.vtime + delay,
+                    to,
+                    msg: msg.clone(),
+                    bytes,
+                });
+            } else {
+                self.transmit(to, msg.clone(), bytes);
+            }
+        }
+    }
+
+    /// Send one copy to every other node through the fault layer.
+    pub fn broadcast(&mut self, msg: M, bytes: usize) {
+        for to in 0..self.cluster_size() {
+            if to != self.me() {
+                self.send(to, msg.clone(), bytes);
+            }
+        }
+    }
+
+    /// Send bypassing the fault layer (repair and state-transfer
+    /// traffic; still counted in the transport statistics).
+    pub fn send_reliable(&self, to: NodeId, msg: M, bytes: usize) {
+        self.ep.send_sized(to, msg, bytes);
+    }
+
+    /// Blocking receive (crashed endpoints still receive: the *engine*
+    /// decides to discard, so discards can be counted at the replica).
+    pub fn recv(&self) -> Option<(NodeId, M)> {
+        self.ep.recv()
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<(NodeId, M)> {
+        self.ep.try_recv()
+    }
+
+    /// Force-transmit every held-back (latency-delayed) message now.
+    /// Drains call this before publishing send counts: a delayed
+    /// message is late, not lost, so it must be on the wire before the
+    /// cut.
+    pub fn flush_delayed(&mut self) {
+        let all = std::mem::take(&mut self.delayed);
+        for d in all {
+            self.transmit(d.to, d.msg, d.bytes);
+        }
+    }
+
+    /// Discard parked sends at a drain. Their payloads reach the
+    /// receivers through the engine's nack/repair round (retransmission
+    /// over the outage), so the parked copies are pruned rather than
+    /// kept across the cut; the partition itself stays in force for
+    /// traffic after the drain.
+    pub fn prune_parked(&mut self) {
+        self.counters.pruned += self.parked.len() as u64;
+        self.parked.clear();
+    }
+
+    /// Messages currently parked on blocked links.
+    pub fn parked_count(&self) -> usize {
+        self.parked.len()
+    }
+
+    /// Messages currently held back by latency faults.
+    pub fn delayed_count(&self) -> usize {
+        self.delayed.len()
+    }
+
+    /// Mark a peer crashed/recovered: sends to crashed peers are
+    /// suppressed and counted as drops to them (the engine shares the
+    /// fault schedule, so all endpoints flip these flags at the same
+    /// drain boundary).
+    pub fn set_peer_crashed(&mut self, node: NodeId, crashed: bool) {
+        if node == self.me() {
+            if crashed {
+                self.crash_self();
+            } else {
+                self.self_crashed = false;
+            }
+        } else {
+            self.peer_crashed[node] = crashed;
+        }
+    }
+
+    /// Crash this endpoint: every parked and held-back outbound
+    /// message is discarded immediately (the in-flight drop of a
+    /// crash), counted as drops to its recipients.
+    fn crash_self(&mut self) {
+        self.self_crashed = true;
+        let parked = std::mem::take(&mut self.parked);
+        for p in parked {
+            self.count_drop(p.to);
+            self.counters.crash_discarded += 1;
+        }
+        let delayed = std::mem::take(&mut self.delayed);
+        for d in delayed {
+            self.count_drop(d.to);
+            self.counters.crash_discarded += 1;
+        }
+    }
+
+    /// Release parked messages whose link has been healed.
+    fn release_parked(&mut self) {
+        let mut still = Vec::new();
+        let parked = std::mem::take(&mut self.parked);
+        for p in parked {
+            if self.links[p.to].blocked {
+                still.push(p);
+            } else {
+                self.counters.released += 1;
+                self.transmit(p.to, p.msg, p.bytes);
+            }
+        }
+        self.parked = still;
+    }
+
+    fn transmit(&mut self, to: NodeId, msg: M, bytes: usize) {
+        if self.peer_crashed[to] {
+            self.count_drop(to);
+            return;
+        }
+        self.ep.send_sized(to, msg, bytes);
+    }
+
+    fn count_drop(&mut self, to: NodeId) {
+        self.counters.drops += 1;
+        self.stats().dropped_per_node[to].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Graceful shutdown of the underlying endpoint.
+    pub fn shutdown(self) -> Drain<M> {
+        self.ep.shutdown()
+    }
+}
+
+impl<M: Clone + Send> FaultTarget for ChaosEndpoint<M> {
+    fn nodes(&self) -> usize {
+        self.cluster_size()
+    }
+
+    fn crash(&mut self, node: NodeId) {
+        self.set_peer_crashed(node, true);
+    }
+
+    fn recover(&mut self, node: NodeId) {
+        self.set_peer_crashed(node, false);
+    }
+
+    fn set_link_blocked(&mut self, from: NodeId, to: NodeId, blocked: bool) {
+        if from != self.me() {
+            return; // another endpoint's outbound link
+        }
+        self.links[to].blocked = blocked;
+        if !blocked {
+            self.release_parked();
+        }
+    }
+
+    fn heal_all(&mut self) {
+        for l in self.links.iter_mut() {
+            l.blocked = false;
+        }
+        self.release_parked();
+    }
+
+    fn set_link_drop(&mut self, from: NodeId, to: NodeId, prob: f64) {
+        if from == self.me() {
+            self.links[to].drop_prob = prob.clamp(0.0, 1.0);
+        }
+    }
+
+    fn set_link_dup(&mut self, from: NodeId, to: NodeId, prob: f64) {
+        if from == self.me() {
+            self.links[to].dup_prob = prob.clamp(0.0, 1.0);
+        }
+    }
+
+    fn set_link_delay(&mut self, from: NodeId, to: NodeId, extra: u64) {
+        if from == self.me() {
+            self.links[to].extra_delay = extra;
+        }
+    }
+
+    fn set_clock_skew(&mut self, node: NodeId, offset: u64) {
+        if node == self.me() {
+            self.skew = offset;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{apply_fault, Fault};
+    use crate::thread_net::ThreadNet;
+
+    fn pair() -> (ChaosEndpoint<u32>, Endpoint<u32>) {
+        let mut net: ThreadNet<u32> = ThreadNet::new(2);
+        let a = ChaosEndpoint::new(net.endpoint(0), 7);
+        let b = net.endpoint(1);
+        (a, b)
+    }
+
+    #[test]
+    fn fault_free_is_passthrough() {
+        let (mut a, b) = pair();
+        a.send(1, 42, 4);
+        assert_eq!(b.recv(), Some((0, 42)));
+        let s = a.stats().snapshot();
+        assert_eq!(s.msgs_sent, 1);
+        assert_eq!(s.bytes_sent, 4);
+        assert_eq!(s.msgs_dropped(), 0);
+        assert_eq!(a.counters(), ChaosCounters::default());
+    }
+
+    #[test]
+    fn certain_drop_loses_and_counts_per_node() {
+        let (mut a, b) = pair();
+        apply_fault(
+            &mut a,
+            &Fault::LinkDrop {
+                from: 0,
+                to: 1,
+                prob: 1.0,
+            },
+        );
+        for i in 0..5 {
+            a.send(1, i, 1);
+        }
+        assert_eq!(b.try_recv(), None);
+        let s = a.stats().snapshot();
+        assert_eq!(s.dropped_per_node, vec![0, 5]);
+        assert_eq!(s.msgs_sent, 0, "dropped sends never reach the wire");
+        assert_eq!(a.counters().drops, 5);
+    }
+
+    #[test]
+    fn certain_dup_duplicates_and_counts() {
+        let (mut a, b) = pair();
+        apply_fault(
+            &mut a,
+            &Fault::LinkDup {
+                from: 0,
+                to: 1,
+                prob: 1.0,
+            },
+        );
+        a.send(1, 9, 2);
+        assert_eq!(b.recv(), Some((0, 9)));
+        assert_eq!(b.recv(), Some((0, 9)));
+        let s = a.stats().snapshot();
+        assert_eq!(s.dup_per_node, vec![0, 1]);
+        assert_eq!(s.msgs_sent, 2);
+    }
+
+    #[test]
+    fn drop_rolls_are_deterministic_per_seed() {
+        let survivors = |seed: u64| {
+            let mut net: ThreadNet<u32> = ThreadNet::new(2);
+            let mut a = ChaosEndpoint::new(net.endpoint(0), seed);
+            let b = net.endpoint(1);
+            a.set_link_drop(0, 1, 0.5);
+            for i in 0..64 {
+                a.send(1, i, 1);
+            }
+            let mut got = Vec::new();
+            while let Some((_, v)) = b.try_recv() {
+                got.push(v);
+            }
+            got
+        };
+        assert_eq!(survivors(3), survivors(3));
+        assert_ne!(survivors(3), survivors(4));
+    }
+
+    #[test]
+    fn blocked_link_parks_then_releases_on_heal() {
+        let (mut a, b) = pair();
+        a.set_link_blocked(0, 1, true);
+        a.send(1, 7, 1);
+        assert_eq!(a.parked_count(), 1);
+        assert_eq!(b.try_recv(), None);
+        apply_fault(&mut a, &Fault::HealAll);
+        assert_eq!(a.parked_count(), 0);
+        assert_eq!(b.recv(), Some((0, 7)));
+        assert_eq!(a.counters().released, 1);
+    }
+
+    #[test]
+    fn partition_fault_only_touches_own_outbound() {
+        let mut net: ThreadNet<u32> = ThreadNet::new(4);
+        let mut a = ChaosEndpoint::new(net.endpoint(0), 1);
+        apply_fault(&mut a, &Fault::Partition { side: vec![0, 1] });
+        a.send(1, 1, 1); // same side: flows
+        a.send(2, 2, 1); // cross side: parked
+        assert_eq!(a.parked_count(), 1);
+    }
+
+    #[test]
+    fn delay_holds_back_until_tick() {
+        let (mut a, b) = pair();
+        a.set_link_delay(0, 1, 3);
+        a.advance_to(10);
+        a.send(1, 5, 1);
+        assert_eq!(a.delayed_count(), 1);
+        assert_eq!(b.try_recv(), None);
+        a.advance_to(12);
+        assert_eq!(b.try_recv(), None, "due at 13, not 12");
+        a.advance_to(13);
+        assert_eq!(b.recv(), Some((0, 5)));
+    }
+
+    #[test]
+    fn skew_delays_all_outbound() {
+        let (mut a, b) = pair();
+        apply_fault(&mut a, &Fault::ClockSkew { node: 0, offset: 2 });
+        a.send(1, 1, 1);
+        assert_eq!(a.delayed_count(), 1);
+        a.flush_delayed();
+        assert_eq!(b.recv(), Some((0, 1)));
+        assert_eq!(a.delayed_count(), 0);
+    }
+
+    #[test]
+    fn crash_discards_outbound_and_suppresses_inbound_sends() {
+        let (mut a, b) = pair();
+        a.set_link_blocked(0, 1, true);
+        a.send(1, 1, 1);
+        a.set_peer_crashed(0, true); // crash self: parked discarded
+        assert_eq!(a.parked_count(), 0);
+        assert!(a.is_crashed());
+        a.send(1, 2, 1); // crashed endpoints send nothing
+        assert_eq!(b.try_recv(), None);
+        let s = a.stats().snapshot();
+        assert_eq!(s.dropped_per_node[1], 1, "parked message died in flight");
+        assert!(a.counters().crash_discarded >= 2);
+
+        // peers suppress sends to a crashed node, counting drops to it
+        let mut net: ThreadNet<u32> = ThreadNet::new(2);
+        let mut c = ChaosEndpoint::new(net.endpoint(0), 1);
+        let _d = net.endpoint(1);
+        c.set_peer_crashed(1, true);
+        c.send(1, 3, 1);
+        assert_eq!(c.stats().snapshot().dropped_per_node, vec![0, 1]);
+        c.set_peer_crashed(1, false);
+        assert!(!c.is_crashed());
+    }
+
+    #[test]
+    fn reliable_bypass_ignores_faults() {
+        let (mut a, b) = pair();
+        a.set_link_drop(0, 1, 1.0);
+        a.set_link_blocked(0, 1, true);
+        a.send_reliable(1, 99, 8);
+        assert_eq!(b.recv(), Some((0, 99)));
+    }
+
+    #[test]
+    fn prune_parked_counts_and_clears() {
+        let (mut a, b) = pair();
+        a.set_link_blocked(0, 1, true);
+        a.send(1, 1, 1);
+        a.send(1, 2, 1);
+        a.prune_parked();
+        assert_eq!(a.parked_count(), 0);
+        assert_eq!(a.counters().pruned, 2);
+        assert_eq!(b.try_recv(), None);
+    }
+}

@@ -1,13 +1,21 @@
-//! Timed fault plans applied to the simulated transport.
+//! Timed fault plans applied to a transport.
 //!
 //! A [`FaultPlan`] is a schedule of [`Fault`]s — partitions and heals,
 //! per-link loss/duplication probabilities, latency degradation, node
-//! crash *and recover*, clock skew — each firing at a simulated time.
-//! The plan is pure data: the driver (`cbm-core`'s `Cluster`) turns it
-//! into a [`FaultSchedule`] and applies due events to the
-//! [`SimNet`] as simulated time advances, so
-//! faults act entirely at the transport layer and no protocol or
-//! replica code knows they exist.
+//! crash *and recover*, clock skew — each firing at a logical time.
+//! The plan is pure data and **transport-agnostic**: a driver turns it
+//! into a [`FaultSchedule`] and applies due events to any
+//! [`FaultTarget`] as its notion of time advances, so faults act
+//! entirely at the transport layer and no protocol or replica code
+//! knows they exist. Two targets exist today:
+//!
+//! * [`crate::sim::SimNet`] — logical time is simulated time; the
+//!   driver is `cbm-core`'s `Cluster`;
+//! * [`crate::chaos::ChaosEndpoint`] — the sender-side fault view of a
+//!   real-thread [`crate::thread_net::ThreadNet`] endpoint; logical
+//!   time is the owning worker's deterministic operation counter, so
+//!   live-engine fault injection stays reproducible per `(config,
+//!   seed)` (see `docs/CHAOS.md`).
 //!
 //! Fault semantics (see `docs/SIMULATION.md` for the full story):
 //!
@@ -25,8 +33,41 @@
 //!   sends by a constant, modelling a process whose clock (and hence
 //!   whose visible activity) runs behind the cluster.
 
-use crate::sim::SimNet;
 use crate::NodeId;
+
+/// A transport that fault events can act on.
+///
+/// [`FaultSchedule::apply_due`] drives any implementor, which is what
+/// lets one [`FaultPlan`] describe an outage for both the
+/// single-threaded simulator ([`crate::sim::SimNet`]) and the
+/// real-thread chaos layer ([`crate::chaos::ChaosEndpoint`]). The
+/// methods mirror the fault alphabet; implementors that cannot honour
+/// a dimension (e.g. a per-endpoint view only controls its own
+/// outbound links) apply the subset that concerns them and ignore the
+/// rest — the contract is "at least this much misbehaviour", never
+/// less determinism.
+pub trait FaultTarget {
+    /// Cluster size (faults naming nodes `>= nodes()` are a bug).
+    fn nodes(&self) -> usize;
+    /// Node stops sending/receiving; its in-flight inbound is dropped.
+    fn crash(&mut self, node: NodeId);
+    /// Node resumes; messages lost while down stay lost.
+    fn recover(&mut self, node: NodeId);
+    /// Block or unblock the directed link `from → to` (blocked links
+    /// park messages until healed).
+    fn set_link_blocked(&mut self, from: NodeId, to: NodeId, blocked: bool);
+    /// Unblock every link (parked messages re-enter).
+    fn heal_all(&mut self);
+    /// Set the loss probability of the directed link (0.0–1.0).
+    fn set_link_drop(&mut self, from: NodeId, to: NodeId, prob: f64);
+    /// Set the duplication probability of the directed link (0.0–1.0).
+    fn set_link_dup(&mut self, from: NodeId, to: NodeId, prob: f64);
+    /// Add constant extra latency to the directed link (0 resets).
+    fn set_link_delay(&mut self, from: NodeId, to: NodeId, extra: u64);
+    /// Skew a node's clock: all its sends arrive `offset` later
+    /// (0 resets).
+    fn set_clock_skew(&mut self, node: NodeId, offset: u64);
+}
 
 /// One transport-level fault (or repair).
 #[derive(Debug, Clone, PartialEq)]
@@ -194,7 +235,7 @@ impl FaultSchedule {
 
     /// Apply every event due at or before `now`; returns how many
     /// fired.
-    pub fn apply_due<M: Clone>(&mut self, net: &mut SimNet<M>, now: u64) -> usize {
+    pub fn apply_due<N: FaultTarget>(&mut self, net: &mut N, now: u64) -> usize {
         let mut fired = 0;
         while let Some(ev) = self.events.get(self.cursor) {
             if ev.at > now {
@@ -213,8 +254,9 @@ impl FaultSchedule {
     }
 }
 
-fn apply_fault<M: Clone>(net: &mut SimNet<M>, fault: &Fault) {
-    let n = net.len();
+/// Apply one fault to any [`FaultTarget`].
+pub fn apply_fault<N: FaultTarget>(net: &mut N, fault: &Fault) {
+    let n = net.nodes();
     match fault {
         Fault::Crash(p) => net.crash(*p),
         Fault::Recover(p) => net.recover(*p),
@@ -289,6 +331,7 @@ fn membership(n: usize, nodes: &[NodeId]) -> Vec<bool> {
 mod tests {
     use super::*;
     use crate::latency::LatencyModel;
+    use crate::sim::SimNet;
 
     fn net2() -> SimNet<u8> {
         SimNet::new(2, LatencyModel::Constant(5), 1)

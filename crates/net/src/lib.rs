@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod broadcast;
+pub mod chaos;
 pub mod clock;
 pub mod fault;
 pub mod latency;

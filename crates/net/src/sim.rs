@@ -412,6 +412,38 @@ impl<M: Clone> SimNet<M> {
     }
 }
 
+/// [`SimNet`] is the canonical [`crate::fault::FaultTarget`]: every
+/// fault dimension maps 1:1 onto an inherent method.
+impl<M: Clone> crate::fault::FaultTarget for SimNet<M> {
+    fn nodes(&self) -> usize {
+        self.len()
+    }
+    fn crash(&mut self, node: NodeId) {
+        SimNet::crash(self, node);
+    }
+    fn recover(&mut self, node: NodeId) {
+        SimNet::recover(self, node);
+    }
+    fn set_link_blocked(&mut self, from: NodeId, to: NodeId, blocked: bool) {
+        SimNet::set_link_blocked(self, from, to, blocked);
+    }
+    fn heal_all(&mut self) {
+        SimNet::heal_all(self);
+    }
+    fn set_link_drop(&mut self, from: NodeId, to: NodeId, prob: f64) {
+        SimNet::set_link_drop(self, from, to, prob);
+    }
+    fn set_link_dup(&mut self, from: NodeId, to: NodeId, prob: f64) {
+        SimNet::set_link_dup(self, from, to, prob);
+    }
+    fn set_link_delay(&mut self, from: NodeId, to: NodeId, extra: u64) {
+        SimNet::set_link_delay(self, from, to, extra);
+    }
+    fn set_clock_skew(&mut self, node: NodeId, offset: u64) {
+        SimNet::set_clock_skew(self, node, offset);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

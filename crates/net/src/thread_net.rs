@@ -17,30 +17,78 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Shared transport statistics, updated lock-free from every endpoint.
-#[derive(Debug, Default)]
+///
+/// The per-node vectors are indexed by **recipient** and fed by the
+/// fault layer ([`crate::chaos::ChaosEndpoint`]): a fault-free mesh
+/// never touches them. They are plain atomics rather than a mutexed
+/// table because the chaos decisions ride the workers' send hot path.
+/// Deliberately no `Default`: the vectors must be sized to the
+/// cluster, so the only constructor is [`ThreadNetStats::new`].
+#[derive(Debug)]
 pub struct ThreadNetStats {
     /// Messages sent across all links.
     pub msgs_sent: AtomicU64,
     /// Payload bytes sent across all links (as declared by
     /// [`Endpoint::send_sized`]; plain [`Endpoint::send`] counts 0).
     pub bytes_sent: AtomicU64,
+    /// Messages lost to injected faults, per recipient node (chaos
+    /// drops, sends suppressed to crashed nodes, crash-time discards).
+    pub dropped_per_node: Vec<AtomicU64>,
+    /// Extra copies injected by duplication faults, per recipient node.
+    pub dup_per_node: Vec<AtomicU64>,
 }
 
 /// A point-in-time copy of [`ThreadNetStats`].
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ThreadNetSnapshot {
     /// Messages sent across all links.
     pub msgs_sent: u64,
     /// Payload bytes sent across all links.
     pub bytes_sent: u64,
+    /// Fault-injected losses per recipient node.
+    pub dropped_per_node: Vec<u64>,
+    /// Fault-injected duplicate copies per recipient node.
+    pub dup_per_node: Vec<u64>,
+}
+
+impl ThreadNetSnapshot {
+    /// Total fault-injected losses across all nodes.
+    pub fn msgs_dropped(&self) -> u64 {
+        self.dropped_per_node.iter().sum()
+    }
+
+    /// Total fault-injected duplicate copies across all nodes.
+    pub fn msgs_duplicated(&self) -> u64 {
+        self.dup_per_node.iter().sum()
+    }
 }
 
 impl ThreadNetStats {
-    /// Read both counters (relaxed; exact once senders are quiescent).
+    /// Counters for a mesh of `n` nodes.
+    pub fn new(n: usize) -> Self {
+        ThreadNetStats {
+            msgs_sent: AtomicU64::new(0),
+            bytes_sent: AtomicU64::new(0),
+            dropped_per_node: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            dup_per_node: (0..n).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Read every counter (relaxed; exact once senders are quiescent).
     pub fn snapshot(&self) -> ThreadNetSnapshot {
         ThreadNetSnapshot {
             msgs_sent: self.msgs_sent.load(Ordering::Relaxed),
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            dropped_per_node: self
+                .dropped_per_node
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            dup_per_node: self
+                .dup_per_node
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
         }
     }
 }
@@ -81,7 +129,7 @@ impl<M: Send> ThreadNet<M> {
         ThreadNet {
             senders,
             receivers,
-            stats: Arc::new(ThreadNetStats::default()),
+            stats: Arc::new(ThreadNetStats::new(n)),
         }
     }
 

@@ -1,5 +1,7 @@
 //! Engine configuration.
 
+use cbm_net::fault::FaultPlan;
+
 /// How a replica integrates remote updates, which decides the
 /// consistency criterion its sampled windows are verified against.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -86,6 +88,16 @@ pub struct StoreConfig {
     pub verify: VerifyConfig,
     /// Seed for every worker's workload generator.
     pub seed: u64,
+    /// Fault plan injected into the live transport (empty = fault-free
+    /// run, the exact pre-chaos engine behaviour).
+    ///
+    /// Event times are **virtual ticks** on each worker's operation
+    /// counter (`epoch * verify.every_ops + ops_into_epoch`), so every
+    /// endpoint applies the same event at the same deterministic point
+    /// of its own timeline. `Crash`/`Recover` must fall on epoch
+    /// boundaries (multiples of `verify.every_ops`); link faults may
+    /// fire anywhere. See `docs/CHAOS.md`.
+    pub chaos: FaultPlan,
 }
 
 impl Default for StoreConfig {
@@ -98,27 +110,12 @@ impl Default for StoreConfig {
             batch: BatchPolicy::Every(32),
             verify: VerifyConfig::default(),
             seed: 1,
+            chaos: FaultPlan::new(),
         }
     }
 }
 
 impl StoreConfig {
-    /// Rendezvous points: worker op indexes at which every worker
-    /// pauses for a drain (and a verification window). Deterministic —
-    /// all workers share the schedule, so message counts do not depend
-    /// on thread interleaving.
-    pub(crate) fn rendezvous_at(&self, k: usize) -> bool {
-        self.verify.every_ops > 0 && k > 0 && k.is_multiple_of(self.verify.every_ops)
-    }
-
-    /// Own ops recorded per worker in the window starting at op `k`.
-    pub(crate) fn window_quota(&self, k: usize) -> usize {
-        self.verify
-            .window_ops
-            .min(self.verify.every_ops)
-            .min(self.ops_per_worker - k)
-    }
-
     /// Total operations across all workers.
     pub fn total_ops(&self) -> u64 {
         self.workers as u64 * self.ops_per_worker as u64

@@ -1,4 +1,5 @@
-//! The live engine: replica worker threads over [`ThreadNet`].
+//! The live engine: replica worker threads over [`ThreadNet`], with
+//! fault injection and crash recovery.
 //!
 //! ## Execution model
 //!
@@ -9,33 +10,64 @@
 //! whatever peers' batches have arrived — never blocking on another
 //! replica (§6.1's process model under a real scheduler).
 //!
-//! ## Deterministic rendezvous
+//! ## Epochs and deterministic rendezvous
 //!
-//! All workers issue the same number of operations and pause at the
-//! same *operation indexes* (`verify.every_ops`) for a drain: flush
-//! pending batches, publish cumulative batch counts, and receive until
-//! every published batch is delivered. Because the pause points are
-//! counted in operations — not wall time — the set of flushed batches
-//! (and therefore `msgs_sent`) is a pure function of the configuration
-//! and seed, independent of thread interleaving; only wall-clock
-//! numbers vary between runs.
+//! The run is organised in **epochs** of `verify.every_ops` operations
+//! per worker. At every epoch boundary all workers rendezvous for a
+//! drain: flush pending batches (and any fault-delayed envelopes),
+//! publish cumulative batch counts, and receive until every published
+//! batch is delivered. Because the pause points are counted in
+//! operations — not wall time — the set of flushed batches (and
+//! therefore `msgs_sent`) is a pure function of the configuration and
+//! seed, independent of thread interleaving; only wall-clock numbers
+//! vary between runs. After each boundary the workers record a bounded
+//! window of subsequent events, and a verifier thread rebuilds each
+//! frozen window and checks it against the mode's criterion (see
+//! [`crate::record`]).
 //!
-//! After each drain the workers record a bounded window of subsequent
-//! events; the verifier thread rebuilds each frozen window and checks
-//! it against the mode's criterion (see [`crate::record`]). Teardown
-//! reuses the same drain and the transport's graceful
-//! [`Endpoint::shutdown`].
+//! ## Chaos (see `docs/CHAOS.md` for the full contract)
+//!
+//! A non-empty [`StoreConfig::chaos`] plan routes every fast-path send
+//! through a deterministic sender-side fault layer
+//! ([`cbm_net::chaos::ChaosEndpoint`]): probabilistic drop/dup,
+//! partition park-and-release, and op-counted latency degradation.
+//! Because drops are true losses, the drain adds a **nack/repair**
+//! round: after the boundary barrier every missing batch is known to
+//! be lost, the receiver nacks each stalled sender once, and the
+//! sender retransmits from its epoch retention log over the reliable
+//! path — so every drain is still a consistent cut, with a
+//! deterministic number of repair messages.
+//!
+//! `Crash`/`Recover` faults are epoch-aligned. A crashing worker
+//! completes the boundary drain (the *cut*), then stops operating:
+//! peers suppress sends to it (counted as in-flight drops) and a
+//! designated live **helper** snapshots its post-drain state and
+//! retains every envelope it integrates. At the recovery boundary the
+//! helper ships snapshot + delivery frontier + retained envelopes
+//! ([`crate::wire::SyncPayload`]); the recovering worker installs the
+//! snapshot at the cut, resyncs its causal broadcast to the frontier,
+//! replays the missed envelopes, and resumes its op script where it
+//! paused — so a chaos run issues exactly the op multiset of its
+//! fault-free twin, which is what makes final-state comparison against
+//! the twin meaningful.
 
+use crate::chaos::{ChaosSchedule, CrashSpan};
 use crate::config::{Mode, StoreConfig};
 use crate::objects::ObjectTable;
 use crate::record::{verify_window, OwnEvent, WindowRecord, WindowRecorder};
-use crate::stats::{summarize_latencies, StoreReport, WindowVerdict, WorkerStats};
-use crate::wire::{batch_bytes, BatchMsg, WireOp};
+use crate::stats::{
+    summarize_latencies, ChaosReport, RecoveryStats, StoreReport, WindowVerdict, WorkerStats,
+};
+use crate::wire::{
+    batch_bytes, nack_bytes, repair_bytes, sync_bytes, BatchMsg, StoreMsg, SyncPayload, WireOp,
+};
 use cbm_adt::space::{ObjectSpace, SpaceInput};
 use cbm_adt::Adt;
 use cbm_net::broadcast::BatchCausalBroadcast;
+use cbm_net::chaos::ChaosEndpoint;
 use cbm_net::clock::{LamportClock, Timestamp};
-use cbm_net::thread_net::{Endpoint, ThreadNet};
+use cbm_net::fault::FaultSchedule;
+use cbm_net::thread_net::ThreadNet;
 use cbm_net::NodeId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -51,8 +83,15 @@ struct Coordinator {
     sent: Vec<AtomicU64>,
     /// Per-worker state hash at the latest drain point.
     hashes: Vec<AtomicU64>,
-    /// Drain points at which replicas diverged (convergent mode).
+    /// Drain points at which live replicas diverged (convergent mode).
     divergences: AtomicU64,
+    /// Drain-completion counters, parity-indexed by drain number so
+    /// one can be reset while the other is in use. A worker that has
+    /// delivered everything keeps serving repair requests until *all*
+    /// workers are complete — a plain barrier here could strand a
+    /// peer waiting for a retransmission from a worker already parked
+    /// at the barrier.
+    done: [AtomicU64; 2],
 }
 
 impl Coordinator {
@@ -62,13 +101,15 @@ impl Coordinator {
             sent: (0..n).map(|_| AtomicU64::new(0)).collect(),
             hashes: (0..n).map(|_| AtomicU64::new(0)).collect(),
             divergences: AtomicU64::new(0),
+            done: [AtomicU64::new(0), AtomicU64::new(0)],
         }
     }
 }
 
 /// Run the engine: `gen(worker, op_index, rng)` supplies each
 /// operation. Returns the full report; panics if a worker thread
-/// panics (a consistency monitor tripping is a test failure, not data).
+/// panics (a consistency monitor tripping is a test failure, not data)
+/// or if the chaos plan is invalid (see [`ChaosSchedule::build`]).
 pub fn run<T, G>(adt: &T, cfg: &StoreConfig, gen: G) -> StoreReport
 where
     T: Adt + Clone + Send + Sync,
@@ -78,7 +119,8 @@ where
     G: Fn(NodeId, u64, &mut StdRng) -> SpaceInput<T::Input> + Sync,
 {
     let n = cfg.workers.max(1);
-    let net: ThreadNet<BatchMsg<T::Input>> = ThreadNet::new(n);
+    let sched = ChaosSchedule::build(cfg);
+    let net: ThreadNet<StoreMsg<T::Input, T::State>> = ThreadNet::new(n);
     let stats = net.stats();
     let endpoints = net.into_endpoints();
     let coord = Coordinator::new(n);
@@ -91,7 +133,8 @@ where
             let tx = tx.clone();
             let coord = &coord;
             let gen = &gen;
-            handles.push(s.spawn(move || Worker::new(adt, cfg, ep, coord, tx).run(gen)));
+            let sched = &sched;
+            handles.push(s.spawn(move || Worker::new(adt, cfg, sched, ep, coord, tx).run(gen)));
         }
         drop(tx); // verifier's channel closes once every worker exits
 
@@ -115,11 +158,15 @@ where
                 if pending[slot].1.len() == n {
                     let (_, mut parts) = pending.swap_remove(slot);
                     parts.sort_by_key(|p| p.worker);
+                    let crashed_workers = parts.iter().filter(|p| p.crashed).count();
+                    let spans_recovery = parts.iter().any(|p| p.spans_recovery);
                     let result = verify_window(&space, mode, sample_every, &parts);
                     verdicts.push(WindowVerdict {
                         window: wid,
                         criterion: mode.criterion(),
                         events: *result.as_ref().unwrap_or(&0),
+                        crashed_workers,
+                        spans_recovery,
                         result: result.map(|_| ()),
                     });
                 }
@@ -129,6 +176,8 @@ where
                     window: wid,
                     criterion: mode.criterion(),
                     events: 0,
+                    crashed_workers: parts.iter().filter(|p| p.crashed).count(),
+                    spans_recovery: parts.iter().any(|p| p.spans_recovery),
                     result: Err(format!(
                         "window never completed: {}/{} worker records",
                         parts.len(),
@@ -155,13 +204,42 @@ where
         all_lat.append(&mut r.latencies);
     }
     let latency = summarize_latencies(&mut all_lat);
-    let per_worker: Vec<WorkerStats> = worker_results.into_iter().map(|r| r.stats).collect();
 
+    let snap = stats.snapshot();
+    let mut chaos = ChaosReport {
+        active: sched.is_active(),
+        dropped_per_node: snap.dropped_per_node.clone(),
+        dup_per_node: snap.dup_per_node.clone(),
+        ..ChaosReport::default()
+    };
+    let mut recoveries: Vec<RecoveryStats> = Vec::new();
+    for r in &worker_results {
+        let c = r.chaos;
+        chaos.drops += c.drops;
+        chaos.dups += c.dups;
+        chaos.parked += c.parked;
+        chaos.released += c.released;
+        chaos.delayed += c.delayed;
+        chaos.pruned += c.pruned;
+        chaos.crash_discarded += c.crash_discarded;
+        chaos.nacks += r.nacks_sent;
+        chaos.repairs += r.repairs_sent;
+        chaos.repaired_batches += r.repaired_batches;
+        recoveries.extend(r.recoveries.iter().cloned());
+    }
+    recoveries.sort_by_key(|r| (r.crash_epoch, r.worker));
+    chaos.recoveries = recoveries;
+
+    let per_worker: Vec<WorkerStats> = worker_results.iter().map(|r| r.stats.clone()).collect();
     let batches_sent: u64 = per_worker.iter().map(|w| w.batches_sent).sum();
     let payloads_sent: u64 = per_worker.iter().map(|w| w.payloads_sent).sum();
     let total_ops: u64 = per_worker.iter().map(|w| w.ops).sum();
     let windows_failed = verdicts.iter().filter(|v| v.result.is_err()).count();
-    let snap = stats.snapshot();
+    let final_state_hashes: Vec<u64> = coord
+        .hashes
+        .iter()
+        .map(|h| h.load(Ordering::SeqCst))
+        .collect();
 
     StoreReport {
         config: cfg.clone(),
@@ -185,6 +263,8 @@ where
         windows: verdicts,
         windows_failed,
         drains_converged: coord.divergences.load(Ordering::Relaxed) == 0,
+        final_state_hashes,
+        chaos,
         per_worker,
     }
 }
@@ -193,12 +273,27 @@ where
 struct WorkerResult {
     stats: WorkerStats,
     latencies: Vec<u64>,
+    chaos: cbm_net::chaos::ChaosCounters,
+    nacks_sent: u64,
+    repairs_sent: u64,
+    repaired_batches: u64,
+    recoveries: Vec<RecoveryStats>,
+}
+
+/// State the helper froze at a crash cut, awaiting the recovery drain.
+struct SyncPrep<T: Adt> {
+    worker: NodeId,
+    snapshot: Vec<T::State>,
+    frontier: Vec<u64>,
+    lamport: u64,
+    retained_from: usize,
 }
 
 struct Worker<'a, T: Adt> {
     adt: &'a T,
     cfg: &'a StoreConfig,
-    ep: Endpoint<BatchMsg<T::Input>>,
+    sched: &'a ChaosSchedule,
+    ep: ChaosEndpoint<StoreMsg<T::Input, T::State>>,
     coord: &'a Coordinator,
     tx: mpsc::Sender<WindowRecord<T>>,
     me: NodeId,
@@ -206,11 +301,28 @@ struct Worker<'a, T: Adt> {
     table: ObjectTable<T>,
     clock: LamportClock,
     recorder: WindowRecorder<T>,
+    fault_sched: FaultSchedule,
+    vtime: u64,
+    issued: u64,
+    crashed: bool,
+    quiesce_idx: u64,
+    /// Precomputed `sched.can_lose()` (checked on every flush).
+    loss_capable: bool,
+    /// Every batch flushed since the last completed drain (repair log).
+    epoch_sent: Vec<BatchMsg<T::Input>>,
+    /// Envelopes integrated while any crash span is assigned to this
+    /// helper, in integration order (recovery replay log).
+    retained: Vec<BatchMsg<T::Input>>,
+    sync_prep: Vec<SyncPrep<T>>,
     batches_delivered: u64,
     reads: u64,
     updates: u64,
     latencies: Vec<u64>,
-    windows_opened: u64,
+    nacks_sent: u64,
+    repairs_sent: u64,
+    repaired_batches: u64,
+    discarded: u64,
+    recoveries: Vec<RecoveryStats>,
 }
 
 impl<'a, T> Worker<'a, T>
@@ -223,16 +335,24 @@ where
     fn new(
         adt: &'a T,
         cfg: &'a StoreConfig,
-        ep: Endpoint<BatchMsg<T::Input>>,
+        sched: &'a ChaosSchedule,
+        ep: cbm_net::thread_net::Endpoint<StoreMsg<T::Input, T::State>>,
         coord: &'a Coordinator,
         tx: mpsc::Sender<WindowRecord<T>>,
     ) -> Self {
         let me = ep.me;
         let n = ep.cluster_size();
+        // the chaos RNG stream is decorrelated from the workload RNGs
+        let chaos_seed = cfg
+            .seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(me as u64)
+            ^ 0xC4A0_5C4A_05C4_A05C;
         Worker {
             adt,
             cfg,
-            ep,
+            sched,
+            ep: ChaosEndpoint::new(ep, chaos_seed),
             coord,
             tx,
             me,
@@ -240,11 +360,24 @@ where
             table: ObjectTable::new(adt, cfg.objects.max(1), cfg.mode),
             clock: LamportClock::new(),
             recorder: WindowRecorder::new(),
+            fault_sched: sched.link_plan.clone().into_schedule(),
+            vtime: 0,
+            issued: 0,
+            crashed: false,
+            quiesce_idx: 0,
+            loss_capable: sched.can_lose(),
+            epoch_sent: Vec::new(),
+            retained: Vec::new(),
+            sync_prep: Vec::new(),
             batches_delivered: 0,
             reads: 0,
             updates: 0,
             latencies: Vec::with_capacity(cfg.ops_per_worker),
-            windows_opened: 0,
+            nacks_sent: 0,
+            repairs_sent: 0,
+            repaired_batches: 0,
+            discarded: 0,
+            recoveries: Vec::new(),
         }
     }
 
@@ -257,24 +390,31 @@ where
                 .seed
                 .wrapping_add((self.me as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
         );
-        let ops = self.cfg.ops_per_worker;
-        for k in 0..ops {
-            if self.cfg.rendezvous_at(k) {
-                self.open_window(k);
+        for e in 0..self.sched.n_epochs {
+            self.epoch_boundary(e);
+            let my_ops = self.sched.ops_of(self.me, e);
+            let quota = self.window_quota(e, my_ops);
+            for _ in 0..quota {
+                self.step(gen, &mut rng);
             }
-            self.pump();
-            let op = gen(self.me, k as u64, &mut rng);
-            self.execute(op);
-            if self.recorder.active() && self.recorder.remaining() == 0 {
+            if e > 0 {
                 self.close_window();
+            }
+            for _ in quota..my_ops {
+                self.step(gen, &mut rng);
             }
         }
         self.final_drain();
+        assert_eq!(
+            self.issued as usize, self.cfg.ops_per_worker,
+            "worker {} finished with an incomplete script",
+            self.me
+        );
 
         let mut latencies = std::mem::take(&mut self.latencies);
         let stats = WorkerStats {
             worker: self.me,
-            ops: ops as u64,
+            ops: self.issued,
             reads: self.reads,
             updates: self.updates,
             batches_sent: self.proto.batches_sent(),
@@ -282,7 +422,109 @@ where
             batches_delivered: self.batches_delivered,
             latency: summarize_latencies(&mut latencies),
         };
-        WorkerResult { stats, latencies }
+        WorkerResult {
+            stats,
+            latencies,
+            chaos: self.ep.counters(),
+            nacks_sent: self.nacks_sent,
+            repairs_sent: self.repairs_sent,
+            repaired_batches: self.repaired_batches,
+            recoveries: std::mem::take(&mut self.recoveries),
+        }
+    }
+
+    /// Own events this worker records in epoch `e`'s window.
+    fn window_quota(&self, e: u64, my_ops: usize) -> usize {
+        if e == 0 || self.crashed {
+            0
+        } else {
+            self.cfg.verify.window_ops.min(my_ops)
+        }
+    }
+
+    /// One operation of the hot loop.
+    fn step<G>(&mut self, gen: &G, rng: &mut StdRng)
+    where
+        G: Fn(NodeId, u64, &mut StdRng) -> SpaceInput<T::Input> + Sync,
+    {
+        self.vtime += 1;
+        self.advance_faults();
+        self.pump();
+        let op = gen(self.me, self.issued, rng);
+        self.execute(op);
+        self.issued += 1;
+    }
+
+    /// Apply due fault events and release due held-back sends.
+    fn advance_faults(&mut self) {
+        self.fault_sched.apply_due(&mut self.ep, self.vtime);
+        self.ep.advance_to(self.vtime);
+    }
+
+    /// The rendezvous opening epoch `e`: drain, recover, compact,
+    /// check convergence, open the next verification window.
+    fn epoch_boundary(&mut self, e: u64) {
+        self.vtime = e * self.sched.every_ops as u64;
+        self.advance_faults();
+        if e == 0 {
+            return; // the run starts mid-epoch-0; first drain is at e=1
+        }
+        let was_crashed = self.crashed;
+        self.crashed = self.sched.crashed_at(self.me, e);
+
+        // the boundary drain: a worker crashing *at* this boundary
+        // still participates normally — the drain is its cut
+        self.quiesce(was_crashed);
+
+        // liveness flags for the coming epoch (deterministic: every
+        // worker derives them from the shared schedule)
+        for q in 0..self.ep.cluster_size() {
+            self.ep.set_peer_crashed(q, self.sched.crashed_at(q, e));
+        }
+
+        // recovery state transfers at this boundary
+        let recoveries: Vec<CrashSpan> = self.sched.recoveries_at(e).copied().collect();
+        if !recoveries.is_empty() {
+            for span in &recoveries {
+                if span.helper == self.me {
+                    self.serve_sync(span);
+                }
+                if span.worker == self.me {
+                    self.receive_sync(span);
+                }
+            }
+            self.coord.barrier.wait(); // transfers complete
+        }
+
+        self.compact_and_check_convergence(e);
+
+        // crash cuts at this boundary: the helper freezes its
+        // post-compaction state and starts retaining envelopes
+        let crashes: Vec<CrashSpan> = self.sched.crashes_at(e).copied().collect();
+        for span in &crashes {
+            if span.helper == self.me {
+                self.sync_prep.push(SyncPrep {
+                    worker: span.worker,
+                    snapshot: self.table.snapshot(),
+                    frontier: self.proto.delivered_clock().components().to_vec(),
+                    lamport: self.clock.now(),
+                    retained_from: self.retained.len(),
+                });
+            }
+        }
+
+        // open window e-1
+        let wid = e - 1;
+        if self.crashed {
+            let _ = self
+                .tx
+                .send(WindowRecord::crashed(self.me, wid, self.table.snapshot()));
+        } else {
+            let quota = self.window_quota(e, self.sched.ops_of(self.me, e));
+            let spans_recovery = !recoveries.is_empty();
+            self.recorder
+                .start(wid, quota, self.table.snapshot(), spans_recovery);
+        }
     }
 
     /// Execute one operation against the local replica (wait-free).
@@ -320,99 +562,267 @@ where
         self.latencies.push(t.elapsed().as_nanos() as u64);
     }
 
-    /// Ship the pending batch, if any.
+    /// Ship the pending batch, if any, through the fault layer.
     fn flush(&mut self) {
         if let Some(batch) = self.proto.flush() {
             let bytes = batch_bytes(self.ep.cluster_size(), &batch.payload);
-            self.ep.broadcast_sized(batch, bytes);
+            if self.loss_capable {
+                // the repair log only matters when faults can lose
+                // envelopes (and hence nacks can arrive); fault-free,
+                // duplication-only, and latency-only runs skip the
+                // clone and the retained memory on their hot path
+                self.epoch_sent.push(batch.clone());
+            }
+            if !self.sync_prep.is_empty() {
+                self.retained.push(batch.clone());
+            }
+            self.ep.broadcast(StoreMsg::Batch(batch), bytes);
         }
     }
 
-    /// Integrate every batch that has arrived (non-blocking).
+    /// Integrate everything that has arrived (non-blocking): batches
+    /// and repairs feed the causal protocol, nacks are answered from
+    /// the epoch retention log over the reliable path.
     fn pump(&mut self) -> bool {
         let mut got_any = false;
-        while let Some((_, msg)) = self.ep.try_recv() {
+        while let Some((from, msg)) = self.ep.try_recv() {
             got_any = true;
-            for batch in self.proto.on_receive(msg) {
-                self.batches_delivered += 1;
-                for op in batch.payload {
-                    self.clock.observe(op.ts.time);
-                    self.table.apply_update(self.adt, op.obj, op.ts, &op.input);
-                    self.recorder.on_remote(batch.sender, op.wseq);
+            match msg {
+                StoreMsg::Batch(env) => self.deliver(env),
+                StoreMsg::Repair(envs) => {
+                    for env in envs {
+                        self.deliver(env);
+                    }
+                }
+                StoreMsg::Nack => {
+                    // retransmit the whole epoch log: which prefix the
+                    // nacker already delivered depends on interleaving,
+                    // and its duplicate suppression discards the rest —
+                    // so the repair size stays deterministic
+                    let tail: Vec<BatchMsg<T::Input>> = self.epoch_sent.clone();
+                    self.repairs_sent += 1;
+                    self.repaired_batches += tail.len() as u64;
+                    let bytes = repair_bytes(self.ep.cluster_size(), &tail);
+                    self.ep.send_reliable(from, StoreMsg::Repair(tail), bytes);
+                }
+                StoreMsg::Sync(_) => {
+                    // a state transfer outside the recovery phase is a
+                    // protocol bug; tolerate and count rather than
+                    // corrupt the replica
+                    debug_assert!(false, "unexpected Sync outside recovery");
+                    self.discarded += 1;
                 }
             }
         }
         got_any
     }
 
-    /// Flush, publish, and receive until every published batch of every
-    /// peer has been delivered — one half of a drain point.
-    fn quiesce(&mut self) {
-        self.flush();
-        self.coord.sent[self.me].store(self.proto.batches_sent(), Ordering::SeqCst);
-        self.coord.barrier.wait(); // all counts final
-        loop {
-            let got_any = self.pump();
-            let all = (0..self.ep.cluster_size()).all(|q| {
-                q == self.me
-                    || self.proto.delivered_clock().get(q)
-                        >= self.coord.sent[q].load(Ordering::SeqCst)
-            });
-            if all {
-                break;
+    /// Deliver one batch envelope through the causal protocol.
+    fn deliver(&mut self, env: BatchMsg<T::Input>) {
+        for batch in self.proto.on_receive(env) {
+            if !self.sync_prep.is_empty() {
+                self.retained.push(batch.clone());
             }
-            if !got_any {
-                std::thread::yield_now();
+            self.batches_delivered += 1;
+            let sender = batch.sender;
+            for op in batch.payload {
+                self.clock.observe(op.ts.time);
+                self.table.apply_update(self.adt, op.obj, op.ts, &op.input);
+                self.recorder.on_remote(sender, op.wseq);
             }
         }
-        self.coord.barrier.wait(); // global quiesce
     }
 
-    /// Drained rendezvous at op index `k`: compact, publish state
-    /// hashes, snapshot, and start recording the next window.
-    fn open_window(&mut self, k: usize) {
-        self.quiesce();
-        self.compact_and_check_convergence();
-        let quota = self.cfg.window_quota(k);
-        self.recorder
-            .start(self.windows_opened, quota, self.table.snapshot());
-        self.windows_opened += 1;
+    /// The drain: flush, publish, then receive until every published
+    /// batch of every peer has been delivered — nacking senders whose
+    /// batches were lost to faults, and serving peers' nacks until
+    /// *everyone* is complete. A worker that spent the last epoch
+    /// crashed (`discard`) drains and discards instead: its state is
+    /// re-established by the recovery transfer, not by late delivery.
+    fn quiesce(&mut self, discard: bool) {
+        let n = self.ep.cluster_size();
+        let parity = (self.quiesce_idx % 2) as usize;
+        self.quiesce_idx += 1;
+        if !discard {
+            self.flush();
+            self.ep.flush_delayed(); // held-back sends belong to this cut
+        }
+        self.coord.sent[self.me].store(self.proto.batches_sent(), Ordering::SeqCst);
+        self.coord.barrier.wait(); // all cut sends enqueued, counts final
+
+        if discard {
+            while self.ep.try_recv().is_some() {
+                self.discarded += 1;
+            }
+            self.coord.done[parity].fetch_add(1, Ordering::SeqCst);
+            while self.coord.done[parity].load(Ordering::SeqCst) < n as u64 {
+                while self.ep.try_recv().is_some() {
+                    self.discarded += 1;
+                }
+                std::thread::yield_now();
+            }
+        } else {
+            // everything sent for this cut is already in our queue;
+            // whatever was not *received* after this pump was dropped
+            // or parked by the fault layer — nack each such sender
+            // once. The received count (delivered + buffered) is used
+            // rather than the delivered clock: a batch stuck behind a
+            // lost dependency counts as received, so the nack set is a
+            // pure function of the loss pattern, not of interleaving.
+            self.pump();
+            for q in 0..n {
+                if q != self.me
+                    && self.proto.received_from(q) < self.coord.sent[q].load(Ordering::SeqCst)
+                {
+                    self.nacks_sent += 1;
+                    self.ep.send_reliable(q, StoreMsg::Nack, nack_bytes());
+                }
+            }
+            let mut done_marked = false;
+            loop {
+                let got_any = self.pump();
+                if !done_marked && (0..n).all(|q| q == self.me || !self.missing_from(q)) {
+                    done_marked = true;
+                    self.coord.done[parity].fetch_add(1, Ordering::SeqCst);
+                }
+                if done_marked && self.coord.done[parity].load(Ordering::SeqCst) >= n as u64 {
+                    break;
+                }
+                if !got_any {
+                    std::thread::yield_now();
+                }
+            }
+        }
+        // reset the other parity slot for the next drain while every
+        // worker is still on this side of the closing barrier
+        if self.me == 0 {
+            self.coord.done[1 - parity].store(0, Ordering::SeqCst);
+        }
+        self.coord.barrier.wait(); // globally drained
+                                   // the cut is complete everywhere: the repair log is dead
+                                   // weight, and parked sends' payloads have been repaired (the
+                                   // partition itself stays in force for post-drain traffic)
+        self.epoch_sent.clear();
+        self.ep.prune_parked();
+    }
+
+    /// Has `q` published batches we have not delivered?
+    fn missing_from(&self, q: NodeId) -> bool {
+        self.proto.delivered_clock().get(q) < self.coord.sent[q].load(Ordering::SeqCst)
+    }
+
+    /// Helper side of a recovery: ship cut snapshot + frontier +
+    /// retained envelopes to the recovering worker (reliable path).
+    fn serve_sync(&mut self, span: &CrashSpan) {
+        let idx = self
+            .sync_prep
+            .iter()
+            .position(|p| p.worker == span.worker)
+            .expect("helper has no prepared cut for this recovery");
+        let prep = self.sync_prep.remove(idx);
+        let payload = SyncPayload {
+            snapshot: prep.snapshot,
+            frontier: prep.frontier,
+            lamport: prep.lamport,
+            retained: self.retained[prep.retained_from..].to_vec(),
+        };
+        let bytes = sync_bytes(self.ep.cluster_size(), &payload);
+        self.ep
+            .send_reliable(span.worker, StoreMsg::Sync(Box::new(payload)), bytes);
+        if self.sync_prep.is_empty() {
+            self.retained.clear();
+        }
+    }
+
+    /// Recovering side: install the cut snapshot, resync the causal
+    /// broadcast to the cut frontier, replay the missed envelopes.
+    fn receive_sync(&mut self, span: &CrashSpan) {
+        let t = Instant::now();
+        let (mut batches, mut ops) = (0u64, 0u64);
+        loop {
+            match self.ep.recv() {
+                Some((_, StoreMsg::Sync(payload))) => {
+                    let p = *payload;
+                    self.table.install(&p.snapshot);
+                    self.proto.resync(&p.frontier);
+                    self.clock.observe(p.lamport);
+                    let expected = p.retained.len() as u64;
+                    for env in p.retained {
+                        for batch in self.proto.on_receive(env) {
+                            batches += 1;
+                            ops += batch.payload.len() as u64;
+                            for op in batch.payload {
+                                self.clock.observe(op.ts.time);
+                                self.table.apply_update(self.adt, op.obj, op.ts, &op.input);
+                            }
+                        }
+                    }
+                    debug_assert_eq!(
+                        batches, expected,
+                        "retained replay must deliver exactly once in order"
+                    );
+                    break;
+                }
+                Some(_) => self.discarded += 1, // pre-recovery straggler
+                None => unreachable!("mesh closed during recovery"),
+            }
+        }
+        self.epoch_sent.clear(); // pre-crash sends are all below the cut
+        self.recoveries.push(RecoveryStats {
+            worker: self.me,
+            crash_epoch: span.crash_epoch,
+            recover_epoch: span.recover_epoch,
+            helper: span.helper,
+            replayed_batches: batches,
+            replayed_ops: ops,
+            sync_wall_ns: t.elapsed().as_nanos() as u64,
+        });
     }
 
     /// A worker met its window quota: drain so the window is closed
-    /// everywhere, then hand the record to the verifier.
+    /// everywhere, then hand the record to the verifier. Crashed
+    /// workers already sent their placeholder at the open.
     fn close_window(&mut self) {
-        self.quiesce();
-        let record = self.recorder.finish(self.me);
-        // a full channel send only fails if the verifier died; surface
-        // that at join time, not here
-        let _ = self.tx.send(record);
-    }
-
-    /// Teardown: drain everything and release the endpoint.
-    fn final_drain(&mut self) {
+        self.quiesce(self.crashed);
         if self.recorder.active() {
-            // ops_per_worker not a multiple of every_ops: the last
-            // window closes at the end of the run
-            self.close_window();
+            let record = self.recorder.finish(self.me);
+            // a failed channel send only means the verifier died;
+            // surface that at join time, not here
+            let _ = self.tx.send(record);
         }
-        self.quiesce();
-        self.compact_and_check_convergence();
     }
 
-    /// At a global quiesce: compact arbitration logs, publish this
-    /// replica's state hash, and (worker 0, convergent mode) record a
-    /// divergence if the replicas' hashes disagree.
-    fn compact_and_check_convergence(&mut self) {
-        self.table.compact();
+    /// Teardown: one last drain and convergence check. Every crash
+    /// span has recovered by now (the schedule guarantees it), so all
+    /// replicas participate and publish their final state hashes.
+    fn final_drain(&mut self) {
+        self.vtime = self.sched.n_epochs * self.sched.every_ops as u64;
+        self.advance_faults();
+        debug_assert!(!self.crashed, "schedule must recover everyone");
+        self.quiesce(false);
+        self.compact_and_check_convergence(self.sched.n_epochs);
+    }
+
+    /// At a global drain: compact arbitration logs, publish this
+    /// replica's state hash, and (first live worker, convergent mode)
+    /// record a divergence if live replicas' hashes disagree.
+    fn compact_and_check_convergence(&mut self, e: u64) {
+        if !self.crashed {
+            self.table.compact();
+        }
         self.coord.hashes[self.me].store(self.table.state_hash(), Ordering::SeqCst);
         self.coord.barrier.wait(); // hashes published
-        if self.me == 0 && self.cfg.mode == Mode::Convergent {
-            let h0 = self.coord.hashes[0].load(Ordering::SeqCst);
-            if (1..self.ep.cluster_size())
-                .any(|q| self.coord.hashes[q].load(Ordering::SeqCst) != h0)
-            {
-                self.coord.divergences.fetch_add(1, Ordering::SeqCst);
+        if self.cfg.mode == Mode::Convergent {
+            let n = self.ep.cluster_size();
+            let live: Vec<NodeId> = (0..n).filter(|&q| !self.sched.crashed_at(q, e)).collect();
+            if live.first() == Some(&self.me) {
+                let h0 = self.coord.hashes[self.me].load(Ordering::SeqCst);
+                if live
+                    .iter()
+                    .any(|&q| self.coord.hashes[q].load(Ordering::SeqCst) != h0)
+                {
+                    self.coord.divergences.fetch_add(1, Ordering::SeqCst);
+                }
             }
         }
     }

@@ -24,14 +24,27 @@
 //!   replays each frozen window through `cbm-check::verify` (CC or
 //!   CCv), so throughput numbers ship with live consistency evidence.
 //!
-//! The `loadgen` binary in `cbm-bench` drives this engine across a
-//! threads × objects × ops × read-ratio matrix and emits the committed
-//! `BENCH_throughput.json`; see `docs/THROUGHPUT.md`.
+//! The engine is **chaos-hardened**: a [`StoreConfig::chaos`] fault
+//! plan injects deterministic transport misbehaviour (loss,
+//! duplication, partitions, latency, epoch-aligned worker crashes)
+//! through [`cbm_net::chaos::ChaosEndpoint`], drains repair losses
+//! with a nack/retransmit round, and recovering workers rejoin via an
+//! anti-entropy state transfer (cut snapshot + vector-clock frontier +
+//! missed-envelope replay) — with sampled verification still running
+//! while the network misbehaves. The named fault profiles and the
+//! schedule derivation live in [`chaos`]; the protocol and its
+//! determinism contract are documented in `docs/CHAOS.md`.
+//!
+//! The `loadgen` and `chaos_loadgen` binaries in `cbm-bench` drive
+//! this engine across workload and fault matrices and emit the
+//! committed `BENCH_throughput.json` / `BENCH_chaos.json`; see
+//! `docs/THROUGHPUT.md` and `docs/CHAOS.md`.
 //!
 //! ```
 //! use cbm_adt::register::{RegInput, Register};
 //! use cbm_adt::space::SpaceInput;
 //! use cbm_store::{run, BatchPolicy, Mode, StoreConfig, VerifyConfig};
+//! use cbm_net::fault::FaultPlan;
 //! use rand::Rng;
 //!
 //! let cfg = StoreConfig {
@@ -42,6 +55,7 @@
 //!     batch: BatchPolicy::Every(4),
 //!     verify: VerifyConfig { every_ops: 200, window_ops: 16, sample_every: 1 },
 //!     seed: 7,
+//!     chaos: FaultPlan::new(),
 //! };
 //! let report = run(&Register, &cfg, |_, _, rng| {
 //!     let obj = rng.gen_range(0u32..8);
@@ -58,6 +72,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod config;
 pub mod engine;
 pub mod objects;
@@ -65,6 +80,9 @@ pub mod record;
 pub mod stats;
 pub mod wire;
 
+pub use chaos::{profile, ChaosSchedule, CrashSpan, PROFILE_NAMES};
 pub use config::{BatchPolicy, Mode, StoreConfig, VerifyConfig};
 pub use engine::run;
-pub use stats::{LatencySummary, StoreReport, WindowVerdict, WorkerStats};
+pub use stats::{
+    ChaosReport, LatencySummary, RecoveryStats, StoreReport, WindowVerdict, WorkerStats,
+};

@@ -108,6 +108,24 @@ impl<T: Adt> ObjectTable<T> {
         self.states.clone()
     }
 
+    /// Install a snapshot taken at a consistent cut (crash recovery).
+    ///
+    /// The cut is a drain point, so in convergent mode the snapshot is
+    /// post-compaction state: it becomes both the current states and
+    /// the epoch seeds, and the arbitration logs restart empty — the
+    /// missed-envelope replay then applies on top exactly as live
+    /// delivery would have.
+    pub fn install(&mut self, snapshot: &[T::State]) {
+        assert_eq!(snapshot.len(), self.states.len(), "snapshot arity");
+        self.states = snapshot.to_vec();
+        if self.mode == Mode::Convergent {
+            self.seeds = snapshot.to_vec();
+            for log in self.logs.iter_mut() {
+                log.clear();
+            }
+        }
+    }
+
     /// Order-sensitive hash of the full space state (drain-point
     /// convergence evidence).
     pub fn state_hash(&self) -> u64 {

@@ -58,6 +58,31 @@ pub struct WindowRecord<T: Adt> {
     /// Untagged remote ops applied while recording (must be 0: windows
     /// open and close at drained points).
     pub foreign: u64,
+    /// The worker was crashed for this window: it contributes no
+    /// events, its apply order is empty, and its (stale) snapshot is
+    /// excluded from convergence checks.
+    pub crashed: bool,
+    /// The window opened at a drain that performed a crash-recovery
+    /// state transfer (its pre-window snapshots include a freshly
+    /// synced replica).
+    pub spans_recovery: bool,
+}
+
+impl<T: Adt> WindowRecord<T> {
+    /// The record a crashed worker contributes: no events, no applies,
+    /// its stale snapshot carried only for arity.
+    pub fn crashed(worker: NodeId, window: u64, snapshot: Vec<T::State>) -> Self {
+        WindowRecord {
+            worker,
+            window,
+            own: Vec::new(),
+            applies: Vec::new(),
+            snapshot,
+            foreign: 0,
+            crashed: true,
+            spans_recovery: false,
+        }
+    }
 }
 
 /// The per-worker recorder driven by the engine's hot loop.
@@ -69,6 +94,7 @@ pub struct WindowRecorder<T: Adt> {
     applies: Vec<EventRef>,
     snapshot: Vec<T::State>,
     foreign: u64,
+    spans_recovery: bool,
 }
 
 impl<T: Adt> WindowRecorder<T> {
@@ -82,6 +108,7 @@ impl<T: Adt> WindowRecorder<T> {
             applies: Vec::new(),
             snapshot: Vec::new(),
             foreign: 0,
+            spans_recovery: false,
         }
     }
 
@@ -91,8 +118,15 @@ impl<T: Adt> WindowRecorder<T> {
     }
 
     /// Start recording `quota` own events from the drained state
-    /// `snapshot`.
-    pub fn start(&mut self, window: u64, quota: usize, snapshot: Vec<T::State>) {
+    /// `snapshot`. `spans_recovery` marks windows whose opening drain
+    /// performed a crash-recovery state transfer.
+    pub fn start(
+        &mut self,
+        window: u64,
+        quota: usize,
+        snapshot: Vec<T::State>,
+        spans_recovery: bool,
+    ) {
         self.active = true;
         self.window = window;
         self.quota = quota;
@@ -100,6 +134,7 @@ impl<T: Adt> WindowRecorder<T> {
         self.applies.clear();
         self.snapshot = snapshot;
         self.foreign = 0;
+        self.spans_recovery = spans_recovery;
     }
 
     /// Record one own event; returns its wire tag. `None` when the
@@ -144,6 +179,8 @@ impl<T: Adt> WindowRecorder<T> {
             applies: std::mem::take(&mut self.applies),
             snapshot: std::mem::take(&mut self.snapshot),
             foreign: self.foreign,
+            crashed: false,
+            spans_recovery: self.spans_recovery,
         }
     }
 }
@@ -157,6 +194,12 @@ impl<T: Adt> Default for WindowRecorder<T> {
 /// Rebuild a frozen window from all workers' records and verify it
 /// against the mode's criterion. Returns `Ok(events)` with the window
 /// size, or a violation description.
+///
+/// Crashed workers contribute placeholder records ([`WindowRecord::crashed`]):
+/// they carry no events and no apply order, and their stale snapshots
+/// are excluded from the convergence checks — the window is verified
+/// over the live replicas, which is exactly the guarantee a crashed
+/// process retains (§6.1: a crashed process simply stops operating).
 pub fn verify_window<T: Adt>(
     space: &ObjectSpace<T>,
     mode: Mode,
@@ -172,7 +215,16 @@ pub fn verify_window<T: Adt>(
                 part.worker, part.foreign
             ));
         }
+        if part.crashed && !(part.own.is_empty() && part.applies.is_empty()) {
+            return Err(format!(
+                "crashed worker {} recorded events inside the window",
+                part.worker
+            ));
+        }
     }
+    let Some(first_live) = parts.iter().position(|p| !p.crashed) else {
+        return Err("window has no live workers".to_string());
+    };
 
     // global ids: worker-major over own events
     let mut base = vec![0u32; n + 1];
@@ -241,11 +293,13 @@ pub fn verify_window<T: Adt>(
                 .map_err(|e| format!("CC violation: {e:?}"))?;
         }
         Mode::Convergent => {
-            for part in &parts[1..] {
-                if part.snapshot != parts[0].snapshot {
+            for part in parts.iter().filter(|p| !p.crashed) {
+                if part.worker != parts[first_live].worker
+                    && part.snapshot != parts[first_live].snapshot
+                {
                     return Err(format!(
-                        "replicas 0 and {} diverged at the window's drain point",
-                        part.worker
+                        "replicas {} and {} diverged at the window's drain point",
+                        parts[first_live].worker, part.worker
                     ));
                 }
             }
@@ -260,8 +314,15 @@ pub fn verify_window<T: Adt>(
                 parts[p].own[(e.0 - base[p]) as usize].ts
             };
             total.sort_by_key(|e| ts_of(e));
-            verify_ccv_window(space, &h, &causal, &total, sample_every, &parts[0].snapshot)
-                .map_err(|e| format!("CCv violation: {e:?}"))?;
+            verify_ccv_window(
+                space,
+                &h,
+                &causal,
+                &total,
+                sample_every,
+                &parts[first_live].snapshot,
+            )
+            .map_err(|e| format!("CCv violation: {e:?}"))?;
         }
     }
     Ok(m)
@@ -295,6 +356,8 @@ mod tests {
                 applies: vec![(0, 0), (1, 1)],
                 snapshot: snapshot.clone(),
                 foreign: 0,
+                crashed: false,
+                spans_recovery: false,
             },
             WindowRecord {
                 worker: 1,
@@ -307,6 +370,8 @@ mod tests {
                 applies: vec![(0, 0), (1, 0), (1, 1)],
                 snapshot,
                 foreign: 0,
+                crashed: false,
+                spans_recovery: false,
             },
         ]
     }
@@ -375,13 +440,79 @@ mod tests {
     }
 
     #[test]
+    fn crashed_part_is_ignored_but_convergence_checks_live_parts() {
+        let space = ObjectSpace::new(Register, 2);
+        for mode in [Mode::Causal, Mode::Convergent] {
+            let mut parts = healthy_parts();
+            // worker 2 is crashed with a stale (divergent) snapshot
+            parts.push(WindowRecord::crashed(2, 0, vec![7, 7]));
+            assert_eq!(
+                verify_window(&space, mode, 1, &parts),
+                Ok(3),
+                "{mode:?}: crashed part must not fail the window"
+            );
+        }
+        // a crashed part claiming events is a recording bug
+        let space = ObjectSpace::new(Register, 2);
+        let mut parts = healthy_parts();
+        let mut bad = WindowRecord::crashed(2, 0, vec![0, 0]);
+        bad.applies.push((0, 0));
+        parts.push(bad);
+        let res = verify_window(&space, Mode::Causal, 1, &parts);
+        assert!(res.is_err_and(|e| e.contains("crashed worker")));
+    }
+
+    #[test]
+    fn first_live_snapshot_anchors_convergent_windows() {
+        // part 0 crashed: the convergent snapshot-equality and the CCv
+        // replay must anchor on the first live part instead. Worker 1
+        // records a self-contained window (a crashed peer contributes
+        // no events for anyone to apply).
+        let space = ObjectSpace::new(Register, 2);
+        let parts = vec![
+            WindowRecord::crashed(0, 0, vec![1, 2]),
+            WindowRecord {
+                worker: 1,
+                window: 0,
+                own: vec![
+                    ev(1, RegInput::Read, RegOutput::Val(9), 2, 1),
+                    ev(1, RegInput::Write(4), RegOutput::Ack, 3, 1),
+                ],
+                applies: vec![(1, 0), (1, 1)],
+                snapshot: vec![0, 9],
+                foreign: 0,
+                crashed: false,
+                spans_recovery: true,
+            },
+        ];
+        assert_eq!(verify_window(&space, Mode::Convergent, 1, &parts), Ok(2));
+        // ...and a live divergence is still caught with crashed peers
+        let mut parts = healthy_parts();
+        parts.push(WindowRecord::crashed(2, 0, vec![9, 9]));
+        parts[1].snapshot = vec![4, 4];
+        let res = verify_window(&space, Mode::Convergent, 1, &parts);
+        assert!(res.is_err_and(|e| e.contains("diverged")));
+    }
+
+    #[test]
+    fn all_crashed_window_is_rejected() {
+        let space = ObjectSpace::new(Register, 2);
+        let parts = vec![
+            WindowRecord::<Register>::crashed(0, 0, vec![0, 0]),
+            WindowRecord::crashed(1, 0, vec![0, 0]),
+        ];
+        let res = verify_window(&space, Mode::Causal, 1, &parts);
+        assert!(res.is_err_and(|e| e.contains("no live workers")));
+    }
+
+    #[test]
     fn recorder_tags_up_to_quota() {
         let mut r: WindowRecorder<Register> = WindowRecorder::new();
         assert_eq!(
             r.on_own(0, ev(0, RegInput::Read, RegOutput::Val(0), 1, 0)),
             None
         );
-        r.start(3, 2, vec![0, 0]);
+        r.start(3, 2, vec![0, 0], true);
         assert!(r.active());
         assert_eq!(
             r.on_own(0, ev(0, RegInput::Read, RegOutput::Val(0), 1, 0)),
@@ -401,6 +532,7 @@ mod tests {
         assert_eq!(rec.own.len(), 2);
         assert_eq!(rec.applies, vec![(0, 0), (1, 0), (0, 1)]);
         assert_eq!(rec.window, 3);
+        assert!(rec.spans_recovery && !rec.crashed);
         assert!(!r.active());
     }
 }

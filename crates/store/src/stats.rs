@@ -64,8 +64,70 @@ pub struct WindowVerdict {
     pub criterion: &'static str,
     /// Events in the rebuilt window history.
     pub events: usize,
+    /// Workers that were crashed for this window.
+    pub crashed_workers: usize,
+    /// The window opened at a drain that performed a crash-recovery
+    /// state transfer.
+    pub spans_recovery: bool,
     /// `Ok(())` or a description of the violation.
     pub result: Result<(), String>,
+}
+
+/// One crash/recovery cycle as observed by the engine.
+#[derive(Debug, Clone)]
+pub struct RecoveryStats {
+    /// The worker that crashed and recovered.
+    pub worker: usize,
+    /// Epoch whose opening drain was the consistent cut.
+    pub crash_epoch: u64,
+    /// Epoch whose opening drain ran the state transfer.
+    pub recover_epoch: u64,
+    /// The helper that served the snapshot and replay.
+    pub helper: usize,
+    /// Batch envelopes replayed from the helper's retention log.
+    pub replayed_batches: u64,
+    /// Update payloads inside those batches.
+    pub replayed_ops: u64,
+    /// Wall-clock duration of the state transfer at the recovering
+    /// worker (receive + install + replay); nondeterministic.
+    pub sync_wall_ns: u64,
+}
+
+/// Aggregated fault-layer accounting for one run. All counts except
+/// wall times are deterministic per `(config, seed)` — the chaos CI
+/// job replays runs and diffs them exactly (`docs/CHAOS.md`).
+#[derive(Debug, Clone, Default)]
+pub struct ChaosReport {
+    /// Did the run inject any faults?
+    pub active: bool,
+    /// Sends lost to probabilistic drops or crashed recipients.
+    pub drops: u64,
+    /// Extra copies injected by duplication faults.
+    pub dups: u64,
+    /// Sends parked on blocked (partitioned) links.
+    pub parked: u64,
+    /// Parked sends released by mid-epoch heals.
+    pub released: u64,
+    /// Sends held back by latency faults.
+    pub delayed: u64,
+    /// Parked sends pruned at drains (payloads re-delivered by the
+    /// repair round).
+    pub pruned: u64,
+    /// Outbound messages discarded by crashing endpoints.
+    pub crash_discarded: u64,
+    /// Gap reports sent during drains.
+    pub nacks: u64,
+    /// Repair retransmissions answering them.
+    pub repairs: u64,
+    /// Batch envelopes carried by those repairs.
+    pub repaired_batches: u64,
+    /// Fault-layer losses per recipient node (from the transport's
+    /// lock-free counters).
+    pub dropped_per_node: Vec<u64>,
+    /// Fault-layer duplicate copies per recipient node.
+    pub dup_per_node: Vec<u64>,
+    /// Every crash/recovery cycle, in crash order.
+    pub recoveries: Vec<RecoveryStats>,
 }
 
 /// Everything one engine run produces.
@@ -100,6 +162,15 @@ pub struct StoreReport {
     /// identical states? (Always `true` in causal mode, which does not
     /// promise convergence.)
     pub drains_converged: bool,
+    /// Per-worker order-sensitive hash of the full object space at the
+    /// final drain. In convergent mode (and for commutative base types
+    /// in causal mode) all entries are equal, and — because a crashed
+    /// worker resumes its script after recovery — equal to the
+    /// fault-free twin run's hashes, which is how the chaos harness
+    /// proves recovery lost and duplicated nothing.
+    pub final_state_hashes: Vec<u64>,
+    /// Fault-injection accounting (zeroed for fault-free runs).
+    pub chaos: ChaosReport,
     /// Per-worker accounting.
     pub per_worker: Vec<WorkerStats>,
 }

@@ -1,4 +1,13 @@
 //! The engine's wire payloads.
+//!
+//! The replication fast path moves [`StoreMsg::Batch`] envelopes; the
+//! three control variants exist for the chaos-hardened paths
+//! (`docs/CHAOS.md`): gap repair at drains ([`StoreMsg::Nack`] /
+//! [`StoreMsg::Repair`]) and crash-recovery state transfer
+//! ([`StoreMsg::Sync`]). Control traffic bypasses the fault layer
+//! (it models a freshly established reliable stream), but is still
+//! counted in the transport statistics with the deterministic size
+//! estimates below.
 
 use cbm_net::broadcast::CausalMsg;
 use cbm_net::clock::Timestamp;
@@ -21,6 +30,43 @@ pub struct WireOp<I> {
 /// A batch envelope as moved by the transport.
 pub type BatchMsg<I> = CausalMsg<Vec<WireOp<I>>>;
 
+/// Crash-recovery state transfer: everything a recovering replica
+/// needs to rejoin (see `docs/CHAOS.md` for the protocol).
+#[derive(Debug, Clone)]
+pub struct SyncPayload<I, S> {
+    /// Snapshot of every object's state at the consistent cut (the
+    /// drain at which the recipient crashed).
+    pub snapshot: Vec<S>,
+    /// The cut's delivery frontier: batches delivered per sender,
+    /// installed into the causal broadcast via `resync`.
+    pub frontier: Vec<u64>,
+    /// The helper's Lamport time (arbitration safety margin).
+    pub lamport: u64,
+    /// Every batch envelope the helper integrated after the cut, in
+    /// its delivery order — the missed-envelope replay.
+    pub retained: Vec<BatchMsg<I>>,
+}
+
+/// Everything the engine moves over the transport.
+#[derive(Debug, Clone)]
+pub enum StoreMsg<I, S> {
+    /// A causal batch of updates (the fast path; subject to chaos).
+    Batch(BatchMsg<I>),
+    /// Drain-time gap report: "some of this epoch's batches from you
+    /// never reached me; retransmit" (reliable). Carries no frontier:
+    /// mid-epoch delivery clocks depend on thread interleaving, so a
+    /// deterministic protocol retransmits the sender's whole epoch log
+    /// and lets the causal layer's duplicate suppression discard the
+    /// copies already held.
+    Nack,
+    /// Retransmission answering a [`StoreMsg::Nack`]: every batch the
+    /// sender flushed since the last drain, oldest first (reliable).
+    Repair(Vec<BatchMsg<I>>),
+    /// Crash-recovery state transfer from the designated helper
+    /// (reliable).
+    Sync(Box<SyncPayload<I, S>>),
+}
+
 /// Estimated wire size of a batch: causal header (sender + clock) plus
 /// per-op object id, timestamp, tag byte, and the in-memory payload
 /// size as a stand-in for a real codec (see `cbm_net::msg` for exact
@@ -29,6 +75,28 @@ pub fn batch_bytes<I>(n_procs: usize, ops: &[WireOp<I>]) -> usize {
     let header = 2 + 2 + 8 * n_procs;
     let per_op = 4 + 10 + 1 + std::mem::size_of::<I>();
     header + ops.len() * per_op
+}
+
+/// Estimated wire size of a nack (sender id + tag).
+pub fn nack_bytes() -> usize {
+    2 + 1
+}
+
+/// Estimated wire size of a repair: the batches it retransmits.
+pub fn repair_bytes<I>(n_procs: usize, batches: &[BatchMsg<I>]) -> usize {
+    batches
+        .iter()
+        .map(|b| batch_bytes(n_procs, &b.payload))
+        .sum()
+}
+
+/// Estimated wire size of a state transfer: per-object state size,
+/// frontier, and the retained replay.
+pub fn sync_bytes<I, S>(n_procs: usize, p: &SyncPayload<I, S>) -> usize {
+    p.snapshot.len() * std::mem::size_of::<S>()
+        + 8 * p.frontier.len()
+        + 8
+        + repair_bytes(n_procs, &p.retained)
 }
 
 #[cfg(test)]
@@ -47,5 +115,33 @@ mod tests {
         let two = batch_bytes(4, &[op.clone(), op.clone()]);
         assert_eq!(two - one, 4 + 10 + 1 + 8);
         assert!(batch_bytes(8, &[op]) > one);
+    }
+
+    #[test]
+    fn control_sizes_are_deterministic() {
+        let op = WireOp {
+            obj: 1,
+            input: 3u32,
+            ts: Timestamp::ZERO,
+            wseq: Some(0),
+        };
+        let env = BatchMsg {
+            sender: 0,
+            vc: cbm_net::clock::VectorClock::new(2),
+            payload: vec![op],
+        };
+        assert_eq!(nack_bytes(), 3);
+        assert_eq!(
+            repair_bytes(2, std::slice::from_ref(&env)),
+            batch_bytes(2, &env.payload)
+        );
+        let sync = SyncPayload::<u32, u64> {
+            snapshot: vec![0u64; 4],
+            frontier: vec![0, 0],
+            lamport: 0,
+            retained: vec![env],
+        };
+        let sz = sync_bytes(2, &sync);
+        assert_eq!(sz, 4 * 8 + 16 + 8 + repair_bytes(2, &sync.retained));
     }
 }

@@ -4,6 +4,7 @@
 use cbm_adt::counter::{Counter, CtInput};
 use cbm_adt::register::{RegInput, Register};
 use cbm_adt::space::SpaceInput;
+use cbm_net::fault::FaultPlan;
 use cbm_store::{run, BatchPolicy, Mode, StoreConfig, StoreReport, VerifyConfig};
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -35,6 +36,7 @@ fn small_cfg(mode: Mode, batch: BatchPolicy) -> StoreConfig {
             sample_every: 1,
         },
         seed: 11,
+        chaos: FaultPlan::new(),
     }
 }
 
@@ -148,6 +150,7 @@ fn single_worker_degenerates_gracefully() {
             sample_every: 1,
         },
         seed: 3,
+        chaos: FaultPlan::new(),
     };
     let r = run(&Register, &cfg, reg_gen(8, 0.5));
     assert_healthy(&r);
@@ -168,6 +171,7 @@ fn sampling_disabled_still_completes() {
             sample_every: 1,
         },
         seed: 5,
+        chaos: FaultPlan::new(),
     };
     let r = run(&Register, &cfg, reg_gen(16, 0.5));
     assert_eq!(r.total_ops, 3_000);
