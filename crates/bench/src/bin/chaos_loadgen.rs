@@ -2,7 +2,7 @@
 //! and emit the committed chaos baseline (`BENCH_chaos.json`).
 //!
 //! ```text
-//! chaos_loadgen [--quick] [--out PATH] [--seeds N] [--summary PATH]
+//! chaos_loadgen [--quick] [--out PATH] [--seeds N] [--summary PATH] [--rf N]
 //! ```
 //!
 //! For every **fault profile × mode × seed** cell this binary runs the
@@ -32,7 +32,8 @@
 use cbm_adt::counter::{Counter, CtInput};
 use cbm_adt::space::SpaceInput;
 use cbm_store::{
-    profile, run, BatchPolicy, Mode, StoreConfig, StoreReport, VerifyConfig, PROFILE_NAMES,
+    profile, run, BatchPolicy, Mode, ShardConfig, StoreConfig, StoreReport, VerifyConfig,
+    PROFILE_NAMES,
 };
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -61,7 +62,13 @@ fn dims(quick: bool) -> (usize, usize) {
     }
 }
 
-fn cfg(mode: Mode, seed: u64, quick: bool, chaos: cbm_net::fault::FaultPlan) -> StoreConfig {
+fn cfg(
+    mode: Mode,
+    seed: u64,
+    quick: bool,
+    rf: usize,
+    chaos: cbm_net::fault::FaultPlan,
+) -> StoreConfig {
     let (workers, every) = dims(quick);
     let (ops, window) = if quick { (2_000, 16) } else { (20_000, 32) };
     StoreConfig {
@@ -76,6 +83,7 @@ fn cfg(mode: Mode, seed: u64, quick: bool, chaos: cbm_net::fault::FaultPlan) -> 
             sample_every: 1,
         },
         seed,
+        sharding: ShardConfig::rf(rf),
         chaos,
     }
 }
@@ -115,25 +123,26 @@ fn det_columns(r: &StoreReport) -> Vec<(&'static str, String)> {
         ),
         ("dup_per_node", format!("{:?}", r.chaos.dup_per_node)),
         (
-            "replays",
+            "syncs",
             format!(
                 "{:?}",
                 r.chaos
                     .recoveries
                     .iter()
-                    .map(|x| (x.worker, x.replayed_batches, x.replayed_ops))
+                    .map(|x| (x.worker, x.synced_shards, x.synced_objects))
                     .collect::<Vec<_>>()
             ),
         ),
+        ("remote_reads", r.remote_reads.to_string()),
         ("windows", r.windows.len().to_string()),
     ]
 }
 
-fn run_cell(name: &'static str, mode: Mode, seed: u64, quick: bool) -> Cell {
+fn run_cell(name: &'static str, mode: Mode, seed: u64, quick: bool, rf: usize) -> Cell {
     let (workers, every) = dims(quick);
     let plan = profile(name, workers, every).expect("known profile");
-    let chaos_cfg = cfg(mode, seed, quick, plan);
-    let free_cfg = cfg(mode, seed, quick, cbm_net::fault::FaultPlan::new());
+    let chaos_cfg = cfg(mode, seed, quick, rf, plan);
+    let free_cfg = cfg(mode, seed, quick, rf, cbm_net::fault::FaultPlan::new());
 
     let a = run(&Counter, &chaos_cfg, counter_gen());
     let a2 = run(&Counter, &chaos_cfg, counter_gen());
@@ -159,9 +168,18 @@ fn run_cell(name: &'static str, mode: Mode, seed: u64, quick: bool) -> Cell {
         }
     }
 
-    let h = a.final_state_hashes[0];
-    let state_match = a.final_state_hashes.iter().all(|&x| x == h)
-        && twin.final_state_hashes.iter().all(|&x| x == h);
+    // the chaos run must end byte-identical to its fault-free twin,
+    // replica by replica; under full replication every replica must
+    // additionally agree (partial replicas host different shards, so
+    // cross-replica equality only holds per shard there — the drain
+    // convergence check covers that)
+    let full =
+        chaos_cfg.sharding.replication == 0 || chaos_cfg.sharding.replication >= chaos_cfg.workers;
+    let state_match = a.final_state_hashes == twin.final_state_hashes
+        && (!full
+            || a.final_state_hashes
+                .iter()
+                .all(|&x| x == a.final_state_hashes[0]));
     if !state_match {
         failures.push(format!(
             "final state mismatch: chaos {:x?} vs twin {:x?}",
@@ -213,6 +231,7 @@ fn main() -> ExitCode {
     let mut out_path = String::from("BENCH_chaos.json");
     let mut summary_path: Option<String> = None;
     let mut seeds: u64 = 0;
+    let mut rf: usize = 0;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -238,8 +257,17 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--rf" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => rf = n,
+                None => {
+                    eprintln!("--rf needs a replication factor (0 = full)");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
-                println!("chaos_loadgen [--quick] [--out PATH] [--seeds N] [--summary PATH]");
+                println!(
+                    "chaos_loadgen [--quick] [--out PATH] [--seeds N] [--summary PATH] [--rf N]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -258,7 +286,7 @@ fn main() -> ExitCode {
         for mode in [Mode::Causal, Mode::Convergent] {
             for s in 0..seeds {
                 let seed = 42 + s;
-                let cell = run_cell(name, mode, seed, quick);
+                let cell = run_cell(name, mode, seed, quick, rf);
                 eprint!(
                     "{:>16} {} seed {}: {} msgs, {} drops, {} dups, {} repairs",
                     cell.profile,
@@ -283,7 +311,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let json = render_json(quick, seeds, &cells);
+    let json = render_json(quick, seeds, rf, &cells);
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("could not write {out_path}: {e}");
         return ExitCode::FAILURE;
@@ -306,16 +334,17 @@ fn main() -> ExitCode {
 
 /// Hand-rolled JSON (the offline `serde` stand-in has no serializer;
 /// the explicit schema doubles as documentation).
-fn render_json(quick: bool, seeds: u64, cells: &[Cell]) -> String {
+fn render_json(quick: bool, seeds: u64, rf: usize, cells: &[Cell]) -> String {
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str("  \"schema\": \"cbm-chaos-v1\",\n");
     s.push_str(&format!("  \"quick\": {quick},\n"));
     s.push_str(&format!("  \"seeds_per_cell\": {seeds},\n"));
+    s.push_str(&format!("  \"replication\": {rf},\n"));
     s.push_str(
         "  \"deterministic_columns\": [\"total_ops\", \"msgs_sent\", \"bytes_sent\", \
          \"drops\", \"dups\", \"parked\", \"released\", \"delayed\", \"pruned\", \"crash_discarded\", \"nacks\", \"repairs\", \
-         \"repaired_batches\", \"recoveries\", \"windows\"],\n",
+         \"repaired_batches\", \"recoveries\", \"remote_reads\", \"windows\"],\n",
     );
     s.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
@@ -353,18 +382,19 @@ fn render_json(quick: bool, seeds: u64, cells: &[Cell]) -> String {
             "      \"dropped_per_node\": {:?},\n",
             r.chaos.dropped_per_node
         ));
+        s.push_str(&format!("      \"remote_reads\": {},\n", r.remote_reads));
         s.push_str("      \"recoveries\": [\n");
         for (j, rec) in r.chaos.recoveries.iter().enumerate() {
             s.push_str(&format!(
                 "        {{\"worker\": {}, \"helper\": {}, \"crash_epoch\": {}, \
-                 \"recover_epoch\": {}, \"replayed_batches\": {}, \"replayed_ops\": {}, \
+                 \"recover_epoch\": {}, \"synced_shards\": {}, \"synced_objects\": {}, \
                  \"sync_ms\": {}}}{}\n",
                 rec.worker,
                 rec.helper,
                 rec.crash_epoch,
                 rec.recover_epoch,
-                rec.replayed_batches,
-                rec.replayed_ops,
+                rec.synced_shards,
+                rec.synced_objects,
                 rec.sync_wall_ns / 1_000_000,
                 if j + 1 < r.chaos.recoveries.len() {
                     ","

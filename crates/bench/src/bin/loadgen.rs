@@ -3,8 +3,9 @@
 //!
 //! ```text
 //! loadgen [--quick] [--out PATH] [--summary PATH] [--baseline PATH]
-//!         [--workers N] [--objects N] [--ops N] [--read-ratio R]
-//!         [--batch N|off] [--mode cc|ccv] [--seed S]
+//!         [--gate PATH] [--workers N] [--objects N] [--ops N]
+//!         [--read-ratio R] [--batch N|off] [--mode cc|ccv] [--seed S]
+//!         [--rf N] [--remote-read-ratio R]
 //! ```
 //!
 //! `--summary` appends a markdown table (one row per leg, with the
@@ -32,13 +33,23 @@
 //!   panic or on any failed sampled-window verification; wall times
 //!   never gate CI.
 //!
-//! Exit status: non-zero iff any leg reports a failed window or a
-//! drain-point divergence (convergent mode).
+//! `--gate` turns the committed baseline into a **hard deterministic
+//! gate**: every leg's `msgs_sent` and `bytes_sent` must reproduce the
+//! baseline's values exactly (they are pure functions of config and
+//! seed — any deviation is a behavioural change of the delivery path,
+//! not noise). The `sharding-smoke` CI job runs the quick matrix under
+//! `--gate BENCH_throughput_quick.json`, which pins the full-vs-partial
+//! replication traffic win bit-for-bit.
+//!
+//! Exit status: non-zero iff any leg reports a failed window, a
+//! drain-point divergence (convergent mode), or a `--gate` deviation.
 
 use cbm_adt::register::RegInput;
 use cbm_adt::register::Register;
 use cbm_adt::space::SpaceInput;
-use cbm_store::{run, BatchPolicy, Mode, StoreConfig, StoreReport, VerifyConfig};
+use cbm_store::{
+    run, BatchPolicy, Mode, ShardConfig, ShardMap, StoreConfig, StoreReport, VerifyConfig,
+};
 use rand::rngs::StdRng;
 use rand::Rng;
 use std::process::ExitCode;
@@ -49,6 +60,11 @@ struct Leg {
     name: String,
     cfg: StoreConfig,
     read_ratio: f64,
+    /// Fraction of reads that target an arbitrary object (and so may
+    /// route to a remote replica under partial replication); the rest
+    /// read objects the issuing worker hosts. Irrelevant at full
+    /// replication, where every read is local anyway.
+    remote_read_ratio: f64,
 }
 
 #[allow(clippy::too_many_arguments)] // a matrix-cell literal, not an API
@@ -78,10 +94,20 @@ fn leg(
                 sample_every: 1,
             },
             seed,
+            sharding: ShardConfig::full(),
             chaos: cbm_net::fault::FaultPlan::new(),
         },
         read_ratio,
+        remote_read_ratio: 0.0,
     }
+}
+
+/// A `leg` at replication factor `rf` with `remote` of its reads
+/// targeting arbitrary (possibly non-hosted) objects.
+fn sharded(mut l: Leg, rf: usize, remote: f64) -> Leg {
+    l.cfg.sharding = ShardConfig::rf(rf);
+    l.remote_read_ratio = remote;
+    l
 }
 
 /// The committed matrix: the headline 1M-op batched run, its unbatched
@@ -174,6 +200,58 @@ fn full_matrix() -> Vec<Leg> {
             48,
             42,
         ),
+        // the partial-replication axis: same workload shape as the
+        // 8-worker full-replication leg, at rf 2 and rf 4, with 1% of
+        // reads allowed to roam (exercising the request/reply path
+        // without letting it dominate the traffic comparison)
+        sharded(
+            leg(
+                "cc-8w-1024o-b32-r50-rf2",
+                Mode::Causal,
+                8,
+                1024,
+                125_000,
+                b32,
+                0.5,
+                25_000,
+                48,
+                42,
+            ),
+            2,
+            0.01,
+        ),
+        sharded(
+            leg(
+                "cc-8w-1024o-b32-r50-rf4",
+                Mode::Causal,
+                8,
+                1024,
+                125_000,
+                b32,
+                0.5,
+                25_000,
+                48,
+                42,
+            ),
+            4,
+            0.01,
+        ),
+        sharded(
+            leg(
+                "ccv-8w-1024o-b32-r50-rf2",
+                Mode::Convergent,
+                8,
+                1024,
+                125_000,
+                b32,
+                0.5,
+                25_000,
+                48,
+                42,
+            ),
+            2,
+            0.01,
+        ),
     ]
 }
 
@@ -218,15 +296,75 @@ fn quick_matrix() -> Vec<Leg> {
             24,
             42,
         ),
+        // rf ∈ {1, 2}: the sharding-smoke axis (5% roaming reads keep
+        // the routed-read path exercised in CI every run)
+        sharded(
+            leg(
+                "cc-4w-64o-b8-r50-rf1-quick",
+                Mode::Causal,
+                4,
+                64,
+                4_000,
+                b8,
+                0.5,
+                1_000,
+                24,
+                42,
+            ),
+            1,
+            0.05,
+        ),
+        sharded(
+            leg(
+                "cc-4w-64o-b8-r50-rf2-quick",
+                Mode::Causal,
+                4,
+                64,
+                4_000,
+                b8,
+                0.5,
+                1_000,
+                24,
+                42,
+            ),
+            2,
+            0.05,
+        ),
+        sharded(
+            leg(
+                "ccv-4w-64o-b8-r50-rf2-quick",
+                Mode::Convergent,
+                4,
+                64,
+                4_000,
+                b8,
+                0.5,
+                1_000,
+                24,
+                42,
+            ),
+            2,
+            0.05,
+        ),
     ]
 }
 
 fn run_leg(l: &Leg) -> StoreReport {
     let objects = l.cfg.objects as u32;
     let read_ratio = l.read_ratio;
-    run(&Register, &l.cfg, move |_, _, rng: &mut StdRng| {
+    let remote = l.remote_read_ratio;
+    let map = ShardMap::build(&l.cfg);
+    run(&Register, &l.cfg, move |w, _, rng: &mut StdRng| {
         let obj = rng.gen_range(0u32..objects);
         if rng.gen_bool(read_ratio) {
+            // most reads stay on hosted objects (the locality a
+            // sharded deployment routes for); a `remote` fraction may
+            // land anywhere and ride the request/reply path
+            let obj = if remote > 0.0 && rng.gen_bool(remote) {
+                obj
+            } else {
+                map.localize(w, obj)
+            };
             SpaceInput::new(obj, RegInput::Read)
         } else {
             SpaceInput::new(obj, RegInput::Write(rng.gen_range(1u64..1_000_000)))
@@ -240,8 +378,10 @@ fn main() -> ExitCode {
     let mut out_path = String::from("BENCH_throughput.json");
     let mut summary_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
+    let mut gate_path: Option<String> = None;
     let mut custom = StoreConfig::default();
     let mut custom_read_ratio = 0.5;
+    let mut custom_remote_read_ratio = 0.05;
     let mut is_custom = false;
 
     let mut it = args.iter();
@@ -273,6 +413,30 @@ fn main() -> ExitCode {
                 Some(p) => baseline_path = Some(p.clone()),
                 None => {
                     eprintln!("--baseline needs a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--gate" => match it.next() {
+                Some(p) => gate_path = Some(p.clone()),
+                None => {
+                    eprintln!("--gate needs a baseline path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--rf" => match next_usize("--rf", &mut it) {
+                Some(v) => {
+                    custom.sharding = ShardConfig::rf(v);
+                    is_custom = true;
+                }
+                None => return ExitCode::from(2),
+            },
+            "--remote-read-ratio" => match it.next().and_then(|v| v.parse::<f64>().ok()) {
+                Some(v) => {
+                    custom_remote_read_ratio = v.clamp(0.0, 1.0);
+                    is_custom = true;
+                }
+                None => {
+                    eprintln!("--remote-read-ratio needs a number in [0,1]");
                     return ExitCode::from(2);
                 }
             },
@@ -354,8 +518,9 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "loadgen [--quick] [--out PATH] [--summary PATH] [--baseline PATH] \
-                     [--workers N] [--objects N] [--ops N] [--read-ratio R] \
-                     [--batch N|off] [--mode cc|ccv] [--seed S]"
+                     [--gate PATH] [--workers N] [--objects N] [--ops N] [--read-ratio R] \
+                     [--batch N|off] [--mode cc|ccv] [--seed S] [--rf N] \
+                     [--remote-read-ratio R]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -376,6 +541,7 @@ fn main() -> ExitCode {
             name: "custom".into(),
             cfg: custom,
             read_ratio: custom_read_ratio,
+            remote_read_ratio: custom_remote_read_ratio,
         }]
     } else if quick {
         quick_matrix()
@@ -428,12 +594,78 @@ fn main() -> ExitCode {
         }
     }
 
-    if failures > 0 {
-        eprintln!("loadgen: {failures} leg(s) failed verification");
+    let mut gate_failures = 0usize;
+    if let Some(path) = gate_path {
+        match std::fs::read_to_string(&path) {
+            Err(e) => {
+                eprintln!("loadgen: cannot read gate baseline {path}: {e}");
+                gate_failures += 1;
+            }
+            Ok(text) => {
+                let baseline = parse_baseline_counts(&text);
+                for (l, r) in &reports {
+                    match baseline.get(&l.name) {
+                        None => {
+                            eprintln!(
+                                "GATE {}: leg missing from {path} — regenerate the \
+                                 committed baseline",
+                                l.name
+                            );
+                            gate_failures += 1;
+                        }
+                        Some(&(msgs, bytes)) => {
+                            if r.msgs_sent != msgs || r.bytes_sent != bytes {
+                                eprintln!(
+                                    "GATE {}: deterministic counts deviate from {path}: \
+                                     msgs {} (baseline {}), bytes {} (baseline {})",
+                                    l.name, r.msgs_sent, msgs, r.bytes_sent, bytes
+                                );
+                                gate_failures += 1;
+                            }
+                        }
+                    }
+                }
+                if gate_failures == 0 {
+                    println!(
+                        "gate: {} leg(s) reproduce {} exactly (msgs + bytes)",
+                        reports.len(),
+                        path
+                    );
+                }
+            }
+        }
+    }
+
+    if failures > 0 || gate_failures > 0 {
+        eprintln!(
+            "loadgen: {failures} leg(s) failed verification, \
+             {gate_failures} deterministic gate deviation(s)"
+        );
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Extract `name -> (msgs_sent, bytes_sent)` from a committed baseline
+/// document (one field per line; see `cbm_bench::field_str`).
+fn parse_baseline_counts(json: &str) -> std::collections::HashMap<String, (u64, u64)> {
+    let mut out = std::collections::HashMap::new();
+    let mut current: Option<String> = None;
+    let mut msgs: Option<u64> = None;
+    for line in json.lines() {
+        if let Some(name) = cbm_bench::field_str(line, "name") {
+            current = Some(name);
+            msgs = None;
+        } else if let Some(v) = cbm_bench::field_u64(line, "msgs_sent") {
+            msgs = Some(v);
+        } else if let Some(v) = cbm_bench::field_u64(line, "bytes_sent") {
+            if let (Some(name), Some(m)) = (current.take(), msgs.take()) {
+                out.insert(name, (m, v));
+            }
+        }
+    }
+    out
 }
 
 /// Extract `name -> msgs_sent` from a committed baseline document
@@ -467,6 +699,11 @@ fn append_summary(
                 l.name.clone(),
                 l.cfg.mode.criterion().to_string(),
                 l.cfg.workers.to_string(),
+                if l.cfg.sharding.replication == 0 {
+                    "full".into()
+                } else {
+                    l.cfg.sharding.replication.to_string()
+                },
                 format!("{:.0}", r.ops_per_sec),
                 r.latency.p50_ns.to_string(),
                 r.latency.p99_ns.to_string(),
@@ -475,6 +712,7 @@ fn append_summary(
                     .get(&l.name)
                     .map(|v| v.to_string())
                     .unwrap_or_else(|| "—".into()),
+                r.remote_reads.to_string(),
                 format!("{:.1}", r.mean_batch),
                 format!("{}/{}", r.windows.len() - r.windows_failed, r.windows.len()),
             ]
@@ -490,11 +728,13 @@ fn append_summary(
             "leg",
             "mode",
             "workers",
+            "rf",
             "ops/s",
             "p50 ns",
             "p99 ns",
             "msgs",
             "baseline msgs",
+            "remote reads",
             "mean batch",
             "windows",
         ],
@@ -512,7 +752,8 @@ fn render_json(quick: bool, custom: bool, reports: &[(Leg, StoreReport)]) -> Str
     s.push_str(&format!("  \"custom\": {custom},\n"));
     s.push_str(
         "  \"deterministic_columns\": [\"total_ops\", \"msgs_sent\", \"bytes_sent\", \
-         \"batches_sent\", \"payloads_sent\", \"mean_batch\", \"windows\"],\n",
+         \"batches_sent\", \"payloads_sent\", \"mean_batch\", \"remote_reads\", \
+         \"windows\"],\n",
     );
     s.push_str("  \"legs\": [\n");
     for (i, (l, r)) in reports.iter().enumerate() {
@@ -533,6 +774,14 @@ fn render_json(quick: bool, custom: bool, reports: &[(Leg, StoreReport)]) -> Str
             l.cfg.ops_per_worker
         ));
         s.push_str(&format!("      \"read_ratio\": {},\n", l.read_ratio));
+        s.push_str(&format!(
+            "      \"replication\": {},\n",
+            l.cfg.sharding.replication
+        ));
+        s.push_str(&format!(
+            "      \"remote_read_ratio\": {},\n",
+            l.remote_read_ratio
+        ));
         s.push_str(&format!("      \"batch\": {batch},\n"));
         s.push_str(&format!("      \"seed\": {},\n", l.cfg.seed));
         s.push_str(&format!("      \"total_ops\": {},\n", r.total_ops));
@@ -547,6 +796,7 @@ fn render_json(quick: bool, custom: bool, reports: &[(Leg, StoreReport)]) -> Str
         s.push_str(&format!("      \"batches_sent\": {},\n", r.batches_sent));
         s.push_str(&format!("      \"payloads_sent\": {},\n", r.payloads_sent));
         s.push_str(&format!("      \"mean_batch\": {:.2},\n", r.mean_batch));
+        s.push_str(&format!("      \"remote_reads\": {},\n", r.remote_reads));
         s.push_str(&format!(
             "      \"drains_converged\": {},\n",
             r.drains_converged
@@ -561,9 +811,14 @@ fn render_json(quick: bool, custom: bool, reports: &[(Leg, StoreReport)]) -> Str
                 Ok(()) => "\"ok\"".to_string(),
                 Err(e) => format!("\"{}\"", e.replace('"', "'")),
             };
+            let shard = w
+                .shard
+                .map(|s| s.to_string())
+                .unwrap_or_else(|| "null".into());
             s.push_str(&format!(
-                "        {{\"window\": {}, \"criterion\": \"{}\", \"events\": {}, \"verdict\": {}}}{}\n",
+                "        {{\"window\": {}, \"shard\": {}, \"criterion\": \"{}\", \"events\": {}, \"verdict\": {}}}{}\n",
                 w.window,
+                shard,
                 w.criterion,
                 w.events,
                 verdict,

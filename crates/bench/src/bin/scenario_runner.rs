@@ -267,10 +267,19 @@ fn cmd_explore(args: &[String]) -> ExitCode {
                     seed: f.seed,
                     note: format!("explorer: {}", f.reason),
                 };
-                if let Err(e) = corpus::append(path, &entry) {
-                    eprintln!("could not record to corpus: {e}");
-                } else {
-                    println!("recorded {} {} to {}", f.scenario, f.seed, path.display());
+                // refuse duplicates: overlapping sweeps rediscover the
+                // same pairs, and the committed corpus must not bloat
+                match corpus::append_unique(path, &entry) {
+                    Err(e) => eprintln!("could not record to corpus: {e}"),
+                    Ok(true) => {
+                        println!("recorded {} {} to {}", f.scenario, f.seed, path.display())
+                    }
+                    Ok(false) => println!(
+                        "{} {} already in {} — not recorded again",
+                        f.scenario,
+                        f.seed,
+                        path.display()
+                    ),
                 }
             }
         }

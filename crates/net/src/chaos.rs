@@ -227,6 +227,16 @@ impl<M: Clone + Send> ChaosEndpoint<M> {
 
     /// Send bypassing the fault layer (repair and state-transfer
     /// traffic; still counted in the transport statistics).
+    ///
+    /// Accounting contract (audited, pinned by
+    /// `bytes_are_exact_under_chaos_with_reliable_control`): the shared
+    /// [`ThreadNetStats`] counters are incremented in exactly one
+    /// place, [`Endpoint::send_sized`], when a copy actually enters a
+    /// peer's queue — so control traffic through this bypass counts
+    /// once per message, fault-path traffic counts once per copy that
+    /// reaches the wire (duplicated copies twice; dropped, parked-then-
+    /// pruned, and crash-discarded copies never), and the byte total is
+    /// exactly the sum of the declared sizes of queued copies.
     pub fn send_reliable(&self, to: NodeId, msg: M, bytes: usize) {
         self.ep.send_sized(to, msg, bytes);
     }
@@ -560,6 +570,85 @@ mod tests {
         a.set_link_blocked(0, 1, true);
         a.send_reliable(1, 99, 8);
         assert_eq!(b.recv(), Some((0, 99)));
+    }
+
+    /// The accounting pin: across every fault path (drop, dup, park +
+    /// prune, park + release, delay, crash discard) interleaved with
+    /// reliable control sends, `ThreadNetStats.{msgs,bytes}_sent` must
+    /// equal exactly the copies that entered peer queues and the sum of
+    /// their declared sizes — no double count for control traffic
+    /// through the reliable bypass, no count for copies that never
+    /// reached the wire.
+    #[test]
+    fn bytes_are_exact_under_chaos_with_reliable_control() {
+        let mut net: ThreadNet<u32> = ThreadNet::new(3);
+        let mut a = ChaosEndpoint::new(net.endpoint(0), 99);
+        let b = net.endpoint(1);
+        let c = net.endpoint(2);
+        let (mut wire_msgs, mut wire_bytes) = (0u64, 0u64);
+
+        // certain drop: nothing on the wire
+        a.set_link_drop(0, 1, 1.0);
+        a.send(1, 10, 100);
+        a.set_link_drop(0, 1, 0.0);
+
+        // certain dup: two copies, both counted
+        a.set_link_dup(0, 2, 1.0);
+        a.send(2, 11, 7);
+        (wire_msgs, wire_bytes) = (wire_msgs + 2, wire_bytes + 14);
+        a.set_link_dup(0, 2, 0.0);
+
+        // park then prune: the parked copy never reaches the wire; the
+        // engine's repair re-ships the payload over the reliable path,
+        // which counts exactly once
+        a.set_link_blocked(0, 1, true);
+        a.send(1, 12, 9);
+        a.prune_parked();
+        a.send_reliable(1, 12, 9);
+        (wire_msgs, wire_bytes) = (wire_msgs + 1, wire_bytes + 9);
+
+        // park then heal: the released copy counts exactly once
+        a.send(1, 13, 5);
+        a.heal_all();
+        (wire_msgs, wire_bytes) = (wire_msgs + 1, wire_bytes + 5);
+
+        // delay then flush: the held-back copy counts exactly once,
+        // at transmission
+        a.set_link_delay(0, 2, 4);
+        a.send(2, 14, 3);
+        assert_eq!(a.stats().snapshot().msgs_sent, wire_msgs, "held back");
+        a.flush_delayed();
+        (wire_msgs, wire_bytes) = (wire_msgs + 1, wire_bytes + 3);
+        a.set_link_delay(0, 2, 0);
+
+        // fault-free broadcast: one count per copy
+        a.broadcast(15, 4);
+        (wire_msgs, wire_bytes) = (wire_msgs + 2, wire_bytes + 8);
+
+        // reliable control while links are faulty: exactly one count
+        a.set_link_drop(0, 1, 1.0);
+        a.set_link_blocked(0, 2, true);
+        a.send_reliable(1, 16, 21);
+        a.send_reliable(2, 17, 2);
+        (wire_msgs, wire_bytes) = (wire_msgs + 2, wire_bytes + 23);
+
+        // crash: parked + fresh outbound discarded, nothing counted
+        a.send(2, 18, 50); // parked (blocked link)
+        a.set_peer_crashed(0, true);
+        a.send(2, 19, 50);
+        let s = a.stats().snapshot();
+        assert_eq!(s.msgs_sent, wire_msgs, "copy count is exact");
+        assert_eq!(s.bytes_sent, wire_bytes, "byte count is exact");
+
+        // and the wire agrees: every counted copy is in a peer queue
+        let mut received = 0u64;
+        while b.try_recv().is_some() {
+            received += 1;
+        }
+        while c.try_recv().is_some() {
+            received += 1;
+        }
+        assert_eq!(received, wire_msgs, "counted copies all reached queues");
     }
 
     #[test]

@@ -87,6 +87,26 @@ pub fn append(path: &Path, entry: &CorpusEntry) -> Result<(), String> {
     writeln!(f, "{entry}").map_err(|e| format!("{}: {e}", path.display()))
 }
 
+/// Append an entry unless the corpus already replays the same
+/// `(scenario, seed)` pair; returns whether anything was written.
+///
+/// The explorer records every failure of a sweep, and overlapping
+/// sweeps (or re-runs of the same range) find the same pairs again —
+/// without this check duplicates silently accumulate in the committed
+/// corpus, bloating the tier-1 replay for zero extra coverage. Notes
+/// are ignored for identity: the pair is what the replay runs.
+pub fn append_unique(path: &Path, entry: &CorpusEntry) -> Result<bool, String> {
+    let existing = load(path)?;
+    if existing
+        .iter()
+        .any(|e| e.scenario == entry.scenario && e.seed == entry.seed)
+    {
+        return Ok(false);
+    }
+    append(path, entry)?;
+    Ok(true)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,5 +143,32 @@ mod tests {
     fn load_missing_file_is_empty() {
         let entries = load(Path::new("/nonexistent/corpus.txt")).unwrap();
         assert!(entries.is_empty());
+    }
+
+    #[test]
+    fn append_unique_refuses_duplicates() {
+        let dir = std::env::temp_dir().join(format!("cbm-corpus-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("corpus.txt");
+        let _ = std::fs::remove_file(&path);
+        let e = CorpusEntry {
+            scenario: "lossy-mesh".into(),
+            seed: 7,
+            note: "first sweep".into(),
+        };
+        assert!(append_unique(&path, &e).unwrap(), "fresh pair is recorded");
+        // same pair again — different note must not matter
+        let dup = CorpusEntry {
+            note: "second sweep, same failure".into(),
+            ..e.clone()
+        };
+        assert!(!append_unique(&path, &dup).unwrap(), "duplicate refused");
+        // same scenario, new seed: recorded
+        let other = CorpusEntry { seed: 8, ..e };
+        assert!(append_unique(&path, &other).unwrap());
+        let entries = load(&path).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert_eq!(entries[0].note, "first sweep", "original line untouched");
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -13,9 +13,10 @@
 //! delay, partitions, skew) may fire at any tick — each endpoint
 //! applies them when its own counter passes the tick. `Crash` and
 //! `Recover` must fall **on epoch boundaries**: a crash is a clean cut
-//! (the crashing worker completes the boundary drain first), which is
-//! what makes the recovery state transfer a snapshot-plus-replay
-//! rather than a full resynchronisation (`docs/CHAOS.md`).
+//! (the crashing worker completes the boundary drain first), and
+//! recovery anchors on another drain — so the state transfer is a
+//! plain install of drained shard states plus a frontier reset, never
+//! a full resynchronisation (`docs/CHAOS.md`).
 //!
 //! ## Schedule derivation
 //!
@@ -25,11 +26,14 @@
 //! each worker issues per epoch (a crashed worker pauses its script
 //! and *resumes* it after recovery, so the run stretches by extra
 //! epochs until everyone has issued their full quota — the chaos run
-//! executes exactly the op multiset of its fault-free twin), and which
-//! live worker is the designated recovery **helper** for each crash
-//! span (the smallest id alive throughout the span; it snapshots its
-//! state at the cut and retains every envelope it integrates until
-//! the recovery drain).
+//! executes exactly the op multiset of its fault-free twin), and who
+//! serves each recovery. Recovery state moves **per shard** from live
+//! co-replicas at the recovery drain ([`ChaosSchedule::shard_helper`];
+//! `docs/SHARDING.md`): the build also validates that every shard of a
+//! crashing worker has an eligible helper and that every shard keeps a
+//! live replica in every epoch (routed reads must always have a
+//! server). [`CrashSpan::helper`] remains the span's deterministic
+//! anchor worker for statistics.
 
 use crate::config::StoreConfig;
 use cbm_net::fault::{Fault, FaultEvent, FaultPlan};
@@ -46,7 +50,11 @@ pub struct CrashSpan {
     pub crash_epoch: u64,
     /// Epoch whose opening drain performs the state transfer.
     pub recover_epoch: u64,
-    /// Live worker that snapshots the cut and serves the transfer.
+    /// The span's anchor worker for statistics: the smallest id alive
+    /// throughout the span. The actual transfer is served per shard by
+    /// [`ChaosSchedule::shard_helper`]-elected co-replicas (at full
+    /// replication those all resolve to live workers including this
+    /// one).
     pub helper: NodeId,
 }
 
@@ -198,13 +206,62 @@ impl ChaosSchedule {
             );
         }
 
-        ChaosSchedule {
+        let sched = ChaosSchedule {
             every_ops: every,
             n_epochs: e,
             spans,
             link_plan,
             ops_in_epoch,
+        };
+
+        // sharding-aware liveness: recovery is served per shard by
+        // live co-replicas, and routed reads need a live replica per
+        // shard in every epoch — a plan that cannot satisfy either is
+        // harness misconfiguration, caught here
+        if !sched.spans.is_empty() {
+            let map = crate::shard::ShardMap::build(cfg);
+            for span in &sched.spans {
+                for &s in map.hosted(span.worker) {
+                    assert!(
+                        sched.shard_helper(span, map.replicas(s)).is_some(),
+                        "no live co-replica can serve shard {s} of worker {} at its \
+                         recovery (epoch {}); raise the replication factor or move \
+                         the crash span",
+                        span.worker,
+                        span.recover_epoch
+                    );
+                }
+            }
+            for e in 0..sched.n_epochs {
+                for s in 0..map.shards() {
+                    assert!(
+                        map.replicas(s).iter().any(|&q| !sched.crashed_at(q, e)),
+                        "shard {s} has no live replica in epoch {e}: reads could \
+                         not route and the shard would stall"
+                    );
+                }
+            }
         }
+        sched
+    }
+
+    /// The live co-replica elected to ship one shard's state for a
+    /// recovery: the first of `replicas` that is not the recovering
+    /// worker, was live through the epoch preceding the recovery drain
+    /// (so its shard state at that drain is complete — a replica that
+    /// crashed *earlier* and already recovered qualifies), and is not
+    /// itself mid-recovery at the same boundary. A replica crashing
+    /// *at* the recovery boundary still qualifies: it completes the
+    /// boundary drain, serves, then stops.
+    pub fn shard_helper(&self, span: &CrashSpan, replicas: &[NodeId]) -> Option<NodeId> {
+        replicas.iter().copied().find(|&h| {
+            h != span.worker
+                && !self.crashed_at(h, span.recover_epoch.saturating_sub(1))
+                && !self
+                    .spans
+                    .iter()
+                    .any(|s| s.worker == h && s.recover_epoch == span.recover_epoch)
+        })
     }
 
     /// Is `w` crashed during epoch `e`?
@@ -344,7 +401,7 @@ pub fn profile(name: &str, workers: usize, every_ops: usize) -> Option<FaultPlan
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{BatchPolicy, Mode, StoreConfig, VerifyConfig};
+    use crate::config::{BatchPolicy, Mode, ShardConfig, StoreConfig, VerifyConfig};
 
     fn cfg(workers: usize, ops: usize, every: usize, chaos: FaultPlan) -> StoreConfig {
         StoreConfig {
@@ -359,6 +416,7 @@ mod tests {
                 sample_every: 1,
             },
             seed: 1,
+            sharding: ShardConfig::full(),
             chaos,
         }
     }

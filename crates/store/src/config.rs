@@ -45,6 +45,56 @@ impl BatchPolicy {
     }
 }
 
+/// Partial-replication placement (see [`crate::shard::ShardMap`] and
+/// `docs/SHARDING.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Shards the object space is partitioned into (0 = one per
+    /// worker; clamped to the object count).
+    pub shards: usize,
+    /// Replicas hosting each shard (0 = every worker: full
+    /// replication, the exact pre-sharding engine behaviour).
+    pub replication: usize,
+    /// Seed of the placement hash choosing the non-home replicas —
+    /// a sweep axis independent of the workload seed.
+    pub placement_seed: u64,
+}
+
+impl ShardConfig {
+    /// Full replication (the default): every worker hosts every shard.
+    pub fn full() -> Self {
+        ShardConfig {
+            shards: 0,
+            replication: 0,
+            placement_seed: 0,
+        }
+    }
+
+    /// Partial replication at factor `rf` with one shard per worker.
+    pub fn rf(rf: usize) -> Self {
+        ShardConfig {
+            shards: 0,
+            replication: rf,
+            placement_seed: 0,
+        }
+    }
+
+    /// The shard count this config denotes for a given worker count.
+    pub fn shards_or(&self, workers: usize) -> usize {
+        if self.shards == 0 {
+            workers
+        } else {
+            self.shards
+        }
+    }
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig::full()
+    }
+}
+
 /// Sampled online verification: how often to freeze a window and how
 /// much of the run it captures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -88,6 +138,13 @@ pub struct StoreConfig {
     pub verify: VerifyConfig,
     /// Seed for every worker's workload generator.
     pub seed: u64,
+    /// Partial-replication placement (default: full replication).
+    /// With `replication < workers`, updates execute at replicas of
+    /// their object (non-hosted updates are deterministically
+    /// re-addressed, see [`crate::shard::ShardMap::localize`]) and
+    /// non-replica reads route to a live replica over a request/reply
+    /// path; batches multicast only to interested replicas.
+    pub sharding: ShardConfig,
     /// Fault plan injected into the live transport (empty = fault-free
     /// run, the exact pre-chaos engine behaviour).
     ///
@@ -110,6 +167,7 @@ impl Default for StoreConfig {
             batch: BatchPolicy::Every(32),
             verify: VerifyConfig::default(),
             seed: 1,
+            sharding: ShardConfig::full(),
             chaos: FaultPlan::new(),
         }
     }

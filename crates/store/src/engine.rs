@@ -1,69 +1,94 @@
 //! The live engine: replica worker threads over [`ThreadNet`], with
-//! fault injection and crash recovery.
+//! partial replication, fault injection and crash recovery.
 //!
 //! ## Execution model
 //!
-//! Each of `workers` threads is a **full replica** of the sharded
-//! object space. A worker's loop is wait-free: it generates its next
-//! operation, answers queries from its local object table, applies and
-//! queues updates for the batched causal broadcast, and integrates
-//! whatever peers' batches have arrived — never blocking on another
-//! replica (§6.1's process model under a real scheduler).
+//! Each of `workers` threads is a replica of the shards assigned to it
+//! by the [`ShardMap`] (every shard under the default full-replication
+//! placement). A worker's loop is wait-free for **replica-local**
+//! operations: it generates its next operation, answers queries on
+//! hosted objects from its local object table, applies and queues
+//! updates for the interest-filtered batched causal multicast, and
+//! integrates whatever peers' batches have arrived — never blocking on
+//! another replica (§6.1's process model under a real scheduler).
+//! Under partial replication two routed paths appear: updates always
+//! execute at a replica of their object (non-hosted updates are
+//! deterministically re-addressed, [`ShardMap::localize`]), and a read
+//! of a non-hosted object travels to a live replica of its shard over
+//! a reliable request/reply exchange (the one place a worker waits —
+//! the price §1's wait-freedom result puts on reading state you do not
+//! replicate). See `docs/SHARDING.md`.
+//!
+//! ## Interest edges
+//!
+//! Replication runs over [`InterestBatchCausalBroadcast`]: updates
+//! queue per shard (one batch is only ever addressed to the replicas
+//! interested in all of its contents) and every flushed envelope is
+//! stamped per recipient with per-edge sequence numbers, so gap
+//! detection, duplicate suppression, and the nack/repair round below
+//! all work per **interest edge** — no part of the protocol assumes a
+//! receiver sees every envelope a sender emits.
 //!
 //! ## Epochs and deterministic rendezvous
 //!
 //! The run is organised in **epochs** of `verify.every_ops` operations
 //! per worker. At every epoch boundary all workers rendezvous for a
 //! drain: flush pending batches (and any fault-delayed envelopes),
-//! publish cumulative batch counts, and receive until every published
-//! batch is delivered. Because the pause points are counted in
-//! operations — not wall time — the set of flushed batches (and
-//! therefore `msgs_sent`) is a pure function of the configuration and
-//! seed, independent of thread interleaving; only wall-clock numbers
-//! vary between runs. After each boundary the workers record a bounded
-//! window of subsequent events, and a verifier thread rebuilds each
-//! frozen window and checks it against the mode's criterion (see
-//! [`crate::record`]).
+//! publish the cumulative per-edge envelope counts, and receive until
+//! every published envelope on every inbound edge is delivered —
+//! answering routed reads the whole time, so a worker blocked on a
+//! reply can always make progress into the rendezvous. Because the
+//! pause points are counted in operations — not wall time — the set of
+//! flushed envelopes (and therefore `msgs_sent`) is a pure function of
+//! the configuration and seed, independent of thread interleaving;
+//! only wall-clock numbers vary between runs. After each boundary the
+//! workers record a bounded window of subsequent events, and a
+//! verifier thread rebuilds each frozen window **per shard** and
+//! checks it against the mode's criterion (see [`crate::record`]).
 //!
 //! ## Chaos (see `docs/CHAOS.md` for the full contract)
 //!
 //! A non-empty [`StoreConfig::chaos`] plan routes every fast-path send
 //! through a deterministic sender-side fault layer
-//! ([`cbm_net::chaos::ChaosEndpoint`]): probabilistic drop/dup,
-//! partition park-and-release, and op-counted latency degradation.
-//! Because drops are true losses, the drain adds a **nack/repair**
-//! round: after the boundary barrier every missing batch is known to
-//! be lost, the receiver nacks each stalled sender once, and the
-//! sender retransmits from its epoch retention log over the reliable
-//! path — so every drain is still a consistent cut, with a
-//! deterministic number of repair messages.
+//! ([`cbm_net::chaos::ChaosEndpoint`]). Because drops are true losses,
+//! the drain adds a **nack/repair** round: after every worker has
+//! arrived at the boundary, every missing envelope is known to be
+//! lost; the receiver nacks each stalled edge once and the sender
+//! retransmits that edge's epoch log over the reliable path — so every
+//! drain is still a consistent cut, with a deterministic number of
+//! repair messages per edge.
 //!
 //! `Crash`/`Recover` faults are epoch-aligned. A crashing worker
 //! completes the boundary drain (the *cut*), then stops operating:
-//! peers suppress sends to it (counted as in-flight drops) and a
-//! designated live **helper** snapshots its post-drain state and
-//! retains every envelope it integrates. At the recovery boundary the
-//! helper ships snapshot + delivery frontier + retained envelopes
-//! ([`crate::wire::SyncPayload`]); the recovering worker installs the
-//! snapshot at the cut, resyncs its causal broadcast to the frontier,
-//! replays the missed envelopes, and resumes its op script where it
-//! paused — so a chaos run issues exactly the op multiset of its
-//! fault-free twin, which is what makes final-state comparison against
-//! the twin meaningful.
+//! peers suppress sends to it (counted as in-flight drops) while the
+//! protocol keeps stamping its edges, so the published edge matrix
+//! stays the single source of truth. At the recovery boundary each
+//! shard the crashed worker hosts is served by a deterministically
+//! elected live co-replica ([`ChaosSchedule::shard_helper`]): the
+//! helpers ship their post-drain shard states
+//! ([`crate::wire::ShardSyncPayload`]), and the recovering worker
+//! installs them, resyncs its causal layer straight from the published
+//! edge matrix (the drain *is* the frontier — no retained-envelope
+//! replay needed), and resumes its op script where it paused — so a
+//! chaos run issues exactly the op multiset of its fault-free twin,
+//! which is what makes final-state comparison against the twin
+//! meaningful.
 
 use crate::chaos::{ChaosSchedule, CrashSpan};
 use crate::config::{Mode, StoreConfig};
 use crate::objects::ObjectTable;
-use crate::record::{verify_window, OwnEvent, WindowRecord, WindowRecorder};
+use crate::record::{verify_shard_windows, OwnEvent, WindowRecord, WindowRecorder};
+use crate::shard::ShardMap;
 use crate::stats::{
     summarize_latencies, ChaosReport, RecoveryStats, StoreReport, WindowVerdict, WorkerStats,
 };
 use crate::wire::{
-    batch_bytes, nack_bytes, repair_bytes, sync_bytes, BatchMsg, StoreMsg, SyncPayload, WireOp,
+    batch_bytes, nack_bytes, read_reply_bytes, read_req_bytes, repair_bytes, sync_bytes, BatchMsg,
+    ShardSyncPayload, StoreMsg, WireOp,
 };
 use cbm_adt::space::{ObjectSpace, SpaceInput};
 use cbm_adt::Adt;
-use cbm_net::broadcast::BatchCausalBroadcast;
+use cbm_net::broadcast::{InterestBatchCausalBroadcast, InterestMask};
 use cbm_net::chaos::ChaosEndpoint;
 use cbm_net::clock::{LamportClock, Timestamp};
 use cbm_net::fault::FaultSchedule;
@@ -79,28 +104,42 @@ use std::time::Instant;
 /// Shared rendezvous state.
 struct Coordinator {
     barrier: Barrier,
-    /// Cumulative flushed-batch count per worker, published at drains.
-    sent: Vec<AtomicU64>,
-    /// Per-worker state hash at the latest drain point.
+    /// Cumulative per-edge envelope counts, `sent_edges[s * n + r]` =
+    /// envelopes `s` has addressed to `r`, published at drains. This
+    /// matrix is both the per-edge gap detector of the nack/repair
+    /// round and the causal frontier a recovering worker resyncs to.
+    sent_edges: Vec<AtomicU64>,
+    /// Per-worker full-space state hash at the latest drain point.
     hashes: Vec<AtomicU64>,
-    /// Drain points at which live replicas diverged (convergent mode).
+    /// Per-(worker, shard) state hash at the latest drain point
+    /// (`shard_hashes[w * shards + s]`; only hosted entries are live).
+    shard_hashes: Vec<AtomicU64>,
+    /// Drain points at which live replicas of a shard diverged
+    /// (convergent mode).
     divergences: AtomicU64,
-    /// Drain-completion counters, parity-indexed by drain number so
-    /// one can be reset while the other is in use. A worker that has
-    /// delivered everything keeps serving repair requests until *all*
-    /// workers are complete — a plain barrier here could strand a
-    /// peer waiting for a retransmission from a worker already parked
-    /// at the barrier.
+    /// Boundary arrival counters, parity-indexed by drain number. The
+    /// arrival rendezvous spins (instead of a barrier) because workers
+    /// must keep serving routed reads until *everyone* has arrived — a
+    /// worker whose last epoch operation awaits a read reply can only
+    /// arrive after some peer serves it.
+    arrive: [AtomicU64; 2],
+    /// Drain-completion counters, parity-indexed like `arrive`: a
+    /// worker that has delivered everything keeps serving repair (and
+    /// read) requests until all workers are complete — a plain barrier
+    /// here could strand a peer waiting for a retransmission from a
+    /// worker already parked at the barrier.
     done: [AtomicU64; 2],
 }
 
 impl Coordinator {
-    fn new(n: usize) -> Self {
+    fn new(n: usize, shards: usize) -> Self {
         Coordinator {
             barrier: Barrier::new(n),
-            sent: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            sent_edges: (0..n * n).map(|_| AtomicU64::new(0)).collect(),
             hashes: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            shard_hashes: (0..n * shards).map(|_| AtomicU64::new(0)).collect(),
             divergences: AtomicU64::new(0),
+            arrive: [AtomicU64::new(0), AtomicU64::new(0)],
             done: [AtomicU64::new(0), AtomicU64::new(0)],
         }
     }
@@ -119,11 +158,12 @@ where
     G: Fn(NodeId, u64, &mut StdRng) -> SpaceInput<T::Input> + Sync,
 {
     let n = cfg.workers.max(1);
+    let map = ShardMap::build(cfg);
     let sched = ChaosSchedule::build(cfg);
-    let net: ThreadNet<StoreMsg<T::Input, T::State>> = ThreadNet::new(n);
+    let net: ThreadNet<StoreMsg<T::Input, T::Output, T::State>> = ThreadNet::new(n);
     let stats = net.stats();
     let endpoints = net.into_endpoints();
-    let coord = Coordinator::new(n);
+    let coord = Coordinator::new(n, map.shards());
     let (tx, rx) = mpsc::channel::<WindowRecord<T>>();
 
     let t0 = Instant::now();
@@ -134,14 +174,18 @@ where
             let coord = &coord;
             let gen = &gen;
             let sched = &sched;
-            handles.push(s.spawn(move || Worker::new(adt, cfg, sched, ep, coord, tx).run(gen)));
+            let map = &map;
+            handles
+                .push(s.spawn(move || Worker::new(adt, cfg, sched, map, ep, coord, tx).run(gen)));
         }
         drop(tx); // verifier's channel closes once every worker exits
 
-        // the verifier thread: assemble frozen windows, verify, report
+        // the verifier thread: assemble frozen windows, split per
+        // shard, verify, report
         let space = ObjectSpace::new(adt.clone(), cfg.objects.max(1));
         let mode = cfg.mode;
         let sample_every = cfg.verify.sample_every.max(1);
+        let vmap = &map;
         let verifier = s.spawn(move || {
             let mut pending: Vec<(u64, Vec<WindowRecord<T>>)> = Vec::new();
             let mut verdicts: Vec<WindowVerdict> = Vec::new();
@@ -158,22 +202,24 @@ where
                 if pending[slot].1.len() == n {
                     let (_, mut parts) = pending.swap_remove(slot);
                     parts.sort_by_key(|p| p.worker);
-                    let crashed_workers = parts.iter().filter(|p| p.crashed).count();
                     let spans_recovery = parts.iter().any(|p| p.spans_recovery);
-                    let result = verify_window(&space, mode, sample_every, &parts);
-                    verdicts.push(WindowVerdict {
-                        window: wid,
-                        criterion: mode.criterion(),
-                        events: *result.as_ref().unwrap_or(&0),
-                        crashed_workers,
-                        spans_recovery,
-                        result: result.map(|_| ()),
-                    });
+                    for v in verify_shard_windows(&space, mode, sample_every, &parts, vmap) {
+                        verdicts.push(WindowVerdict {
+                            window: wid,
+                            shard: v.shard,
+                            criterion: mode.criterion(),
+                            events: *v.result.as_ref().unwrap_or(&0),
+                            crashed_workers: v.crashed_workers,
+                            spans_recovery,
+                            result: v.result.map(|_| ()),
+                        });
+                    }
                 }
             }
             for (wid, parts) in pending {
                 verdicts.push(WindowVerdict {
                     window: wid,
+                    shard: None,
                     criterion: mode.criterion(),
                     events: 0,
                     crashed_workers: parts.iter().filter(|p| p.crashed).count(),
@@ -185,7 +231,7 @@ where
                     )),
                 });
             }
-            verdicts.sort_by_key(|v| v.window);
+            verdicts.sort_by_key(|v| (v.window, v.shard));
             verdicts
         });
 
@@ -234,6 +280,7 @@ where
     let batches_sent: u64 = per_worker.iter().map(|w| w.batches_sent).sum();
     let payloads_sent: u64 = per_worker.iter().map(|w| w.payloads_sent).sum();
     let total_ops: u64 = per_worker.iter().map(|w| w.ops).sum();
+    let remote_reads: u64 = per_worker.iter().map(|w| w.remote_reads).sum();
     let windows_failed = verdicts.iter().filter(|v| v.result.is_err()).count();
     let final_state_hashes: Vec<u64> = coord
         .hashes
@@ -260,6 +307,7 @@ where
         } else {
             payloads_sent as f64 / batches_sent as f64
         },
+        remote_reads,
         windows: verdicts,
         windows_failed,
         drains_converged: coord.divergences.load(Ordering::Relaxed) == 0,
@@ -280,24 +328,16 @@ struct WorkerResult {
     recoveries: Vec<RecoveryStats>,
 }
 
-/// State the helper froze at a crash cut, awaiting the recovery drain.
-struct SyncPrep<T: Adt> {
-    worker: NodeId,
-    snapshot: Vec<T::State>,
-    frontier: Vec<u64>,
-    lamport: u64,
-    retained_from: usize,
-}
-
 struct Worker<'a, T: Adt> {
     adt: &'a T,
     cfg: &'a StoreConfig,
     sched: &'a ChaosSchedule,
-    ep: ChaosEndpoint<StoreMsg<T::Input, T::State>>,
+    map: &'a ShardMap,
+    ep: ChaosEndpoint<StoreMsg<T::Input, T::Output, T::State>>,
     coord: &'a Coordinator,
     tx: mpsc::Sender<WindowRecord<T>>,
     me: NodeId,
-    proto: BatchCausalBroadcast<WireOp<T::Input>>,
+    proto: InterestBatchCausalBroadcast<WireOp<T::Input>>,
     table: ObjectTable<T>,
     clock: LamportClock,
     recorder: WindowRecorder<T>,
@@ -308,15 +348,17 @@ struct Worker<'a, T: Adt> {
     quiesce_idx: u64,
     /// Precomputed `sched.can_lose()` (checked on every flush).
     loss_capable: bool,
-    /// Every batch flushed since the last completed drain (repair log).
-    epoch_sent: Vec<BatchMsg<T::Input>>,
-    /// Envelopes integrated while any crash span is assigned to this
-    /// helper, in integration order (recovery replay log).
-    retained: Vec<BatchMsg<T::Input>>,
-    sync_prep: Vec<SyncPrep<T>>,
+    /// Per-recipient envelopes flushed since the last completed drain
+    /// (the per-edge repair logs).
+    epoch_sent: Vec<Vec<BatchMsg<T::Input>>>,
+    /// Read-routing table for the current epoch: a live replica per
+    /// shard, recomputed at every boundary from the shared schedule.
+    read_route: Vec<NodeId>,
     batches_delivered: u64,
     reads: u64,
     updates: u64,
+    remote_reads: u64,
+    reads_served: u64,
     latencies: Vec<u64>,
     nacks_sent: u64,
     repairs_sent: u64,
@@ -336,7 +378,8 @@ where
         adt: &'a T,
         cfg: &'a StoreConfig,
         sched: &'a ChaosSchedule,
-        ep: cbm_net::thread_net::Endpoint<StoreMsg<T::Input, T::State>>,
+        map: &'a ShardMap,
+        ep: cbm_net::thread_net::Endpoint<StoreMsg<T::Input, T::Output, T::State>>,
         coord: &'a Coordinator,
         tx: mpsc::Sender<WindowRecord<T>>,
     ) -> Self {
@@ -352,11 +395,12 @@ where
             adt,
             cfg,
             sched,
+            map,
             ep: ChaosEndpoint::new(ep, chaos_seed),
             coord,
             tx,
             me,
-            proto: BatchCausalBroadcast::new(me, n),
+            proto: InterestBatchCausalBroadcast::new(me, n),
             table: ObjectTable::new(adt, cfg.objects.max(1), cfg.mode),
             clock: LamportClock::new(),
             recorder: WindowRecorder::new(),
@@ -366,12 +410,13 @@ where
             crashed: false,
             quiesce_idx: 0,
             loss_capable: sched.can_lose(),
-            epoch_sent: Vec::new(),
-            retained: Vec::new(),
-            sync_prep: Vec::new(),
+            epoch_sent: vec![Vec::new(); n],
+            read_route: vec![0; map.shards()],
             batches_delivered: 0,
             reads: 0,
             updates: 0,
+            remote_reads: 0,
+            reads_served: 0,
             latencies: Vec::with_capacity(cfg.ops_per_worker),
             nacks_sent: 0,
             repairs_sent: 0,
@@ -417,6 +462,8 @@ where
             ops: self.issued,
             reads: self.reads,
             updates: self.updates,
+            remote_reads: self.remote_reads,
+            reads_served: self.reads_served,
             batches_sent: self.proto.batches_sent(),
             payloads_sent: self.proto.payloads_sent(),
             batches_delivered: self.batches_delivered,
@@ -461,11 +508,28 @@ where
         self.ep.advance_to(self.vtime);
     }
 
+    /// The live replica serving routed reads of `shard` during epoch
+    /// `e` — deterministic: every worker derives the same table from
+    /// the shared schedule.
+    fn compute_read_route(&self, e: u64) -> Vec<NodeId> {
+        (0..self.map.shards())
+            .map(|s| {
+                *self
+                    .map
+                    .replicas(s)
+                    .iter()
+                    .find(|&&q| !self.sched.crashed_at(q, e))
+                    .expect("validated: every shard keeps a live replica")
+            })
+            .collect()
+    }
+
     /// The rendezvous opening epoch `e`: drain, recover, compact,
     /// check convergence, open the next verification window.
     fn epoch_boundary(&mut self, e: u64) {
         self.vtime = e * self.sched.every_ops as u64;
         self.advance_faults();
+        self.read_route = self.compute_read_route(e);
         if e == 0 {
             return; // the run starts mid-epoch-0; first drain is at e=1
         }
@@ -482,36 +546,22 @@ where
             self.ep.set_peer_crashed(q, self.sched.crashed_at(q, e));
         }
 
-        // recovery state transfers at this boundary
+        // recovery state transfers at this boundary: per-shard, from
+        // live co-replica helpers, anchored on the drain just completed
         let recoveries: Vec<CrashSpan> = self.sched.recoveries_at(e).copied().collect();
         if !recoveries.is_empty() {
             for span in &recoveries {
-                if span.helper == self.me {
-                    self.serve_sync(span);
+                if span.worker != self.me {
+                    self.serve_shard_sync(span);
                 }
                 if span.worker == self.me {
-                    self.receive_sync(span);
+                    self.receive_shard_sync(span);
                 }
             }
             self.coord.barrier.wait(); // transfers complete
         }
 
         self.compact_and_check_convergence(e);
-
-        // crash cuts at this boundary: the helper freezes its
-        // post-compaction state and starts retaining envelopes
-        let crashes: Vec<CrashSpan> = self.sched.crashes_at(e).copied().collect();
-        for span in &crashes {
-            if span.helper == self.me {
-                self.sync_prep.push(SyncPrep {
-                    worker: span.worker,
-                    snapshot: self.table.snapshot(),
-                    frontier: self.proto.delivered_clock().components().to_vec(),
-                    lamport: self.clock.now(),
-                    retained_from: self.retained.len(),
-                });
-            }
-        }
 
         // open window e-1
         let wid = e - 1;
@@ -527,102 +577,177 @@ where
         }
     }
 
-    /// Execute one operation against the local replica (wait-free).
+    /// Execute one operation against the local replica. Updates and
+    /// hosted reads are wait-free; a read of a non-hosted object blocks
+    /// on a routed request/reply (serving peers' traffic meanwhile).
     fn execute(&mut self, op: SpaceInput<T::Input>) {
         let t = Instant::now();
-        let ts = Timestamp::new(self.clock.tick(), self.me);
-        let output = self.table.output(self.adt, op.obj, &op.input);
         let is_update = self.adt.is_update(&op.input);
+        if !is_update && !self.map.hosts(self.me, self.map.shard_of(op.obj)) {
+            self.remote_read(op.obj, op.input);
+            self.latencies.push(t.elapsed().as_nanos() as u64);
+            return;
+        }
+        // updates always execute at a replica of their object
+        let obj = if is_update {
+            self.map.localize(self.me, op.obj)
+        } else {
+            op.obj
+        };
+        let ts = Timestamp::new(self.clock.tick(), self.me);
+        let output = self.table.output(self.adt, obj, &op.input);
         if is_update {
             self.updates += 1;
-            self.table.apply_update(self.adt, op.obj, ts, &op.input);
+            self.table.apply_update(self.adt, obj, ts, &op.input);
         } else {
             self.reads += 1;
         }
         let wseq = self.recorder.on_own(
             self.me,
             OwnEvent {
-                obj: op.obj,
+                obj,
                 input: op.input.clone(),
                 output,
                 ts,
             },
         );
         if is_update {
-            self.proto.push(WireOp {
-                obj: op.obj,
-                input: op.input,
-                ts,
-                wseq,
-            });
-            if self.proto.pending() >= self.cfg.batch.threshold() {
-                self.flush();
+            let mask = self.map.mask(self.map.shard_of(obj));
+            if mask != (1 << self.me) {
+                // at least one other replica is interested
+                let pending = self.proto.push(
+                    WireOp {
+                        obj,
+                        input: op.input,
+                        ts,
+                        wseq,
+                    },
+                    mask,
+                );
+                if pending >= self.cfg.batch.threshold() {
+                    self.flush_mask(mask);
+                }
             }
         }
         self.latencies.push(t.elapsed().as_nanos() as u64);
     }
 
-    /// Ship the pending batch, if any, through the fault layer.
-    fn flush(&mut self) {
-        if let Some(batch) = self.proto.flush() {
-            let bytes = batch_bytes(self.ep.cluster_size(), &batch.payload);
+    /// Route a read of a non-hosted object to a live replica of its
+    /// shard and wait for the reply — serving every other message kind
+    /// while waiting, so two workers reading across each other can
+    /// never deadlock.
+    fn remote_read(&mut self, obj: u32, input: T::Input) {
+        let server = self.read_route[self.map.shard_of(obj)];
+        self.remote_reads += 1;
+        self.reads += 1;
+        self.ep.send_reliable(
+            server,
+            StoreMsg::ReadReq { obj, input },
+            read_req_bytes::<T::Input>(),
+        );
+        loop {
+            match self.ep.recv() {
+                Some((from, msg)) => {
+                    if self.handle(from, msg).is_some() {
+                        return;
+                    }
+                }
+                None => unreachable!("mesh closed while a routed read was in flight"),
+            }
+        }
+    }
+
+    /// Seal and ship one mask's pending batch through the fault layer.
+    fn flush_mask(&mut self, mask: InterestMask) {
+        let envs = self.proto.flush_mask(mask);
+        self.ship(envs);
+    }
+
+    /// Ship every pending batch, in first-push mask order (drains).
+    fn flush_all(&mut self) {
+        let envs = self.proto.flush_all();
+        self.ship(envs);
+    }
+
+    /// Send stamped envelopes through the fault layer, retaining each
+    /// in its recipient's epoch repair log when faults can lose it —
+    /// the one place the retention rule and byte accounting live, so
+    /// the threshold-flush and drain-flush paths can never diverge.
+    fn ship(&mut self, envs: Vec<(NodeId, BatchMsg<T::Input>)>) {
+        let n = self.ep.cluster_size();
+        for (to, env) in envs {
+            let bytes = batch_bytes(n, &env.payload);
             if self.loss_capable {
                 // the repair log only matters when faults can lose
                 // envelopes (and hence nacks can arrive); fault-free,
                 // duplication-only, and latency-only runs skip the
                 // clone and the retained memory on their hot path
-                self.epoch_sent.push(batch.clone());
+                self.epoch_sent[to].push(env.clone());
             }
-            if !self.sync_prep.is_empty() {
-                self.retained.push(batch.clone());
-            }
-            self.ep.broadcast(StoreMsg::Batch(batch), bytes);
+            self.ep.send(to, StoreMsg::Batch(env), bytes);
         }
     }
 
-    /// Integrate everything that has arrived (non-blocking): batches
-    /// and repairs feed the causal protocol, nacks are answered from
-    /// the epoch retention log over the reliable path.
+    /// Handle one inbound message; returns the output when it answers
+    /// this worker's outstanding routed read.
+    fn handle(
+        &mut self,
+        from: NodeId,
+        msg: StoreMsg<T::Input, T::Output, T::State>,
+    ) -> Option<T::Output> {
+        match msg {
+            StoreMsg::Batch(env) => self.deliver(env),
+            StoreMsg::Repair(envs) => {
+                for env in envs {
+                    self.deliver(env);
+                }
+            }
+            StoreMsg::Nack => {
+                // retransmit the whole per-edge epoch log: which prefix
+                // the nacker already delivered depends on interleaving,
+                // and its duplicate suppression discards the rest — so
+                // the repair size stays deterministic
+                let tail: Vec<BatchMsg<T::Input>> = self.epoch_sent[from].clone();
+                self.repairs_sent += 1;
+                self.repaired_batches += tail.len() as u64;
+                let bytes = repair_bytes(self.ep.cluster_size(), &tail);
+                self.ep.send_reliable(from, StoreMsg::Repair(tail), bytes);
+            }
+            StoreMsg::ReadReq { obj, input } => {
+                let output = self.table.output(self.adt, obj, &input);
+                self.reads_served += 1;
+                self.ep.send_reliable(
+                    from,
+                    StoreMsg::ReadReply { output },
+                    read_reply_bytes::<T::Output>(),
+                );
+            }
+            StoreMsg::ReadReply { output } => return Some(output),
+            StoreMsg::ShardSync(_) => {
+                // a state transfer outside the recovery phase is a
+                // protocol bug; tolerate and count rather than corrupt
+                // the replica
+                debug_assert!(false, "unexpected ShardSync outside recovery");
+                self.discarded += 1;
+            }
+        }
+        None
+    }
+
+    /// Integrate everything that has arrived (non-blocking).
     fn pump(&mut self) -> bool {
         let mut got_any = false;
         while let Some((from, msg)) = self.ep.try_recv() {
             got_any = true;
-            match msg {
-                StoreMsg::Batch(env) => self.deliver(env),
-                StoreMsg::Repair(envs) => {
-                    for env in envs {
-                        self.deliver(env);
-                    }
-                }
-                StoreMsg::Nack => {
-                    // retransmit the whole epoch log: which prefix the
-                    // nacker already delivered depends on interleaving,
-                    // and its duplicate suppression discards the rest —
-                    // so the repair size stays deterministic
-                    let tail: Vec<BatchMsg<T::Input>> = self.epoch_sent.clone();
-                    self.repairs_sent += 1;
-                    self.repaired_batches += tail.len() as u64;
-                    let bytes = repair_bytes(self.ep.cluster_size(), &tail);
-                    self.ep.send_reliable(from, StoreMsg::Repair(tail), bytes);
-                }
-                StoreMsg::Sync(_) => {
-                    // a state transfer outside the recovery phase is a
-                    // protocol bug; tolerate and count rather than
-                    // corrupt the replica
-                    debug_assert!(false, "unexpected Sync outside recovery");
-                    self.discarded += 1;
-                }
-            }
+            let reply = self.handle(from, msg);
+            debug_assert!(reply.is_none(), "read reply with no outstanding request");
         }
         got_any
     }
 
-    /// Deliver one batch envelope through the causal protocol.
+    /// Deliver one batch envelope through the interest causal layer.
     fn deliver(&mut self, env: BatchMsg<T::Input>) {
         for batch in self.proto.on_receive(env) {
-            if !self.sync_prep.is_empty() {
-                self.retained.push(batch.clone());
-            }
             self.batches_delivered += 1;
             let sender = batch.sender;
             for op in batch.payload {
@@ -633,24 +758,37 @@ where
         }
     }
 
-    /// The drain: flush, publish, then receive until every published
-    /// batch of every peer has been delivered — nacking senders whose
-    /// batches were lost to faults, and serving peers' nacks until
-    /// *everyone* is complete. A worker that spent the last epoch
-    /// crashed (`discard`) drains and discards instead: its state is
+    /// The drain: flush, publish the per-edge counts, then receive
+    /// until every published envelope on every inbound edge has been
+    /// delivered — nacking edges whose envelopes were lost to faults,
+    /// and serving peers' nacks and routed reads until *everyone* is
+    /// complete. A worker that spent the last epoch crashed
+    /// (`discard`) drains and discards instead: its state is
     /// re-established by the recovery transfer, not by late delivery.
     fn quiesce(&mut self, discard: bool) {
         let n = self.ep.cluster_size();
         let parity = (self.quiesce_idx % 2) as usize;
         self.quiesce_idx += 1;
         if !discard {
-            self.flush();
+            self.flush_all();
             self.ep.flush_delayed(); // held-back sends belong to this cut
         }
-        self.coord.sent[self.me].store(self.proto.batches_sent(), Ordering::SeqCst);
-        self.coord.barrier.wait(); // all cut sends enqueued, counts final
-
+        for r in 0..n {
+            if r != self.me {
+                self.coord.sent_edges[self.me * n + r]
+                    .store(self.proto.edge_sent(r), Ordering::SeqCst);
+            }
+        }
+        // arrival: spin (serving traffic) until every worker has
+        // published its cut counts — only then are gaps meaningful
+        self.coord.arrive[parity].fetch_add(1, Ordering::SeqCst);
         if discard {
+            while self.coord.arrive[parity].load(Ordering::SeqCst) < n as u64 {
+                while self.ep.try_recv().is_some() {
+                    self.discarded += 1;
+                }
+                std::thread::yield_now();
+            }
             while self.ep.try_recv().is_some() {
                 self.discarded += 1;
             }
@@ -662,17 +800,23 @@ where
                 std::thread::yield_now();
             }
         } else {
-            // everything sent for this cut is already in our queue;
-            // whatever was not *received* after this pump was dropped
-            // or parked by the fault layer — nack each such sender
-            // once. The received count (delivered + buffered) is used
-            // rather than the delivered clock: a batch stuck behind a
-            // lost dependency counts as received, so the nack set is a
-            // pure function of the loss pattern, not of interleaving.
+            while self.coord.arrive[parity].load(Ordering::SeqCst) < n as u64 {
+                if !self.pump() {
+                    std::thread::yield_now();
+                }
+            }
+            // everything sent for this cut is on the wire; whatever was
+            // not *received* after this pump was dropped or parked by
+            // the fault layer — nack each such edge once. The received
+            // count (delivered + buffered) is used rather than the
+            // delivered count: an envelope stuck behind a lost
+            // dependency counts as received, so the nack set is a pure
+            // function of the loss pattern, not of interleaving.
             self.pump();
             for q in 0..n {
                 if q != self.me
-                    && self.proto.received_from(q) < self.coord.sent[q].load(Ordering::SeqCst)
+                    && self.proto.received_from(q)
+                        < self.coord.sent_edges[q * n + self.me].load(Ordering::SeqCst)
                 {
                     self.nacks_sent += 1;
                     self.ep.send_reliable(q, StoreMsg::Nack, nack_bytes());
@@ -693,88 +837,105 @@ where
                 }
             }
         }
-        // reset the other parity slot for the next drain while every
+        // reset the other parity slots for the next drain while every
         // worker is still on this side of the closing barrier
         if self.me == 0 {
+            self.coord.arrive[1 - parity].store(0, Ordering::SeqCst);
             self.coord.done[1 - parity].store(0, Ordering::SeqCst);
         }
         self.coord.barrier.wait(); // globally drained
-                                   // the cut is complete everywhere: the repair log is dead
+                                   // the cut is complete everywhere: the repair logs are dead
                                    // weight, and parked sends' payloads have been repaired (the
                                    // partition itself stays in force for post-drain traffic)
-        self.epoch_sent.clear();
+        for log in self.epoch_sent.iter_mut() {
+            log.clear();
+        }
         self.ep.prune_parked();
     }
 
-    /// Has `q` published batches we have not delivered?
+    /// Has `q` published envelopes on its edge to us that we have not
+    /// delivered?
     fn missing_from(&self, q: NodeId) -> bool {
-        self.proto.delivered_clock().get(q) < self.coord.sent[q].load(Ordering::SeqCst)
+        self.proto.delivered_edges()[q]
+            < self.coord.sent_edges[q * self.ep.cluster_size() + self.me].load(Ordering::SeqCst)
     }
 
-    /// Helper side of a recovery: ship cut snapshot + frontier +
-    /// retained envelopes to the recovering worker (reliable path).
-    fn serve_sync(&mut self, span: &CrashSpan) {
-        let idx = self
-            .sync_prep
+    /// Helper side of a recovery: ship this worker's post-drain states
+    /// of every shard it was elected to serve for `span` (reliable).
+    fn serve_shard_sync(&mut self, span: &CrashSpan) {
+        let shards: Vec<(u32, Vec<T::State>)> = self
+            .map
+            .hosted(span.worker)
             .iter()
-            .position(|p| p.worker == span.worker)
-            .expect("helper has no prepared cut for this recovery");
-        let prep = self.sync_prep.remove(idx);
-        let payload = SyncPayload {
-            snapshot: prep.snapshot,
-            frontier: prep.frontier,
-            lamport: prep.lamport,
-            retained: self.retained[prep.retained_from..].to_vec(),
-        };
-        let bytes = sync_bytes(self.ep.cluster_size(), &payload);
-        self.ep
-            .send_reliable(span.worker, StoreMsg::Sync(Box::new(payload)), bytes);
-        if self.sync_prep.is_empty() {
-            self.retained.clear();
+            .filter(|&&s| self.sched.shard_helper(span, self.map.replicas(s)) == Some(self.me))
+            .map(|&s| (s as u32, self.table.shard_snapshot(self.map.slots_of(s))))
+            .collect();
+        if shards.is_empty() {
+            return;
         }
+        let payload = ShardSyncPayload {
+            shards,
+            lamport: self.clock.now(),
+        };
+        let bytes = sync_bytes(&payload);
+        self.ep
+            .send_reliable(span.worker, StoreMsg::ShardSync(Box::new(payload)), bytes);
     }
 
-    /// Recovering side: install the cut snapshot, resync the causal
-    /// broadcast to the cut frontier, replay the missed envelopes.
-    fn receive_sync(&mut self, span: &CrashSpan) {
+    /// Recovering side: install every hosted shard's state from its
+    /// helper, then resync the causal layer straight off the drain's
+    /// published edge matrix — the drain *is* the cut, so no envelope
+    /// replay is needed.
+    fn receive_shard_sync(&mut self, span: &CrashSpan) {
         let t = Instant::now();
-        let (mut batches, mut ops) = (0u64, 0u64);
-        loop {
+        let expected: std::collections::HashSet<NodeId> = self
+            .map
+            .hosted(self.me)
+            .iter()
+            .map(|&s| {
+                self.sched
+                    .shard_helper(span, self.map.replicas(s))
+                    .expect("validated: every hosted shard has a live helper")
+            })
+            .collect();
+        let (mut synced_shards, mut synced_objects) = (0u64, 0u64);
+        let mut served = 0usize;
+        while served < expected.len() {
             match self.ep.recv() {
-                Some((_, StoreMsg::Sync(payload))) => {
+                Some((from, StoreMsg::ShardSync(payload))) => {
+                    debug_assert!(expected.contains(&from), "sync from a non-helper");
                     let p = *payload;
-                    self.table.install(&p.snapshot);
-                    self.proto.resync(&p.frontier);
-                    self.clock.observe(p.lamport);
-                    let expected = p.retained.len() as u64;
-                    for env in p.retained {
-                        for batch in self.proto.on_receive(env) {
-                            batches += 1;
-                            ops += batch.payload.len() as u64;
-                            for op in batch.payload {
-                                self.clock.observe(op.ts.time);
-                                self.table.apply_update(self.adt, op.obj, op.ts, &op.input);
-                            }
-                        }
+                    for (s, states) in &p.shards {
+                        synced_shards += 1;
+                        synced_objects += states.len() as u64;
+                        self.table
+                            .install_slots(self.map.slots_of(*s as usize), states);
                     }
-                    debug_assert_eq!(
-                        batches, expected,
-                        "retained replay must deliver exactly once in order"
-                    );
-                    break;
+                    self.clock.observe(p.lamport);
+                    served += 1;
                 }
                 Some(_) => self.discarded += 1, // pre-recovery straggler
                 None => unreachable!("mesh closed during recovery"),
             }
         }
-        self.epoch_sent.clear(); // pre-crash sends are all below the cut
+        let n = self.ep.cluster_size();
+        let delivered: Vec<u64> = (0..n)
+            .map(|j| self.coord.sent_edges[j * n + self.me].load(Ordering::SeqCst))
+            .collect();
+        let matrix: Vec<u64> = (0..n * n)
+            .map(|i| self.coord.sent_edges[i].load(Ordering::SeqCst))
+            .collect();
+        self.proto.resync(&delivered, &matrix);
+        for log in self.epoch_sent.iter_mut() {
+            log.clear(); // pre-crash sends are all below the cut
+        }
         self.recoveries.push(RecoveryStats {
             worker: self.me,
             crash_epoch: span.crash_epoch,
             recover_epoch: span.recover_epoch,
             helper: span.helper,
-            replayed_batches: batches,
-            replayed_ops: ops,
+            synced_shards,
+            synced_objects,
             sync_wall_ns: t.elapsed().as_nanos() as u64,
         });
     }
@@ -801,27 +962,45 @@ where
         debug_assert!(!self.crashed, "schedule must recover everyone");
         self.quiesce(false);
         self.compact_and_check_convergence(self.sched.n_epochs);
+        // the full-space hash feeds only the report's final_state_hashes
+        // (read after the threads join), so it is computed once here
+        // rather than at every drain; intermediate convergence checks
+        // run on the per-shard hashes
+        self.coord.hashes[self.me].store(self.table.state_hash(), Ordering::SeqCst);
     }
 
     /// At a global drain: compact arbitration logs, publish this
-    /// replica's state hash, and (first live worker, convergent mode)
-    /// record a divergence if live replicas' hashes disagree.
+    /// replica's per-hosted-shard state hashes, and (first live
+    /// replica of each shard, convergent mode) record a divergence if
+    /// the shard's live replicas disagree.
     fn compact_and_check_convergence(&mut self, e: u64) {
         if !self.crashed {
             self.table.compact();
         }
-        self.coord.hashes[self.me].store(self.table.state_hash(), Ordering::SeqCst);
+        let shards = self.map.shards();
+        for &s in self.map.hosted(self.me) {
+            self.coord.shard_hashes[self.me * shards + s].store(
+                self.table.shard_hash(self.map.slots_of(s)),
+                Ordering::SeqCst,
+            );
+        }
         self.coord.barrier.wait(); // hashes published
         if self.cfg.mode == Mode::Convergent {
-            let n = self.ep.cluster_size();
-            let live: Vec<NodeId> = (0..n).filter(|&q| !self.sched.crashed_at(q, e)).collect();
-            if live.first() == Some(&self.me) {
-                let h0 = self.coord.hashes[self.me].load(Ordering::SeqCst);
-                if live
+            for s in 0..shards {
+                let live: Vec<NodeId> = self
+                    .map
+                    .replicas(s)
                     .iter()
-                    .any(|&q| self.coord.hashes[q].load(Ordering::SeqCst) != h0)
-                {
-                    self.coord.divergences.fetch_add(1, Ordering::SeqCst);
+                    .copied()
+                    .filter(|&q| !self.sched.crashed_at(q, e))
+                    .collect();
+                if live.first() == Some(&self.me) {
+                    let h0 = self.coord.shard_hashes[self.me * shards + s].load(Ordering::SeqCst);
+                    if live.iter().any(|&q| {
+                        self.coord.shard_hashes[q * shards + s].load(Ordering::SeqCst) != h0
+                    }) {
+                        self.coord.divergences.fetch_add(1, Ordering::SeqCst);
+                    }
                 }
             }
         }

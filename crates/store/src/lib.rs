@@ -35,15 +35,30 @@
 //! schedule derivation live in [`chaos`]; the protocol and its
 //! determinism contract are documented in `docs/CHAOS.md`.
 //!
+//! The engine supports **partial replication**: a [`ShardConfig`]
+//! partitions the object space into shards, a deterministic
+//! [`shard::ShardMap`] assigns each shard a replica set (home worker +
+//! seeded placement at a configurable replication factor), and
+//! replication runs over an interest-filtered causal multicast
+//! ([`cbm_net::broadcast::InterestBatchCausalBroadcast`]) that
+//! delivers a batch only to replicas interested in at least one of its
+//! objects, with per-edge sequence numbers so gap repair and crash
+//! recovery work per interest edge. Reads of non-hosted objects route
+//! to a live replica over a reliable request/reply path; verification
+//! windows are built and checked **per shard**. The placement, the
+//! routed-read contract, and the determinism guarantees are documented
+//! in `docs/SHARDING.md`.
+//!
 //! The `loadgen` and `chaos_loadgen` binaries in `cbm-bench` drive
-//! this engine across workload and fault matrices and emit the
-//! committed `BENCH_throughput.json` / `BENCH_chaos.json`; see
+//! this engine across workload and fault matrices (including a
+//! replication-factor axis) and emit the committed
+//! `BENCH_throughput.json` / `BENCH_chaos.json`; see
 //! `docs/THROUGHPUT.md` and `docs/CHAOS.md`.
 //!
 //! ```
 //! use cbm_adt::register::{RegInput, Register};
 //! use cbm_adt::space::SpaceInput;
-//! use cbm_store::{run, BatchPolicy, Mode, StoreConfig, VerifyConfig};
+//! use cbm_store::{run, BatchPolicy, Mode, ShardConfig, StoreConfig, VerifyConfig};
 //! use cbm_net::fault::FaultPlan;
 //! use rand::Rng;
 //!
@@ -55,6 +70,7 @@
 //!     batch: BatchPolicy::Every(4),
 //!     verify: VerifyConfig { every_ops: 200, window_ops: 16, sample_every: 1 },
 //!     seed: 7,
+//!     sharding: ShardConfig::full(),
 //!     chaos: FaultPlan::new(),
 //! };
 //! let report = run(&Register, &cfg, |_, _, rng| {
@@ -77,12 +93,14 @@ pub mod config;
 pub mod engine;
 pub mod objects;
 pub mod record;
+pub mod shard;
 pub mod stats;
 pub mod wire;
 
 pub use chaos::{profile, ChaosSchedule, CrashSpan, PROFILE_NAMES};
-pub use config::{BatchPolicy, Mode, StoreConfig, VerifyConfig};
+pub use config::{BatchPolicy, Mode, ShardConfig, StoreConfig, VerifyConfig};
 pub use engine::run;
+pub use shard::ShardMap;
 pub use stats::{
     ChaosReport, LatencySummary, RecoveryStats, StoreReport, WindowVerdict, WorkerStats,
 };

@@ -126,6 +126,38 @@ impl<T: Adt> ObjectTable<T> {
         }
     }
 
+    /// Install one shard's slot states at a consistent cut (partial-
+    /// replication crash recovery): `slots` names the table indices in
+    /// the order `states` lists them. Same compaction contract as
+    /// [`ObjectTable::install`], applied per slot.
+    pub fn install_slots(&mut self, slots: impl Iterator<Item = usize>, states: &[T::State]) {
+        let mut n = 0;
+        for (slot, state) in slots.zip(states) {
+            self.states[slot] = state.clone();
+            if self.mode == Mode::Convergent {
+                self.seeds[slot] = state.clone();
+                self.logs[slot].clear();
+            }
+            n += 1;
+        }
+        assert_eq!(n, states.len(), "shard snapshot arity");
+    }
+
+    /// Order-sensitive hash of one shard's slots (per-shard drain
+    /// convergence evidence under partial replication).
+    pub fn shard_hash(&self, slots: impl Iterator<Item = usize>) -> u64 {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        for slot in slots {
+            self.states[slot].hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// Clone one shard's slot states, ascending slot order.
+    pub fn shard_snapshot(&self, slots: impl Iterator<Item = usize>) -> Vec<T::State> {
+        slots.map(|slot| self.states[slot].clone()).collect()
+    }
+
     /// Order-sensitive hash of the full space state (drain-point
     /// convergence evidence).
     pub fn state_hash(&self) -> u64 {
@@ -179,6 +211,26 @@ mod tests {
         assert_eq!(a.state_hash(), b.state_hash());
         assert_eq!(b.refolds, 1);
         assert_eq!(a.refolds, 0);
+    }
+
+    #[test]
+    fn shard_install_and_hash_touch_only_their_slots() {
+        let adt = Register;
+        let mut tab = ObjectTable::new(&adt, 4, Mode::Convergent);
+        tab.apply_update(&adt, 1, ts(1, 0), &RegInput::Write(5));
+        // shard = even slots {0, 2}
+        let even = || [0usize, 2].into_iter();
+        let before_even = tab.shard_hash(even());
+        tab.install_slots(even(), &[7, 9]);
+        assert_ne!(tab.shard_hash(even()), before_even);
+        assert_eq!(tab.output(&adt, 0, &RegInput::Read), RegOutput::Val(7));
+        assert_eq!(tab.output(&adt, 2, &RegInput::Read), RegOutput::Val(9));
+        // the odd slot survives untouched
+        assert_eq!(tab.output(&adt, 1, &RegInput::Read), RegOutput::Val(5));
+        assert_eq!(tab.shard_snapshot(even()), vec![7, 9]);
+        // post-install updates fold from the installed seed
+        tab.apply_update(&adt, 0, ts(9, 1), &RegInput::Write(8));
+        assert_eq!(tab.output(&adt, 0, &RegInput::Read), RegOutput::Val(8));
     }
 
     #[test]

@@ -19,6 +19,7 @@
 //! order) for arbitrated ones.
 
 use crate::config::Mode;
+use crate::shard::ShardMap;
 use cbm_adt::space::{ObjectSpace, SpaceInput};
 use cbm_adt::Adt;
 use cbm_check::verify::{verify_cc_window, verify_ccv_window};
@@ -328,6 +329,140 @@ pub fn verify_window<T: Adt>(
     Ok(m)
 }
 
+/// One per-shard verification verdict produced by
+/// [`verify_shard_windows`].
+pub struct ShardVerdict {
+    /// The shard verified (`None` for a whole-space window under full
+    /// replication, or for a window-level failure that prevented the
+    /// split).
+    pub shard: Option<u32>,
+    /// Crashed workers among the shard's replicas.
+    pub crashed_workers: usize,
+    /// `Ok(events)` with the sub-window size, or a violation.
+    pub result: Result<usize, String>,
+}
+
+/// Verify one frozen epoch window under a placement.
+///
+/// Under full replication this is exactly [`verify_window`] (one
+/// whole-space verdict). Under partial replication the window is split
+/// **per shard**: for each shard, the sub-window contains the shard's
+/// hosting replicas as processes, their own events on the shard's
+/// objects (re-tagged to the sub-window's index space), and their apply
+/// orders filtered to those events — every replica of a shard applies
+/// every update of that shard, so each sub-window is self-contained and
+/// verifies with the unchanged window checkers. Events a replica
+/// applied for *other* shards simply fall out of the projection, and
+/// routed remote reads are never recorded (they are served from a
+/// replica's current state and carry no apply position; see
+/// `docs/SHARDING.md` for the verification contract).
+pub fn verify_shard_windows<T: Adt>(
+    space: &ObjectSpace<T>,
+    mode: Mode,
+    sample_every: usize,
+    parts: &[WindowRecord<T>],
+    map: &ShardMap,
+) -> Vec<ShardVerdict> {
+    // the shard projection indexes parts by worker id (replica sets
+    // name workers), so the slice must hold exactly one record per
+    // worker, in id order — unlike verify_window, which is positional
+    assert!(
+        parts.iter().enumerate().all(|(i, p)| p.worker == i),
+        "verify_shard_windows needs one record per worker, sorted by id"
+    );
+    if map.is_full() {
+        return vec![ShardVerdict {
+            shard: None,
+            crashed_workers: parts.iter().filter(|p| p.crashed).count(),
+            result: verify_window(space, mode, sample_every, parts),
+        }];
+    }
+    // window-level integrity first: a drain-boundary violation poisons
+    // every projection, so fail the window whole instead of splitting
+    for part in parts {
+        if part.foreign != 0 {
+            return vec![ShardVerdict {
+                shard: None,
+                crashed_workers: parts.iter().filter(|p| p.crashed).count(),
+                result: Err(format!(
+                    "worker {} applied {} untagged op(s) inside the window \
+                     (drain boundary violated)",
+                    part.worker, part.foreign
+                )),
+            }];
+        }
+    }
+
+    let mut out = Vec::with_capacity(map.shards());
+    for s in 0..map.shards() {
+        let replicas = map.replicas(s);
+        // global worker id -> sub-window process index
+        let local_of = |w: NodeId| replicas.iter().position(|&r| r == w);
+        // per replica: old own index -> new own index, for this shard
+        let mut remap: Vec<std::collections::HashMap<u32, u32>> =
+            vec![std::collections::HashMap::new(); replicas.len()];
+        let mut sub: Vec<WindowRecord<T>> = Vec::with_capacity(replicas.len());
+        for (li, &w) in replicas.iter().enumerate() {
+            let part = &parts[w];
+            let mut own: Vec<OwnEvent<T>> = Vec::new();
+            for (k, ev) in part.own.iter().enumerate() {
+                if map.shard_of(ev.obj) == s {
+                    remap[li].insert(k as u32, own.len() as u32);
+                    own.push(OwnEvent {
+                        obj: ev.obj,
+                        input: ev.input.clone(),
+                        output: ev.output.clone(),
+                        ts: ev.ts,
+                    });
+                }
+            }
+            sub.push(WindowRecord {
+                worker: w,
+                window: part.window,
+                own,
+                applies: Vec::new(), // filled below (needs all remaps)
+                snapshot: part.snapshot.clone(),
+                foreign: 0,
+                crashed: part.crashed,
+                spans_recovery: part.spans_recovery,
+            });
+        }
+        for (li, &w) in replicas.iter().enumerate() {
+            let mut applies = Vec::new();
+            for &(origin, wseq) in &parts[w].applies {
+                if let Some(lo) = local_of(origin) {
+                    if let Some(&new) = remap[lo].get(&wseq) {
+                        applies.push((lo, new));
+                    }
+                }
+            }
+            sub[li].applies = applies;
+        }
+        // the convergent-mode snapshot-equality check compares whole
+        // snapshots, but replicas of one shard only agree on *its*
+        // slots — normalize the others to the first live replica's
+        // values (they carry no events in this sub-window, so the CC
+        // and CCv replays never read them)
+        if let Some(first_live) = sub.iter().position(|p| !p.crashed) {
+            let anchor = sub[first_live].snapshot.clone();
+            let shard_slots: Vec<usize> = map.slots_of(s).collect();
+            for p in sub.iter_mut() {
+                let mut norm = anchor.clone();
+                for &slot in &shard_slots {
+                    norm[slot] = p.snapshot[slot].clone();
+                }
+                p.snapshot = norm;
+            }
+        }
+        out.push(ShardVerdict {
+            shard: Some(s as u32),
+            crashed_workers: sub.iter().filter(|p| p.crashed).count(),
+            result: verify_window(space, mode, sample_every, &sub),
+        });
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -503,6 +638,132 @@ mod tests {
         ];
         let res = verify_window(&space, Mode::Causal, 1, &parts);
         assert!(res.is_err_and(|e| e.contains("no live workers")));
+    }
+
+    /// Build a healthy 3-worker, 2-shard, rf-2 window against whatever
+    /// placement the map chose: each shard's home writes its object,
+    /// the co-replica applies the write then reads it; non-replicas
+    /// never touch the shard.
+    fn sharded_parts(map: &ShardMap) -> Vec<WindowRecord<Register>> {
+        let mut parts: Vec<WindowRecord<Register>> = (0..3)
+            .map(|w| WindowRecord {
+                worker: w,
+                window: 0,
+                own: Vec::new(),
+                applies: Vec::new(),
+                snapshot: vec![0u64; 4],
+                foreign: 0,
+                crashed: false,
+                spans_recovery: false,
+            })
+            .collect();
+        for s in 0..2u32 {
+            let [a, b] = [map.replicas(s as usize)[0], map.replicas(s as usize)[1]];
+            let wa = parts[a].own.len() as u32;
+            parts[a]
+                .own
+                .push(ev(s, RegInput::Write(5 + s as u64), RegOutput::Ack, 1, a));
+            parts[a].applies.push((a, wa));
+            let wb = parts[b].own.len() as u32;
+            parts[b].applies.push((a, wa));
+            parts[b]
+                .own
+                .push(ev(s, RegInput::Read, RegOutput::Val(5 + s as u64), 2, b));
+            parts[b].applies.push((b, wb));
+        }
+        parts
+    }
+
+    #[test]
+    fn shard_windows_split_and_verify_per_replica_set() {
+        let map = ShardMap::new(3, 4, 2, 2, 11);
+        assert!(!map.is_full());
+        let space = ObjectSpace::new(Register, 4);
+        let parts = sharded_parts(&map);
+        let verdicts = verify_shard_windows(&space, Mode::Causal, 1, &parts, &map);
+        assert_eq!(verdicts.len(), 2);
+        for v in &verdicts {
+            assert!(v.shard.is_some());
+            assert_eq!(v.crashed_workers, 0);
+            assert_eq!(
+                v.result,
+                Ok(2),
+                "shard {:?} should hold its write + read",
+                v.shard
+            );
+        }
+        // convergent mode: replicas of a shard agree on its slots even
+        // though their other slots (normalized away) differ
+        let mut parts = sharded_parts(&map);
+        for p in parts.iter_mut() {
+            // scribble on slots the worker does not host: must not
+            // break per-shard convergence checks
+            for slot in 0..4usize {
+                if !map.hosts(p.worker, map.shard_of(slot as u32)) {
+                    p.snapshot[slot] = 77 + p.worker as u64;
+                }
+            }
+        }
+        let verdicts = verify_shard_windows(&space, Mode::Convergent, 1, &parts, &map);
+        assert!(
+            verdicts.iter().all(|v| v.result.is_ok()),
+            "{:?}",
+            verdicts
+                .iter()
+                .map(|v| (&v.shard, &v.result))
+                .collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn shard_windows_catch_violations_in_the_right_shard() {
+        let map = ShardMap::new(3, 4, 2, 2, 11);
+        let space = ObjectSpace::new(Register, 4);
+        let mut parts = sharded_parts(&map);
+        // tamper shard 1's read output
+        let b = map.replicas(1)[1];
+        let idx = parts[b]
+            .own
+            .iter()
+            .position(|e| map.shard_of(e.obj) == 1 && matches!(e.input, RegInput::Read))
+            .expect("co-replica read");
+        parts[b].own[idx].output = RegOutput::Val(999);
+        let verdicts = verify_shard_windows(&space, Mode::Causal, 1, &parts, &map);
+        for v in &verdicts {
+            if v.shard == Some(1) {
+                assert!(v
+                    .result
+                    .as_ref()
+                    .is_err_and(|e| e.contains("OutputMismatch")));
+            } else {
+                assert_eq!(v.result, Ok(2), "untampered shard must still pass");
+            }
+        }
+    }
+
+    #[test]
+    fn full_replication_maps_to_a_single_whole_space_verdict() {
+        let map = ShardMap::new(2, 2, 2, 0, 0);
+        let space = ObjectSpace::new(Register, 2);
+        let verdicts = verify_shard_windows(&space, Mode::Causal, 1, &healthy_parts(), &map);
+        assert_eq!(verdicts.len(), 1);
+        assert_eq!(verdicts[0].shard, None);
+        assert_eq!(verdicts[0].result, Ok(3));
+    }
+
+    #[test]
+    fn foreign_ops_fail_the_whole_window_not_one_shard() {
+        let map = ShardMap::new(3, 4, 2, 2, 11);
+        let space = ObjectSpace::new(Register, 4);
+        let mut parts = sharded_parts(&map);
+        parts[0].foreign = 1;
+        let verdicts = verify_shard_windows(&space, Mode::Causal, 1, &parts, &map);
+        assert_eq!(verdicts.len(), 1);
+        assert_eq!(verdicts[0].shard, None);
+        assert!(verdicts[0]
+            .result
+            .as_ref()
+            .is_err_and(|e| e.contains("untagged")));
     }
 
     #[test]

@@ -1,0 +1,310 @@
+//! [`ShardMap`]: deterministic placement of the object space onto
+//! replica sets.
+//!
+//! Objects group into `shards` contiguous residue classes
+//! (`shard(obj) = (obj % objects) % shards`); each shard is hosted by a
+//! **replica set** of `replication` workers. The set always contains
+//! the shard's **home** worker `shard % workers` (so every worker hosts
+//! at least one shard and shard ids round-robin over homes), plus
+//! `replication - 1` further workers drawn from a seeded hash of the
+//! shard id — the `placement_seed` axis lets sweeps vary placements
+//! without touching workloads.
+//!
+//! Everything here is a pure function of
+//! `(workers, objects, shards, replication, placement_seed)`: every
+//! worker, the verifier, and a re-run of the same config derive the
+//! same placement, which is what keeps message counts and repair
+//! traffic reproducible under partial replication (see
+//! `docs/SHARDING.md`).
+
+use crate::config::StoreConfig;
+use cbm_net::broadcast::{full_interest, InterestMask};
+use cbm_net::NodeId;
+
+/// SplitMix64 finalizer: the placement hash (local copy so placement
+/// stays stable even if shared hash utilities evolve).
+fn mix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Deterministic object-space placement: shard → replica set.
+#[derive(Debug, Clone)]
+pub struct ShardMap {
+    workers: usize,
+    objects: usize,
+    shards: usize,
+    replication: usize,
+    /// Replica sets per shard, ascending node order.
+    replicas: Vec<Vec<NodeId>>,
+    /// Replica sets per shard as interest bitmasks.
+    masks: Vec<InterestMask>,
+    /// Shards hosted per worker, ascending.
+    hosted: Vec<Vec<usize>>,
+    /// `hosts[w * shards + s]`.
+    hosts: Vec<bool>,
+    placement_seed: u64,
+}
+
+impl ShardMap {
+    /// Build the placement for a cluster of `workers` serving
+    /// `objects` objects in `shards` shards at replication factor
+    /// `replication`. Arguments are clamped to their meaningful
+    /// ranges: `shards` to `[1, objects]`, `replication` to
+    /// `[1, workers]` (0 means "full replication"), and `workers ≤ 64`
+    /// is asserted (interest masks are `u64` bitmasks).
+    pub fn new(
+        workers: usize,
+        objects: usize,
+        shards: usize,
+        replication: usize,
+        placement_seed: u64,
+    ) -> Self {
+        let workers = workers.max(1);
+        assert!(
+            workers <= 64,
+            "interest masks are u64 bitmasks: {workers} workers > 64"
+        );
+        let objects = objects.max(1);
+        let shards = shards.clamp(1, objects);
+        let replication = if replication == 0 {
+            workers
+        } else {
+            replication.min(workers)
+        };
+
+        let mut replicas = Vec::with_capacity(shards);
+        let mut masks = Vec::with_capacity(shards);
+        let mut hosted = vec![Vec::new(); workers];
+        let mut hosts = vec![false; workers * shards];
+        for s in 0..shards {
+            let mut set = Vec::with_capacity(replication);
+            let mut mask: InterestMask = 0;
+            let home = s % workers;
+            set.push(home);
+            mask |= 1 << home;
+            // the remaining replicas: seeded hash sequence, linear
+            // probing past workers already in the set
+            let mut i = 0u64;
+            while set.len() < replication {
+                let cand = (mix(placement_seed ^ ((s as u64) << 20) ^ i) % workers as u64) as usize;
+                i += 1;
+                let mut cand = cand;
+                while mask & (1 << cand) != 0 {
+                    cand = (cand + 1) % workers;
+                }
+                set.push(cand);
+                mask |= 1 << cand;
+            }
+            set.sort_unstable();
+            for &w in &set {
+                hosted[w].push(s);
+                hosts[w * shards + s] = true;
+            }
+            replicas.push(set);
+            masks.push(mask);
+        }
+        ShardMap {
+            workers,
+            objects,
+            shards,
+            replication,
+            replicas,
+            masks,
+            hosted,
+            hosts,
+            placement_seed,
+        }
+    }
+
+    /// The placement a [`StoreConfig`] describes.
+    pub fn build(cfg: &StoreConfig) -> Self {
+        ShardMap::new(
+            cfg.workers,
+            cfg.objects,
+            cfg.sharding.shards_or(cfg.workers),
+            cfg.sharding.replication,
+            cfg.sharding.placement_seed,
+        )
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Effective replication factor.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Is every shard hosted by every worker (the degenerate full-
+    /// replication placement, where the engine skips read routing and
+    /// per-shard window splitting)?
+    pub fn is_full(&self) -> bool {
+        self.replication == self.workers
+    }
+
+    /// The shard an object id maps to (total for any id).
+    #[inline]
+    pub fn shard_of(&self, obj: u32) -> usize {
+        (obj as usize % self.objects) % self.shards
+    }
+
+    /// The replica set of a shard, ascending node order.
+    pub fn replicas(&self, shard: usize) -> &[NodeId] {
+        &self.replicas[shard]
+    }
+
+    /// The replica set of a shard as an interest bitmask.
+    pub fn mask(&self, shard: usize) -> InterestMask {
+        self.masks[shard]
+    }
+
+    /// Does `w` host `shard`?
+    #[inline]
+    pub fn hosts(&self, w: NodeId, shard: usize) -> bool {
+        self.hosts[w * self.shards + shard]
+    }
+
+    /// Shards hosted by `w`, ascending.
+    pub fn hosted(&self, w: NodeId) -> &[usize] {
+        &self.hosted[w]
+    }
+
+    /// The shard's home worker (owner of first resort for read
+    /// routing).
+    pub fn home(&self, shard: usize) -> NodeId {
+        shard % self.workers
+    }
+
+    /// Object slots (table indices) belonging to `shard`, ascending.
+    pub fn slots_of(&self, shard: usize) -> impl Iterator<Item = usize> + '_ {
+        (shard..self.objects).step_by(self.shards)
+    }
+
+    /// Route an object id to a deterministic object this worker hosts
+    /// (identity when the worker already hosts it). This is the
+    /// client-side write routing stand-in of `docs/SHARDING.md`:
+    /// updates always execute at a replica of their object, so an
+    /// update addressed elsewhere is re-addressed — preserving the
+    /// workload's volume, seed-determinism, and rough uniformity over
+    /// the worker's hosted objects.
+    pub fn localize(&self, w: NodeId, obj: u32) -> u32 {
+        let slot = obj as usize % self.objects;
+        if self.hosts[w * self.shards + slot % self.shards] {
+            return obj;
+        }
+        let hosted = &self.hosted[w];
+        let target =
+            hosted[(mix(self.placement_seed ^ 0xA5A5 ^ obj as u64) % hosted.len() as u64) as usize];
+        let cand = (slot / self.shards) * self.shards + target;
+        let cand = if cand < self.objects { cand } else { target };
+        cand as u32
+    }
+
+    /// The full-cluster interest mask.
+    pub fn full_mask(&self) -> InterestMask {
+        full_interest(self.workers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_replication_hosts_everything_everywhere() {
+        let m = ShardMap::new(4, 32, 4, 0, 7);
+        assert!(m.is_full());
+        assert_eq!(m.replication(), 4);
+        for s in 0..4 {
+            assert_eq!(m.replicas(s), &[0, 1, 2, 3]);
+            assert_eq!(m.mask(s), 0b1111);
+        }
+        for w in 0..4 {
+            assert_eq!(m.hosted(w).len(), 4);
+            for obj in 0..64u32 {
+                assert_eq!(m.localize(w, obj), obj, "identity at rf = n");
+            }
+        }
+    }
+
+    #[test]
+    fn every_shard_contains_its_home_and_rf_distinct_replicas() {
+        let m = ShardMap::new(8, 1024, 8, 2, 42);
+        assert!(!m.is_full());
+        for s in 0..8 {
+            let r = m.replicas(s);
+            assert_eq!(r.len(), 2);
+            assert!(r.contains(&m.home(s)), "home {} ∉ {:?}", m.home(s), r);
+            assert!(r.windows(2).all(|w| w[0] < w[1]), "sorted distinct");
+            assert_eq!(m.mask(s).count_ones(), 2);
+        }
+        // every worker hosts its home shard, so no worker is empty
+        for w in 0..8 {
+            assert!(m.hosted(w).contains(&w));
+        }
+    }
+
+    #[test]
+    fn placement_is_deterministic_and_seed_sensitive() {
+        let a = ShardMap::new(8, 256, 8, 3, 1);
+        let b = ShardMap::new(8, 256, 8, 3, 1);
+        let c = ShardMap::new(8, 256, 8, 3, 2);
+        for s in 0..8 {
+            assert_eq!(a.replicas(s), b.replicas(s));
+        }
+        assert!(
+            (0..8).any(|s| a.replicas(s) != c.replicas(s)),
+            "different seeds should move at least one replica set"
+        );
+    }
+
+    #[test]
+    fn shard_of_and_slots_partition_the_space() {
+        let m = ShardMap::new(4, 10, 4, 2, 0);
+        let mut seen = [false; 10];
+        for s in 0..4 {
+            for slot in m.slots_of(s) {
+                assert!(!seen[slot], "slot {slot} in two shards");
+                seen[slot] = true;
+                assert_eq!(m.shard_of(slot as u32), s);
+            }
+        }
+        assert!(seen.iter().all(|&x| x), "slots must cover the space");
+        // ids wrap like the object table
+        assert_eq!(m.shard_of(13), m.shard_of(3));
+    }
+
+    #[test]
+    fn localize_lands_on_hosted_objects() {
+        let m = ShardMap::new(8, 100, 8, 2, 9);
+        for w in 0..8 {
+            for obj in 0..200u32 {
+                let l = m.localize(w, obj);
+                assert!(
+                    m.hosts(w, m.shard_of(l)),
+                    "worker {w} does not host localized {l} (from {obj})"
+                );
+                if m.hosts(w, m.shard_of(obj)) {
+                    assert_eq!(l, obj, "hosted ids pass through unchanged");
+                } else {
+                    assert!((l as usize) < 100, "re-addressed ids are in range");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clamps_degenerate_arguments() {
+        let m = ShardMap::new(3, 4, 99, 7, 0);
+        assert_eq!(m.shards(), 4, "shards clamp to objects");
+        assert_eq!(m.replication(), 3, "rf clamps to workers");
+        let m = ShardMap::new(1, 1, 0, 1, 0);
+        assert_eq!(m.shards(), 1);
+        assert!(m.is_full());
+    }
+}

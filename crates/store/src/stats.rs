@@ -45,6 +45,11 @@ pub struct WorkerStats {
     pub reads: u64,
     /// Updates among them.
     pub updates: u64,
+    /// Queries routed to a replica of a non-hosted shard (0 under full
+    /// replication).
+    pub remote_reads: u64,
+    /// Routed queries this worker answered for peers.
+    pub reads_served: u64,
     /// Batch envelopes this worker flushed.
     pub batches_sent: u64,
     /// Update payloads across those batches.
@@ -60,6 +65,9 @@ pub struct WorkerStats {
 pub struct WindowVerdict {
     /// Window number (0-based, in freeze order).
     pub window: u64,
+    /// The shard this verdict covers (`None` for a whole-space window
+    /// under full replication, or for a window-level failure).
+    pub shard: Option<u32>,
     /// Criterion verified ("CC" or "CCv").
     pub criterion: &'static str,
     /// Events in the rebuilt window history.
@@ -82,12 +90,14 @@ pub struct RecoveryStats {
     pub crash_epoch: u64,
     /// Epoch whose opening drain ran the state transfer.
     pub recover_epoch: u64,
-    /// The helper that served the snapshot and replay.
+    /// The schedule's anchor helper for the span (statistics; under
+    /// partial replication each shard elects its own co-replica
+    /// helper, see `ChaosSchedule::shard_helper`).
     pub helper: usize,
-    /// Batch envelopes replayed from the helper's retention log.
-    pub replayed_batches: u64,
-    /// Update payloads inside those batches.
-    pub replayed_ops: u64,
+    /// Shards whose state was installed from co-replica helpers.
+    pub synced_shards: u64,
+    /// Object states installed across those shards.
+    pub synced_objects: u64,
     /// Wall-clock duration of the state transfer at the recovering
     /// worker (receive + install + replay); nondeterministic.
     pub sync_wall_ns: u64,
@@ -154,6 +164,9 @@ pub struct StoreReport {
     pub payloads_sent: u64,
     /// Mean payloads per batch (`payloads_sent / batches_sent`).
     pub mean_batch: f64,
+    /// Reads routed to a replica of a non-hosted shard (request/reply
+    /// pairs on the reliable path; 0 under full replication).
+    pub remote_reads: u64,
     /// Sampled-window verdicts, in freeze order.
     pub windows: Vec<WindowVerdict>,
     /// Windows whose verification failed.

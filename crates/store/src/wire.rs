@@ -1,15 +1,19 @@
 //! The engine's wire payloads.
 //!
-//! The replication fast path moves [`StoreMsg::Batch`] envelopes; the
-//! three control variants exist for the chaos-hardened paths
-//! (`docs/CHAOS.md`): gap repair at drains ([`StoreMsg::Nack`] /
-//! [`StoreMsg::Repair`]) and crash-recovery state transfer
-//! ([`StoreMsg::Sync`]). Control traffic bypasses the fault layer
-//! (it models a freshly established reliable stream), but is still
-//! counted in the transport statistics with the deterministic size
-//! estimates below.
+//! The replication fast path moves [`StoreMsg::Batch`] envelopes —
+//! interest-stamped per recipient ([`cbm_net::broadcast::InterestMsg`])
+//! so partial replication keeps per-edge gap detection and causal
+//! order (see `docs/SHARDING.md`). The control variants exist for the
+//! chaos-hardened and sharded paths: gap repair at drains
+//! ([`StoreMsg::Nack`] / [`StoreMsg::Repair`]), crash-recovery state
+//! transfer ([`StoreMsg::ShardSync`]), and the read request/reply pair
+//! that routes a non-replica's read to a live replica of the object's
+//! shard ([`StoreMsg::ReadReq`] / [`StoreMsg::ReadReply`]). Control
+//! traffic bypasses the fault layer (it models a freshly established
+//! reliable stream), but is still counted in the transport statistics
+//! with the deterministic size estimates below.
 
-use cbm_net::broadcast::CausalMsg;
+use cbm_net::broadcast::InterestMsg;
 use cbm_net::clock::Timestamp;
 
 /// One replicated update as carried inside a batch.
@@ -28,51 +32,66 @@ pub struct WireOp<I> {
 }
 
 /// A batch envelope as moved by the transport.
-pub type BatchMsg<I> = CausalMsg<Vec<WireOp<I>>>;
+pub type BatchMsg<I> = InterestMsg<Vec<WireOp<I>>>;
 
-/// Crash-recovery state transfer: everything a recovering replica
-/// needs to rejoin (see `docs/CHAOS.md` for the protocol).
+/// Crash-recovery state transfer: the per-shard states a recovering
+/// replica installs at the recovery drain. Each live co-replica helper
+/// ships the shards it was elected for; the edge frontier and the
+/// `seen` matrix need no message — they are read off the drain's
+/// published edge-count matrix (see `docs/SHARDING.md`).
 #[derive(Debug, Clone)]
-pub struct SyncPayload<I, S> {
-    /// Snapshot of every object's state at the consistent cut (the
-    /// drain at which the recipient crashed).
-    pub snapshot: Vec<S>,
-    /// The cut's delivery frontier: batches delivered per sender,
-    /// installed into the causal broadcast via `resync`.
-    pub frontier: Vec<u64>,
+pub struct ShardSyncPayload<S> {
+    /// `(shard, its slots' states in ascending slot order)`.
+    pub shards: Vec<(u32, Vec<S>)>,
     /// The helper's Lamport time (arbitration safety margin).
     pub lamport: u64,
-    /// Every batch envelope the helper integrated after the cut, in
-    /// its delivery order — the missed-envelope replay.
-    pub retained: Vec<BatchMsg<I>>,
 }
 
 /// Everything the engine moves over the transport.
 #[derive(Debug, Clone)]
-pub enum StoreMsg<I, S> {
+pub enum StoreMsg<I, O, S> {
     /// A causal batch of updates (the fast path; subject to chaos).
     Batch(BatchMsg<I>),
-    /// Drain-time gap report: "some of this epoch's batches from you
-    /// never reached me; retransmit" (reliable). Carries no frontier:
-    /// mid-epoch delivery clocks depend on thread interleaving, so a
-    /// deterministic protocol retransmits the sender's whole epoch log
-    /// and lets the causal layer's duplicate suppression discard the
-    /// copies already held.
+    /// Drain-time gap report: "some of this epoch's envelopes on your
+    /// edge to me never arrived; retransmit" (reliable). Carries no
+    /// frontier: mid-epoch delivery clocks depend on thread
+    /// interleaving, so a deterministic protocol retransmits the
+    /// sender's whole per-edge epoch log and lets the causal layer's
+    /// duplicate suppression discard the copies already held.
     Nack,
-    /// Retransmission answering a [`StoreMsg::Nack`]: every batch the
-    /// sender flushed since the last drain, oldest first (reliable).
+    /// Retransmission answering a [`StoreMsg::Nack`]: every envelope
+    /// the sender addressed to the nacker since the last drain, oldest
+    /// first (reliable).
     Repair(Vec<BatchMsg<I>>),
-    /// Crash-recovery state transfer from the designated helper
+    /// Crash-recovery state transfer from a live co-replica helper
     /// (reliable).
-    Sync(Box<SyncPayload<I, S>>),
+    ShardSync(Box<ShardSyncPayload<S>>),
+    /// A non-replica's read routed to a live replica of the object's
+    /// shard (reliable): evaluate `input` against `obj` and reply.
+    ReadReq {
+        /// Target object id (pre-modulo).
+        obj: u32,
+        /// The query input.
+        input: I,
+    },
+    /// The routed read's answer (reliable).
+    ReadReply {
+        /// The serving replica's output.
+        output: O,
+    },
 }
 
-/// Estimated wire size of a batch: causal header (sender + clock) plus
+/// Estimated wire size of a batch: causal header (sender + edge
+/// sequence number + the n×n edge-knowledge matrix that carries
+/// transitive causal dependencies under partial replication) plus
 /// per-op object id, timestamp, tag byte, and the in-memory payload
 /// size as a stand-in for a real codec (see `cbm_net::msg` for exact
-/// encodings of the paper's message shapes).
+/// encodings of the paper's message shapes). The quadratic header is
+/// the textbook metadata cost of partially replicated causal
+/// consistency — real systems compress it (delta-encoding, stability
+/// pruning), which this estimate deliberately does not model.
 pub fn batch_bytes<I>(n_procs: usize, ops: &[WireOp<I>]) -> usize {
-    let header = 2 + 2 + 8 * n_procs;
+    let header = 2 + 2 + 8 + 8 * n_procs * n_procs;
     let per_op = 4 + 10 + 1 + std::mem::size_of::<I>();
     header + ops.len() * per_op
 }
@@ -82,7 +101,7 @@ pub fn nack_bytes() -> usize {
     2 + 1
 }
 
-/// Estimated wire size of a repair: the batches it retransmits.
+/// Estimated wire size of a repair: the envelopes it retransmits.
 pub fn repair_bytes<I>(n_procs: usize, batches: &[BatchMsg<I>]) -> usize {
     batches
         .iter()
@@ -90,13 +109,25 @@ pub fn repair_bytes<I>(n_procs: usize, batches: &[BatchMsg<I>]) -> usize {
         .sum()
 }
 
-/// Estimated wire size of a state transfer: per-object state size,
-/// frontier, and the retained replay.
-pub fn sync_bytes<I, S>(n_procs: usize, p: &SyncPayload<I, S>) -> usize {
-    p.snapshot.len() * std::mem::size_of::<S>()
-        + 8 * p.frontier.len()
+/// Estimated wire size of a state transfer: shard ids, per-object
+/// states, and the Lamport stamp.
+pub fn sync_bytes<S>(p: &ShardSyncPayload<S>) -> usize {
+    p.shards
+        .iter()
+        .map(|(_, states)| 4 + states.len() * std::mem::size_of::<S>())
+        .sum::<usize>()
         + 8
-        + repair_bytes(n_procs, &p.retained)
+}
+
+/// Estimated wire size of a routed read request (sender + object +
+/// input).
+pub fn read_req_bytes<I>() -> usize {
+    2 + 4 + std::mem::size_of::<I>()
+}
+
+/// Estimated wire size of a routed read reply (sender + output).
+pub fn read_reply_bytes<O>() -> usize {
+    2 + std::mem::size_of::<O>()
 }
 
 #[cfg(test)]
@@ -127,7 +158,8 @@ mod tests {
         };
         let env = BatchMsg {
             sender: 0,
-            vc: cbm_net::clock::VectorClock::new(2),
+            seq: 1,
+            knows: vec![0; 4],
             payload: vec![op],
         };
         assert_eq!(nack_bytes(), 3);
@@ -135,13 +167,12 @@ mod tests {
             repair_bytes(2, std::slice::from_ref(&env)),
             batch_bytes(2, &env.payload)
         );
-        let sync = SyncPayload::<u32, u64> {
-            snapshot: vec![0u64; 4],
-            frontier: vec![0, 0],
-            lamport: 0,
-            retained: vec![env],
+        let sync = ShardSyncPayload::<u64> {
+            shards: vec![(0, vec![0u64; 4]), (2, vec![0u64; 4])],
+            lamport: 9,
         };
-        let sz = sync_bytes(2, &sync);
-        assert_eq!(sz, 4 * 8 + 16 + 8 + repair_bytes(2, &sync.retained));
+        assert_eq!(sync_bytes(&sync), 2 * (4 + 4 * 8) + 8);
+        assert_eq!(read_req_bytes::<u32>(), 2 + 4 + 4);
+        assert_eq!(read_reply_bytes::<u64>(), 2 + 8);
     }
 }

@@ -15,7 +15,8 @@ use cbm_adt::register::{RegInput, Register};
 use cbm_adt::space::SpaceInput;
 use cbm_net::fault::{Fault, FaultPlan};
 use cbm_store::{
-    profile, run, BatchPolicy, Mode, StoreConfig, StoreReport, VerifyConfig, PROFILE_NAMES,
+    profile, run, BatchPolicy, Mode, ShardConfig, StoreConfig, StoreReport, VerifyConfig,
+    PROFILE_NAMES,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -36,6 +37,7 @@ fn cfg(mode: Mode, workers: usize, ops: usize, seed: u64, chaos: FaultPlan) -> S
             sample_every: 1,
         },
         seed,
+        sharding: ShardConfig::full(),
         chaos,
     }
 }
@@ -117,9 +119,10 @@ fn check_crash_recovery(mode: Mode, victim: usize, crash_e: u64, recover_e: u64,
     assert_eq!((rec.crash_epoch, rec.recover_epoch), (crash_e, recover_e));
     assert_ne!(rec.helper, victim);
     assert!(
-        rec.replayed_batches > 0,
-        "live workers kept writing; the replay cannot be empty"
+        rec.synced_shards > 0,
+        "recovery must install every hosted shard's state"
     );
+    assert!(rec.synced_objects > 0);
 
     // at least one window spans the recovery drain and still verifies
     let spanning: Vec<_> = chaos.windows.iter().filter(|w| w.spans_recovery).collect();
@@ -142,6 +145,75 @@ proptest! {
     ) {
         let mode = if convergent { Mode::Convergent } else { Mode::Causal };
         check_crash_recovery(mode, 2, crash_e, crash_e + extra, seed);
+    }
+}
+
+/// Crash/recovery under partial replication (rf = 2 of 4 workers):
+/// every hosted shard is re-installed from live co-replica helpers,
+/// and the run ends byte-identical — replica by replica — to its
+/// fault-free twin (cross-replica equality does not apply: partial
+/// replicas host different shards).
+fn check_sharded_crash_recovery(
+    mode: Mode,
+    victim: usize,
+    crash_e: u64,
+    recover_e: u64,
+    seed: u64,
+    placement_seed: u64,
+) {
+    let ops = 4 * EVERY;
+    let plan = FaultPlan::new()
+        .at(crash_e * EVERY as u64, Fault::Crash(victim))
+        .at(recover_e * EVERY as u64, Fault::Recover(victim));
+    let mut chaos_cfg = cfg(mode, 4, ops, seed, plan);
+    chaos_cfg.sharding = ShardConfig {
+        shards: 0,
+        replication: 2,
+        placement_seed,
+    };
+    let mut free_cfg = cfg(mode, 4, ops, seed, FaultPlan::new());
+    free_cfg.sharding = chaos_cfg.sharding;
+
+    let chaos = run(&Counter, &chaos_cfg, counter_gen(16));
+    let free = run(&Counter, &free_cfg, counter_gen(16));
+
+    assert_eq!(chaos.total_ops, free.total_ops, "script must resume fully");
+    assert_eq!(
+        chaos.final_state_hashes, free.final_state_hashes,
+        "every replica must end byte-identical to its fault-free twin"
+    );
+    assert_windows_ok(&chaos);
+    assert_windows_ok(&free);
+    assert!(chaos.windows.iter().all(|w| w.shard.is_some()));
+
+    assert_eq!(chaos.chaos.recoveries.len(), 1);
+    let rec = &chaos.chaos.recoveries[0];
+    assert_eq!(rec.worker, victim);
+    assert!(
+        rec.synced_shards > 0,
+        "the victim hosts shards; recovery must re-install them"
+    );
+    let spanning: Vec<_> = chaos.windows.iter().filter(|w| w.spans_recovery).collect();
+    assert!(!spanning.is_empty(), "no window spans the recovery");
+    assert!(spanning.iter().all(|w| w.result.is_ok()));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+    /// The sharded satellite property: crash/recovery at rf=2
+    /// converges to the fault-free twin across random victims, spans,
+    /// seeds, and placements, in both modes.
+    #[test]
+    fn sharded_crash_recovery_matches_fault_free_run(
+        victim in 1usize..=3,
+        crash_e in 1u64..=2,
+        extra in 1u64..=2,
+        seed in 0u64..1_000,
+        placement_seed in 0u64..8,
+        convergent in proptest::bool::ANY,
+    ) {
+        let mode = if convergent { Mode::Convergent } else { Mode::Causal };
+        check_sharded_crash_recovery(mode, victim, crash_e, crash_e + extra, seed, placement_seed);
     }
 }
 
@@ -260,8 +332,8 @@ fn every_profile_reproduces_counts_exactly() {
         // legitimately differ between runs; state identity is asserted
         // with the commutative counter space elsewhere
         for (x, y) in a.chaos.recoveries.iter().zip(&b.chaos.recoveries) {
-            assert_eq!(x.replayed_batches, y.replayed_batches, "{name}: replay");
-            assert_eq!(x.replayed_ops, y.replayed_ops, "{name}: replayed ops");
+            assert_eq!(x.synced_shards, y.synced_shards, "{name}: synced shards");
+            assert_eq!(x.synced_objects, y.synced_objects, "{name}: synced objects");
         }
     }
 }

@@ -5,7 +5,7 @@ use cbm_adt::counter::{Counter, CtInput};
 use cbm_adt::register::{RegInput, Register};
 use cbm_adt::space::SpaceInput;
 use cbm_net::fault::FaultPlan;
-use cbm_store::{run, BatchPolicy, Mode, StoreConfig, StoreReport, VerifyConfig};
+use cbm_store::{run, BatchPolicy, Mode, ShardConfig, StoreConfig, StoreReport, VerifyConfig};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -36,6 +36,7 @@ fn small_cfg(mode: Mode, batch: BatchPolicy) -> StoreConfig {
             sample_every: 1,
         },
         seed: 11,
+        sharding: ShardConfig::full(),
         chaos: FaultPlan::new(),
     }
 }
@@ -150,6 +151,7 @@ fn single_worker_degenerates_gracefully() {
             sample_every: 1,
         },
         seed: 3,
+        sharding: ShardConfig::full(),
         chaos: FaultPlan::new(),
     };
     let r = run(&Register, &cfg, reg_gen(8, 0.5));
@@ -171,12 +173,130 @@ fn sampling_disabled_still_completes() {
             sample_every: 1,
         },
         seed: 5,
+        sharding: ShardConfig::full(),
         chaos: FaultPlan::new(),
     };
     let r = run(&Register, &cfg, reg_gen(16, 0.5));
     assert_eq!(r.total_ops, 3_000);
     assert!(r.windows.is_empty());
     assert!(r.verified());
+}
+
+fn sharded_cfg(mode: Mode, rf: usize) -> StoreConfig {
+    StoreConfig {
+        sharding: ShardConfig::rf(rf),
+        ..small_cfg(mode, BatchPolicy::Every(8))
+    }
+}
+
+/// Health check for partially replicated runs: every sampled window
+/// splits per shard, every split verifies, and every shard shows up.
+fn assert_sharded_healthy(r: &StoreReport, shards: usize) {
+    assert_eq!(r.total_ops, r.config.total_ops());
+    assert!(!r.windows.is_empty(), "sampling produced no windows");
+    for w in &r.windows {
+        assert!(
+            w.result.is_ok(),
+            "window {} shard {:?} failed: {:?}",
+            w.window,
+            w.shard,
+            w.result
+        );
+        assert!(w.shard.is_some(), "partial replication verifies per shard");
+    }
+    for s in 0..shards {
+        assert!(
+            r.windows.iter().any(|w| w.shard == Some(s as u32)),
+            "shard {s} never verified"
+        );
+    }
+    assert!(r.verified());
+    assert!(r.latency.count == r.total_ops);
+}
+
+#[test]
+fn rf2_verifies_per_shard_windows_and_routes_reads() {
+    let r = run(&Register, &sharded_cfg(Mode::Causal, 2), reg_gen(32, 0.5));
+    assert_sharded_healthy(&r, 4);
+    assert!(
+        r.remote_reads > 0,
+        "half the objects are non-hosted: reads must route"
+    );
+    let served: u64 = r.per_worker.iter().map(|w| w.reads_served).sum();
+    assert_eq!(served, r.remote_reads, "every routed read was answered");
+    // updates always executed at replicas: every worker's updates ran
+    // locally, so payload counts match the update counts
+    let updates: u64 = r.per_worker.iter().map(|w| w.updates).sum();
+    assert!(r.payloads_sent <= updates);
+}
+
+#[test]
+fn rf2_cuts_replication_traffic_vs_full() {
+    // update-only workload isolates the multicast fan-out: at rf 2 of
+    // 4 workers each batch goes to 1 peer instead of 3
+    let full = run(&Register, &sharded_cfg(Mode::Causal, 0), reg_gen(32, 0.0));
+    let rf2 = run(&Register, &sharded_cfg(Mode::Causal, 2), reg_gen(32, 0.0));
+    assert_healthy(&full);
+    assert_sharded_healthy(&rf2, 4);
+    assert_eq!(rf2.remote_reads, 0, "no reads in this workload");
+    assert!(
+        rf2.msgs_sent * 2 <= full.msgs_sent,
+        "rf=2/4 workers must at least halve messages ({} vs {})",
+        rf2.msgs_sent,
+        full.msgs_sent
+    );
+    assert!(rf2.bytes_sent * 2 <= full.bytes_sent);
+}
+
+#[test]
+fn rf1_replicates_nothing_and_still_serves_reads() {
+    let r = run(&Register, &sharded_cfg(Mode::Causal, 1), reg_gen(32, 0.5));
+    assert_sharded_healthy(&r, 4);
+    assert_eq!(r.batches_sent, 0, "single replicas have no peers");
+    assert!(r.remote_reads > 0);
+    // the only traffic is read request/reply pairs
+    assert_eq!(r.msgs_sent, 2 * r.remote_reads);
+}
+
+#[test]
+fn convergent_rf2_converges_per_shard() {
+    let r = run(
+        &Register,
+        &sharded_cfg(Mode::Convergent, 2),
+        reg_gen(32, 0.5),
+    );
+    assert_sharded_healthy(&r, 4);
+    assert!(r.drains_converged, "shard replicas must agree at drains");
+    assert!(r.windows.iter().all(|w| w.criterion == "CCv"));
+}
+
+#[test]
+fn sharded_counts_are_deterministic_across_runs() {
+    let cfg = sharded_cfg(Mode::Causal, 2);
+    let a = run(&Register, &cfg, reg_gen(32, 0.5));
+    let b = run(&Register, &cfg, reg_gen(32, 0.5));
+    assert_eq!(a.msgs_sent, b.msgs_sent);
+    assert_eq!(a.bytes_sent, b.bytes_sent);
+    assert_eq!(a.batches_sent, b.batches_sent);
+    assert_eq!(a.payloads_sent, b.payloads_sent);
+    assert_eq!(a.remote_reads, b.remote_reads);
+    assert_eq!(a.windows.len(), b.windows.len());
+    for (x, y) in a.per_worker.iter().zip(&b.per_worker) {
+        assert_eq!(x.updates, y.updates);
+        assert_eq!(x.remote_reads, y.remote_reads);
+        assert_eq!(x.batches_sent, y.batches_sent);
+    }
+}
+
+#[test]
+fn placement_seed_moves_traffic_but_keeps_verification() {
+    let mut cfg = sharded_cfg(Mode::Causal, 2);
+    cfg.sharding.placement_seed = 1;
+    let a = run(&Register, &cfg, reg_gen(32, 0.5));
+    cfg.sharding.placement_seed = 99;
+    let b = run(&Register, &cfg, reg_gen(32, 0.5));
+    assert_sharded_healthy(&a, 4);
+    assert_sharded_healthy(&b, 4);
 }
 
 #[test]
