@@ -3,7 +3,16 @@
 //!
 //! ```text
 //! chaos_loadgen [--quick] [--out PATH] [--seeds N] [--summary PATH] [--rf N]
+//!               [--trace] [--trace-dir DIR]
 //! ```
+//!
+//! Tracing is **automatic** for chaos runs (the engine's flight
+//! recorder turns on whenever a fault schedule is active), so every
+//! failing cell dumps its flight record into `--trace-dir` (default
+//! `traces/`) as `<profile>-<mode>-s<seed>.trace.json` +
+//! `.jsonl` without any flag; `--trace` additionally dumps the green
+//! cells. The nightly chaos matrix uploads these dumps as artifacts
+//! for non-green cells (see `docs/OBSERVABILITY.md`).
 //!
 //! For every **fault profile × mode × seed** cell this binary runs the
 //! engine **three times**:
@@ -32,8 +41,8 @@
 use cbm_adt::counter::{Counter, CtInput};
 use cbm_adt::space::SpaceInput;
 use cbm_store::{
-    profile, run, BatchPolicy, Mode, ShardConfig, StoreConfig, StoreReport, VerifyConfig,
-    PROFILE_NAMES,
+    profile, run, BatchPolicy, Mode, ObsConfig, ShardConfig, StoreConfig, StoreReport,
+    VerifyConfig, PROFILE_NAMES,
 };
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -85,6 +94,7 @@ fn cfg(
         seed,
         sharding: ShardConfig::rf(rf),
         chaos,
+        obs: ObsConfig::default(),
     }
 }
 
@@ -232,10 +242,20 @@ fn main() -> ExitCode {
     let mut summary_path: Option<String> = None;
     let mut seeds: u64 = 0;
     let mut rf: usize = 0;
+    let mut trace = false;
+    let mut trace_dir = String::from("traces");
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
+            "--trace" => trace = true,
+            "--trace-dir" => match it.next() {
+                Some(p) => trace_dir = p.clone(),
+                None => {
+                    eprintln!("--trace-dir needs a path");
+                    return ExitCode::from(2);
+                }
+            },
             "--out" => match it.next() {
                 Some(p) => out_path = p.clone(),
                 None => {
@@ -266,7 +286,8 @@ fn main() -> ExitCode {
             },
             "--help" | "-h" => {
                 println!(
-                    "chaos_loadgen [--quick] [--out PATH] [--seeds N] [--summary PATH] [--rf N]"
+                    "chaos_loadgen [--quick] [--out PATH] [--seeds N] [--summary PATH] \
+                     [--rf N] [--trace] [--trace-dir DIR]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -288,22 +309,39 @@ fn main() -> ExitCode {
                 let seed = 42 + s;
                 let cell = run_cell(name, mode, seed, quick, rf);
                 eprint!(
-                    "{:>16} {} seed {}: {} msgs, {} drops, {} dups, {} repairs",
+                    "{:>16} {} seed {}: {} msgs, {} drops [{}], {} dups [{}], \
+                     {} delayed, {} repairs",
                     cell.profile,
                     mode.criterion(),
                     seed,
                     cell.report.msgs_sent,
                     cell.report.chaos.drops,
+                    per_node(&cell.report.chaos.dropped_per_node),
                     cell.report.chaos.dups,
+                    per_node(&cell.report.chaos.dup_per_node),
+                    cell.report.chaos.delayed,
                     cell.report.chaos.repairs,
                 );
-                if cell.failures.is_empty() {
+                let green = cell.failures.is_empty();
+                if green {
                     eprintln!(" ... ok");
                 } else {
                     failed += 1;
                     eprintln!(" ... FAIL");
                     for f in &cell.failures {
                         eprintln!("    {f}");
+                    }
+                }
+                // tracing is auto-on under chaos, so every non-green
+                // cell has a flight record to dump for post-mortems;
+                // --trace keeps the green ones too
+                if let Some(rec) = &cell.report.trace {
+                    if trace || !green {
+                        let fname = format!("{}-{}-s{}", cell.profile, mode.criterion(), cell.seed);
+                        match cbm_bench::write_trace(&trace_dir, &fname, rec) {
+                            Ok((chrome, jsonl)) => eprintln!("    trace: {chrome} + {jsonl}"),
+                            Err(e) => eprintln!("    trace: could not write to {trace_dir}: {e}"),
+                        }
                     }
                 }
                 cells.push(cell);
@@ -429,6 +467,16 @@ fn render_json(quick: bool, seeds: u64, rf: usize, cells: &[Cell]) -> String {
     s
 }
 
+/// Per-recipient fault counts as `a/b/c/d` (one slot per node), the
+/// compact breakdown for one-line reports and summary cells.
+fn per_node(counts: &[u64]) -> String {
+    counts
+        .iter()
+        .map(|c| c.to_string())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
 /// Append a GitHub Actions job-summary markdown table.
 fn append_summary(path: &str, quick: bool, cells: &[Cell]) -> std::io::Result<()> {
     let rows: Vec<Vec<String>> = cells
@@ -440,8 +488,13 @@ fn append_summary(path: &str, quick: bool, cells: &[Cell]) -> std::io::Result<()
                 c.mode.criterion().to_string(),
                 c.seed.to_string(),
                 r.msgs_sent.to_string(),
-                r.chaos.drops.to_string(),
-                r.chaos.dups.to_string(),
+                format!(
+                    "{} ({})",
+                    r.chaos.drops,
+                    per_node(&r.chaos.dropped_per_node)
+                ),
+                format!("{} ({})", r.chaos.dups, per_node(&r.chaos.dup_per_node)),
+                r.chaos.delayed.to_string(),
                 r.chaos.repairs.to_string(),
                 r.chaos.recoveries.len().to_string(),
                 format!("{}/{}", r.windows.len() - r.windows_failed, r.windows.len()),
@@ -459,8 +512,9 @@ fn append_summary(path: &str, quick: bool, cells: &[Cell]) -> std::io::Result<()
             "mode",
             "seed",
             "msgs",
-            "drops",
-            "dups",
+            "drops (per node)",
+            "dups (per node)",
+            "delayed",
             "repairs",
             "recoveries",
             "windows",

@@ -3,10 +3,19 @@
 //!
 //! ```text
 //! loadgen [--quick] [--out PATH] [--summary PATH] [--baseline PATH]
-//!         [--gate PATH] [--workers N] [--objects N] [--ops N]
-//!         [--read-ratio R] [--batch N|off] [--mode cc|ccv] [--seed S]
-//!         [--rf N] [--remote-read-ratio R]
+//!         [--gate PATH] [--trace] [--trace-dir DIR] [--workers N]
+//!         [--objects N] [--ops N] [--read-ratio R] [--batch N|off]
+//!         [--mode cc|ccv] [--seed S] [--rf N] [--remote-read-ratio R]
 //! ```
+//!
+//! `--trace` turns on the `cbm-obs` flight recorder for every leg and
+//! dumps each leg's trace into `--trace-dir` (default `traces/`) as
+//! both `<leg>.trace.json` (Chrome/Perfetto) and `<leg>.jsonl` (the
+//! byte-comparable logical timeline; see `docs/OBSERVABILITY.md`).
+//! Even without `--trace`, a leg that fails verification or needed
+//! repair/recovery dumps its flight record automatically whenever the
+//! engine recorded one. Tracing never changes the deterministic
+//! message/byte counts, so `--trace` composes with `--gate`.
 //!
 //! `--summary` appends a markdown table (one row per leg, with the
 //! committed baseline's deterministic message count alongside when
@@ -48,7 +57,8 @@ use cbm_adt::register::RegInput;
 use cbm_adt::register::Register;
 use cbm_adt::space::SpaceInput;
 use cbm_store::{
-    run, BatchPolicy, Mode, ShardConfig, ShardMap, StoreConfig, StoreReport, VerifyConfig,
+    run, BatchPolicy, Mode, ObsConfig, ShardConfig, ShardMap, StoreConfig, StoreReport,
+    VerifyConfig,
 };
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -96,6 +106,7 @@ fn leg(
             seed,
             sharding: ShardConfig::full(),
             chaos: cbm_net::fault::FaultPlan::new(),
+            obs: ObsConfig::default(),
         },
         read_ratio,
         remote_read_ratio: 0.0,
@@ -379,6 +390,8 @@ fn main() -> ExitCode {
     let mut summary_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
     let mut gate_path: Option<String> = None;
+    let mut trace = false;
+    let mut trace_dir = String::from("traces");
     let mut custom = StoreConfig::default();
     let mut custom_read_ratio = 0.5;
     let mut custom_remote_read_ratio = 0.05;
@@ -420,6 +433,14 @@ fn main() -> ExitCode {
                 Some(p) => gate_path = Some(p.clone()),
                 None => {
                     eprintln!("--gate needs a baseline path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--trace" => trace = true,
+            "--trace-dir" => match it.next() {
+                Some(p) => trace_dir = p.clone(),
+                None => {
+                    eprintln!("--trace-dir needs a path");
                     return ExitCode::from(2);
                 }
             },
@@ -518,9 +539,9 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "loadgen [--quick] [--out PATH] [--summary PATH] [--baseline PATH] \
-                     [--gate PATH] [--workers N] [--objects N] [--ops N] [--read-ratio R] \
-                     [--batch N|off] [--mode cc|ccv] [--seed S] [--rf N] \
-                     [--remote-read-ratio R]"
+                     [--gate PATH] [--trace] [--trace-dir DIR] [--workers N] [--objects N] \
+                     [--ops N] [--read-ratio R] [--batch N|off] [--mode cc|ccv] [--seed S] \
+                     [--rf N] [--remote-read-ratio R]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -531,7 +552,7 @@ fn main() -> ExitCode {
         }
     }
 
-    let legs: Vec<Leg> = if is_custom {
+    let mut legs: Vec<Leg> = if is_custom {
         custom.verify.every_ops = custom
             .verify
             .every_ops
@@ -548,6 +569,11 @@ fn main() -> ExitCode {
     } else {
         full_matrix()
     };
+    if trace {
+        for l in &mut legs {
+            l.cfg.obs.trace = true;
+        }
+    }
 
     let mut reports: Vec<(Leg, StoreReport)> = Vec::new();
     let mut failures = 0usize;
@@ -572,6 +598,18 @@ fn main() -> ExitCode {
         }
         if !r.verified() {
             failures += 1;
+        }
+        // Flight-recorder dump: always under --trace; automatically on
+        // a failed verdict or any repair/recovery the engine traced.
+        if let Some(rec) = &r.trace {
+            let wanted =
+                trace || !r.verified() || r.chaos.repairs > 0 || !r.chaos.recoveries.is_empty();
+            if wanted {
+                match cbm_bench::write_trace(&trace_dir, &l.name, rec) {
+                    Ok((chrome, jsonl)) => eprintln!("  trace: {chrome} + {jsonl}"),
+                    Err(e) => eprintln!("  trace: could not write to {trace_dir}: {e}"),
+                }
+            }
         }
         reports.push((l.clone(), r));
     }
@@ -739,7 +777,21 @@ fn append_summary(
             "windows",
         ],
         &rows,
-    )
+    )?;
+
+    // Per-epoch dashboard: every column deterministic per
+    // (config, seed), so this table diffs exactly across reruns.
+    let mut epoch_rows: Vec<Vec<String>> = Vec::new();
+    for (l, r) in reports {
+        for e in &r.epochs {
+            let mut row = vec![l.name.clone()];
+            row.extend(cbm_bench::epoch_row(e));
+            epoch_rows.push(row);
+        }
+    }
+    let mut columns: Vec<&str> = vec!["leg"];
+    columns.extend(cbm_bench::EPOCH_COLUMNS);
+    cbm_bench::append_summary_table(path, "Per-epoch activity", &columns, &epoch_rows)
 }
 
 /// Hand-rolled JSON (the offline `serde` stand-in has no serializer;

@@ -33,6 +33,13 @@
 //!
 //! Exit status: non-zero iff a verdict in the matrix is `unknown`, a
 //! scenario run fails verification, or the node gate trips.
+//!
+//! The run also measures **tracing overhead**: one quick store leg
+//! with the `cbm-obs` flight recorder off, then on, reporting the
+//! throughput ratio to stdout and `--summary`. The column is
+//! **non-gating** (wall-clock, machine-dependent) and is not part of
+//! the committed JSON; the observability acceptance bar (tracing-on
+//! within 10% of tracing-off) is checked by eye on this line.
 
 use cbm_bench::{field_str, field_u64, recorded_window_adt, recorded_window_history};
 use cbm_check::{check, Budget, Criterion, Verdict};
@@ -178,6 +185,14 @@ fn main() -> ExitCode {
         });
     }
 
+    // --- Tracing overhead (non-gating) ----------------------------------
+    let (ops_off, ops_on) = tracing_overhead(quick);
+    let overhead_pct = (ops_off / ops_on - 1.0) * 100.0;
+    println!(
+        "tracing overhead (store leg, non-gating): off {:.0} ops/s, on {:.0} ops/s ({:+.1}%)",
+        ops_off, ops_on, overhead_pct
+    );
+
     // --- Emit -----------------------------------------------------------
     let json = render_json(quick, iters, &cells, &scen_cells);
     if let Err(e) = std::fs::write(&out_path, &json) {
@@ -249,6 +264,19 @@ fn main() -> ExitCode {
         if let Err(e) = append_summary(&path, quick, &cells, &scen_cells, &committed_nodes) {
             eprintln!("could not write summary {path}: {e}");
         }
+        let row = vec![vec![
+            format!("{ops_off:.0}"),
+            format!("{ops_on:.0}"),
+            format!("{overhead_pct:+.1}%"),
+        ]];
+        if let Err(e) = cbm_bench::append_summary_table(
+            &path,
+            "Tracing overhead (non-gating)",
+            &["ops/s trace off", "ops/s trace on", "overhead"],
+            &row,
+        ) {
+            eprintln!("could not write summary {path}: {e}");
+        }
     }
 
     if unknowns > 0 || scen_failures > 0 || gate_failures > 0 {
@@ -260,6 +288,53 @@ fn main() -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Run one small store leg with the flight recorder off, then on,
+/// and return `(ops_per_sec_off, ops_per_sec_on)`. Same
+/// `(config, seed)` both times — tracing must not change any
+/// deterministic column, only (bounded) wall time.
+fn tracing_overhead(quick: bool) -> (f64, f64) {
+    use cbm_adt::register::{RegInput, Register};
+    use cbm_adt::space::SpaceInput;
+    use cbm_store::{BatchPolicy, Mode, ObsConfig, ShardConfig, StoreConfig, VerifyConfig};
+    use rand::Rng;
+
+    let ops = if quick { 4_000 } else { 40_000 };
+    let mut cfg = StoreConfig {
+        workers: 4,
+        objects: 64,
+        ops_per_worker: ops,
+        mode: Mode::Causal,
+        batch: BatchPolicy::Every(8),
+        verify: VerifyConfig {
+            every_ops: ops / 4,
+            window_ops: 24,
+            sample_every: 1,
+        },
+        seed: 42,
+        sharding: ShardConfig::full(),
+        chaos: cbm_net::fault::FaultPlan::new(),
+        obs: ObsConfig::default(),
+    };
+    let gen = |_: usize, _: u64, rng: &mut rand::rngs::StdRng| {
+        let obj = rng.gen_range(0u32..64);
+        if rng.gen_bool(0.5) {
+            SpaceInput::new(obj, RegInput::Read)
+        } else {
+            SpaceInput::new(obj, RegInput::Write(rng.gen_range(1u64..1_000_000)))
+        }
+    };
+    // best-of-3 per side: the legs are short, so single runs are too
+    // noisy to read a ~5% effect from
+    let best = |cfg: &cbm_store::StoreConfig| {
+        (0..3)
+            .map(|_| cbm_store::run(&Register, cfg, gen).ops_per_sec)
+            .fold(0.0f64, f64::max)
+    };
+    let off = best(&cfg);
+    cfg.obs.trace = true;
+    (off, best(&cfg))
 }
 
 /// Append a GitHub Actions job-summary markdown table: checker node

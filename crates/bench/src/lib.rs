@@ -225,6 +225,57 @@ pub fn append_summary_table(
     writeln!(f)
 }
 
+/// Columns of the per-epoch dashboard table (prefix each row with a
+/// leg/cell name column when rendering several runs into one table).
+pub const EPOCH_COLUMNS: [&str; 11] = [
+    "epoch",
+    "ops",
+    "updates",
+    "remote reads",
+    "batches",
+    "payloads",
+    "delivered",
+    "nacks",
+    "repairs",
+    "faults",
+    "crashed",
+];
+
+/// One [`EPOCH_COLUMNS`] row. Every value is deterministic per
+/// `(config, seed)`, so these tables diff exactly across reruns.
+pub fn epoch_row(e: &cbm_store::EpochMetrics) -> Vec<String> {
+    vec![
+        e.epoch.to_string(),
+        e.ops.to_string(),
+        e.updates.to_string(),
+        e.remote_reads.to_string(),
+        e.batches.to_string(),
+        e.payloads.to_string(),
+        e.delivered.to_string(),
+        e.nacks.to_string(),
+        e.repairs.to_string(),
+        e.faults.to_string(),
+        e.crashed.to_string(),
+    ]
+}
+
+/// Dump a run's flight record as both export formats:
+/// `dir/name.trace.json` (load in Perfetto / `chrome://tracing`) and
+/// `dir/name.jsonl` (the byte-comparable logical timeline). Returns
+/// the two paths written.
+pub fn write_trace(
+    dir: &str,
+    name: &str,
+    rec: &cbm_obs::FlightRecord,
+) -> std::io::Result<(String, String)> {
+    std::fs::create_dir_all(dir)?;
+    let chrome = format!("{dir}/{name}.trace.json");
+    let jsonl = format!("{dir}/{name}.jsonl");
+    std::fs::write(&chrome, cbm_obs::export::chrome_json(rec))?;
+    std::fs::write(&jsonl, cbm_obs::export::jsonl(rec))?;
+    Ok((chrome, jsonl))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

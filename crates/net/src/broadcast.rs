@@ -556,6 +556,20 @@ impl<P: Clone> InterestCausalBroadcast<P> {
         self.pending.len()
     }
 
+    /// Snapshot of this node's current edge knowledge: the `seen`
+    /// matrix with our own row replaced by `edge_sent` — exactly the
+    /// stamp the **next** envelope flushed from here would carry
+    /// *before* its own edge increments. Row-major `n × n`,
+    /// `knowledge[j * n + r]` = envelopes we know `j` has sent to `r`.
+    /// Observability hook (trace spans stamp flushes with it); never
+    /// read by the protocol itself.
+    pub fn knowledge(&self) -> Vec<u64> {
+        let n = self.cluster_size();
+        let mut k = self.seen.clone();
+        k[self.me * n..(self.me + 1) * n].copy_from_slice(&self.edge_sent);
+        k
+    }
+
     /// Reset this endpoint to a consistent cut (crash recovery).
     ///
     /// `delivered` is the cut's per-edge frontier (`delivered[j]` =
@@ -679,6 +693,13 @@ impl<P: Clone> InterestBatchCausalBroadcast<P> {
     /// Entries in the duplicate-suppression set.
     pub fn suppression_len(&self) -> usize {
         self.inner.suppression_len()
+    }
+
+    /// Current edge-knowledge snapshot (see
+    /// [`InterestCausalBroadcast::knowledge`]): the pre-flush clock
+    /// stamp trace spans attach to `batch_flush` events.
+    pub fn knowledge(&self) -> Vec<u64> {
+        self.inner.knowledge()
     }
 
     /// Reset to a consistent cut after crash recovery (see

@@ -91,6 +91,48 @@ pub struct ChaosCounters {
     pub crash_discarded: u64,
 }
 
+/// Kind of an injected fault, for trace recording. The numeric
+/// [`code`](ChaosEventKind::code) is what `fault` trace spans carry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosEventKind {
+    /// A copy lost (probabilistic drop or crashed recipient).
+    Drop,
+    /// An extra copy injected.
+    Dup,
+    /// A send parked on a blocked link.
+    Park,
+    /// A parked send released by a heal.
+    Release,
+    /// A parked send pruned at a drain.
+    Prune,
+    /// A send held back by a latency fault.
+    Delay,
+    /// An outbound message discarded by this endpoint crashing.
+    CrashDiscard,
+}
+
+impl ChaosEventKind {
+    /// Stable numeric code (0..=6, in declaration order).
+    pub fn code(self) -> u64 {
+        self as u64
+    }
+}
+
+/// One recorded fault injection: what happened, to which recipient, at
+/// which operation tick of the injecting endpoint. Every field is a
+/// pure function of `(config, seed)` — the injection sequence is
+/// keyed to the sender's own deterministic operation clock — so
+/// recorded events are safe to include in byte-compared trace output.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChaosEvent {
+    /// Operation tick of the injecting endpoint at injection time.
+    pub vtime: u64,
+    /// Recipient the affected message was addressed to.
+    pub to: NodeId,
+    /// What was injected.
+    pub kind: ChaosEventKind,
+}
+
 /// An [`Endpoint`] with a deterministic sender-side fault layer.
 pub struct ChaosEndpoint<M> {
     ep: Endpoint<M>,
@@ -103,6 +145,13 @@ pub struct ChaosEndpoint<M> {
     parked: Vec<Parked<M>>,
     delayed: Vec<Delayed<M>>,
     counters: ChaosCounters,
+    /// Fault-event recording (observability): disabled unless
+    /// [`ChaosEndpoint::record_events`] sets a nonzero cap. Recording
+    /// mirrors the counter increments one-to-one and never perturbs
+    /// the fault rolls, so enabling it cannot change behaviour.
+    events: Vec<ChaosEvent>,
+    event_cap: usize,
+    events_overflow: u64,
 }
 
 impl<M: Clone + Send> ChaosEndpoint<M> {
@@ -122,6 +171,43 @@ impl<M: Clone + Send> ChaosEndpoint<M> {
             parked: Vec::new(),
             delayed: Vec::new(),
             counters: ChaosCounters::default(),
+            events: Vec::new(),
+            event_cap: 0,
+            events_overflow: 0,
+        }
+    }
+
+    /// Enable fault-event recording, retaining at most `cap` events
+    /// between [`take_events`](ChaosEndpoint::take_events) calls
+    /// (`0` disables). Events past the cap are counted in
+    /// [`events_overflow`](ChaosEndpoint::events_overflow) instead.
+    pub fn record_events(&mut self, cap: usize) {
+        self.event_cap = cap;
+    }
+
+    /// Drain the recorded fault events (injection order, which is the
+    /// endpoint's deterministic send order).
+    pub fn take_events(&mut self) -> Vec<ChaosEvent> {
+        std::mem::take(&mut self.events)
+    }
+
+    /// Events lost to the recording cap so far.
+    pub fn events_overflow(&self) -> u64 {
+        self.events_overflow
+    }
+
+    fn record(&mut self, kind: ChaosEventKind, to: NodeId) {
+        if self.event_cap == 0 {
+            return;
+        }
+        if self.events.len() < self.event_cap {
+            self.events.push(ChaosEvent {
+                vtime: self.vtime,
+                to,
+                kind,
+            });
+        } else {
+            self.events_overflow += 1;
         }
     }
 
@@ -176,6 +262,7 @@ impl<M: Clone + Send> ChaosEndpoint<M> {
     pub fn send(&mut self, to: NodeId, msg: M, bytes: usize) {
         if self.self_crashed {
             self.counters.crash_discarded += 1;
+            self.record(ChaosEventKind::CrashDiscard, to);
             return;
         }
         if self.peer_crashed[to] {
@@ -185,6 +272,7 @@ impl<M: Clone + Send> ChaosEndpoint<M> {
         }
         if self.links[to].blocked {
             self.counters.parked += 1;
+            self.record(ChaosEventKind::Park, to);
             self.parked.push(Parked { to, msg, bytes });
             return;
         }
@@ -196,6 +284,7 @@ impl<M: Clone + Send> ChaosEndpoint<M> {
         {
             self.counters.dups += 1;
             self.stats().dup_per_node[to].fetch_add(1, Ordering::Relaxed);
+            self.record(ChaosEventKind::Dup, to);
             2
         } else {
             1
@@ -204,6 +293,7 @@ impl<M: Clone + Send> ChaosEndpoint<M> {
         for _ in 0..copies {
             if delay > 0 {
                 self.counters.delayed += 1;
+                self.record(ChaosEventKind::Delay, to);
                 self.delayed.push(Delayed {
                     due: self.vtime + delay,
                     to,
@@ -270,6 +360,10 @@ impl<M: Clone + Send> ChaosEndpoint<M> {
     /// traffic after the drain.
     pub fn prune_parked(&mut self) {
         self.counters.pruned += self.parked.len() as u64;
+        let targets: Vec<NodeId> = self.parked.iter().map(|p| p.to).collect();
+        for to in targets {
+            self.record(ChaosEventKind::Prune, to);
+        }
         self.parked.clear();
     }
 
@@ -308,11 +402,13 @@ impl<M: Clone + Send> ChaosEndpoint<M> {
         for p in parked {
             self.count_drop(p.to);
             self.counters.crash_discarded += 1;
+            self.record(ChaosEventKind::CrashDiscard, p.to);
         }
         let delayed = std::mem::take(&mut self.delayed);
         for d in delayed {
             self.count_drop(d.to);
             self.counters.crash_discarded += 1;
+            self.record(ChaosEventKind::CrashDiscard, d.to);
         }
     }
 
@@ -325,6 +421,7 @@ impl<M: Clone + Send> ChaosEndpoint<M> {
                 still.push(p);
             } else {
                 self.counters.released += 1;
+                self.record(ChaosEventKind::Release, p.to);
                 self.transmit(p.to, p.msg, p.bytes);
             }
         }
@@ -342,6 +439,7 @@ impl<M: Clone + Send> ChaosEndpoint<M> {
     fn count_drop(&mut self, to: NodeId) {
         self.counters.drops += 1;
         self.stats().dropped_per_node[to].fetch_add(1, Ordering::Relaxed);
+        self.record(ChaosEventKind::Drop, to);
     }
 
     /// Graceful shutdown of the underlying endpoint.
@@ -649,6 +747,58 @@ mod tests {
             received += 1;
         }
         assert_eq!(received, wire_msgs, "counted copies all reached queues");
+    }
+
+    #[test]
+    fn event_recording_mirrors_counters_and_is_off_by_default() {
+        let (mut a, _b) = pair();
+        a.set_link_drop(0, 1, 1.0);
+        a.send(1, 1, 1);
+        assert!(a.take_events().is_empty(), "recording is opt-in");
+
+        a.record_events(16);
+        a.advance_to(5);
+        a.send(1, 2, 1); // dropped
+        a.set_link_drop(0, 1, 0.0);
+        a.set_link_blocked(0, 1, true);
+        a.send(1, 3, 1); // parked
+        a.prune_parked();
+        let ev = a.take_events();
+        assert_eq!(
+            ev,
+            vec![
+                ChaosEvent {
+                    vtime: 5,
+                    to: 1,
+                    kind: ChaosEventKind::Drop
+                },
+                ChaosEvent {
+                    vtime: 5,
+                    to: 1,
+                    kind: ChaosEventKind::Park
+                },
+                ChaosEvent {
+                    vtime: 5,
+                    to: 1,
+                    kind: ChaosEventKind::Prune
+                },
+            ]
+        );
+        assert!(a.take_events().is_empty(), "take drains");
+        assert_eq!(a.events_overflow(), 0);
+    }
+
+    #[test]
+    fn event_recording_caps_and_counts_overflow() {
+        let (mut a, _b) = pair();
+        a.record_events(2);
+        a.set_link_drop(0, 1, 1.0);
+        for i in 0..5 {
+            a.send(1, i, 1);
+        }
+        assert_eq!(a.take_events().len(), 2);
+        assert_eq!(a.events_overflow(), 3);
+        assert_eq!(a.counters().drops, 5, "counters unaffected by the cap");
     }
 
     #[test]

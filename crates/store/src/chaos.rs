@@ -401,7 +401,7 @@ pub fn profile(name: &str, workers: usize, every_ops: usize) -> Option<FaultPlan
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{BatchPolicy, Mode, ShardConfig, StoreConfig, VerifyConfig};
+    use crate::config::{BatchPolicy, Mode, ObsConfig, ShardConfig, StoreConfig, VerifyConfig};
 
     fn cfg(workers: usize, ops: usize, every: usize, chaos: FaultPlan) -> StoreConfig {
         StoreConfig {
@@ -418,6 +418,7 @@ mod tests {
             seed: 1,
             sharding: ShardConfig::full(),
             chaos,
+            obs: ObsConfig::default(),
         }
     }
 

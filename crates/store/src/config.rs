@@ -121,6 +121,54 @@ impl Default for VerifyConfig {
     }
 }
 
+/// Observability knobs (see `docs/OBSERVABILITY.md`). Metrics are
+/// always collected (local accumulation, merged at drains — no hot
+/// path cost); span tracing is opt-in here and switched on
+/// automatically for chaos runs, whose failures are what the flight
+/// recorder exists to explain.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Record trace spans (`false` = chaos runs only). Tracing never
+    /// sends messages or changes protocol decisions, so the
+    /// deterministic columns of a run are identical with it on or
+    /// off.
+    pub trace: bool,
+    /// Record every `op_sample_every`-th operation as an `op` span
+    /// (deterministic stride on the worker's own op counter; `0`
+    /// disables op spans). Drain/repair/fault/crash/recover/verify
+    /// spans are always recorded when tracing is on.
+    pub op_sample_every: usize,
+    /// Record every `batch_sample_every`-th `batch_flush` / `deliver`
+    /// span, strided on the envelope's per-edge sequence number (`0`
+    /// disables them). Seqs are deterministic logical keys, so the
+    /// sampled set is identical across runs **and** the flush and
+    /// deliver halves of an envelope sample together — the
+    /// clock-domination pairing survives any stride. These two kinds
+    /// dominate span volume (one per envelope per direction); the
+    /// stride is what keeps full-matrix tracing overhead within the
+    /// ~10% budget. Set to `1` for exhaustive envelope tracing when
+    /// debugging a specific run.
+    pub batch_sample_every: usize,
+    /// Retained spans per kind per epoch per worker; deterministic
+    /// truncation past this (see `cbm_obs::trace::TraceConfig`).
+    pub epoch_cap: usize,
+    /// Most recent sealed epochs each worker retains (flight-recorder
+    /// window; `0` keeps all epochs).
+    pub keep_epochs: usize,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            trace: false,
+            op_sample_every: 64,
+            batch_sample_every: 32,
+            epoch_cap: 4096,
+            keep_epochs: 0,
+        }
+    }
+}
+
 /// Full engine configuration.
 #[derive(Debug, Clone)]
 pub struct StoreConfig {
@@ -155,6 +203,9 @@ pub struct StoreConfig {
     /// boundaries (multiples of `verify.every_ops`); link faults may
     /// fire anywhere. See `docs/CHAOS.md`.
     pub chaos: FaultPlan,
+    /// Observability: tracing opt-in and bounds (metrics are always
+    /// on). See `docs/OBSERVABILITY.md`.
+    pub obs: ObsConfig,
 }
 
 impl Default for StoreConfig {
@@ -169,6 +220,7 @@ impl Default for StoreConfig {
             seed: 1,
             sharding: ShardConfig::full(),
             chaos: FaultPlan::new(),
+            obs: ObsConfig::default(),
         }
     }
 }

@@ -80,7 +80,8 @@ use crate::objects::ObjectTable;
 use crate::record::{verify_shard_windows, OwnEvent, WindowRecord, WindowRecorder};
 use crate::shard::ShardMap;
 use crate::stats::{
-    summarize_latencies, ChaosReport, RecoveryStats, StoreReport, WindowVerdict, WorkerStats,
+    ChaosReport, EpochMetrics, LatencySummary, RecoveryStats, StoreReport, WindowVerdict,
+    WorkerStats,
 };
 use crate::wire::{
     batch_bytes, nack_bytes, read_reply_bytes, read_req_bytes, repair_bytes, sync_bytes, BatchMsg,
@@ -94,11 +95,16 @@ use cbm_net::clock::{LamportClock, Timestamp};
 use cbm_net::fault::FaultSchedule;
 use cbm_net::thread_net::ThreadNet;
 use cbm_net::NodeId;
+use cbm_obs::trace::TraceConfig;
+use cbm_obs::{
+    AtomicHistogram, Counter, EpochTracer, FlightRecord, Gauge, LatencyHistogram, Registry, Span,
+    SpanKind,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
-use std::sync::Barrier;
+use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
 /// Shared rendezvous state.
@@ -145,6 +151,76 @@ impl Coordinator {
     }
 }
 
+/// Handles into the run's lock-free metrics [`Registry`]: every
+/// series is registered once before the workers spawn, then shared
+/// immutably. Workers accumulate in plain locals and feed **deltas**
+/// into these atomics at drain rendezvous (plus one final flush), so
+/// steady-state op execution performs no shared-memory traffic for
+/// metrics.
+struct EngineMetrics {
+    ops: Arc<Counter>,
+    updates: Arc<Counter>,
+    reads: Arc<Counter>,
+    remote_reads: Arc<Counter>,
+    reads_served: Arc<Counter>,
+    batches_flushed: Arc<Counter>,
+    payloads_flushed: Arc<Counter>,
+    batches_delivered: Arc<Counter>,
+    matrix_bytes: Arc<Counter>,
+    nacks: Arc<Counter>,
+    repairs: Arc<Counter>,
+    repaired_batches: Arc<Counter>,
+    drains: Arc<Counter>,
+    faults: Arc<Counter>,
+    spans_dropped: Arc<Counter>,
+    peak_buffered: Arc<Gauge>,
+    peak_suppression: Arc<Gauge>,
+    peak_pending: Arc<Gauge>,
+    op_latency: Arc<AtomicHistogram>,
+}
+
+impl EngineMetrics {
+    fn register(reg: &mut Registry) -> Self {
+        EngineMetrics {
+            ops: reg.counter("ops_total"),
+            updates: reg.counter("updates_total"),
+            reads: reg.counter("reads_total"),
+            remote_reads: reg.counter("remote_reads_total"),
+            reads_served: reg.counter("reads_served_total"),
+            batches_flushed: reg.counter("batches_flushed_total"),
+            payloads_flushed: reg.counter("payloads_flushed_total"),
+            batches_delivered: reg.counter("batches_delivered_total"),
+            matrix_bytes: reg.counter("matrix_header_bytes_total"),
+            nacks: reg.counter("nacks_total"),
+            repairs: reg.counter("repairs_total"),
+            repaired_batches: reg.counter("repaired_batches_total"),
+            drains: reg.counter("drains_total"),
+            faults: reg.counter("faults_injected_total"),
+            spans_dropped: reg.counter("trace_spans_dropped_total"),
+            peak_buffered: reg.gauge("causal_buffer_peak"),
+            peak_suppression: reg.gauge("suppression_set_peak"),
+            peak_pending: reg.gauge("batch_queue_peak"),
+            op_latency: reg.histogram("op_latency_ns"),
+        }
+    }
+}
+
+/// A worker's cumulative counter snapshot at a drain; consecutive
+/// snapshots difference into one deterministic [`EpochMetrics`] row.
+#[derive(Clone, Copy, Default)]
+struct EpochSnap {
+    ops: u64,
+    updates: u64,
+    remote_reads: u64,
+    batches: u64,
+    payloads: u64,
+    delivered: u64,
+    nacks: u64,
+    repairs: u64,
+    repaired_batches: u64,
+    faults: u64,
+}
+
 /// Run the engine: `gen(worker, op_index, rng)` supplies each
 /// operation. Returns the full report; panics if a worker thread
 /// panics (a consistency monitor tripping is a test failure, not data)
@@ -160,6 +236,11 @@ where
     let n = cfg.workers.max(1);
     let map = ShardMap::build(cfg);
     let sched = ChaosSchedule::build(cfg);
+    // tracing is opt-in, but chaos runs always fly the recorder — their
+    // failures are what it exists to explain
+    let tracing = cfg.obs.trace || sched.is_active();
+    let mut registry = Registry::new();
+    let metrics = EngineMetrics::register(&mut registry);
     let net: ThreadNet<StoreMsg<T::Input, T::Output, T::State>> = ThreadNet::new(n);
     let stats = net.stats();
     let endpoints = net.into_endpoints();
@@ -167,7 +248,7 @@ where
     let (tx, rx) = mpsc::channel::<WindowRecord<T>>();
 
     let t0 = Instant::now();
-    let (mut worker_results, verdicts) = std::thread::scope(|s| {
+    let (mut worker_results, verdicts, verifier_spans) = std::thread::scope(|s| {
         let mut handles = Vec::with_capacity(n);
         for ep in endpoints {
             let tx = tx.clone();
@@ -175,8 +256,10 @@ where
             let gen = &gen;
             let sched = &sched;
             let map = &map;
-            handles
-                .push(s.spawn(move || Worker::new(adt, cfg, sched, map, ep, coord, tx).run(gen)));
+            let metrics = &metrics;
+            handles.push(s.spawn(move || {
+                Worker::new(adt, cfg, sched, map, ep, coord, tx, metrics, t0).run(gen)
+            }));
         }
         drop(tx); // verifier's channel closes once every worker exits
 
@@ -189,6 +272,19 @@ where
         let verifier = s.spawn(move || {
             let mut pending: Vec<(u64, Vec<WindowRecord<T>>)> = Vec::new();
             let mut verdicts: Vec<WindowVerdict> = Vec::new();
+            // window verdicts double as trace spans on the verifier's
+            // lane (tid = n); span creation mirrors verdict creation
+            let mut vspans: Vec<Span> = Vec::new();
+            let span_of = |v: &WindowVerdict| {
+                // window w covers the start of epoch w+1
+                let mut sp = Span::new(SpanKind::VerifyWindow, n as u32, v.window + 1, v.window);
+                sp.shard = v.shard.map(|s| s as i64).unwrap_or(-1);
+                sp.a = v.events as u64;
+                sp.b = v.crashed_workers as u64;
+                sp.flag = v.result.is_ok();
+                sp.wall_ns = t0.elapsed().as_nanos() as u64;
+                sp
+            };
             while let Ok(rec) = rx.recv() {
                 let wid = rec.window;
                 let slot = match pending.iter().position(|(w, _)| *w == wid) {
@@ -204,7 +300,7 @@ where
                     parts.sort_by_key(|p| p.worker);
                     let spans_recovery = parts.iter().any(|p| p.spans_recovery);
                     for v in verify_shard_windows(&space, mode, sample_every, &parts, vmap) {
-                        verdicts.push(WindowVerdict {
+                        let verdict = WindowVerdict {
                             window: wid,
                             shard: v.shard,
                             criterion: mode.criterion(),
@@ -212,12 +308,16 @@ where
                             crashed_workers: v.crashed_workers,
                             spans_recovery,
                             result: v.result.map(|_| ()),
-                        });
+                        };
+                        if tracing {
+                            vspans.push(span_of(&verdict));
+                        }
+                        verdicts.push(verdict);
                     }
                 }
             }
             for (wid, parts) in pending {
-                verdicts.push(WindowVerdict {
+                let verdict = WindowVerdict {
                     window: wid,
                     shard: None,
                     criterion: mode.criterion(),
@@ -229,27 +329,27 @@ where
                         parts.len(),
                         n
                     )),
-                });
+                };
+                if tracing {
+                    vspans.push(span_of(&verdict));
+                }
+                verdicts.push(verdict);
             }
             verdicts.sort_by_key(|v| (v.window, v.shard));
-            verdicts
+            (verdicts, vspans)
         });
 
         let results: Vec<WorkerResult> = handles
             .into_iter()
             .map(|h| h.join().expect("worker thread panicked"))
             .collect();
-        let verdicts = verifier.join().expect("verifier thread panicked");
-        (results, verdicts)
+        let (verdicts, vspans) = verifier.join().expect("verifier thread panicked");
+        (results, verdicts, vspans)
     });
     let wall_ns = t0.elapsed().as_nanos();
 
     worker_results.sort_by_key(|r| r.stats.worker);
-    let mut all_lat: Vec<u64> = Vec::new();
-    for r in &mut worker_results {
-        all_lat.append(&mut r.latencies);
-    }
-    let latency = summarize_latencies(&mut all_lat);
+    let latency = LatencySummary::from_histogram(&metrics.op_latency.snapshot());
 
     let snap = stats.snapshot();
     let mut chaos = ChaosReport {
@@ -288,6 +388,28 @@ where
         .map(|h| h.load(Ordering::SeqCst))
         .collect();
 
+    // per-epoch rows: same-epoch rows of different workers merge into
+    // one deterministic dashboard row
+    let mut epochs: Vec<EpochMetrics> = Vec::new();
+    for r in &worker_results {
+        for row in &r.rows {
+            match epochs.iter_mut().find(|x| x.epoch == row.epoch) {
+                Some(x) => x.absorb(row),
+                None => epochs.push(*row),
+            }
+        }
+    }
+    epochs.sort_by_key(|x| x.epoch);
+
+    let trace = tracing.then(|| {
+        let mut parts: Vec<(Vec<Span>, u64)> = worker_results
+            .iter_mut()
+            .map(|r| std::mem::take(&mut r.trace))
+            .collect();
+        parts.push((verifier_spans, 0));
+        FlightRecord::assemble(n as u32, cfg.seed, parts)
+    });
+
     StoreReport {
         config: cfg.clone(),
         wall_ns,
@@ -314,18 +436,24 @@ where
         final_state_hashes,
         chaos,
         per_worker,
+        epochs,
+        metrics: registry.snapshot(),
+        trace,
     }
 }
 
 /// What a worker thread returns.
 struct WorkerResult {
     stats: WorkerStats,
-    latencies: Vec<u64>,
     chaos: cbm_net::chaos::ChaosCounters,
     nacks_sent: u64,
     repairs_sent: u64,
     repaired_batches: u64,
     recoveries: Vec<RecoveryStats>,
+    /// Deterministic per-epoch counter rows, epoch order.
+    rows: Vec<EpochMetrics>,
+    /// Sealed trace spans plus the count truncated away by the caps.
+    trace: (Vec<Span>, u64),
 }
 
 struct Worker<'a, T: Adt> {
@@ -359,12 +487,34 @@ struct Worker<'a, T: Adt> {
     updates: u64,
     remote_reads: u64,
     reads_served: u64,
-    latencies: Vec<u64>,
     nacks_sent: u64,
     repairs_sent: u64,
     repaired_batches: u64,
     discarded: u64,
     recoveries: Vec<RecoveryStats>,
+    metrics: &'a EngineMetrics,
+    /// The run's shared start instant; span wall stamps are offsets
+    /// from it so all lanes share one timeline.
+    t0: Instant,
+    tracer: EpochTracer,
+    /// The epoch whose spans the worker is currently recording; spans
+    /// created during a boundary drain still belong to the epoch the
+    /// drain closes.
+    trace_epoch: u64,
+    /// Cumulative operation latency profile (feeds this worker's
+    /// [`WorkerStats`]).
+    hist: LatencyHistogram,
+    /// Latencies since the last drain; merged into `hist` and the
+    /// shared registry histogram at each drain rendezvous.
+    hist_epoch: LatencyHistogram,
+    /// Counter snapshot at the previous drain (per-epoch row deltas).
+    prev: EpochSnap,
+    rows: Vec<EpochMetrics>,
+    /// Bytes of `knows` matrix headers shipped with batch envelopes.
+    matrix_bytes: u64,
+    peak_buffered: usize,
+    peak_suppression: usize,
+    peak_pending: usize,
 }
 
 impl<'a, T> Worker<'a, T>
@@ -374,6 +524,7 @@ where
     T::Output: Send,
     T::State: Send + Sync,
 {
+    #[allow(clippy::too_many_arguments)]
     fn new(
         adt: &'a T,
         cfg: &'a StoreConfig,
@@ -382,6 +533,8 @@ where
         ep: cbm_net::thread_net::Endpoint<StoreMsg<T::Input, T::Output, T::State>>,
         coord: &'a Coordinator,
         tx: mpsc::Sender<WindowRecord<T>>,
+        metrics: &'a EngineMetrics,
+        t0: Instant,
     ) -> Self {
         let me = ep.me;
         let n = ep.cluster_size();
@@ -391,12 +544,23 @@ where
             .wrapping_mul(0x9E37_79B9_7F4A_7C15)
             .wrapping_add(me as u64)
             ^ 0xC4A0_5C4A_05C4_A05C;
+        let tracing = cfg.obs.trace || sched.is_active();
+        let mut ep = ChaosEndpoint::new(ep, chaos_seed);
+        if tracing {
+            // faults become trace events; the buffer drains at every
+            // epoch seal, so the cap is effectively per epoch
+            ep.record_events(if cfg.obs.epoch_cap == 0 {
+                usize::MAX
+            } else {
+                cfg.obs.epoch_cap.saturating_mul(4)
+            });
+        }
         Worker {
             adt,
             cfg,
             sched,
             map,
-            ep: ChaosEndpoint::new(ep, chaos_seed),
+            ep,
             coord,
             tx,
             me,
@@ -417,13 +581,112 @@ where
             updates: 0,
             remote_reads: 0,
             reads_served: 0,
-            latencies: Vec::with_capacity(cfg.ops_per_worker),
             nacks_sent: 0,
             repairs_sent: 0,
             repaired_batches: 0,
             discarded: 0,
             recoveries: Vec::new(),
+            metrics,
+            t0,
+            tracer: EpochTracer::new(
+                tracing,
+                TraceConfig {
+                    cap_per_kind: cfg.obs.epoch_cap,
+                    keep_epochs: cfg.obs.keep_epochs,
+                },
+            ),
+            trace_epoch: 0,
+            hist: LatencyHistogram::new(),
+            hist_epoch: LatencyHistogram::new(),
+            prev: EpochSnap::default(),
+            rows: Vec::new(),
+            matrix_bytes: 0,
+            peak_buffered: 0,
+            peak_suppression: 0,
+            peak_pending: 0,
         }
+    }
+
+    /// Wall offset from the run's shared start instant.
+    fn now_ns(&self) -> u64 {
+        self.t0.elapsed().as_nanos() as u64
+    }
+
+    /// Cumulative counters feeding the per-epoch delta rows.
+    fn counters_snap(&self) -> EpochSnap {
+        let c = self.ep.counters();
+        EpochSnap {
+            ops: self.issued,
+            updates: self.updates,
+            remote_reads: self.remote_reads,
+            batches: self.proto.batches_sent(),
+            payloads: self.proto.payloads_sent(),
+            delivered: self.batches_delivered,
+            nacks: self.nacks_sent,
+            repairs: self.repairs_sent,
+            repaired_batches: self.repaired_batches,
+            faults: c.drops + c.dups + c.parked + c.delayed + c.pruned + c.crash_discarded,
+        }
+    }
+
+    /// At a drain that closes epoch `epoch`: difference the counter
+    /// snapshots into the epoch's deterministic row, and feed the
+    /// deltas (plus the epoch's latency buckets) into the shared
+    /// registry — the "merge at drain rendezvous" half of the metrics
+    /// contract.
+    fn flush_epoch_metrics(&mut self, epoch: u64) {
+        let cur = self.counters_snap();
+        let p = self.prev;
+        let row = EpochMetrics {
+            epoch,
+            ops: cur.ops - p.ops,
+            updates: cur.updates - p.updates,
+            remote_reads: cur.remote_reads - p.remote_reads,
+            batches: cur.batches - p.batches,
+            payloads: cur.payloads - p.payloads,
+            delivered: cur.delivered - p.delivered,
+            nacks: cur.nacks - p.nacks,
+            repairs: cur.repairs - p.repairs,
+            faults: cur.faults - p.faults,
+            crashed: u64::from(self.sched.crashed_at(self.me, epoch)),
+        };
+        self.rows.push(row);
+        self.prev = cur;
+        let m = self.metrics;
+        m.ops.add(row.ops);
+        m.updates.add(row.updates);
+        m.remote_reads.add(row.remote_reads);
+        m.batches_flushed.add(row.batches);
+        m.payloads_flushed.add(row.payloads);
+        m.batches_delivered.add(row.delivered);
+        m.nacks.add(row.nacks);
+        m.repairs.add(row.repairs);
+        m.repaired_batches
+            .add(cur.repaired_batches - p.repaired_batches);
+        m.faults.add(row.faults);
+        let eh = std::mem::replace(&mut self.hist_epoch, LatencyHistogram::new());
+        m.op_latency.merge_from(&eh);
+        self.hist.merge(&eh);
+    }
+
+    /// Convert buffered fault events into `fault` spans and seal every
+    /// epoch up to and including `epoch` — arrival order no longer
+    /// matters after this, which is what makes the retained span set
+    /// deterministic.
+    fn seal_epoch(&mut self, epoch: u64) {
+        if !self.tracer.enabled() {
+            return;
+        }
+        let wall = self.now_ns();
+        let every = self.sched.every_ops as u64;
+        for ev in self.ep.take_events() {
+            let mut sp = Span::new(SpanKind::Fault, self.me as u32, ev.vtime / every, ev.vtime);
+            sp.peer = ev.to as i64;
+            sp.a = ev.kind.code();
+            sp.wall_ns = wall;
+            self.tracer.push(sp);
+        }
+        self.tracer.seal(epoch);
     }
 
     fn run<G>(mut self, gen: &G) -> WorkerResult
@@ -456,7 +719,6 @@ where
             self.me
         );
 
-        let mut latencies = std::mem::take(&mut self.latencies);
         let stats = WorkerStats {
             worker: self.me,
             ops: self.issued,
@@ -467,16 +729,32 @@ where
             batches_sent: self.proto.batches_sent(),
             payloads_sent: self.proto.payloads_sent(),
             batches_delivered: self.batches_delivered,
-            latency: summarize_latencies(&mut latencies),
+            latency: LatencySummary::from_histogram(&self.hist),
         };
+        // counters not covered by the per-epoch rows flush once here
+        let m = self.metrics;
+        m.reads.add(self.reads);
+        m.reads_served.add(self.reads_served);
+        m.matrix_bytes.add(self.matrix_bytes);
+        m.peak_buffered.raise(self.peak_buffered as u64);
+        m.peak_suppression.raise(self.peak_suppression as u64);
+        m.peak_pending.raise(self.peak_pending as u64);
+        let tracer = std::mem::replace(
+            &mut self.tracer,
+            EpochTracer::new(false, TraceConfig::default()),
+        );
+        let (spans, mut dropped) = tracer.finish();
+        dropped += self.ep.events_overflow();
+        m.spans_dropped.add(dropped);
         WorkerResult {
             stats,
-            latencies,
             chaos: self.ep.counters(),
             nacks_sent: self.nacks_sent,
             repairs_sent: self.repairs_sent,
             repaired_batches: self.repaired_batches,
             recoveries: std::mem::take(&mut self.recoveries),
+            rows: std::mem::take(&mut self.rows),
+            trace: (spans, dropped),
         }
     }
 
@@ -535,6 +813,12 @@ where
         }
         let was_crashed = self.crashed;
         self.crashed = self.sched.crashed_at(self.me, e);
+        if self.tracer.enabled() && !was_crashed && self.crashed {
+            // the cut this drain establishes is the crash point
+            let mut sp = Span::new(SpanKind::Crash, self.me as u32, self.trace_epoch, e);
+            sp.wall_ns = self.now_ns();
+            self.tracer.push(sp);
+        }
 
         // the boundary drain: a worker crashing *at* this boundary
         // still participates normally — the drain is its cut
@@ -563,6 +847,12 @@ where
 
         self.compact_and_check_convergence(e);
 
+        // epoch e-1 is over everywhere (its repair round included):
+        // seal its spans and difference its metrics row
+        self.seal_epoch(e - 1);
+        self.flush_epoch_metrics(e - 1);
+        self.trace_epoch = e;
+
         // open window e-1
         let wid = e - 1;
         if self.crashed {
@@ -584,8 +874,26 @@ where
         let t = Instant::now();
         let is_update = self.adt.is_update(&op.input);
         if !is_update && !self.map.hosts(self.me, self.map.shard_of(op.obj)) {
+            let shard = self.map.shard_of(op.obj);
+            let server = self.read_route[shard];
+            let obj = op.obj;
             self.remote_read(op.obj, op.input);
-            self.latencies.push(t.elapsed().as_nanos() as u64);
+            let lat = t.elapsed().as_nanos() as u64;
+            self.hist_epoch.record(lat);
+            if self.tracer.enabled() {
+                let mut sp = Span::new(
+                    SpanKind::ReadRoute,
+                    self.me as u32,
+                    self.trace_epoch,
+                    self.issued,
+                );
+                sp.peer = server as i64;
+                sp.shard = shard as i64;
+                sp.a = obj as u64;
+                sp.wall_ns = t.duration_since(self.t0).as_nanos() as u64;
+                sp.dur_ns = lat;
+                self.tracer.push(sp);
+            }
             return;
         }
         // updates always execute at a replica of their object
@@ -624,12 +932,27 @@ where
                     },
                     mask,
                 );
+                self.peak_pending = self.peak_pending.max(pending);
                 if pending >= self.cfg.batch.threshold() {
                     self.flush_mask(mask);
                 }
             }
         }
-        self.latencies.push(t.elapsed().as_nanos() as u64);
+        let lat = t.elapsed().as_nanos() as u64;
+        self.hist_epoch.record(lat);
+        if self.tracer.enabled() {
+            let stride = self.cfg.obs.op_sample_every;
+            // deterministic stride on the worker's own op counter
+            if stride > 0 && self.issued.is_multiple_of(stride as u64) {
+                let mut sp = Span::new(SpanKind::Op, self.me as u32, self.trace_epoch, self.issued);
+                sp.shard = self.map.shard_of(obj) as i64;
+                sp.a = obj as u64;
+                sp.flag = is_update;
+                sp.wall_ns = t.duration_since(self.t0).as_nanos() as u64;
+                sp.dur_ns = lat;
+                self.tracer.push(sp);
+            }
+        }
     }
 
     /// Route a read of a non-hosted object to a live replica of its
@@ -669,14 +992,60 @@ where
         self.ship(envs);
     }
 
+    /// The sender's knowledge as it stood *before* the flush that
+    /// produced `envs` — the clock a `batch_flush` span carries, chosen
+    /// so every matching `deliver` span's (post-stamp) clock dominates
+    /// it. Reconstructed from the post-flush matrix by undoing the
+    /// per-edge send increments, so unsampled flushes never pay for
+    /// the matrix clone.
+    fn preflush_clock(&self, envs: &[(NodeId, BatchMsg<T::Input>)]) -> Vec<u64> {
+        let n = self.ep.cluster_size();
+        let mut k = self.proto.knowledge();
+        for (to, _) in envs {
+            k[self.me * n + *to] -= 1;
+        }
+        k
+    }
+
+    /// Are `batch_flush`/`deliver` spans being recorded at all?
+    fn trace_batches(&self) -> bool {
+        self.tracer.enabled() && self.cfg.obs.batch_sample_every > 0
+    }
+
+    /// Deterministic envelope-span sampling: strided on the per-edge
+    /// seq, so the flush and deliver halves of an envelope always
+    /// sample together and the sampled set reproduces across runs.
+    fn sample_batch(&self, seq: u64) -> bool {
+        let stride = self.cfg.obs.batch_sample_every as u64;
+        stride > 0 && seq.is_multiple_of(stride)
+    }
+
     /// Send stamped envelopes through the fault layer, retaining each
     /// in its recipient's epoch repair log when faults can lose it —
     /// the one place the retention rule and byte accounting live, so
     /// the threshold-flush and drain-flush paths can never diverge.
     fn ship(&mut self, envs: Vec<(NodeId, BatchMsg<T::Input>)>) {
         let n = self.ep.cluster_size();
+        self.matrix_bytes += (envs.len() * n * n * 8) as u64;
+        let vc = (self.trace_batches() && envs.iter().any(|(_, e)| self.sample_batch(e.seq)))
+            .then(|| (self.preflush_clock(&envs), self.now_ns()));
         for (to, env) in envs {
             let bytes = batch_bytes(n, &env.payload);
+            if let Some((vc, wall)) = &vc {
+                if self.sample_batch(env.seq) {
+                    let mut sp = Span::new(
+                        SpanKind::BatchFlush,
+                        self.me as u32,
+                        self.trace_epoch,
+                        env.seq,
+                    );
+                    sp.peer = to as i64;
+                    sp.a = env.payload.len() as u64;
+                    sp.vc = vc.clone();
+                    sp.wall_ns = *wall;
+                    self.tracer.push(sp);
+                }
+            }
             if self.loss_capable {
                 // the repair log only matters when faults can lose
                 // envelopes (and hence nacks can arrive); fault-free,
@@ -710,6 +1079,22 @@ where
                 let tail: Vec<BatchMsg<T::Input>> = self.epoch_sent[from].clone();
                 self.repairs_sent += 1;
                 self.repaired_batches += tail.len() as u64;
+                if self.tracer.enabled() {
+                    // same logical key the nacker used for this edge:
+                    // nacks are served within the drain that sent them
+                    let n = self.ep.cluster_size() as u64;
+                    let mut sp = Span::new(
+                        SpanKind::NackRepair,
+                        self.me as u32,
+                        self.trace_epoch,
+                        self.quiesce_idx * n + from as u64,
+                    );
+                    sp.peer = from as i64;
+                    sp.a = tail.len() as u64;
+                    sp.flag = true; // the repair half
+                    sp.wall_ns = self.now_ns();
+                    self.tracer.push(sp);
+                }
                 let bytes = repair_bytes(self.ep.cluster_size(), &tail);
                 self.ep.send_reliable(from, StoreMsg::Repair(tail), bytes);
             }
@@ -747,15 +1132,32 @@ where
 
     /// Deliver one batch envelope through the interest causal layer.
     fn deliver(&mut self, env: BatchMsg<T::Input>) {
-        for batch in self.proto.on_receive(env) {
+        for mut batch in self.proto.on_receive(env) {
             self.batches_delivered += 1;
             let sender = batch.sender;
+            if self.trace_batches() && self.sample_batch(batch.seq) {
+                let mut sp = Span::new(
+                    SpanKind::Deliver,
+                    self.me as u32,
+                    self.trace_epoch,
+                    batch.seq,
+                );
+                sp.peer = sender as i64;
+                sp.a = batch.payload.len() as u64;
+                // the envelope's knowledge matrix is done once its
+                // payload is applied — move it, don't copy it
+                sp.vc = std::mem::take(&mut batch.knows);
+                sp.wall_ns = self.now_ns();
+                self.tracer.push(sp);
+            }
             for op in batch.payload {
                 self.clock.observe(op.ts.time);
                 self.table.apply_update(self.adt, op.obj, op.ts, &op.input);
                 self.recorder.on_remote(sender, op.wseq);
             }
         }
+        self.peak_buffered = self.peak_buffered.max(self.proto.buffered());
+        self.peak_suppression = self.peak_suppression.max(self.proto.suppression_len());
     }
 
     /// The drain: flush, publish the per-edge counts, then receive
@@ -766,6 +1168,7 @@ where
     /// (`discard`) drains and discards instead: its state is
     /// re-established by the recovery transfer, not by late delivery.
     fn quiesce(&mut self, discard: bool) {
+        let t = Instant::now();
         let n = self.ep.cluster_size();
         let parity = (self.quiesce_idx % 2) as usize;
         self.quiesce_idx += 1;
@@ -819,6 +1222,20 @@ where
                         < self.coord.sent_edges[q * n + self.me].load(Ordering::SeqCst)
                 {
                     self.nacks_sent += 1;
+                    if self.tracer.enabled() {
+                        // logical key shared with the serving side:
+                        // drain number × cluster + the stalled edge
+                        let mut sp = Span::new(
+                            SpanKind::NackRepair,
+                            self.me as u32,
+                            self.trace_epoch,
+                            self.quiesce_idx * n as u64 + q as u64,
+                        );
+                        sp.peer = q as i64;
+                        sp.flag = false; // the nack half
+                        sp.wall_ns = self.now_ns();
+                        self.tracer.push(sp);
+                    }
                     self.ep.send_reliable(q, StoreMsg::Nack, nack_bytes());
                 }
             }
@@ -851,6 +1268,21 @@ where
             log.clear();
         }
         self.ep.prune_parked();
+        self.metrics.drains.add(1);
+        if self.tracer.enabled() {
+            let mut sp = Span::new(
+                SpanKind::Drain,
+                self.me as u32,
+                self.trace_epoch,
+                self.quiesce_idx,
+            );
+            sp.a = self.batches_delivered; // cumulative at the cut
+            sp.b = self.nacks_sent;
+            sp.flag = !discard;
+            sp.wall_ns = t.duration_since(self.t0).as_nanos() as u64;
+            sp.dur_ns = t.elapsed().as_nanos() as u64;
+            self.tracer.push(sp);
+        }
     }
 
     /// Has `q` published envelopes on its edge to us that we have not
@@ -929,6 +1361,20 @@ where
         for log in self.epoch_sent.iter_mut() {
             log.clear(); // pre-crash sends are all below the cut
         }
+        if self.tracer.enabled() {
+            let mut sp = Span::new(
+                SpanKind::Recover,
+                self.me as u32,
+                self.trace_epoch,
+                span.recover_epoch,
+            );
+            sp.peer = span.helper as i64;
+            sp.a = synced_shards;
+            sp.b = synced_objects;
+            sp.wall_ns = t.duration_since(self.t0).as_nanos() as u64;
+            sp.dur_ns = t.elapsed().as_nanos() as u64;
+            self.tracer.push(sp);
+        }
         self.recoveries.push(RecoveryStats {
             worker: self.me,
             crash_epoch: span.crash_epoch,
@@ -962,6 +1408,10 @@ where
         debug_assert!(!self.crashed, "schedule must recover everyone");
         self.quiesce(false);
         self.compact_and_check_convergence(self.sched.n_epochs);
+        // seal past n_epochs-1 so fault events stamped at the final
+        // boundary tick (epoch index n_epochs) are retained too
+        self.seal_epoch(self.sched.n_epochs);
+        self.flush_epoch_metrics(self.sched.n_epochs - 1);
         // the full-space hash feeds only the report's final_state_hashes
         // (read after the threads join), so it is computed once here
         // rather than at every drain; intermediate convergence checks

@@ -58,7 +58,7 @@
 //! ```
 //! use cbm_adt::register::{RegInput, Register};
 //! use cbm_adt::space::SpaceInput;
-//! use cbm_store::{run, BatchPolicy, Mode, ShardConfig, StoreConfig, VerifyConfig};
+//! use cbm_store::{run, BatchPolicy, Mode, ObsConfig, ShardConfig, StoreConfig, VerifyConfig};
 //! use cbm_net::fault::FaultPlan;
 //! use rand::Rng;
 //!
@@ -72,6 +72,7 @@
 //!     seed: 7,
 //!     sharding: ShardConfig::full(),
 //!     chaos: FaultPlan::new(),
+//!     obs: ObsConfig::default(),
 //! };
 //! let report = run(&Register, &cfg, |_, _, rng| {
 //!     let obj = rng.gen_range(0u32..8);
@@ -98,9 +99,10 @@ pub mod stats;
 pub mod wire;
 
 pub use chaos::{profile, ChaosSchedule, CrashSpan, PROFILE_NAMES};
-pub use config::{BatchPolicy, Mode, ShardConfig, StoreConfig, VerifyConfig};
+pub use config::{BatchPolicy, Mode, ObsConfig, ShardConfig, StoreConfig, VerifyConfig};
 pub use engine::run;
 pub use shard::ShardMap;
 pub use stats::{
-    ChaosReport, LatencySummary, RecoveryStats, StoreReport, WindowVerdict, WorkerStats,
+    ChaosReport, EpochMetrics, LatencySummary, RecoveryStats, StoreReport, WindowVerdict,
+    WorkerStats,
 };

@@ -1,36 +1,52 @@
 //! Per-worker accounting and the run report.
 
 use crate::config::StoreConfig;
+use cbm_obs::LatencyHistogram;
 
-/// Latency percentiles over recorded per-operation wall times.
+/// Latency percentiles over recorded per-operation wall times,
+/// extracted from a log-bucketed [`LatencyHistogram`].
+///
+/// Each percentile is the histogram's nearest-rank bucket upper
+/// bound: within **3.125 % (2⁻⁵) relative error** of the exact order
+/// statistic, never below it, and never above the exact maximum (see
+/// `cbm_obs::hist` for the bucket layout). `count`, `max_ns`, and
+/// `mean_ns` are exact. This replaces the old sample-and-sort
+/// summary, whose `pick(q)` indexed `⌊(len−1)·q⌋` — a floor that
+/// systematically understated tail percentiles (for 100 samples its
+/// "p99" was the 99th of 100 order statistics, never the 100th) and
+/// forced every raw sample to be kept until the end of the run;
+/// per-worker histograms merge bucket-wise at the drain rendezvous
+/// instead.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct LatencySummary {
     /// Samples summarized.
     pub count: u64,
     /// Median, nanoseconds.
     pub p50_ns: u64,
+    /// 90th percentile, nanoseconds.
+    pub p90_ns: u64,
     /// 99th percentile, nanoseconds.
     pub p99_ns: u64,
-    /// Maximum, nanoseconds.
+    /// 99.9th percentile, nanoseconds.
+    pub p999_ns: u64,
+    /// Maximum, nanoseconds (exact).
     pub max_ns: u64,
-    /// Mean, nanoseconds.
+    /// Mean, nanoseconds (exact).
     pub mean_ns: u64,
 }
 
-/// Summarize a sample slice (sorted in place).
-pub fn summarize_latencies(ns: &mut [u64]) -> LatencySummary {
-    if ns.is_empty() {
-        return LatencySummary::default();
-    }
-    ns.sort_unstable();
-    let count = ns.len() as u64;
-    let pick = |q: f64| ns[((ns.len() - 1) as f64 * q) as usize];
-    LatencySummary {
-        count,
-        p50_ns: pick(0.50),
-        p99_ns: pick(0.99),
-        max_ns: *ns.last().unwrap(),
-        mean_ns: ns.iter().sum::<u64>() / count,
+impl LatencySummary {
+    /// Extract the summary from a histogram.
+    pub fn from_histogram(h: &LatencyHistogram) -> Self {
+        LatencySummary {
+            count: h.count(),
+            p50_ns: h.quantile(0.50),
+            p90_ns: h.quantile(0.90),
+            p99_ns: h.quantile(0.99),
+            p999_ns: h.quantile(0.999),
+            max_ns: h.max(),
+            mean_ns: h.mean(),
+        }
     }
 }
 
@@ -140,6 +156,54 @@ pub struct ChaosReport {
     pub recoveries: Vec<RecoveryStats>,
 }
 
+/// Deterministic per-epoch activity, summed across workers: the rows
+/// of the per-epoch dashboard table the bench binaries render into CI
+/// step summaries. Every column is a pure function of
+/// `(config, seed)` — each worker snapshots its counters at the epoch
+/// boundary drain, after the epoch's repair round settled.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EpochMetrics {
+    /// Epoch number (0-based).
+    pub epoch: u64,
+    /// Operations issued during the epoch.
+    pub ops: u64,
+    /// Updates among them.
+    pub updates: u64,
+    /// Reads routed to remote replicas.
+    pub remote_reads: u64,
+    /// Batch envelopes flushed (pre-fan-out).
+    pub batches: u64,
+    /// Update payloads across those batches.
+    pub payloads: u64,
+    /// Batch envelopes delivered.
+    pub delivered: u64,
+    /// Gap nacks sent at the epoch's drains.
+    pub nacks: u64,
+    /// Repair retransmissions answering them.
+    pub repairs: u64,
+    /// Fault injections (drops + dups + parks + delays + prunes +
+    /// crash discards) during the epoch.
+    pub faults: u64,
+    /// Workers crashed during the epoch.
+    pub crashed: u64,
+}
+
+impl EpochMetrics {
+    /// Add another worker's row for the same epoch into this one.
+    pub fn absorb(&mut self, other: &EpochMetrics) {
+        self.ops += other.ops;
+        self.updates += other.updates;
+        self.remote_reads += other.remote_reads;
+        self.batches += other.batches;
+        self.payloads += other.payloads;
+        self.delivered += other.delivered;
+        self.nacks += other.nacks;
+        self.repairs += other.repairs;
+        self.faults += other.faults;
+        self.crashed += other.crashed;
+    }
+}
+
 /// Everything one engine run produces.
 #[derive(Debug, Clone)]
 pub struct StoreReport {
@@ -186,6 +250,17 @@ pub struct StoreReport {
     pub chaos: ChaosReport,
     /// Per-worker accounting.
     pub per_worker: Vec<WorkerStats>,
+    /// Deterministic per-epoch activity rows (epoch order), summed
+    /// across workers.
+    pub epochs: Vec<EpochMetrics>,
+    /// Snapshot of the engine's lock-free metrics registry
+    /// (name → value; histogram series expand to `.count`/`.p50`/…
+    /// rows). Latency-derived rows are nondeterministic.
+    pub metrics: Vec<(String, u64)>,
+    /// The merged trace, when tracing ran ([`StoreConfig::obs`], or
+    /// automatically for chaos runs). Export with
+    /// `cbm_obs::export::{jsonl, chrome_json}`.
+    pub trace: Option<cbm_obs::FlightRecord>,
 }
 
 impl StoreReport {
@@ -202,16 +277,50 @@ mod tests {
 
     #[test]
     fn summary_of_empty_is_zero() {
-        assert_eq!(summarize_latencies(&mut []), LatencySummary::default());
+        assert_eq!(
+            LatencySummary::from_histogram(&LatencyHistogram::new()),
+            LatencySummary::default()
+        );
     }
 
     #[test]
-    fn percentiles_are_order_statistics() {
-        let s = summarize_latencies(&mut (1..=100).collect::<Vec<u64>>());
+    fn percentiles_come_from_bucket_upper_bounds() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        let s = LatencySummary::from_histogram(&h);
         assert_eq!(s.count, 100);
-        assert_eq!(s.p50_ns, 50);
-        assert_eq!(s.p99_ns, 99);
-        assert_eq!(s.max_ns, 100);
-        assert_eq!(s.mean_ns, 50); // 5050 / 100
+        // Nearest-rank on bucket upper bounds: at most 3.125% above
+        // the exact order statistic, never below it — the old
+        // floor-indexed pick() reported p99 = 99 here, understating
+        // the tail.
+        assert!(s.p50_ns >= 50 && s.p50_ns <= 52, "{}", s.p50_ns);
+        assert!(s.p90_ns >= 90 && s.p90_ns <= 93, "{}", s.p90_ns);
+        assert!(s.p99_ns >= 99 && s.p99_ns <= 100, "{}", s.p99_ns);
+        assert_eq!(s.p999_ns, 100);
+        assert_eq!(s.max_ns, 100, "max is exact");
+        assert_eq!(s.mean_ns, 50, "mean is exact"); // 5050 / 100
+    }
+
+    #[test]
+    fn epoch_metrics_absorb_sums_fields() {
+        let mut a = EpochMetrics {
+            epoch: 2,
+            ops: 10,
+            nacks: 1,
+            ..Default::default()
+        };
+        let b = EpochMetrics {
+            epoch: 2,
+            ops: 5,
+            faults: 3,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.ops, 15);
+        assert_eq!(a.nacks, 1);
+        assert_eq!(a.faults, 3);
+        assert_eq!(a.epoch, 2);
     }
 }

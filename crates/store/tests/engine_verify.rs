@@ -5,7 +5,9 @@ use cbm_adt::counter::{Counter, CtInput};
 use cbm_adt::register::{RegInput, Register};
 use cbm_adt::space::SpaceInput;
 use cbm_net::fault::FaultPlan;
-use cbm_store::{run, BatchPolicy, Mode, ShardConfig, StoreConfig, StoreReport, VerifyConfig};
+use cbm_store::{
+    run, BatchPolicy, Mode, ObsConfig, ShardConfig, StoreConfig, StoreReport, VerifyConfig,
+};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -38,6 +40,7 @@ fn small_cfg(mode: Mode, batch: BatchPolicy) -> StoreConfig {
         seed: 11,
         sharding: ShardConfig::full(),
         chaos: FaultPlan::new(),
+        obs: ObsConfig::default(),
     }
 }
 
@@ -153,6 +156,7 @@ fn single_worker_degenerates_gracefully() {
         seed: 3,
         sharding: ShardConfig::full(),
         chaos: FaultPlan::new(),
+        obs: ObsConfig::default(),
     };
     let r = run(&Register, &cfg, reg_gen(8, 0.5));
     assert_healthy(&r);
@@ -175,6 +179,7 @@ fn sampling_disabled_still_completes() {
         seed: 5,
         sharding: ShardConfig::full(),
         chaos: FaultPlan::new(),
+        obs: ObsConfig::default(),
     };
     let r = run(&Register, &cfg, reg_gen(16, 0.5));
     assert_eq!(r.total_ops, 3_000);

@@ -13,6 +13,9 @@
 //!   (`cbm-core`);
 //! * [`sim`] — fault-injection scenarios and seed exploration
 //!   (`cbm-sim`);
+//! * [`obs`] — lock-free metrics, log-bucketed latency histograms,
+//!   causally-stamped tracing, and flight-recorder export
+//!   (`cbm-obs`);
 //! * [`store`] — the live multi-threaded causal object store with
 //!   batched broadcast and sampled online verification (`cbm-store`).
 
@@ -24,5 +27,6 @@ pub use cbm_check as check;
 pub use cbm_core as core;
 pub use cbm_history as history;
 pub use cbm_net as net;
+pub use cbm_obs as obs;
 pub use cbm_sim as sim;
 pub use cbm_store as store;
