@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! chaos_loadgen [--quick] [--out PATH] [--seeds N] [--summary PATH] [--rf N]
-//!               [--trace] [--trace-dir DIR]
+//!               [--workers N] [--locality N] [--trace] [--trace-dir DIR]
 //! ```
 //!
 //! Tracing is **automatic** for chaos runs (the engine's flight
@@ -20,9 +20,11 @@
 //! 1. the chaos run — fault plan active, sampled online verification
 //!    on (CC or CCv per mode);
 //! 2. the chaos run again — every deterministic column (messages,
-//!    bytes, drops, dups, nacks, repairs, replay counts) must
-//!    reproduce **exactly**, which is the live-engine determinism
-//!    contract of `docs/CHAOS.md`;
+//!    drops, dups, nacks, repairs, replay counts) must reproduce
+//!    **exactly**, which is the live-engine determinism contract of
+//!    `docs/CHAOS.md`. Byte totals are *not* in the fingerprint:
+//!    delta-encoded knowledge headers size by flush-time knowledge,
+//!    which depends on thread interleaving (`docs/SHARDING.md`);
 //! 3. the fault-free twin of the same `(config, seed)` — the workload
 //!    is a counter space (commutative updates), so the chaos run must
 //!    converge to **byte-identical final state**: a crashed-and-
@@ -37,6 +39,12 @@
 //! failed — this is what the `chaos-smoke` CI job (and the nightly
 //! extended sweep) gates on. Wall-clock columns are recorded but never
 //! gate.
+//!
+//! `--workers`/`--locality` override the matrix dimensions — the
+//! nightly sweep runs one 128-worker rf-2 locality-8 cell to keep the
+//! large-cluster delivery path (wide interest masks, delta headers
+//! over many edges, crash recovery at scale) under the twin-state and
+//! determinism gates.
 
 use cbm_adt::counter::{Counter, CtInput};
 use cbm_adt::space::SpaceInput;
@@ -62,27 +70,45 @@ struct Cell {
 
 /// Shared matrix dimensions: (workers, every_ops) feed both the
 /// config and the fault-profile constructors, so crash/recover ticks
-/// always land on this config's epoch boundaries.
-fn dims(quick: bool) -> (usize, usize) {
+/// always land on this config's epoch boundaries. `workers` = 0 takes
+/// the default 4; larger clusters shrink the per-worker op count so
+/// the cell's total work stays bounded on oversubscribed runners.
+fn dims(quick: bool, workers: usize) -> (usize, usize) {
+    let w = if workers == 0 { 4 } else { workers };
     if quick {
-        (4, 500)
+        (w, 500)
     } else {
-        (4, 2_000)
+        (w, 2_000)
     }
+}
+
+/// Per-worker ops for a cell: the quick/full defaults, divided down
+/// when the cluster axis grows past the default 4 workers — but never
+/// below 4 epochs, because the crash profiles schedule their last
+/// `Recover` at tick `3 * every_ops` and the recovery drain needs one
+/// more epoch boundary after it.
+fn cell_ops(quick: bool, workers: usize, every: usize) -> (usize, usize) {
+    let (ops, window) = if quick { (2_000, 16) } else { (20_000, 32) };
+    let scale = (workers.max(4) / 4).max(1);
+    ((ops / scale).max(4 * every), window)
 }
 
 fn cfg(
     mode: Mode,
     seed: u64,
     quick: bool,
-    rf: usize,
+    dim: Dims,
     chaos: cbm_net::fault::FaultPlan,
 ) -> StoreConfig {
-    let (workers, every) = dims(quick);
-    let (ops, window) = if quick { (2_000, 16) } else { (20_000, 32) };
+    let (workers, every) = dims(quick, dim.workers);
+    let (ops, window) = cell_ops(quick, workers, every);
     StoreConfig {
         workers,
-        objects: 64,
+        // partial replication needs every worker to host a shard
+        // (shards = min(objects, workers)), so the object space grows
+        // with the cluster axis; at the default 4 workers this is the
+        // long-standing 64-object space of the committed baseline
+        objects: 64.max(workers),
         ops_per_worker: ops,
         mode,
         batch: BatchPolicy::Every(8),
@@ -92,15 +118,15 @@ fn cfg(
             sample_every: 1,
         },
         seed,
-        sharding: ShardConfig::rf(rf),
+        sharding: ShardConfig::rf_local(dim.rf, dim.locality),
         chaos,
         obs: ObsConfig::default(),
     }
 }
 
-fn counter_gen() -> impl Fn(usize, u64, &mut StdRng) -> SpaceInput<CtInput> + Sync {
+fn counter_gen(objects: u32) -> impl Fn(usize, u64, &mut StdRng) -> SpaceInput<CtInput> + Sync {
     move |_, _, rng| {
-        let obj = rng.gen_range(0u32..64);
+        let obj = rng.gen_range(0u32..objects);
         if rng.gen_bool(0.3) {
             SpaceInput::new(obj, CtInput::Read)
         } else {
@@ -114,7 +140,8 @@ fn det_columns(r: &StoreReport) -> Vec<(&'static str, String)> {
     vec![
         ("total_ops", r.total_ops.to_string()),
         ("msgs_sent", r.msgs_sent.to_string()),
-        ("bytes_sent", r.bytes_sent.to_string()),
+        // bytes_sent is deliberately absent: delta-encoded knowledge
+        // headers are interleaving-dependent (docs/SHARDING.md)
         ("batches_sent", r.batches_sent.to_string()),
         ("payloads_sent", r.payloads_sent.to_string()),
         ("drops", r.chaos.drops.to_string()),
@@ -148,15 +175,25 @@ fn det_columns(r: &StoreReport) -> Vec<(&'static str, String)> {
     ]
 }
 
-fn run_cell(name: &'static str, mode: Mode, seed: u64, quick: bool, rf: usize) -> Cell {
-    let (workers, every) = dims(quick);
-    let plan = profile(name, workers, every).expect("known profile");
-    let chaos_cfg = cfg(mode, seed, quick, rf, plan);
-    let free_cfg = cfg(mode, seed, quick, rf, cbm_net::fault::FaultPlan::new());
+/// The sweep's cluster-axis overrides (defaults = the 4-worker
+/// full-replication matrix of `docs/CHAOS.md`).
+#[derive(Clone, Copy)]
+struct Dims {
+    workers: usize,
+    rf: usize,
+    locality: usize,
+}
 
-    let a = run(&Counter, &chaos_cfg, counter_gen());
-    let a2 = run(&Counter, &chaos_cfg, counter_gen());
-    let twin = run(&Counter, &free_cfg, counter_gen());
+fn run_cell(name: &'static str, mode: Mode, seed: u64, quick: bool, dim: Dims) -> Cell {
+    let (workers, every) = dims(quick, dim.workers);
+    let plan = profile(name, workers, every).expect("known profile");
+    let chaos_cfg = cfg(mode, seed, quick, dim, plan);
+    let free_cfg = cfg(mode, seed, quick, dim, cbm_net::fault::FaultPlan::new());
+
+    let objects = chaos_cfg.objects as u32;
+    let a = run(&Counter, &chaos_cfg, counter_gen(objects));
+    let a2 = run(&Counter, &chaos_cfg, counter_gen(objects));
+    let twin = run(&Counter, &free_cfg, counter_gen(objects));
 
     let mut failures = Vec::new();
     for w in a.windows.iter().filter(|w| w.result.is_err()) {
@@ -242,6 +279,8 @@ fn main() -> ExitCode {
     let mut summary_path: Option<String> = None;
     let mut seeds: u64 = 0;
     let mut rf: usize = 0;
+    let mut workers: usize = 0;
+    let mut locality: usize = 0;
     let mut trace = false;
     let mut trace_dir = String::from("traces");
     let mut it = args.iter();
@@ -284,10 +323,24 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--workers" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => workers = n,
+                None => {
+                    eprintln!("--workers needs a worker count (0 = default 4)");
+                    return ExitCode::from(2);
+                }
+            },
+            "--locality" => match it.next().and_then(|v| v.parse().ok()) {
+                Some(n) => locality = n,
+                None => {
+                    eprintln!("--locality needs a window size (0 = global draw)");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
                 println!(
                     "chaos_loadgen [--quick] [--out PATH] [--seeds N] [--summary PATH] \
-                     [--rf N] [--trace] [--trace-dir DIR]"
+                     [--rf N] [--workers N] [--locality N] [--trace] [--trace-dir DIR]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -301,13 +354,18 @@ fn main() -> ExitCode {
         seeds = if quick { 2 } else { 3 };
     }
 
+    let dim = Dims {
+        workers,
+        rf,
+        locality,
+    };
     let mut cells: Vec<Cell> = Vec::new();
     let mut failed = 0usize;
     for name in PROFILE_NAMES {
         for mode in [Mode::Causal, Mode::Convergent] {
             for s in 0..seeds {
                 let seed = 42 + s;
-                let cell = run_cell(name, mode, seed, quick, rf);
+                let cell = run_cell(name, mode, seed, quick, dim);
                 eprint!(
                     "{:>16} {} seed {}: {} msgs, {} drops [{}], {} dups [{}], \
                      {} delayed, {} repairs",
@@ -379,8 +437,10 @@ fn render_json(quick: bool, seeds: u64, rf: usize, cells: &[Cell]) -> String {
     s.push_str(&format!("  \"quick\": {quick},\n"));
     s.push_str(&format!("  \"seeds_per_cell\": {seeds},\n"));
     s.push_str(&format!("  \"replication\": {rf},\n"));
+    // bytes_sent stays in each cell as an informational column but is
+    // not deterministic: delta headers depend on delivery interleaving
     s.push_str(
-        "  \"deterministic_columns\": [\"total_ops\", \"msgs_sent\", \"bytes_sent\", \
+        "  \"deterministic_columns\": [\"total_ops\", \"msgs_sent\", \
          \"drops\", \"dups\", \"parked\", \"released\", \"delayed\", \"pruned\", \"crash_discarded\", \"nacks\", \"repairs\", \
          \"repaired_batches\", \"recoveries\", \"remote_reads\", \"windows\"],\n",
     );

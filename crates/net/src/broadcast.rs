@@ -77,6 +77,11 @@ pub struct CausalBroadcast<P> {
     /// bounded by the number of genuinely out-of-order envelopes —
     /// independent of how many duplicates the transport injects.
     seen: std::collections::HashSet<(NodeId, u64)>,
+    /// Per-sender cardinality of `seen`, maintained on insert/prune so
+    /// [`received_from`](Self::received_from) is O(1) instead of a scan
+    /// over the whole suppression set (gap detection runs it per peer
+    /// per drain — the scan was O(peers · pending) per rendezvous).
+    pending_from: Vec<u64>,
 }
 
 impl<P: Clone> CausalBroadcast<P> {
@@ -87,6 +92,7 @@ impl<P: Clone> CausalBroadcast<P> {
             delivered: VectorClock::new(n),
             buffer: Vec::new(),
             seen: std::collections::HashSet::new(),
+            pending_from: vec![0; n],
         }
     }
 
@@ -116,6 +122,7 @@ impl<P: Clone> CausalBroadcast<P> {
         // anything already delivered (stale), the `seen` set rejects
         // duplicates of envelopes still waiting in the buffer
         if !self.stale(&msg) && self.seen.insert((msg.sender, msg.vc.get(msg.sender))) {
+            self.pending_from[msg.sender] += 1;
             self.buffer.push(msg);
         }
         let mut out = Vec::new();
@@ -133,7 +140,14 @@ impl<P: Clone> CausalBroadcast<P> {
             // check, so keeping it would only grow the set without
             // bound under a duplicate storm
             let delivered = &self.delivered;
-            self.seen.retain(|&(s, q)| q > delivered.get(s));
+            let pending_from = &mut self.pending_from;
+            self.seen.retain(|&(s, q)| {
+                let keep = q > delivered.get(s);
+                if !keep {
+                    pending_from[s] -= 1;
+                }
+                keep
+            });
             // `seen` guarantees the buffer holds no duplicates of the
             // just-delivered envelopes, but keep the invariant scan as
             // a cheap safety net (it is O(buffer) only on delivery)
@@ -156,9 +170,10 @@ impl<P: Clone> CausalBroadcast<P> {
     /// messages (a message blocked behind a lost dependency still
     /// counts), which makes it the right gap detector for lossy
     /// transports: `received_from(q) < q's published send count` iff
-    /// something from `q` was physically lost.
+    /// something from `q` was physically lost. O(1): the per-sender
+    /// buffered count is maintained on insert and prune.
     pub fn received_from(&self, sender: NodeId) -> u64 {
-        self.delivered.get(sender) + self.seen.iter().filter(|&&(s, _)| s == sender).count() as u64
+        self.delivered.get(sender) + self.pending_from[sender]
     }
 
     /// Reset this endpoint to a delivery frontier (crash recovery).
@@ -177,6 +192,7 @@ impl<P: Clone> CausalBroadcast<P> {
         }
         self.buffer.clear();
         self.seen.clear();
+        self.pending_from.fill(0);
     }
 
     /// Already delivered (or sent by us)?
@@ -312,19 +328,8 @@ impl<P: Clone> BatchCausalBroadcast<P> {
     }
 }
 
-/// The recipient set of an interest-filtered multicast, as a bitmask
-/// over node ids (bit `i` = node `i` is interested). The mask bound of
-/// 64 nodes is asserted by [`InterestCausalBroadcast::new`].
-pub type InterestMask = u64;
-
-/// The bitmask with every node of a cluster of `n` interested.
-pub fn full_interest(n: usize) -> InterestMask {
-    if n >= 64 {
-        u64::MAX
-    } else {
-        (1u64 << n) - 1
-    }
-}
+pub use crate::delta::KnowledgeDelta;
+pub use crate::mask::{full_interest, InterestMask};
 
 /// An envelope of the interest-filtered causal multicast.
 ///
@@ -340,17 +345,22 @@ pub struct InterestMsg<P> {
     /// This envelope's sequence number on the `sender → recipient`
     /// edge (per-edge FIFO, gap detection, duplicate suppression).
     pub seq: u64,
-    /// The sender's **edge-knowledge matrix** at multicast time:
-    /// `knows[j * n + r]` counts the envelopes on edge `j → r` that
-    /// were in the sender's causal past — its own sends (row `sender`,
+    /// Delta encoding of the sender's **edge-knowledge matrix** at
+    /// multicast time. The logical stamp is unchanged from the dense
+    /// era — `knows[j][r]` counts the envelopes on edge `j → r` that
+    /// were in the sender's causal past: its own sends (row `sender`,
     /// which for the recipient's column includes this envelope) and
     /// everything learned from envelopes it delivered, merged
     /// transitively. The receiver gates delivery on its own column and
-    /// folds the whole matrix into its state, which is what carries
-    /// causal dependencies **through** replicas that were never
-    /// interested in them (the O(n²) metadata cost of partially
-    /// replicated causal consistency — cf. Xiang & Vaidya).
-    pub knows: Vec<u64>,
+    /// folds the matrix into its state, which is what carries causal
+    /// dependencies **through** replicas that were never interested in
+    /// them (the O(n²) metadata cost of partially replicated causal
+    /// consistency — cf. Xiang & Vaidya). What the envelope *carries*
+    /// is only the rows that changed since this edge's previous
+    /// envelope (non-zero cells, varint-packed on the wire): per-edge
+    /// FIFO delivery lets the receiver overlay them on the view it
+    /// kept from that previous envelope ([`KnowledgeDelta`]).
+    pub knows: KnowledgeDelta,
     /// Application payload.
     pub payload: P,
 }
@@ -412,13 +422,41 @@ pub struct InterestCausalBroadcast<P> {
     /// keyed by edge sequence number; pruned at the delivered floor
     /// exactly like [`CausalBroadcast`]'s set.
     pending: std::collections::HashSet<(NodeId, u64)>,
+    /// Per-sender cardinality of `pending`, maintained on insert/prune
+    /// so [`received_from`](Self::received_from) is O(1) instead of a
+    /// scan over the whole suppression set.
+    pending_from: Vec<u64>,
+    /// Monotone change counter driving the dirty-row delta encoding:
+    /// bumped whenever any matrix row changes (an own-row edge
+    /// increment, a delivery fold, a recovery fold).
+    ver: u64,
+    /// `row_ver[j]`: the value of `ver` when row `j` of the knowledge
+    /// matrix last changed.
+    row_ver: Vec<u64>,
+    /// `sent_ver[r]`: the value of `ver` when the last envelope on the
+    /// `me → r` edge was stamped — rows with `row_ver[j] > sent_ver[r]`
+    /// are exactly the next envelope's delta.
+    /// [`mark_refresh`](Self::mark_refresh) resets it to 0 to force a
+    /// full refresh (every ever-touched row) after peer recovery.
+    sent_ver: Vec<u64>,
+    /// `edge_col[s * n + j]`: our column of matrix row `j` as carried
+    /// by the last envelope **delivered** on the `s → me` edge — the
+    /// decode baseline a delta's absent rows default to. Per-edge FIFO
+    /// delivery makes "the previous envelope on this edge" well-defined
+    /// at both ends, which is what makes delta encoding sound.
+    edge_col: Vec<u64>,
 }
 
 impl<P: Clone> InterestCausalBroadcast<P> {
-    /// A fresh endpoint for process `me` in a cluster of `n` (≤ 64:
-    /// interest sets are bitmasks).
+    /// A fresh endpoint for process `me` in a cluster of `n`
+    /// (≤ [`InterestMask::MAX_NODES`]: interest sets are inline
+    /// bitsets).
     pub fn new(me: NodeId, n: usize) -> Self {
-        assert!(n <= 64, "interest masks are u64 bitmasks: n = {n} > 64");
+        assert!(
+            n <= InterestMask::MAX_NODES,
+            "interest masks are {}-bit bitsets: n = {n}",
+            InterestMask::MAX_NODES
+        );
         InterestCausalBroadcast {
             me,
             edge_sent: vec![0; n],
@@ -426,6 +464,11 @@ impl<P: Clone> InterestCausalBroadcast<P> {
             seen: vec![0; n * n],
             buffer: Vec::new(),
             pending: std::collections::HashSet::new(),
+            pending_from: vec![0; n],
+            ver: 0,
+            row_ver: vec![0; n],
+            sent_ver: vec![0; n],
+            edge_col: vec![0; n * n],
         }
     }
 
@@ -445,30 +488,53 @@ impl<P: Clone> InterestCausalBroadcast<P> {
         recipients: InterestMask,
     ) -> Vec<(NodeId, InterestMsg<P>)> {
         let n = self.cluster_size();
-        for r in 0..n {
-            if r == self.me || recipients & (1 << r) == 0 {
-                continue;
-            }
+        let me = self.me;
+        let targets: Vec<NodeId> = recipients.iter().filter(|&r| r != me && r < n).collect();
+        if targets.is_empty() {
+            return Vec::new();
+        }
+        for &r in &targets {
             self.edge_sent[r] += 1;
         }
-        // one matrix snapshot covers every copy: row `me` is the
-        // post-increment edge counts (so each recipient's column
-        // includes its own copy, and merging at any receiver teaches
-        // it about the flush's other copies), rows `j ≠ me` are the
-        // transitively merged knowledge
-        let mut knows = self.seen.clone();
-        knows[self.me * n..(self.me + 1) * n].copy_from_slice(&self.edge_sent);
-        let mut out = Vec::new();
-        for r in 0..n {
-            if r == self.me || recipients & (1 << r) == 0 {
-                continue;
+        // the logical stamp is still one matrix snapshot per flush: row
+        // `me` is the post-increment edge counts (so each recipient's
+        // column includes its own copy, and merging at any receiver
+        // teaches it about the flush's other copies), rows `j ≠ me` the
+        // transitively merged knowledge. On the wire each recipient
+        // gets only the rows that changed since *its* edge's previous
+        // envelope — per-edge FIFO delivery lets it overlay them on the
+        // view that envelope left behind — and within a row only the
+        // non-zero cells (counts are monotone, so zero-now means
+        // zero-in-every-earlier-stamp: the sparseness is exact).
+        self.ver += 1;
+        self.row_ver[me] = self.ver;
+        let mut out = Vec::with_capacity(targets.len());
+        for &r in &targets {
+            let mut rows = Vec::new();
+            for j in 0..n {
+                if self.row_ver[j] <= self.sent_ver[r] {
+                    continue;
+                }
+                let row = if j == me {
+                    &self.edge_sent[..]
+                } else {
+                    &self.seen[j * n..(j + 1) * n]
+                };
+                let cells: Vec<(u32, u64)> = row
+                    .iter()
+                    .enumerate()
+                    .filter(|&(_, &v)| v != 0)
+                    .map(|(c, &v)| (c as u32, v))
+                    .collect();
+                rows.push((j as u32, cells));
             }
+            self.sent_ver[r] = self.ver;
             out.push((
                 r,
                 InterestMsg {
-                    sender: self.me,
+                    sender: me,
                     seq: self.edge_sent[r],
-                    knows: knows.clone(),
+                    knows: KnowledgeDelta { rows },
                     payload: payload.clone(),
                 },
             ));
@@ -483,6 +549,7 @@ impl<P: Clone> InterestCausalBroadcast<P> {
     /// (transitivity across uninterested intermediaries).
     pub fn on_receive(&mut self, msg: InterestMsg<P>) -> Vec<InterestMsg<P>> {
         if !self.stale(&msg) && self.pending.insert((msg.sender, msg.seq)) {
+            self.pending_from[msg.sender] += 1;
             self.buffer.push(msg);
         }
         let mut out = Vec::new();
@@ -494,19 +561,44 @@ impl<P: Clone> InterestCausalBroadcast<P> {
             let m = self.buffer.swap_remove(pos);
             self.delivered[m.sender] += 1;
             let n = self.cluster_size();
-            for j in 0..n {
-                if j != self.me {
-                    for r in 0..n {
-                        let i = j * n + r;
-                        self.seen[i] = self.seen[i].max(m.knows[i]);
+            let s = m.sender;
+            // fold the delta's rows: rows absent from the delta need no
+            // fold — this edge's previous envelope (delivered first,
+            // per-edge FIFO) already folded identical values, and
+            // `seen` is monotone since
+            for (row, cells) in &m.knows.rows {
+                let j = *row as usize;
+                // refresh this edge's carried-over view of our column
+                // (the decode baseline for the edge's next delta)
+                self.edge_col[s * n + j] = KnowledgeDelta::cell(cells, self.me);
+                if j == self.me {
+                    continue; // our own row is edge_sent, authoritative
+                }
+                let mut changed = false;
+                for &(c, v) in cells {
+                    let i = j * n + c as usize;
+                    if v > self.seen[i] {
+                        self.seen[i] = v;
+                        changed = true;
                     }
+                }
+                if changed {
+                    self.ver += 1;
+                    self.row_ver[j] = self.ver;
                 }
             }
             out.push(m);
         }
         if !out.is_empty() {
             let delivered = &self.delivered;
-            self.pending.retain(|&(s, q)| q > delivered[s]);
+            let pending_from = &mut self.pending_from;
+            self.pending.retain(|&(s, q)| {
+                let keep = q > delivered[s];
+                if !keep {
+                    pending_from[s] -= 1;
+                }
+                keep
+            });
             let me = self.me;
             self.buffer
                 .retain(|m| m.sender != me && m.seq > delivered[m.sender]);
@@ -523,10 +615,31 @@ impl<P: Clone> InterestCausalBroadcast<P> {
         if m.sender == self.me || m.seq != self.delivered[m.sender] + 1 {
             return false;
         }
+        // the gate needs our column of the sender's matrix: dirty rows
+        // carry it in the delta, clean rows are unchanged from this
+        // edge's previous envelope, whose column `edge_col` kept. The
+        // seq check above guarantees that previous envelope is exactly
+        // the one `edge_col` currently reflects. Merge-walk the sorted
+        // delta rows so the gate is O(n + delta), not O(n · delta).
         let n = self.delivered.len();
-        (0..n)
-            .filter(|&j| j != m.sender && j != self.me)
-            .all(|j| m.knows[j * n + self.me] <= self.delivered[j])
+        let s = m.sender;
+        let mut ri = 0usize;
+        for j in 0..n {
+            while ri < m.knows.rows.len() && (m.knows.rows[ri].0 as usize) < j {
+                ri += 1;
+            }
+            if j == s || j == self.me {
+                continue;
+            }
+            let v = match m.knows.rows.get(ri) {
+                Some((row, cells)) if *row as usize == j => KnowledgeDelta::cell(cells, self.me),
+                _ => self.edge_col[s * n + j],
+            };
+            if v > self.delivered[j] {
+                return false;
+            }
+        }
+        true
     }
 
     /// Envelopes sent so far on the `me → r` edge.
@@ -541,9 +654,10 @@ impl<P: Clone> InterestCausalBroadcast<P> {
 
     /// Distinct envelopes **received** on the `q → me` edge: delivered
     /// plus buffered out-of-order — the per-edge gap detector for lossy
-    /// transports (see [`CausalBroadcast::received_from`]).
+    /// transports (see [`CausalBroadcast::received_from`]). O(1): the
+    /// per-edge buffered count is maintained on insert and prune.
     pub fn received_from(&self, q: NodeId) -> u64 {
-        self.delivered[q] + self.pending.iter().filter(|&&(s, _)| s == q).count() as u64
+        self.delivered[q] + self.pending_from[q]
     }
 
     /// Envelopes waiting for their causal past.
@@ -587,14 +701,42 @@ impl<P: Clone> InterestCausalBroadcast<P> {
         for (j, &d) in delivered.iter().enumerate() {
             if j != self.me {
                 self.delivered[j] = d;
+                let mut changed = false;
                 for r in 0..n {
                     let i = j * n + r;
-                    self.seen[i] = self.seen[i].max(sent[i]);
+                    if sent[i] > self.seen[i] {
+                        self.seen[i] = sent[i];
+                        changed = true;
+                    }
+                }
+                // rows the cut grew must reach peers whose last
+                // envelope predates the fold
+                if changed {
+                    self.ver += 1;
+                    self.row_ver[j] = self.ver;
                 }
             }
         }
         self.buffer.clear();
         self.pending.clear();
+        self.pending_from.fill(0);
+        // the per-edge decode baselines died with the pre-crash
+        // in-flight state: zero them and rely on every live peer
+        // calling [`mark_refresh`](Self::mark_refresh) for this node,
+        // so the next envelope on each inbound edge is a full refresh
+        // against exactly this zero baseline
+        self.edge_col.fill(0);
+    }
+
+    /// Forget what the `me → r` edge's receiver is assumed to already
+    /// know: the next envelope stamped for `r` carries every row this
+    /// matrix has ever touched — a full refresh against a zero decode
+    /// baseline. The engine calls this on every live peer when `r`
+    /// recovers from a crash: envelopes stamped for `r` while it was
+    /// down consumed delta state but were dropped, and `r`'s own
+    /// baselines restart from zero ([`resync`](Self::resync)).
+    pub fn mark_refresh(&mut self, r: NodeId) {
+        self.sent_ver[r] = 0;
     }
 }
 
@@ -615,7 +757,8 @@ pub struct InterestBatchCausalBroadcast<P> {
 }
 
 impl<P: Clone> InterestBatchCausalBroadcast<P> {
-    /// A fresh endpoint for process `me` in a cluster of `n` (≤ 64).
+    /// A fresh endpoint for process `me` in a cluster of `n`
+    /// (≤ [`InterestMask::MAX_NODES`]).
     pub fn new(me: NodeId, n: usize) -> Self {
         InterestBatchCausalBroadcast {
             inner: InterestCausalBroadcast::new(me, n),
@@ -708,6 +851,12 @@ impl<P: Clone> InterestBatchCausalBroadcast<P> {
     pub fn resync(&mut self, delivered: &[u64], sent: &[u64]) {
         self.inner.resync(delivered, sent);
         self.pending.clear();
+    }
+
+    /// Force the next envelope stamped for `r` to be a full knowledge
+    /// refresh (see [`InterestCausalBroadcast::mark_refresh`]).
+    pub fn mark_refresh(&mut self, r: NodeId) {
+        self.inner.mark_refresh(r);
     }
 
     /// Logical batches flushed so far (a flush to `k` recipients is one
@@ -950,6 +1099,15 @@ impl<M> TestLink<M> {
 mod tests {
     use super::*;
 
+    /// An interest mask from an explicit node list.
+    fn mask(bits: &[usize]) -> InterestMask {
+        let mut m = InterestMask::EMPTY;
+        for &b in bits {
+            m.set(b);
+        }
+        m
+    }
+
     #[test]
     fn causal_broadcast_buffers_out_of_causal_order() {
         // p0 broadcasts m1; p1 receives m1 then broadcasts m2.
@@ -1143,7 +1301,7 @@ mod tests {
         let mut p2 = InterestCausalBroadcast::<&str>::new(2, 4);
         let mut p3 = InterestCausalBroadcast::<&str>::new(3, 4);
 
-        let b = p3.multicast("b", 0b1011);
+        let b = p3.multicast("b", mask(&[0, 1, 3]));
         assert_eq!(b.len(), 2, "copies for nodes 0 and 1 only");
         let b_to_p1 = b.iter().find(|(r, _)| *r == 1).unwrap().1.clone();
         let b_to_p0 = b.iter().find(|(r, _)| *r == 0).unwrap().1.clone();
@@ -1171,7 +1329,7 @@ mod tests {
         let mut q0 = InterestCausalBroadcast::<&str>::new(0, 4);
         let d = p2.multicast("d", full_interest(4));
         let d_to_p0 = d.iter().find(|(r, _)| *r == 0).unwrap().1.clone();
-        let b2 = p3.multicast("b2", 0b1011); // fresh b for the fresh q0
+        let b2 = p3.multicast("b2", mask(&[0, 1, 3])); // fresh b for the fresh q0
         let _ = b2;
         // q0 receives d first: blocked on c AND (transitively) on b
         assert!(q0.on_receive(d_to_p0).is_empty());
@@ -1182,8 +1340,8 @@ mod tests {
     fn interest_edges_are_fifo_with_dup_suppression_and_gap_counts() {
         let mut p0 = InterestCausalBroadcast::<u32>::new(0, 2);
         let mut p1 = InterestCausalBroadcast::<u32>::new(1, 2);
-        let m1 = p0.multicast(1, 0b11).pop().unwrap().1;
-        let m2 = p0.multicast(2, 0b11).pop().unwrap().1;
+        let m1 = p0.multicast(1, mask(&[0, 1])).pop().unwrap().1;
+        let m2 = p0.multicast(2, mask(&[0, 1])).pop().unwrap().1;
         assert_eq!(p0.edge_sent(1), 2);
         // reversed arrival with duplicates
         assert!(p1.on_receive(m2.clone()).is_empty());
@@ -1228,8 +1386,8 @@ mod tests {
     #[test]
     fn interest_batching_coalesces_per_mask() {
         let mut p = InterestBatchCausalBroadcast::<u8>::new(0, 4);
-        let a = 0b0011; // {0, 1}
-        let b = 0b0101; // {0, 2}
+        let a = mask(&[0, 1]);
+        let b = mask(&[0, 2]);
         assert_eq!(p.push(1, a), 1);
         assert_eq!(p.push(2, b), 1);
         assert_eq!(p.push(3, a), 2);
@@ -1257,7 +1415,7 @@ mod tests {
         let mut p1 = InterestBatchCausalBroadcast::<u8>::new(1, 3);
         let mut p2 = InterestBatchCausalBroadcast::<u8>::new(2, 3);
         // p1 multicasts [9] to {1,2}; p2 delivers it, answers [7] to all
-        p1.push(9, 0b110);
+        p1.push(9, mask(&[1, 2]));
         let e = p1.flush_all();
         assert_eq!(e.len(), 1, "only node 2 interested");
         assert_eq!(p2.on_receive(e[0].1.clone()).len(), 1);
@@ -1277,7 +1435,7 @@ mod tests {
         // same exchange toward a fresh observer
         let mut q1 = InterestBatchCausalBroadcast::<u8>::new(1, 3);
         let mut q2 = InterestBatchCausalBroadcast::<u8>::new(2, 3);
-        q1.push(9, 0b111); // now node 0 is interested too
+        q1.push(9, mask(&[0, 1, 2])); // now node 0 is interested too
         let e = q1.flush_all();
         let to2 = e.iter().find(|(r, _)| *r == 2).unwrap().1.clone();
         let to0_first = e.iter().find(|(r, _)| *r == 0).unwrap().1.clone();

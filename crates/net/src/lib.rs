@@ -42,8 +42,10 @@
 pub mod broadcast;
 pub mod chaos;
 pub mod clock;
+pub mod delta;
 pub mod fault;
 pub mod latency;
+pub mod mask;
 pub mod msg;
 pub mod sim;
 pub mod thread_net;

@@ -58,6 +58,15 @@ pub struct ShardConfig {
     /// Seed of the placement hash choosing the non-home replicas —
     /// a sweep axis independent of the workload seed.
     pub placement_seed: u64,
+    /// Locality window for the non-home replicas: when non-zero, a
+    /// shard's extra replicas are drawn from the `max(locality,
+    /// replication)` workers starting at its home (wrapping), so most
+    /// interest edges stay within a seeded neighborhood — the knob
+    /// that keeps per-worker edge fan-in (and therefore dirty-row
+    /// counts in the delta-encoded metadata) bounded as the cluster
+    /// grows. `0` = the legacy global draw over all workers,
+    /// byte-identical to pre-locality placements.
+    pub locality: usize,
 }
 
 impl ShardConfig {
@@ -67,6 +76,7 @@ impl ShardConfig {
             shards: 0,
             replication: 0,
             placement_seed: 0,
+            locality: 0,
         }
     }
 
@@ -76,6 +86,18 @@ impl ShardConfig {
             shards: 0,
             replication: rf,
             placement_seed: 0,
+            locality: 0,
+        }
+    }
+
+    /// Partial replication at factor `rf` with replicas confined to a
+    /// `locality`-worker neighborhood of each shard's home.
+    pub fn rf_local(rf: usize, locality: usize) -> Self {
+        ShardConfig {
+            shards: 0,
+            replication: rf,
+            placement_seed: 0,
+            locality,
         }
     }
 

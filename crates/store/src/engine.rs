@@ -167,6 +167,7 @@ struct EngineMetrics {
     payloads_flushed: Arc<Counter>,
     batches_delivered: Arc<Counter>,
     matrix_bytes: Arc<Counter>,
+    payload_copy_ops: Arc<Counter>,
     nacks: Arc<Counter>,
     repairs: Arc<Counter>,
     repaired_batches: Arc<Counter>,
@@ -191,6 +192,7 @@ impl EngineMetrics {
             payloads_flushed: reg.counter("payloads_flushed_total"),
             batches_delivered: reg.counter("batches_delivered_total"),
             matrix_bytes: reg.counter("matrix_header_bytes_total"),
+            payload_copy_ops: reg.counter("payload_copy_ops_total"),
             nacks: reg.counter("nacks_total"),
             repairs: reg.counter("repairs_total"),
             repaired_batches: reg.counter("repaired_batches_total"),
@@ -512,6 +514,13 @@ struct Worker<'a, T: Adt> {
     rows: Vec<EpochMetrics>,
     /// Bytes of `knows` matrix headers shipped with batch envelopes.
     matrix_bytes: u64,
+    /// Payload ops shipped, summed per **copy** (a batch multicast to
+    /// `k` recipients adds `k * ops`; contrast `payloads_sent`, which
+    /// counts per flush). With `matrix_bytes` this makes the byte
+    /// accounting auditable: on a lossless run, `bytes_sent` of
+    /// batch traffic is exactly `matrix_bytes + per_op_bytes *
+    /// payload_copy_ops` (see `wire_accounting.rs`).
+    payload_copy_ops: u64,
     peak_buffered: usize,
     peak_suppression: usize,
     peak_pending: usize,
@@ -601,6 +610,7 @@ where
             prev: EpochSnap::default(),
             rows: Vec::new(),
             matrix_bytes: 0,
+            payload_copy_ops: 0,
             peak_buffered: 0,
             peak_suppression: 0,
             peak_pending: 0,
@@ -736,6 +746,7 @@ where
         m.reads.add(self.reads);
         m.reads_served.add(self.reads_served);
         m.matrix_bytes.add(self.matrix_bytes);
+        m.payload_copy_ops.add(self.payload_copy_ops);
         m.peak_buffered.raise(self.peak_buffered as u64);
         m.peak_suppression.raise(self.peak_suppression as u64);
         m.peak_pending.raise(self.peak_pending as u64);
@@ -837,6 +848,12 @@ where
             for span in &recoveries {
                 if span.worker != self.me {
                     self.serve_shard_sync(span);
+                    // envelopes stamped for the worker while it was
+                    // down consumed delta state but were dropped, and
+                    // its decode baselines restart from zero at resync:
+                    // the next envelope on our edge to it must be a
+                    // full knowledge refresh
+                    self.proto.mark_refresh(span.worker);
                 }
                 if span.worker == self.me {
                     self.receive_shard_sync(span);
@@ -921,7 +938,7 @@ where
         );
         if is_update {
             let mask = self.map.mask(self.map.shard_of(obj));
-            if mask != (1 << self.me) {
+            if mask != InterestMask::solo(self.me) {
                 // at least one other replica is interested
                 let pending = self.proto.push(
                     WireOp {
@@ -1025,12 +1042,22 @@ where
     /// the one place the retention rule and byte accounting live, so
     /// the threshold-flush and drain-flush paths can never diverge.
     fn ship(&mut self, envs: Vec<(NodeId, BatchMsg<T::Input>)>) {
-        let n = self.ep.cluster_size();
-        self.matrix_bytes += (envs.len() * n * n * 8) as u64;
+        // exact per-envelope delta header sizes (the dense era charged
+        // a flat 8·n² here); sizes depend on flush-time knowledge, so
+        // this counter — unlike message/batch/payload counts — is not
+        // interleaving-deterministic
+        self.matrix_bytes += envs
+            .iter()
+            .map(|(_, e)| e.knows.wire_len(e.sender, e.seq) as u64)
+            .sum::<u64>();
+        self.payload_copy_ops += envs
+            .iter()
+            .map(|(_, e)| e.payload.len() as u64)
+            .sum::<u64>();
         let vc = (self.trace_batches() && envs.iter().any(|(_, e)| self.sample_batch(e.seq)))
             .then(|| (self.preflush_clock(&envs), self.now_ns()));
         for (to, env) in envs {
-            let bytes = batch_bytes(n, &env.payload);
+            let bytes = batch_bytes(&env);
             if let Some((vc, wall)) = &vc {
                 if self.sample_batch(env.seq) {
                     let mut sp = Span::new(
@@ -1095,7 +1122,7 @@ where
                     sp.wall_ns = self.now_ns();
                     self.tracer.push(sp);
                 }
-                let bytes = repair_bytes(self.ep.cluster_size(), &tail);
+                let bytes = repair_bytes(&tail);
                 self.ep.send_reliable(from, StoreMsg::Repair(tail), bytes);
             }
             StoreMsg::ReadReq { obj, input } => {
@@ -1132,7 +1159,7 @@ where
 
     /// Deliver one batch envelope through the interest causal layer.
     fn deliver(&mut self, env: BatchMsg<T::Input>) {
-        for mut batch in self.proto.on_receive(env) {
+        for batch in self.proto.on_receive(env) {
             self.batches_delivered += 1;
             let sender = batch.sender;
             if self.trace_batches() && self.sample_batch(batch.seq) {
@@ -1144,9 +1171,13 @@ where
                 );
                 sp.peer = sender as i64;
                 sp.a = batch.payload.len() as u64;
-                // the envelope's knowledge matrix is done once its
-                // payload is applied — move it, don't copy it
-                sp.vc = std::mem::take(&mut batch.knows);
+                // envelopes carry only knowledge *deltas* now, so the
+                // span stamps the receiver's post-fold knowledge
+                // snapshot instead: it dominates the envelope's full
+                // matrix (the fold just merged it in), so it still
+                // dominates the matching flush span's pre-flush clock
+                // — the pairing invariant the trace checker verifies
+                sp.vc = self.proto.knowledge();
                 sp.wall_ns = self.now_ns();
                 self.tracer.push(sp);
             }

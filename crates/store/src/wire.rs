@@ -81,19 +81,24 @@ pub enum StoreMsg<I, O, S> {
     },
 }
 
-/// Estimated wire size of a batch: causal header (sender + edge
-/// sequence number + the n×n edge-knowledge matrix that carries
-/// transitive causal dependencies under partial replication) plus
-/// per-op object id, timestamp, tag byte, and the in-memory payload
-/// size as a stand-in for a real codec (see `cbm_net::msg` for exact
-/// encodings of the paper's message shapes). The quadratic header is
-/// the textbook metadata cost of partially replicated causal
-/// consistency — real systems compress it (delta-encoding, stability
-/// pruning), which this estimate deliberately does not model.
-pub fn batch_bytes<I>(n_procs: usize, ops: &[WireOp<I>]) -> usize {
-    let header = 2 + 2 + 8 + 8 * n_procs * n_procs;
+/// Wire size of a batch envelope: the **exact** varint-encoded causal
+/// header (sender, edge sequence number, and the delta-encoded
+/// dirty-row knowledge matrix that carries transitive causal
+/// dependencies under partial replication — see `cbm_net::delta` for
+/// the codec and its byte-exact `wire_len`), plus per-op object id,
+/// timestamp, tag byte, and the in-memory payload size as a stand-in
+/// for a real payload codec (see `cbm_net::msg` for exact encodings of
+/// the paper's message shapes). The dense-matrix era charged a flat
+/// `8·n²`-byte header here; the delta header's size depends on how
+/// much knowledge actually changed on the edge since its previous
+/// envelope, which is what makes bytes/op flat in cluster size under
+/// locality-bounded placement (`docs/SCALING.md`) — and also why byte
+/// totals, unlike message/batch/payload counts, are not
+/// interleaving-deterministic.
+pub fn batch_bytes<I>(env: &BatchMsg<I>) -> usize {
+    let header = env.knows.wire_len(env.sender, env.seq);
     let per_op = 4 + 10 + 1 + std::mem::size_of::<I>();
-    header + ops.len() * per_op
+    header + env.payload.len() * per_op
 }
 
 /// Estimated wire size of a nack (sender id + tag).
@@ -101,12 +106,10 @@ pub fn nack_bytes() -> usize {
     2 + 1
 }
 
-/// Estimated wire size of a repair: the envelopes it retransmits.
-pub fn repair_bytes<I>(n_procs: usize, batches: &[BatchMsg<I>]) -> usize {
-    batches
-        .iter()
-        .map(|b| batch_bytes(n_procs, &b.payload))
-        .sum()
+/// Wire size of a repair: the envelopes it retransmits, at their
+/// original (delta-encoded) stamp sizes.
+pub fn repair_bytes<I>(batches: &[BatchMsg<I>]) -> usize {
+    batches.iter().map(batch_bytes).sum()
 }
 
 /// Estimated wire size of a state transfer: shard ids, per-object
@@ -134,38 +137,63 @@ pub fn read_reply_bytes<O>() -> usize {
 mod tests {
     use super::*;
 
+    use cbm_net::broadcast::KnowledgeDelta;
+
+    fn env_with(ops: Vec<WireOp<u64>>, knows: KnowledgeDelta) -> BatchMsg<u64> {
+        BatchMsg {
+            sender: 3,
+            seq: 17,
+            knows,
+            payload: ops,
+        }
+    }
+
     #[test]
-    fn batch_bytes_scale_with_ops_and_cluster() {
+    fn batch_bytes_scale_with_ops_and_delta_size() {
         let op = WireOp {
             obj: 0,
             input: 7u64,
             ts: Timestamp::ZERO,
             wseq: None,
         };
-        let one = batch_bytes(4, std::slice::from_ref(&op));
-        let two = batch_bytes(4, &[op.clone(), op.clone()]);
-        assert_eq!(two - one, 4 + 10 + 1 + 8);
-        assert!(batch_bytes(8, &[op]) > one);
+        let one = env_with(vec![op.clone()], KnowledgeDelta::default());
+        let two = env_with(vec![op.clone(), op.clone()], KnowledgeDelta::default());
+        assert_eq!(batch_bytes(&two) - batch_bytes(&one), 4 + 10 + 1 + 8);
+        // a dirtier delta costs more, and the header charge is the
+        // codec's exact encoded length
+        let dirty = env_with(
+            vec![op],
+            KnowledgeDelta {
+                rows: vec![(0, vec![(1, 5), (3, 9)]), (2, vec![(0, 1)])],
+            },
+        );
+        assert!(batch_bytes(&dirty) > batch_bytes(&one));
+        assert_eq!(
+            batch_bytes(&dirty) - dirty.payload.len() * (4 + 10 + 1 + 8),
+            dirty.knows.encode(dirty.sender, dirty.seq).len(),
+            "header charge == exact encoded bytes"
+        );
     }
 
     #[test]
     fn control_sizes_are_deterministic() {
         let op = WireOp {
             obj: 1,
-            input: 3u32,
+            input: 3u64,
             ts: Timestamp::ZERO,
             wseq: Some(0),
         };
-        let env = BatchMsg {
-            sender: 0,
-            seq: 1,
-            knows: vec![0; 4],
-            payload: vec![op],
-        };
+        let env = env_with(
+            vec![op],
+            KnowledgeDelta {
+                rows: vec![(3, vec![(0, 17)])],
+            },
+        );
         assert_eq!(nack_bytes(), 3);
         assert_eq!(
-            repair_bytes(2, std::slice::from_ref(&env)),
-            batch_bytes(2, &env.payload)
+            repair_bytes(std::slice::from_ref(&env)),
+            batch_bytes(&env),
+            "repairs recharge the original stamps"
         );
         let sync = ShardSyncPayload::<u64> {
             shards: vec![(0, vec![0u64; 4]), (2, vec![0u64; 4])],

@@ -171,6 +171,7 @@ fn check_sharded_crash_recovery(
         shards: 0,
         replication: 2,
         placement_seed,
+        locality: 0,
     };
     let mut free_cfg = cfg(mode, 4, ops, seed, FaultPlan::new());
     free_cfg.sharding = chaos_cfg.sharding;
@@ -314,8 +315,13 @@ fn every_profile_reproduces_counts_exactly() {
         let b = make();
         assert_windows_ok(&a);
         assert_eq!(a.msgs_sent, b.msgs_sent, "{name}: msgs_sent");
-        assert_eq!(a.bytes_sent, b.bytes_sent, "{name}: bytes_sent");
+        // note: bytes_sent is *not* compared — delta-encoded knowledge
+        // headers size by how much changed on an edge since its
+        // previous envelope, which depends on delivery interleaving;
+        // the deterministic contract covers message/batch/payload
+        // counts, not byte totals (see docs/SHARDING.md)
         assert_eq!(a.batches_sent, b.batches_sent, "{name}: batches_sent");
+        assert_eq!(a.payloads_sent, b.payloads_sent, "{name}: payloads_sent");
         assert_eq!(a.chaos.drops, b.chaos.drops, "{name}: drops");
         assert_eq!(a.chaos.dups, b.chaos.dups, "{name}: dups");
         assert_eq!(a.chaos.nacks, b.chaos.nacks, "{name}: nacks");

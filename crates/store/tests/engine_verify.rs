@@ -130,7 +130,9 @@ fn message_counts_are_deterministic_across_runs() {
     let a = run(&Register, &cfg, reg_gen(32, 0.5));
     let b = run(&Register, &cfg, reg_gen(32, 0.5));
     assert_eq!(a.msgs_sent, b.msgs_sent);
-    assert_eq!(a.bytes_sent, b.bytes_sent);
+    // bytes_sent is interleaving-dependent (delta-encoded knowledge
+    // headers size by what changed per edge) and deliberately not part
+    // of the deterministic contract — see docs/SHARDING.md
     assert_eq!(a.batches_sent, b.batches_sent);
     assert_eq!(a.payloads_sent, b.payloads_sent);
     assert_eq!(a.windows.len(), b.windows.len());
@@ -281,7 +283,8 @@ fn sharded_counts_are_deterministic_across_runs() {
     let a = run(&Register, &cfg, reg_gen(32, 0.5));
     let b = run(&Register, &cfg, reg_gen(32, 0.5));
     assert_eq!(a.msgs_sent, b.msgs_sent);
-    assert_eq!(a.bytes_sent, b.bytes_sent);
+    // bytes_sent deliberately uncompared: delta headers are
+    // interleaving-dependent (see docs/SHARDING.md)
     assert_eq!(a.batches_sent, b.batches_sent);
     assert_eq!(a.payloads_sent, b.payloads_sent);
     assert_eq!(a.remote_reads, b.remote_reads);
