@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! chaos_loadgen [--quick] [--out PATH] [--seeds N] [--summary PATH] [--rf N]
-//!               [--workers N] [--locality N] [--trace] [--trace-dir DIR]
+//!               [--workers N] [--locality N] [--monitor] [--trace] [--trace-dir DIR]
 //! ```
 //!
 //! Tracing is **automatic** for chaos runs (the engine's flight
@@ -45,6 +45,14 @@
 //! large-cluster delivery path (wide interest masks, delta headers
 //! over many edges, crash recovery at scale) under the twin-state and
 //! determinism gates.
+//!
+//! `--monitor` turns the tier-3 streaming monitor on for every cell
+//! (`docs/VERIFICATION.md`): each monitored cell must then certify
+//! 100% of its ops (`ops_checked == total_ops`, zero confirmed
+//! violations) *under the fault plan*, and the monitor counters join
+//! the deterministic fingerprint so the replay pins the escalation
+//! count too. The nightly sweep runs one monitor-on rf-2 sweep this
+//! way.
 
 use cbm_adt::counter::{Counter, CtInput};
 use cbm_adt::space::SpaceInput;
@@ -116,6 +124,7 @@ fn cfg(
             every_ops: every,
             window_ops: window,
             sample_every: 1,
+            monitor: dim.monitor,
         },
         seed,
         sharding: ShardConfig::rf_local(dim.rf, dim.locality),
@@ -172,6 +181,11 @@ fn det_columns(r: &StoreReport) -> Vec<(&'static str, String)> {
         ),
         ("remote_reads", r.remote_reads.to_string()),
         ("windows", r.windows.len().to_string()),
+        // present (and zero) even with the monitor off, so the
+        // fingerprint shape never depends on the flag
+        ("monitor_ops_checked", r.monitor.ops_checked.to_string()),
+        ("monitor_escalations", r.monitor.escalations.to_string()),
+        ("monitor_violations", r.monitor.violations.to_string()),
     ]
 }
 
@@ -182,6 +196,7 @@ struct Dims {
     workers: usize,
     rf: usize,
     locality: usize,
+    monitor: bool,
 }
 
 fn run_cell(name: &'static str, mode: Mode, seed: u64, quick: bool, dim: Dims) -> Cell {
@@ -259,6 +274,24 @@ fn run_cell(name: &'static str, mode: Mode, seed: u64, quick: bool, dim: Dims) -
         ));
     }
 
+    // a monitored cell must certify every op despite the fault plan:
+    // nack-repaired deliveries fold exactly once, recovered workers
+    // rebuild their shadows from the state transfer
+    if dim.monitor {
+        if a.monitor.ops_checked != a.total_ops {
+            failures.push(format!(
+                "monitor certified {} of {} ops",
+                a.monitor.ops_checked, a.total_ops
+            ));
+        }
+        if a.monitor.violations != 0 {
+            failures.push(format!(
+                "{} confirmed monitor violation(s): {:?}",
+                a.monitor.violations, a.monitor.records
+            ));
+        }
+    }
+
     Cell {
         profile: name,
         mode,
@@ -283,11 +316,13 @@ fn main() -> ExitCode {
     let mut locality: usize = 0;
     let mut trace = false;
     let mut trace_dir = String::from("traces");
+    let mut monitor = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--trace" => trace = true,
+            "--monitor" => monitor = true,
             "--trace-dir" => match it.next() {
                 Some(p) => trace_dir = p.clone(),
                 None => {
@@ -340,7 +375,8 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "chaos_loadgen [--quick] [--out PATH] [--seeds N] [--summary PATH] \
-                     [--rf N] [--workers N] [--locality N] [--trace] [--trace-dir DIR]"
+                     [--rf N] [--workers N] [--locality N] [--monitor] [--trace] \
+                     [--trace-dir DIR]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -358,6 +394,7 @@ fn main() -> ExitCode {
         workers,
         rf,
         locality,
+        monitor,
     };
     let mut cells: Vec<Cell> = Vec::new();
     let mut failed = 0usize;
@@ -442,7 +479,8 @@ fn render_json(quick: bool, seeds: u64, rf: usize, cells: &[Cell]) -> String {
     s.push_str(
         "  \"deterministic_columns\": [\"total_ops\", \"msgs_sent\", \
          \"drops\", \"dups\", \"parked\", \"released\", \"delayed\", \"pruned\", \"crash_discarded\", \"nacks\", \"repairs\", \
-         \"repaired_batches\", \"recoveries\", \"remote_reads\", \"windows\"],\n",
+         \"repaired_batches\", \"recoveries\", \"remote_reads\", \"windows\", \
+         \"monitor_ops_checked\", \"monitor_escalations\"],\n",
     );
     s.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
@@ -511,6 +549,20 @@ fn render_json(quick: bool, seeds: u64, rf: usize, cells: &[Cell]) -> String {
             "      \"windows_spanning_recovery\": {},\n",
             c.windows_spanning_recovery
         ));
+        if r.monitor.enabled {
+            s.push_str(&format!(
+                "      \"monitor_ops_checked\": {},\n",
+                r.monitor.ops_checked
+            ));
+            s.push_str(&format!(
+                "      \"monitor_escalations\": {},\n",
+                r.monitor.escalations
+            ));
+            s.push_str(&format!(
+                "      \"monitor_violations\": {},\n",
+                r.monitor.violations
+            ));
+        }
         s.push_str(&format!(
             "      \"determinism_match\": {},\n",
             c.determinism_match
@@ -558,6 +610,13 @@ fn append_summary(path: &str, quick: bool, cells: &[Cell]) -> std::io::Result<()
                 r.chaos.repairs.to_string(),
                 r.chaos.recoveries.len().to_string(),
                 format!("{}/{}", r.windows.len() - r.windows_failed, r.windows.len()),
+                if !r.monitor.enabled {
+                    "—".to_string()
+                } else if r.monitor.certified(r.total_ops) {
+                    format!("{} ✓", r.monitor.ops_checked)
+                } else {
+                    format!("{}/{} ✗", r.monitor.ops_checked, r.total_ops)
+                },
                 (if c.state_match { "✓" } else { "✗" }).to_string(),
                 (if c.determinism_match { "✓" } else { "✗" }).to_string(),
                 (if c.failures.is_empty() { "✓" } else { "✗" }).to_string(),
@@ -578,6 +637,7 @@ fn append_summary(path: &str, quick: bool, cells: &[Cell]) -> std::io::Result<()
             "repairs",
             "recoveries",
             "windows",
+            "certified",
             "state",
             "det",
             "ok",

@@ -3,20 +3,22 @@
 //!
 //! ```text
 //! loadgen [--quick] [--out PATH] [--summary PATH] [--baseline PATH]
-//!         [--gate PATH] [--trace] [--trace-dir DIR] [--workers N]
-//!         [--objects N] [--ops N] [--read-ratio R] [--batch N|off]
-//!         [--mode cc|ccv] [--seed S] [--rf N] [--locality N]
-//!         [--remote-read-ratio R]
+//!         [--gate PATH] [--trace] [--trace-dir DIR] [--monitor]
+//!         [--workers N] [--objects N] [--ops N] [--read-ratio R]
+//!         [--batch N|off] [--mode cc|ccv] [--seed S] [--rf N]
+//!         [--locality N] [--remote-read-ratio R]
 //! ```
 //!
 //! `--trace` turns on the `cbm-obs` flight recorder for every leg and
 //! dumps each leg's trace into `--trace-dir` (default `traces/`) as
 //! both `<leg>.trace.json` (Chrome/Perfetto) and `<leg>.jsonl` (the
 //! byte-comparable logical timeline; see `docs/OBSERVABILITY.md`).
-//! Even without `--trace`, a leg that fails verification or needed
-//! repair/recovery dumps its flight record automatically whenever the
-//! engine recorded one. Tracing never changes the deterministic
-//! message/byte counts, so `--trace` composes with `--gate`.
+//! Even without `--trace`, a leg that fails verification, escalates a
+//! monitor suspicion, or needed repair/recovery dumps its flight
+//! record automatically whenever the engine recorded one — the
+//! `monitor-smoke` CI job uploads exactly those dumps. Tracing never
+//! changes the deterministic message/byte counts, so `--trace`
+//! composes with `--gate`.
 //!
 //! `--summary` appends a markdown table (one row per leg, with the
 //! committed baseline's deterministic message count alongside when
@@ -63,8 +65,22 @@
 //! the cluster grows; the summary renders it as a bytes/op-vs-workers
 //! table.
 //!
+//! The **monitor axis** (`docs/VERIFICATION.md`): both matrices carry
+//! `-mon` twins of selected legs — identical workload with the
+//! streaming bad-pattern monitor certifying every operation inline.
+//! The monitor never sends messages, so a twin's deterministic counts
+//! equal its base leg's and the pair measures pure checking tax —
+//! wall-clock and machine-dependent; see "The monitor tax, honestly"
+//! in `docs/THROUGHPUT.md`. `monitor_ops_checked` and
+//! `monitor_escalations` are deterministic per (config, seed) and join
+//! the `--gate` contract. `--monitor` forces the monitor on for every
+//! leg of the run (or for the single `custom` leg), for ad-hoc
+//! certification sweeps.
+//!
 //! Exit status: non-zero iff any leg reports a failed window, a
-//! drain-point divergence (convergent mode), or a `--gate` deviation.
+//! drain-point divergence (convergent mode), an uncertified op or
+//! monitor-confirmed violation on a monitor-enabled leg, or a `--gate`
+//! deviation.
 
 use cbm_adt::register::RegInput;
 use cbm_adt::register::Register;
@@ -115,6 +131,7 @@ fn leg(
                 every_ops: verify_every,
                 window_ops,
                 sample_every: 1,
+                monitor: false,
             },
             seed,
             sharding: ShardConfig::full(),
@@ -143,12 +160,35 @@ fn localized(mut l: Leg, rf: usize, locality: usize, remote: f64) -> Leg {
     l
 }
 
+/// The `-mon` twin of a leg: the identical workload with the
+/// streaming bad-pattern monitor certifying every op inline
+/// (`docs/VERIFICATION.md`). The monitor sends no messages, so the
+/// twin's deterministic counts must equal the base leg's — the pair
+/// isolates the pure checking tax.
+fn monitored(base: &Leg) -> Leg {
+    let mut l = base.clone();
+    l.name.push_str("-mon");
+    l.cfg.verify.monitor = true;
+    l
+}
+
+/// Append `-mon` twins of the named legs to a matrix.
+fn with_monitor_twins(mut legs: Vec<Leg>, names: &[&str]) -> Vec<Leg> {
+    let twins: Vec<Leg> = legs
+        .iter()
+        .filter(|l| names.contains(&l.name.as_str()))
+        .map(monitored)
+        .collect();
+    legs.extend(twins);
+    legs
+}
+
 /// The committed matrix: the headline 1M-op batched run, its unbatched
 /// twin (the ≥5× message-cut comparison), the convergent flavour, and
 /// threads / objects / read-ratio sweep legs.
 fn full_matrix() -> Vec<Leg> {
     let b32 = BatchPolicy::Every(32);
-    vec![
+    let legs = vec![
         leg(
             "cc-4w-1024o-b32-r50",
             Mode::Causal,
@@ -348,14 +388,25 @@ fn full_matrix() -> Vec<Leg> {
             8,
             0.002,
         ),
-    ]
+    ];
+    // The monitor axis: the 1M-op 8-worker headline tax comparison,
+    // the convergent flavour, and the rf-2 partial-replication leg
+    // where served routed reads are certified on the serving side.
+    with_monitor_twins(
+        legs,
+        &[
+            "cc-8w-1024o-b32-r50",
+            "ccv-4w-1024o-b32-r50",
+            "cc-8w-1024o-b32-r50-rf2",
+        ],
+    )
 }
 
 /// CI smoke matrix: small enough for a debug-capable runner, still one
 /// leg per mode plus the unbatched comparison.
 fn quick_matrix() -> Vec<Leg> {
     let b8 = BatchPolicy::Every(8);
-    vec![
+    let legs = vec![
         leg(
             "cc-4w-64o-b8-r50-quick",
             Mode::Causal,
@@ -463,7 +514,17 @@ fn quick_matrix() -> Vec<Leg> {
             8,
             0.05,
         ),
-    ]
+    ];
+    // the monitor-smoke cells: one per mode plus the rf-2 routed-read
+    // flavour, gated on exact certified-op and escalation counts
+    with_monitor_twins(
+        legs,
+        &[
+            "cc-4w-64o-b8-r50-quick",
+            "ccv-4w-64o-b8-r50-quick",
+            "cc-4w-64o-b8-r50-rf2-quick",
+        ],
+    )
 }
 
 fn run_leg(l: &Leg) -> StoreReport {
@@ -492,12 +553,13 @@ fn run_leg(l: &Leg) -> StoreReport {
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut quick = false;
-    let mut out_path = String::from("BENCH_throughput.json");
+    let mut out_path: Option<String> = None;
     let mut summary_path: Option<String> = None;
     let mut baseline_path: Option<String> = None;
     let mut gate_path: Option<String> = None;
     let mut trace = false;
     let mut trace_dir = String::from("traces");
+    let mut force_monitor = false;
     let mut custom = StoreConfig::default();
     let mut custom_read_ratio = 0.5;
     let mut custom_remote_read_ratio = 0.05;
@@ -515,7 +577,7 @@ fn main() -> ExitCode {
         match a.as_str() {
             "--quick" => quick = true,
             "--out" => match it.next() {
-                Some(p) => out_path = p.clone(),
+                Some(p) => out_path = Some(p.clone()),
                 None => {
                     eprintln!("--out needs a path");
                     return ExitCode::from(2);
@@ -543,6 +605,7 @@ fn main() -> ExitCode {
                 }
             },
             "--trace" => trace = true,
+            "--monitor" => force_monitor = true,
             "--trace-dir" => match it.next() {
                 Some(p) => trace_dir = p.clone(),
                 None => {
@@ -652,9 +715,9 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "loadgen [--quick] [--out PATH] [--summary PATH] [--baseline PATH] \
-                     [--gate PATH] [--trace] [--trace-dir DIR] [--workers N] [--objects N] \
-                     [--ops N] [--read-ratio R] [--batch N|off] [--mode cc|ccv] [--seed S] \
-                     [--rf N] [--locality N] [--remote-read-ratio R]"
+                     [--gate PATH] [--trace] [--trace-dir DIR] [--monitor] [--workers N] \
+                     [--objects N] [--ops N] [--read-ratio R] [--batch N|off] [--mode cc|ccv] \
+                     [--seed S] [--rf N] [--locality N] [--remote-read-ratio R]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -687,6 +750,11 @@ fn main() -> ExitCode {
             l.cfg.obs.trace = true;
         }
     }
+    if force_monitor {
+        for l in &mut legs {
+            l.cfg.verify.monitor = true;
+        }
+    }
 
     let mut reports: Vec<(Leg, StoreReport)> = Vec::new();
     let mut failures = 0usize;
@@ -709,14 +777,42 @@ fn main() -> ExitCode {
                 w.window, w.criterion, w.result
             );
         }
-        if !r.verified() {
+        if r.monitor.enabled {
+            eprintln!(
+                "  monitor: {}/{} ops certified, {} escalation(s) ({} cleared, {} violations)",
+                r.monitor.ops_checked,
+                r.total_ops,
+                r.monitor.escalations,
+                r.monitor.cleared,
+                r.monitor.violations
+            );
+            for rec in &r.monitor.records {
+                eprintln!(
+                    "  ESCALATE worker {} epoch {} op {}: {} ({} events) -> {}",
+                    rec.worker, rec.epoch, rec.at_op, rec.pattern, rec.events, rec.verdict
+                );
+            }
+        }
+        let uncertified = r.monitor.enabled && !r.monitor.certified(r.total_ops);
+        if uncertified {
+            eprintln!(
+                "  FAIL monitor: certification shortfall ({}/{} ops) or confirmed violation",
+                r.monitor.ops_checked, r.total_ops
+            );
+        }
+        if !r.verified() || uncertified {
             failures += 1;
         }
         // Flight-recorder dump: always under --trace; automatically on
-        // a failed verdict or any repair/recovery the engine traced.
+        // a failed verdict, a monitor escalation, or any
+        // repair/recovery the engine traced — escalated legs always
+        // leave a post-mortem record for CI to upload.
         if let Some(rec) = &r.trace {
-            let wanted =
-                trace || !r.verified() || r.chaos.repairs > 0 || !r.chaos.recoveries.is_empty();
+            let wanted = trace
+                || !r.verified()
+                || r.monitor.escalations > 0
+                || r.chaos.repairs > 0
+                || !r.chaos.recoveries.is_empty();
             if wanted {
                 match cbm_bench::write_trace(&trace_dir, &l.name, rec) {
                     Ok((chrome, jsonl)) => eprintln!("  trace: {chrome} + {jsonl}"),
@@ -727,6 +823,16 @@ fn main() -> ExitCode {
         reports.push((l.clone(), r));
     }
 
+    // default output mirrors the committed baseline the matrix
+    // corresponds to, so a `--quick` gate run can't clobber the full
+    // baseline
+    let out_path = out_path.unwrap_or_else(|| {
+        String::from(if quick {
+            "BENCH_throughput_quick.json"
+        } else {
+            "BENCH_throughput.json"
+        })
+    });
     let json = render_json(quick, is_custom, &reports);
     if let Err(e) = std::fs::write(&out_path, &json) {
         eprintln!("could not write {out_path}: {e}");
@@ -764,22 +870,38 @@ fn main() -> ExitCode {
                             );
                             gate_failures += 1;
                         }
-                        Some(&(msgs, batches, payloads)) => {
-                            if r.msgs_sent != msgs
-                                || r.batches_sent != batches
-                                || r.payloads_sent != payloads
-                            {
+                        Some(base) => {
+                            let mut deviations: Vec<String> = Vec::new();
+                            let mut check = |col: &str, got: u64, want: Option<u64>| {
+                                if let Some(w) = want {
+                                    if got != w {
+                                        deviations.push(format!("{col} {got} (baseline {w})"));
+                                    }
+                                }
+                            };
+                            check("msgs", r.msgs_sent, base.msgs);
+                            check("batches", r.batches_sent, base.batches);
+                            check("payloads", r.payloads_sent, base.payloads);
+                            // escalation behaviour is part of the
+                            // determinism contract: same (config,
+                            // seed) => same certified-op and
+                            // escalation counts. Exception: --monitor
+                            // forcing the monitor onto a leg whose
+                            // baseline recorded it off (mon_ops == 0)
+                            // makes the columns incomparable — the
+                            // monitor-smoke job pins those legs by
+                            // diffing two forced runs instead, and
+                            // the uncertified-leg failure still
+                            // applies.
+                            if !(force_monitor && base.mon_ops == Some(0)) {
+                                check("monitor_ops_checked", r.monitor.ops_checked, base.mon_ops);
+                                check("monitor_escalations", r.monitor.escalations, base.mon_esc);
+                            }
+                            if !deviations.is_empty() {
                                 eprintln!(
-                                    "GATE {}: deterministic counts deviate from {path}: \
-                                     msgs {} (baseline {}), batches {} (baseline {}), \
-                                     payloads {} (baseline {})",
+                                    "GATE {}: deterministic counts deviate from {path}: {}",
                                     l.name,
-                                    r.msgs_sent,
-                                    msgs,
-                                    r.batches_sent,
-                                    batches,
-                                    r.payloads_sent,
-                                    payloads
+                                    deviations.join(", ")
                                 );
                                 gate_failures += 1;
                             }
@@ -789,8 +911,8 @@ fn main() -> ExitCode {
                 if gate_failures == 0 {
                     println!(
                         "gate: {} leg(s) reproduce {} exactly \
-                         (msgs + batches + payloads; bytes are \
-                         interleaving-dependent and not gated)",
+                         (msgs + batches + payloads + monitor counters; bytes \
+                         are interleaving-dependent and not gated)",
                         reports.len(),
                         path
                     );
@@ -810,31 +932,51 @@ fn main() -> ExitCode {
     }
 }
 
-/// Extract `name -> (msgs_sent, batches_sent, payloads_sent)` from a
-/// committed baseline document (one field per line; see
-/// `cbm_bench::field_str`). `bytes_sent` is deliberately not part of
-/// the gate tuple — delta headers make byte totals
-/// interleaving-dependent.
-fn parse_baseline_counts(json: &str) -> std::collections::HashMap<String, (u64, u64, u64)> {
+/// One leg's gated deterministic counts from a committed baseline.
+/// `bytes_sent` is deliberately absent — delta headers make byte
+/// totals interleaving-dependent. The monitor columns are optional so
+/// pre-monitor baselines still parse (they then simply don't gate the
+/// monitor counters).
+#[derive(Default, Clone, Copy)]
+struct GateCounts {
+    msgs: Option<u64>,
+    batches: Option<u64>,
+    payloads: Option<u64>,
+    mon_ops: Option<u64>,
+    mon_esc: Option<u64>,
+}
+
+/// Extract `name -> GateCounts` from a committed baseline document
+/// (one field per line; see `cbm_bench::field_str`).
+fn parse_baseline_counts(json: &str) -> std::collections::HashMap<String, GateCounts> {
     let mut out = std::collections::HashMap::new();
     let mut current: Option<String> = None;
-    let mut msgs: Option<u64> = None;
-    let mut batches: Option<u64> = None;
+    let mut acc = GateCounts::default();
+    let flush = |name: &mut Option<String>,
+                 acc: &mut GateCounts,
+                 out: &mut std::collections::HashMap<String, GateCounts>| {
+        if let Some(n) = name.take() {
+            out.insert(n, *acc);
+        }
+        *acc = GateCounts::default();
+    };
     for line in json.lines() {
         if let Some(name) = cbm_bench::field_str(line, "name") {
+            flush(&mut current, &mut acc, &mut out);
             current = Some(name);
-            msgs = None;
-            batches = None;
         } else if let Some(v) = cbm_bench::field_u64(line, "msgs_sent") {
-            msgs = Some(v);
+            acc.msgs = Some(v);
         } else if let Some(v) = cbm_bench::field_u64(line, "batches_sent") {
-            batches = Some(v);
+            acc.batches = Some(v);
         } else if let Some(v) = cbm_bench::field_u64(line, "payloads_sent") {
-            if let (Some(name), Some(m), Some(b)) = (current.take(), msgs.take(), batches.take()) {
-                out.insert(name, (m, b, v));
-            }
+            acc.payloads = Some(v);
+        } else if let Some(v) = cbm_bench::field_u64(line, "monitor_ops_checked") {
+            acc.mon_ops = Some(v);
+        } else if let Some(v) = cbm_bench::field_u64(line, "monitor_escalations") {
+            acc.mon_esc = Some(v);
         }
     }
+    flush(&mut current, &mut acc, &mut out);
     out
 }
 
@@ -944,6 +1086,60 @@ fn append_summary(
         )?;
     }
 
+    // Monitor certification (docs/VERIFICATION.md): certified-op
+    // coverage and escalation counts are deterministic; the overhead
+    // column compares each `-mon` twin against its monitor-off base
+    // leg from the same run (wall-clock, so machine-dependent — see
+    // "The monitor tax, honestly" in docs/THROUGHPUT.md for how to
+    // read it, especially on single-core runners).
+    let monitor_rows: Vec<Vec<String>> = reports
+        .iter()
+        .filter(|(_, r)| r.monitor.enabled)
+        .map(|(l, r)| {
+            let base_ops = l
+                .name
+                .strip_suffix("-mon")
+                .and_then(|base| reports.iter().find(|(b, _)| b.name == base))
+                .map(|(_, b)| b.ops_per_sec);
+            vec![
+                l.name.clone(),
+                format!(
+                    "{}/{} ({:.1}%)",
+                    r.monitor.ops_checked,
+                    r.total_ops,
+                    100.0 * r.monitor.ops_checked as f64 / (r.total_ops.max(1)) as f64
+                ),
+                r.monitor.escalations.to_string(),
+                r.monitor.violations.to_string(),
+                format!("{:.0}", r.ops_per_sec),
+                base_ops
+                    .map(|b| format!("{:.1}%", 100.0 * (1.0 - r.ops_per_sec / b)))
+                    .unwrap_or_else(|| "—".into()),
+                if r.monitor.certified(r.total_ops) {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
+            ]
+        })
+        .collect();
+    if !monitor_rows.is_empty() {
+        cbm_bench::append_summary_table(
+            path,
+            "Monitor certification (streaming bad-pattern checker)",
+            &[
+                "leg",
+                "ops certified",
+                "escalations",
+                "violations",
+                "ops/s",
+                "overhead vs base",
+                "certified",
+            ],
+            &monitor_rows,
+        )?;
+    }
+
     // Per-epoch dashboard: every column deterministic per
     // (config, seed), so this table diffs exactly across reruns.
     let mut epoch_rows: Vec<Vec<String>> = Vec::new();
@@ -972,7 +1168,7 @@ fn render_json(quick: bool, custom: bool, reports: &[(Leg, StoreReport)]) -> Str
     s.push_str(
         "  \"deterministic_columns\": [\"total_ops\", \"msgs_sent\", \
          \"batches_sent\", \"payloads_sent\", \"mean_batch\", \"remote_reads\", \
-         \"windows\"],\n",
+         \"windows\", \"monitor_ops_checked\", \"monitor_escalations\"],\n",
     );
     s.push_str("  \"legs\": [\n");
     for (i, (l, r)) in reports.iter().enumerate() {
@@ -1020,6 +1216,23 @@ fn render_json(quick: bool, custom: bool, reports: &[(Leg, StoreReport)]) -> Str
         s.push_str(&format!("      \"payloads_sent\": {},\n", r.payloads_sent));
         s.push_str(&format!("      \"mean_batch\": {:.2},\n", r.mean_batch));
         s.push_str(&format!("      \"remote_reads\": {},\n", r.remote_reads));
+        s.push_str(&format!("      \"monitor\": {},\n", r.monitor.enabled));
+        s.push_str(&format!(
+            "      \"monitor_ops_checked\": {},\n",
+            r.monitor.ops_checked
+        ));
+        s.push_str(&format!(
+            "      \"monitor_escalations\": {},\n",
+            r.monitor.escalations
+        ));
+        s.push_str(&format!(
+            "      \"monitor_violations\": {},\n",
+            r.monitor.violations
+        ));
+        s.push_str(&format!(
+            "      \"monitor_certified\": {},\n",
+            r.monitor.enabled && r.monitor.certified(r.total_ops)
+        ));
         s.push_str(&format!(
             "      \"drains_converged\": {},\n",
             r.drains_converged

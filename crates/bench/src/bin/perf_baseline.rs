@@ -311,6 +311,7 @@ fn tracing_overhead(quick: bool) -> (f64, f64) {
             every_ops: ops / 4,
             window_ops: 24,
             sample_every: 1,
+            monitor: false,
         },
         seed: 42,
         sharding: ShardConfig::full(),

@@ -14,8 +14,8 @@
 //!   `workers` ≥ 1, and a `spans` count equal to the number of span
 //!   lines that follow; every span line carries exactly the
 //!   deterministic fields (`epoch`, `kind`, `worker`, `logical`,
-//!   `peer`, `shard`, `a`, `b`, `flag`), the `kind` is one of the ten
-//!   span kinds, the lane fits the worker count (the verifier uses
+//!   `peer`, `shard`, `a`, `b`, `flag`), the `kind` is one of the
+//!   eleven span kinds, the lane fits the worker count (the verifier uses
 //!   lane `workers`), and lines are sorted by the timeline key — the
 //!   order `cbm_obs` seals, which is what makes two runs at the same
 //!   `(config, seed)` byte-comparable. Nondeterministic fields (`vc`,

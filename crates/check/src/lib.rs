@@ -60,6 +60,7 @@ pub mod eventual;
 pub mod figures;
 pub mod kernel;
 pub mod kernel_ref;
+pub mod monitor;
 pub mod pc;
 pub mod sc;
 pub mod session;

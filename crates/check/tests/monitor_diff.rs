@@ -1,0 +1,415 @@
+//! Differential test: the streaming monitors (`CcMonitor` /
+//! `CcvMonitor`) against the offline exact checkers, on random
+//! simulated causal replications.
+//!
+//! The simulation issues operations one at a time across `procs`
+//! replicas of a multi-object register space. Each replica applies its
+//! own updates at issue and receives remote updates by advancing a
+//! private cursor over the global issue log — delivering a prefix of
+//! the global issue order is always a valid causal delivery (every
+//! operation's causal past sits at earlier global indices), so the
+//! simulated implementation is causally consistent *by construction*.
+//!
+//! The properties pinned here:
+//!
+//! * **No false alarms** — on a clean simulation the monitor never
+//!   escalates, and certifies every checked op.
+//! * **Soundness of silence** — when the monitor stays silent, the
+//!   offline DFS kernel (`check`, `Criterion::Cc`/`Ccv`) agrees the
+//!   assembled per-object histories are `Sat`.
+//! * **Detection, bounded** — a seeded thin-air read (a value no
+//!   write ever produced) is caught *by the very call that folds it*
+//!   (detection latency of zero further ops), the escalation's exact
+//!   witness confirms it, and the kernel rejects the corrupted
+//!   history too.
+//! * **Stale reads** — a read that skips an applied overwrite is
+//!   caught synchronously and witness-confirmed. The kernel may still
+//!   call the blackbox history `Sat` (causal consistency alone
+//!   permits stale reads when no delivery evidence is in play) —
+//!   exactly the refinement split documented on
+//!   [`cbm_check::monitor::Escalation`]: the witness is
+//!   authoritative, the kernel refines.
+//! * **Sharded / recovery analogs** — routed reads certified via
+//!   `on_served_read`, and drain compactions (`on_drain`) mid-stream,
+//!   introduce no false alarms.
+
+use cbm_adt::register::{RegInput, RegOutput, Register};
+use cbm_check::monitor::{CcMonitor, CcvMonitor, Stamp};
+use cbm_check::{check, Budget, Criterion, Verdict};
+use cbm_history::HistoryBuilder;
+use proptest::prelude::*;
+
+/// One scripted step: `proc` issues a read (`val == None`) or a write
+/// of `val` on `obj`, after delivering `deliver` pending remote
+/// updates (saturating).
+#[derive(Debug, Clone)]
+struct Step {
+    proc: usize,
+    obj: u32,
+    write: Option<u64>,
+    deliver: usize,
+}
+
+fn step_strategy(procs: usize, objects: u32) -> impl Strategy<Value = Step> {
+    (
+        0..procs,
+        0..objects,
+        proptest::bool::ANY,
+        1u64..64,
+        0usize..4,
+    )
+        .prop_map(|(proc, obj, is_write, val, deliver)| Step {
+            proc,
+            obj,
+            write: is_write.then_some(val),
+            deliver,
+        })
+}
+
+/// A globally-issued update, as the delivery cursors see it.
+#[derive(Debug, Clone, Copy)]
+struct Issued {
+    origin: usize,
+    obj: u32,
+    val: u64,
+    stamp: Stamp,
+}
+
+/// Outcome of one simulation: per-object blackbox histories (global
+/// issue order per process — a correct interleaving for the builder)
+/// plus the monitors' verdicts.
+struct SimResult {
+    escalations: u64,
+    confirmed: u64,
+    ops_checked: u64,
+    histories: Vec<HistoryBuilder<RegInput, RegOutput>>,
+}
+
+/// Drive `steps` through per-replica `CcMonitor`s (delivery-order
+/// replicas). `corrupt_read_at` optionally names a global step whose
+/// read output is replaced by `corrupt_val` — the injection hook.
+fn simulate_cc(
+    procs: usize,
+    objects: u32,
+    steps: &[Step],
+    corrupt: Option<(usize, u64)>,
+    drain_every: Option<usize>,
+) -> (SimResult, Vec<Option<cbm_check::monitor::Escalation>>) {
+    let mut monitors: Vec<CcMonitor<Register>> = (0..procs)
+        .map(|me| CcMonitor::new(Register, objects as usize, procs, me))
+        .collect();
+    // replica-local register values, [proc][obj]
+    let mut vals = vec![vec![0u64; objects as usize]; procs];
+    let mut log: Vec<Issued> = Vec::new();
+    let mut cursor = vec![0usize; procs];
+    let mut histories: Vec<HistoryBuilder<RegInput, RegOutput>> =
+        (0..objects).map(|_| HistoryBuilder::new()).collect();
+    let mut escal = Vec::with_capacity(steps.len());
+    let (mut escalations, mut confirmed) = (0u64, 0u64);
+
+    for (gi, st) in steps.iter().enumerate() {
+        let w = st.proc;
+        // deliver a few pending remote updates (global-prefix order)
+        let target = (cursor[w] + st.deliver).min(log.len());
+        while cursor[w] < target {
+            let u = log[cursor[w]];
+            cursor[w] += 1;
+            if u.origin == w {
+                continue;
+            }
+            vals[w][u.obj as usize] = u.val;
+            if let Some(e) = monitors[w].on_delivered(u.obj, &RegInput::Write(u.val), u.stamp) {
+                confirmed += u64::from(e.confirmed());
+                escalations += 1;
+            }
+        }
+        if let Some(d) = drain_every {
+            if gi > 0 && gi % d == 0 {
+                monitors[w].on_drain();
+            }
+        }
+        let time = (gi + 1) as u64;
+        let esc = match st.write {
+            Some(v) => {
+                vals[w][st.obj as usize] = v;
+                log.push(Issued {
+                    origin: w,
+                    obj: st.obj,
+                    val: v,
+                    stamp: Stamp::new(time, w),
+                });
+                histories[st.obj as usize].op(w, RegInput::Write(v), RegOutput::Ack);
+                monitors[w].on_own(st.obj, &RegInput::Write(v), &RegOutput::Ack, time)
+            }
+            None => {
+                let mut out = vals[w][st.obj as usize];
+                if let Some((at, bad)) = corrupt {
+                    if at == gi {
+                        out = bad;
+                    }
+                }
+                let output = RegOutput::Val(out);
+                histories[st.obj as usize].op(w, RegInput::Read, output);
+                monitors[w].on_own(st.obj, &RegInput::Read, &output, time)
+            }
+        };
+        if let Some(e) = &esc {
+            escalations += 1;
+            confirmed += u64::from(e.confirmed());
+        }
+        escal.push(esc);
+    }
+    let ops_checked = monitors.iter().map(|m| m.stats().ops_checked).sum();
+    (
+        SimResult {
+            escalations,
+            confirmed,
+            ops_checked,
+            histories,
+        },
+        escal,
+    )
+}
+
+proptest! {
+    /// Clean CC simulations: zero escalations, every op certified,
+    /// and the offline kernel agrees each per-object history is Sat.
+    #[test]
+    fn cc_monitor_silent_iff_kernel_sat(
+        procs in 2usize..4,
+        objects in 1u32..4,
+        steps in prop::collection::vec(step_strategy(4, 4), 1..24),
+    ) {
+        let steps: Vec<Step> = steps
+            .into_iter()
+            .map(|mut s| { s.proc %= procs; s.obj %= objects; s })
+            .collect();
+        let (sim, _) = simulate_cc(procs, objects, &steps, None, None);
+        prop_assert_eq!(sim.escalations, 0, "false alarm on a clean causal run");
+        prop_assert_eq!(sim.ops_checked, steps.len() as u64);
+        for b in sim.histories {
+            let h = b.build();
+            let r = check(Criterion::Cc, &Register, &h, &Budget::default());
+            prop_assert_eq!(r.verdict, Verdict::Sat, "kernel rejects what the monitor certified");
+        }
+    }
+
+    /// Clean CC simulations with periodic drain compactions: the ring
+    /// cuts must not manufacture suspicions.
+    #[test]
+    fn cc_monitor_drain_compaction_stays_silent(
+        procs in 2usize..4,
+        steps in prop::collection::vec(step_strategy(4, 2), 8..32),
+        drain_every in 2usize..6,
+    ) {
+        let steps: Vec<Step> = steps
+            .into_iter()
+            .map(|mut s| { s.proc %= procs; s })
+            .collect();
+        let (sim, _) = simulate_cc(procs, 2, &steps, None, Some(drain_every));
+        prop_assert_eq!(sim.escalations, 0);
+    }
+
+    /// A thin-air read (value no write produced) is caught by the call
+    /// that folds it, witness-confirmed, and kernel-rejected.
+    #[test]
+    fn cc_monitor_catches_injected_thin_air_read(
+        procs in 2usize..4,
+        steps in prop::collection::vec(step_strategy(4, 2), 4..24),
+        pick in 0usize..1024,
+    ) {
+        let steps: Vec<Step> = steps
+            .into_iter()
+            .map(|mut s| { s.proc %= procs; s })
+            .collect();
+        let reads: Vec<usize> = steps
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.write.is_none())
+            .map(|(i, _)| i)
+            .collect();
+        prop_assume!(!reads.is_empty());
+        let at = reads[pick % reads.len()];
+        // 999 is outside the generated write-value range 1..64
+        let (sim, escal) = simulate_cc(procs, 2, &steps, Some((at, 999)), None);
+        let esc = escal[at].as_ref();
+        prop_assert!(esc.is_some(), "corrupt read not caught by the folding call");
+        let esc = esc.unwrap();
+        prop_assert!(esc.confirmed(), "witness failed to confirm: {:?}", esc.witness);
+        prop_assert_eq!(esc.pattern.name(), "thin_air_read");
+        prop_assert!(sim.confirmed >= 1);
+        let obj = steps[at].obj as usize;
+        let h = sim.histories.into_iter().nth(obj).unwrap().build();
+        let r = check(Criterion::Cc, &Register, &h, &Budget::default());
+        prop_assert_eq!(r.verdict, Verdict::Unsat, "kernel must also reject a thin-air read");
+    }
+}
+
+/// A stale read — skipping an overwrite this replica already applied —
+/// is caught synchronously and witness-confirmed, even though the
+/// blackbox kernel (no delivery evidence) may still find a causal
+/// order that explains it.
+#[test]
+fn cc_monitor_catches_stale_read_the_kernel_cannot_see() {
+    let steps = vec![
+        Step {
+            proc: 0,
+            obj: 0,
+            write: Some(5),
+            deliver: 0,
+        },
+        Step {
+            proc: 0,
+            obj: 0,
+            write: Some(7),
+            deliver: 0,
+        },
+        Step {
+            proc: 0,
+            obj: 0,
+            write: None,
+            deliver: 0,
+        }, // honest: 7
+    ];
+    // corrupt the read to report the overwritten 5
+    let (sim, escal) = simulate_cc(1, 1, &steps, Some((2, 5)), None);
+    let esc = escal[2].as_ref().expect("stale read must escalate");
+    assert!(esc.confirmed(), "witness: {:?}", esc.witness);
+    assert_eq!(esc.pattern.name(), "write_co_read");
+    assert!(
+        esc.events > 0,
+        "escalation must carry the implicated window"
+    );
+    assert_eq!(sim.escalations, 1);
+    // The blackbox per-object history *is* CC-rejectable here only
+    // because both writes are on one process (program order forces
+    // 5 < 7 in every causal order). The monitor's value-add is the
+    // delivery-evidence witness; the kernel verdict refines.
+    let h = sim.histories.into_iter().next().unwrap().build();
+    let r = check(Criterion::Cc, &Register, &h, &Budget::default());
+    assert_eq!(r.verdict, Verdict::Unsat);
+}
+
+/// Served routed reads (the rf<workers analog: this replica answers
+/// for a non-hosting peer) are certified through `on_served_read` and
+/// raise no false alarms on a clean run — and a corrupt served read
+/// is caught synchronously.
+#[test]
+fn served_reads_certify_and_catch() {
+    let mut m = CcMonitor::new(Register, 2, 2, 0);
+    assert!(m
+        .on_own(0, &RegInput::Write(4), &RegOutput::Ack, 1)
+        .is_none());
+    assert!(m
+        .on_served_read(0, &RegInput::Read, &RegOutput::Val(4))
+        .is_none());
+    assert_eq!(m.stats().ops_checked, 2);
+    let esc = m
+        .on_served_read(0, &RegInput::Read, &RegOutput::Val(9))
+        .expect("corrupt served read must escalate");
+    assert!(esc.confirmed());
+    assert_eq!(esc.pattern.name(), "thin_air_read");
+}
+
+proptest! {
+    /// Clean CCv simulations: per-replica arbitration by Lamport stamp
+    /// (deliveries in global issue order *are* stamp order here), no
+    /// escalations, kernel Sat on every per-object history.
+    #[test]
+    fn ccv_monitor_silent_iff_kernel_sat(
+        procs in 2usize..4,
+        steps in prop::collection::vec(step_strategy(4, 2), 1..20),
+    ) {
+        let steps: Vec<Step> = steps
+            .into_iter()
+            .map(|mut s| { s.proc %= procs; s })
+            .collect();
+        let objects = 2u32;
+        let mut monitors: Vec<CcvMonitor<Register>> = (0..procs)
+            .map(|me| CcvMonitor::new(Register, objects as usize, procs, me))
+            .collect();
+        // CCv replicas arbitrate by stamp: state = value of the
+        // stamp-max write each replica has applied.
+        let mut best: Vec<Vec<Option<(Stamp, u64)>>> =
+            vec![vec![None; objects as usize]; procs];
+        let mut log: Vec<Issued> = Vec::new();
+        let mut cursor = vec![0usize; procs];
+        let mut histories: Vec<HistoryBuilder<RegInput, RegOutput>> =
+            (0..objects).map(|_| HistoryBuilder::new()).collect();
+        let mut escalations = 0u64;
+        for (gi, st) in steps.iter().enumerate() {
+            let w = st.proc;
+            let target = (cursor[w] + st.deliver).min(log.len());
+            while cursor[w] < target {
+                let u = log[cursor[w]];
+                cursor[w] += 1;
+                if u.origin == w {
+                    continue;
+                }
+                let slot = &mut best[w][u.obj as usize];
+                if slot.is_none_or(|(s, _)| s < u.stamp) {
+                    *slot = Some((u.stamp, u.val));
+                }
+                if monitors[w]
+                    .on_delivered(u.obj, &RegInput::Write(u.val), u.stamp)
+                    .is_some()
+                {
+                    escalations += 1;
+                }
+            }
+            let time = (gi + 1) as u64;
+            let esc = match st.write {
+                Some(v) => {
+                    let stamp = Stamp::new(time, w);
+                    let slot = &mut best[w][st.obj as usize];
+                    if slot.is_none_or(|(s, _)| s < stamp) {
+                        *slot = Some((stamp, v));
+                    }
+                    log.push(Issued { origin: w, obj: st.obj, val: v, stamp });
+                    histories[st.obj as usize].op(w, RegInput::Write(v), RegOutput::Ack);
+                    monitors[w].on_own(st.obj, &RegInput::Write(v), &RegOutput::Ack, time)
+                }
+                None => {
+                    let output =
+                        RegOutput::Val(best[w][st.obj as usize].map_or(0, |(_, v)| v));
+                    histories[st.obj as usize].op(w, RegInput::Read, output);
+                    monitors[w].on_own(st.obj, &RegInput::Read, &output, time)
+                }
+            };
+            if esc.is_some() {
+                escalations += 1;
+            }
+        }
+        prop_assert_eq!(escalations, 0, "false alarm on a clean convergent run");
+        for b in histories {
+            let h = b.build();
+            let r = check(Criterion::Ccv, &Register, &h, &Budget::default());
+            prop_assert_eq!(r.verdict, Verdict::Sat);
+        }
+    }
+}
+
+/// CCv detection: a read that ignores the arbitration-maximal write
+/// escalates synchronously with a convergence pattern and a confirmed
+/// witness.
+#[test]
+fn ccv_monitor_catches_arbitration_violation() {
+    let mut m = CcvMonitor::new(Register, 1, 2, 0);
+    // remote write stamped later than ours arbitrates on top
+    assert!(m
+        .on_own(0, &RegInput::Write(3), &RegOutput::Ack, 1)
+        .is_none());
+    assert!(m
+        .on_delivered(0, &RegInput::Write(8), Stamp::new(5, 1))
+        .is_none());
+    // honest CCv read must see 8; claim the arbitration-losing 3
+    let esc = m
+        .on_own(0, &RegInput::Read, &RegOutput::Val(3), 6)
+        .expect("arbitration-skipping read must escalate");
+    assert!(esc.confirmed(), "witness: {:?}", esc.witness);
+    assert!(
+        matches!(esc.pattern.code(), 3 | 5),
+        "expected a convergence/overwrite pattern, got {}",
+        esc.pattern.name()
+    );
+}

@@ -57,11 +57,16 @@ pub enum SpanKind {
     /// A verification window verdict from the verifier thread
     /// (`logical` = window id, `flag` = passed).
     VerifyWindow,
+    /// A streaming-monitor suspicion escalated to the exact checkers
+    /// (`logical` = the worker's op count at escalation, `a` = bad-
+    /// pattern code, `b` = events in the rebuilt window, `flag` =
+    /// confirmed by the witness re-verification).
+    MonitorEscalate,
 }
 
 impl SpanKind {
     /// Every kind, in canonical rank order.
-    pub const ALL: [SpanKind; 10] = [
+    pub const ALL: [SpanKind; 11] = [
         SpanKind::Op,
         SpanKind::ReadRoute,
         SpanKind::BatchFlush,
@@ -72,6 +77,7 @@ impl SpanKind {
         SpanKind::Crash,
         SpanKind::Recover,
         SpanKind::VerifyWindow,
+        SpanKind::MonitorEscalate,
     ];
 
     /// Stable snake_case name used by both exports and the JSON
@@ -88,6 +94,7 @@ impl SpanKind {
             SpanKind::Crash => "crash",
             SpanKind::Recover => "recover",
             SpanKind::VerifyWindow => "verify_window",
+            SpanKind::MonitorEscalate => "monitor_escalate",
         }
     }
 

@@ -414,6 +414,7 @@ mod tests {
                 every_ops: every,
                 window_ops: 8,
                 sample_every: 1,
+                monitor: false,
             },
             seed: 1,
             sharding: ShardConfig::full(),

@@ -131,6 +131,15 @@ pub struct VerifyConfig {
     /// Replay sampling stride handed to the CCv checker (1 = check
     /// every recorded output).
     pub sample_every: usize,
+    /// Run the streaming bad-pattern monitor inline on every worker
+    /// (`cbm_check::monitor`): every local op and every served routed
+    /// read is certified against an independently-derived shadow
+    /// state in O(1) amortized, and any mismatch escalates the
+    /// minimal implicated window to the exact checkers. Orthogonal to
+    /// the sampled windows above — the monitor certifies 100% of
+    /// traffic, the windows cross-check bounded slices end to end.
+    /// See `docs/VERIFICATION.md`.
+    pub monitor: bool,
 }
 
 impl Default for VerifyConfig {
@@ -139,6 +148,7 @@ impl Default for VerifyConfig {
             every_ops: 50_000,
             window_ops: 48,
             sample_every: 1,
+            monitor: false,
         }
     }
 }

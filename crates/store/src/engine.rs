@@ -80,8 +80,8 @@ use crate::objects::ObjectTable;
 use crate::record::{verify_shard_windows, OwnEvent, WindowRecord, WindowRecorder};
 use crate::shard::ShardMap;
 use crate::stats::{
-    ChaosReport, EpochMetrics, LatencySummary, RecoveryStats, StoreReport, WindowVerdict,
-    WorkerStats,
+    ChaosReport, EpochMetrics, LatencySummary, MonitorEscalation, MonitorReport, RecoveryStats,
+    StoreReport, WindowVerdict, WorkerStats,
 };
 use crate::wire::{
     batch_bytes, nack_bytes, read_reply_bytes, read_req_bytes, repair_bytes, sync_bytes, BatchMsg,
@@ -89,6 +89,8 @@ use crate::wire::{
 };
 use cbm_adt::space::{ObjectSpace, SpaceInput};
 use cbm_adt::Adt;
+use cbm_check::monitor::{CcMonitor, CcvMonitor, Escalation, MonitorStats, Stamp};
+use cbm_check::Verdict;
 use cbm_net::broadcast::{InterestBatchCausalBroadcast, InterestMask};
 use cbm_net::chaos::ChaosEndpoint;
 use cbm_net::clock::{LamportClock, Timestamp};
@@ -174,6 +176,9 @@ struct EngineMetrics {
     drains: Arc<Counter>,
     faults: Arc<Counter>,
     spans_dropped: Arc<Counter>,
+    monitor_ops_checked: Arc<Counter>,
+    monitor_escalations: Arc<Counter>,
+    monitor_ns: Arc<Counter>,
     peak_buffered: Arc<Gauge>,
     peak_suppression: Arc<Gauge>,
     peak_pending: Arc<Gauge>,
@@ -199,6 +204,9 @@ impl EngineMetrics {
             drains: reg.counter("drains_total"),
             faults: reg.counter("faults_injected_total"),
             spans_dropped: reg.counter("trace_spans_dropped_total"),
+            monitor_ops_checked: reg.counter("monitor_ops_checked"),
+            monitor_escalations: reg.counter("monitor_escalations"),
+            monitor_ns: reg.counter("monitor_ns"),
             peak_buffered: reg.gauge("causal_buffer_peak"),
             peak_suppression: reg.gauge("suppression_set_peak"),
             peak_pending: reg.gauge("batch_queue_peak"),
@@ -353,6 +361,27 @@ where
     worker_results.sort_by_key(|r| r.stats.worker);
     let latency = LatencySummary::from_histogram(&metrics.op_latency.snapshot());
 
+    let mut monitor = MonitorReport {
+        enabled: cfg.verify.monitor,
+        ..MonitorReport::default()
+    };
+    if monitor.enabled {
+        for r in &mut worker_results {
+            let s = r.monitor_stats;
+            monitor.ops_checked += s.ops_checked;
+            monitor.folds += s.folds;
+            monitor.escalations += s.escalations;
+            monitor.cleared += s.cleared;
+            monitor.violations += s.violations;
+            monitor.kernel_unknown += s.kernel_unknown;
+            monitor.records.extend(std::mem::take(&mut r.escalations));
+            metrics.monitor_ns.add(r.mon_ns);
+        }
+        monitor.records.sort_by_key(|e| (e.worker, e.at_op));
+        metrics.monitor_ops_checked.add(monitor.ops_checked);
+        metrics.monitor_escalations.add(monitor.escalations);
+    }
+
     let snap = stats.snapshot();
     let mut chaos = ChaosReport {
         active: sched.is_active(),
@@ -436,6 +465,7 @@ where
         windows_failed,
         drains_converged: coord.divergences.load(Ordering::Relaxed) == 0,
         final_state_hashes,
+        monitor,
         chaos,
         per_worker,
         epochs,
@@ -456,6 +486,113 @@ struct WorkerResult {
     rows: Vec<EpochMetrics>,
     /// Sealed trace spans plus the count truncated away by the caps.
     trace: (Vec<Span>, u64),
+    /// Streaming-monitor counters (zero when the monitor is off).
+    monitor_stats: MonitorStats,
+    /// Every monitor escalation this worker recorded, in op order.
+    escalations: Vec<MonitorEscalation>,
+    /// Estimated wall time in monitor hot-path calls (strided sample).
+    mon_ns: u64,
+}
+
+/// The per-mode streaming monitor a worker runs inline when
+/// [`crate::config::VerifyConfig::monitor`] is set. The two arms
+/// mirror [`Mode`]: `Causal` certifies against a delivery-order
+/// shadow fold (CC), `Convergent` against an independent Lamport-
+/// arbitrated fold (CCv). `Off` keeps the hot path untouched — every
+/// hook is behind an `enabled()` check the branch predictor eats.
+enum EngineMonitor<T: Adt> {
+    Off,
+    Cc(CcMonitor<T>),
+    Ccv(CcvMonitor<T>),
+}
+
+impl<T: Adt + Clone> EngineMonitor<T> {
+    fn new(adt: &T, cfg: &StoreConfig, me: usize) -> Self {
+        if !cfg.verify.monitor {
+            return EngineMonitor::Off;
+        }
+        let objects = cfg.objects.max(1);
+        let n = cfg.workers.max(1);
+        match cfg.mode {
+            Mode::Causal => EngineMonitor::Cc(CcMonitor::new(adt.clone(), objects, n, me)),
+            Mode::Convergent => EngineMonitor::Ccv(CcvMonitor::new(adt.clone(), objects, n, me)),
+        }
+    }
+
+    #[inline]
+    fn enabled(&self) -> bool {
+        !matches!(self, EngineMonitor::Off)
+    }
+
+    #[inline]
+    fn on_own(
+        &mut self,
+        slot: u32,
+        input: &T::Input,
+        output: &T::Output,
+        time: u64,
+    ) -> Option<Escalation> {
+        match self {
+            EngineMonitor::Off => None,
+            EngineMonitor::Cc(m) => m.on_own(slot, input, output, time),
+            EngineMonitor::Ccv(m) => m.on_own(slot, input, output, time),
+        }
+    }
+
+    #[inline]
+    fn on_delivered(&mut self, slot: u32, input: &T::Input, stamp: Stamp) -> Option<Escalation> {
+        match self {
+            EngineMonitor::Off => None,
+            EngineMonitor::Cc(m) => m.on_delivered(slot, input, stamp),
+            EngineMonitor::Ccv(m) => m.on_delivered(slot, input, stamp),
+        }
+    }
+
+    #[inline]
+    fn on_served_read(
+        &mut self,
+        slot: u32,
+        input: &T::Input,
+        output: &T::Output,
+    ) -> Option<Escalation> {
+        match self {
+            EngineMonitor::Off => None,
+            EngineMonitor::Cc(m) => m.on_served_read(slot, input, output),
+            EngineMonitor::Ccv(m) => m.on_served_read(slot, input, output),
+        }
+    }
+
+    fn on_drain(&mut self) {
+        match self {
+            EngineMonitor::Off => {}
+            EngineMonitor::Cc(m) => m.on_drain(),
+            EngineMonitor::Ccv(m) => m.on_drain(),
+        }
+    }
+
+    fn install_slot(&mut self, slot: usize, state: &T::State) {
+        match self {
+            EngineMonitor::Off => {}
+            EngineMonitor::Cc(m) => m.install_slot(slot, state),
+            EngineMonitor::Ccv(m) => m.install_slot(slot, state),
+        }
+    }
+
+    fn resync(&mut self) {
+        match self {
+            EngineMonitor::Off => {}
+            EngineMonitor::Cc(m) => m.resync(),
+            EngineMonitor::Ccv(m) => m.resync(),
+        }
+    }
+
+    fn stats(&self) -> MonitorStats {
+        match self {
+            EngineMonitor::Off => MonitorStats::default(),
+            EngineMonitor::Cc(m) => m.stats(),
+            EngineMonitor::Ccv(m) => m.stats(),
+        }
+    }
 }
 
 struct Worker<'a, T: Adt> {
@@ -494,6 +631,26 @@ struct Worker<'a, T: Adt> {
     repaired_batches: u64,
     discarded: u64,
     recoveries: Vec<RecoveryStats>,
+    /// Inline streaming monitor (`Off` unless `verify.monitor`).
+    monitor: EngineMonitor<T>,
+    /// Escalations the monitor raised, in op order.
+    escalations: Vec<MonitorEscalation>,
+    /// Does the current epoch follow a crash-recovery state transfer?
+    /// Recorded on escalations: their windows are then anchored on the
+    /// installed recovery states, the streaming analogue of the
+    /// `spans_recovery` anchoring sampled windows get in `record.rs`.
+    epoch_spans_recovery: bool,
+    /// Monitor hot-path call counter (timing stride).
+    mon_tick: u64,
+    /// `objects - 1` when the object count is a power of two: lets the
+    /// monitor hooks slot an object with a mask instead of a second
+    /// integer division on the hot path.
+    mon_slot_mask: Option<u32>,
+    /// Estimated nanoseconds in monitor calls: every 64th call is
+    /// timed and scaled, so steady state pays two `Instant::now()`s
+    /// per 64 folds instead of per fold. An estimate, like every other
+    /// wall-clock series.
+    mon_ns: u64,
     metrics: &'a EngineMetrics,
     /// The run's shared start instant; span wall stamps are offsets
     /// from it so all lanes share one timeline.
@@ -528,7 +685,7 @@ struct Worker<'a, T: Adt> {
 
 impl<'a, T> Worker<'a, T>
 where
-    T: Adt + Sync,
+    T: Adt + Clone + Sync,
     T::Input: Send + Sync,
     T::Output: Send,
     T::State: Send + Sync,
@@ -595,6 +752,15 @@ where
             repaired_batches: 0,
             discarded: 0,
             recoveries: Vec::new(),
+            monitor: EngineMonitor::new(adt, cfg, me),
+            escalations: Vec::new(),
+            epoch_spans_recovery: false,
+            mon_tick: 0,
+            mon_slot_mask: {
+                let n = cfg.objects.max(1);
+                n.is_power_of_two().then(|| (n - 1) as u32)
+            },
+            mon_ns: 0,
             metrics,
             t0,
             tracer: EpochTracer::new(
@@ -699,6 +865,68 @@ where
         self.tracer.seal(epoch);
     }
 
+    /// The monitor's slot for `obj` — `ObjectTable::slot` semantics,
+    /// with the modulo strength-reduced to a mask when possible.
+    #[inline]
+    fn mon_slot(&self, obj: u32) -> u32 {
+        match self.mon_slot_mask {
+            Some(m) => obj & m,
+            None => self.table.slot(obj) as u32,
+        }
+    }
+
+    /// Start the strided monitor timer: every 64th call is measured
+    /// (and scaled back up in [`Worker::mon_elapsed`]).
+    #[inline]
+    fn mon_timer(&mut self) -> Option<Instant> {
+        self.mon_tick = self.mon_tick.wrapping_add(1);
+        (self.mon_tick & 63 == 0).then(Instant::now)
+    }
+
+    #[inline]
+    fn mon_elapsed(&mut self, t: Option<Instant>) {
+        if let Some(t) = t {
+            self.mon_ns += (t.elapsed().as_nanos() as u64) << 6;
+        }
+    }
+
+    /// Record one monitor escalation: report row + `monitor_escalate`
+    /// trace span. `at_op` is this worker's op counter, the span's
+    /// deterministic logical stamp.
+    fn note_escalation(&mut self, at_op: u64, obj: Option<u32>, esc: Escalation) {
+        let confirmed = esc.confirmed();
+        if self.tracer.enabled() {
+            let mut sp = Span::new(
+                SpanKind::MonitorEscalate,
+                self.me as u32,
+                self.trace_epoch,
+                at_op,
+            );
+            sp.shard = obj.map(|o| self.map.shard_of(o) as i64).unwrap_or(-1);
+            sp.a = esc.pattern.code();
+            sp.b = esc.events as u64;
+            sp.flag = confirmed;
+            sp.wall_ns = self.now_ns();
+            self.tracer.push(sp);
+        }
+        self.escalations.push(MonitorEscalation {
+            worker: self.me,
+            epoch: self.trace_epoch,
+            at_op,
+            obj,
+            pattern: esc.pattern.name(),
+            events: esc.events,
+            confirmed,
+            verdict: match esc.verdict {
+                Verdict::Sat => "sat",
+                Verdict::Unsat => "unsat",
+                Verdict::Unknown => "unknown",
+            },
+            spans_recovery: self.epoch_spans_recovery,
+            detail: esc.witness.err().unwrap_or_default(),
+        });
+    }
+
     fn run<G>(mut self, gen: &G) -> WorkerResult
     where
         G: Fn(NodeId, u64, &mut StdRng) -> SpaceInput<T::Input> + Sync,
@@ -766,6 +994,9 @@ where
             recoveries: std::mem::take(&mut self.recoveries),
             rows: std::mem::take(&mut self.rows),
             trace: (spans, dropped),
+            monitor_stats: self.monitor.stats(),
+            escalations: std::mem::take(&mut self.escalations),
+            mon_ns: self.mon_ns,
         }
     }
 
@@ -844,6 +1075,7 @@ where
         // recovery state transfers at this boundary: per-shard, from
         // live co-replica helpers, anchored on the drain just completed
         let recoveries: Vec<CrashSpan> = self.sched.recoveries_at(e).copied().collect();
+        self.epoch_spans_recovery = !recoveries.is_empty();
         if !recoveries.is_empty() {
             for span in &recoveries {
                 if span.worker != self.me {
@@ -926,6 +1158,18 @@ where
             self.table.apply_update(self.adt, obj, ts, &op.input);
         } else {
             self.reads += 1;
+        }
+        if self.monitor.enabled() {
+            // certify the output against the shadow state (queries)
+            // and fold the update in; any mismatch escalates to the
+            // exact checkers right here, on the implicated window
+            let slot = self.mon_slot(obj);
+            let mt = self.mon_timer();
+            let esc = self.monitor.on_own(slot, &op.input, &output, ts.time);
+            self.mon_elapsed(mt);
+            if let Some(esc) = esc {
+                self.note_escalation(self.issued, Some(obj), esc);
+            }
         }
         let wseq = self.recorder.on_own(
             self.me,
@@ -1128,6 +1372,20 @@ where
             StoreMsg::ReadReq { obj, input } => {
                 let output = self.table.output(self.adt, obj, &input);
                 self.reads_served += 1;
+                if self.monitor.enabled() {
+                    // routed reads are certified where they are
+                    // answered: the issuer has no replica (and no
+                    // shadow) of this shard, the server has both —
+                    // summed across workers this is what closes the
+                    // 100%-of-ops accounting under partial replication
+                    let slot = self.mon_slot(obj);
+                    let mt = self.mon_timer();
+                    let esc = self.monitor.on_served_read(slot, &input, &output);
+                    self.mon_elapsed(mt);
+                    if let Some(esc) = esc {
+                        self.note_escalation(self.issued, Some(obj), esc);
+                    }
+                }
                 self.ep.send_reliable(
                     from,
                     StoreMsg::ReadReply { output },
@@ -1184,6 +1442,19 @@ where
             for op in batch.payload {
                 self.clock.observe(op.ts.time);
                 self.table.apply_update(self.adt, op.obj, op.ts, &op.input);
+                if self.monitor.enabled() {
+                    let slot = self.mon_slot(op.obj);
+                    let mt = self.mon_timer();
+                    let esc = self.monitor.on_delivered(
+                        slot,
+                        &op.input,
+                        Stamp::new(op.ts.time, op.ts.pid),
+                    );
+                    self.mon_elapsed(mt);
+                    if let Some(esc) = esc {
+                        self.note_escalation(self.issued, Some(op.obj), esc);
+                    }
+                }
                 self.recorder.on_remote(sender, op.wseq);
             }
         }
@@ -1373,6 +1644,17 @@ where
                         synced_objects += states.len() as u64;
                         self.table
                             .install_slots(self.map.slots_of(*s as usize), states);
+                        if self.monitor.enabled() {
+                            // the monitor rebuilds from the same
+                            // per-shard transfer: each shadow restarts
+                            // at the installed state with an empty
+                            // ring, so no post-recovery escalation can
+                            // rebuild a window containing pre-crash
+                            // placeholder events
+                            for (slot, st) in self.map.slots_of(*s as usize).zip(states.iter()) {
+                                self.monitor.install_slot(slot, st);
+                            }
+                        }
                     }
                     self.clock.observe(p.lamport);
                     served += 1;
@@ -1389,6 +1671,7 @@ where
             .map(|i| self.coord.sent_edges[i].load(Ordering::SeqCst))
             .collect();
         self.proto.resync(&delivered, &matrix);
+        self.monitor.resync();
         for log in self.epoch_sent.iter_mut() {
             log.clear(); // pre-crash sends are all below the cut
         }
@@ -1457,6 +1740,10 @@ where
     fn compact_and_check_convergence(&mut self, e: u64) {
         if !self.crashed {
             self.table.compact();
+            // same cut, same argument: every future stamp exceeds
+            // every folded one, so the monitor's shadow rings compact
+            // into their seeds here too
+            self.monitor.on_drain();
         }
         let shards = self.map.shards();
         for &s in self.map.hosted(self.me) {

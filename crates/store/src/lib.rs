@@ -68,7 +68,7 @@
 //!     ops_per_worker: 400,
 //!     mode: Mode::Causal,
 //!     batch: BatchPolicy::Every(4),
-//!     verify: VerifyConfig { every_ops: 200, window_ops: 16, sample_every: 1 },
+//!     verify: VerifyConfig { every_ops: 200, window_ops: 16, sample_every: 1, monitor: false },
 //!     seed: 7,
 //!     sharding: ShardConfig::full(),
 //!     chaos: FaultPlan::new(),

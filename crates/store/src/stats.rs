@@ -119,6 +119,72 @@ pub struct RecoveryStats {
     pub sync_wall_ns: u64,
 }
 
+/// One streaming-monitor suspicion escalated to the exact checkers
+/// (see `cbm_check::monitor` and `docs/VERIFICATION.md`). On a
+/// correct run this list is empty; its *presence* is the violation
+/// evidence, mirrored as `monitor_escalate` trace spans.
+#[derive(Debug, Clone)]
+pub struct MonitorEscalation {
+    /// Worker whose monitor escalated.
+    pub worker: usize,
+    /// Engine epoch the suspicion fired in.
+    pub epoch: u64,
+    /// The worker's op count at escalation.
+    pub at_op: u64,
+    /// Implicated object slot (`None` for origin-granular patterns
+    /// like `cyclic_co`).
+    pub obj: Option<u32>,
+    /// Bad-pattern classification (snake_case name).
+    pub pattern: &'static str,
+    /// Events in the rebuilt minimal window.
+    pub events: usize,
+    /// Did the exact witness re-verification confirm the violation?
+    pub confirmed: bool,
+    /// Criterion-level kernel verdict on the same window ("sat" =
+    /// still causally explainable, "unsat" = criterion violation,
+    /// "unknown" = window too large or out of budget).
+    pub verdict: &'static str,
+    /// The escalation fired in an epoch whose opening drain performed
+    /// a crash-recovery state transfer (its window is anchored on the
+    /// installed recovery states, like `spans_recovery` windows).
+    pub spans_recovery: bool,
+    /// Witness-checker violation description (empty when cleared).
+    pub detail: String,
+}
+
+/// Streaming-monitor accounting for one run. `ops_checked`,
+/// `escalations`, and `violations` are deterministic per
+/// `(config, seed)` — the `--gate` contract covers them.
+#[derive(Debug, Clone, Default)]
+pub struct MonitorReport {
+    /// Did the run monitor its traffic ([`crate::config::VerifyConfig::monitor`])?
+    pub enabled: bool,
+    /// Operations certified across all workers: own invocations at
+    /// their issuer plus routed reads at their server. Equals
+    /// `total_ops` on a complete run.
+    pub ops_checked: u64,
+    /// Delivered remote updates folded into shadow state.
+    pub folds: u64,
+    /// Suspicions escalated to the exact checkers.
+    pub escalations: u64,
+    /// Escalations the witness re-verification cleared.
+    pub cleared: u64,
+    /// Escalations the witness re-verification confirmed.
+    pub violations: u64,
+    /// Escalations whose kernel search was skipped or out of budget.
+    pub kernel_unknown: u64,
+    /// Every escalation, in (worker, op) order.
+    pub records: Vec<MonitorEscalation>,
+}
+
+impl MonitorReport {
+    /// Did the monitor certify every operation of the run? (Vacuously
+    /// false when the monitor was off.)
+    pub fn certified(&self, total_ops: u64) -> bool {
+        self.enabled && self.ops_checked == total_ops && self.violations == 0
+    }
+}
+
 /// Aggregated fault-layer accounting for one run. All counts except
 /// wall times are deterministic per `(config, seed)` — the chaos CI
 /// job replays runs and diffs them exactly (`docs/CHAOS.md`).
@@ -246,6 +312,8 @@ pub struct StoreReport {
     /// fault-free twin run's hashes, which is how the chaos harness
     /// proves recovery lost and duplicated nothing.
     pub final_state_hashes: Vec<u64>,
+    /// Streaming-monitor accounting (zeroed when the monitor is off).
+    pub monitor: MonitorReport,
     /// Fault-injection accounting (zeroed for fault-free runs).
     pub chaos: ChaosReport,
     /// Per-worker accounting.
@@ -264,10 +332,13 @@ pub struct StoreReport {
 }
 
 impl StoreReport {
-    /// Zero failed windows and (in convergent mode) convergence at
-    /// every drain.
+    /// Zero failed windows, (in convergent mode) convergence at every
+    /// drain, and — when the streaming monitor ran — zero confirmed
+    /// monitor violations.
     pub fn verified(&self) -> bool {
-        self.windows_failed == 0 && self.drains_converged
+        self.windows_failed == 0
+            && self.drains_converged
+            && (!self.monitor.enabled || self.monitor.violations == 0)
     }
 }
 

@@ -35,6 +35,7 @@ fn cfg(mode: Mode, workers: usize, ops: usize, seed: u64, chaos: FaultPlan) -> S
             every_ops: EVERY,
             window_ops: 12,
             sample_every: 1,
+            monitor: false,
         },
         seed,
         sharding: ShardConfig::full(),

@@ -36,6 +36,7 @@ fn small_cfg(mode: Mode, batch: BatchPolicy) -> StoreConfig {
             every_ops: 1_000,
             window_ops: 24,
             sample_every: 1,
+            monitor: false,
         },
         seed: 11,
         sharding: ShardConfig::full(),
@@ -154,6 +155,7 @@ fn single_worker_degenerates_gracefully() {
             every_ops: 200,
             window_ops: 16,
             sample_every: 1,
+            monitor: false,
         },
         seed: 3,
         sharding: ShardConfig::full(),
@@ -177,6 +179,7 @@ fn sampling_disabled_still_completes() {
             every_ops: 0,
             window_ops: 16,
             sample_every: 1,
+            monitor: false,
         },
         seed: 5,
         sharding: ShardConfig::full(),

@@ -34,6 +34,7 @@ fn cfg(workers: usize, rf: usize, mode: Mode, batch: usize, seed: u64) -> StoreC
             every_ops: 200,
             window_ops: 16,
             sample_every: 1,
+            monitor: false,
         },
         seed,
         sharding: if rf == 0 {

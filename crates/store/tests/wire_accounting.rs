@@ -55,6 +55,7 @@ fn bytes_are_exact_under_chaos_with_reliable_control() {
             every_ops: 1_000,
             window_ops: 24,
             sample_every: 1,
+            monitor: false,
         },
         seed: 7,
         sharding: ShardConfig::rf(2),
