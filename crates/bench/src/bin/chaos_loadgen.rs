@@ -4,7 +4,17 @@
 //! ```text
 //! chaos_loadgen [--quick] [--out PATH] [--seeds N] [--summary PATH] [--rf N]
 //!               [--workers N] [--locality N] [--monitor] [--trace] [--trace-dir DIR]
+//!               [--transport thread|tcp]
 //! ```
+//!
+//! `--transport tcp` runs every cell's replica mesh over real loopback
+//! sockets; the chaos layer (`ChaosEndpoint`) wraps the socket
+//! endpoint unchanged, and the flush-marker cut protocol
+//! (`docs/DEPLOYMENT.md`) keeps every deterministic column — fault
+//! counts included — equal to the in-process transport's, so the
+//! replay and twin gates below hold identically. The workload is a
+//! commutative counter space, so even the byte-identical twin-state
+//! gate is transport-independent.
 //!
 //! Tracing is **automatic** for chaos runs (the engine's flight
 //! recorder turns on whenever a fault schedule is active), so every
@@ -54,14 +64,11 @@
 //! count too. The nightly sweep runs one monitor-on rf-2 sweep this
 //! way.
 
-use cbm_adt::counter::{Counter, CtInput};
-use cbm_adt::space::SpaceInput;
+use cbm_bench::{run_workload, Transport, Workload};
 use cbm_store::{
-    profile, run, BatchPolicy, Mode, ObsConfig, ShardConfig, StoreConfig, StoreReport,
-    VerifyConfig, PROFILE_NAMES,
+    profile, BatchPolicy, Mode, ObsConfig, ShardConfig, StoreConfig, StoreReport, VerifyConfig,
+    PROFILE_NAMES,
 };
-use rand::rngs::StdRng;
-use rand::Rng;
 use std::process::ExitCode;
 
 struct Cell {
@@ -133,17 +140,6 @@ fn cfg(
     }
 }
 
-fn counter_gen(objects: u32) -> impl Fn(usize, u64, &mut StdRng) -> SpaceInput<CtInput> + Sync {
-    move |_, _, rng| {
-        let obj = rng.gen_range(0u32..objects);
-        if rng.gen_bool(0.3) {
-            SpaceInput::new(obj, CtInput::Read)
-        } else {
-            SpaceInput::new(obj, CtInput::Add(rng.gen_range(1i64..1_000)))
-        }
-    }
-}
-
 /// The deterministic fingerprint of a run, diffed across the replay.
 fn det_columns(r: &StoreReport) -> Vec<(&'static str, String)> {
     vec![
@@ -199,16 +195,22 @@ struct Dims {
     monitor: bool,
 }
 
-fn run_cell(name: &'static str, mode: Mode, seed: u64, quick: bool, dim: Dims) -> Cell {
+fn run_cell(
+    name: &'static str,
+    mode: Mode,
+    seed: u64,
+    quick: bool,
+    dim: Dims,
+    transport: Transport,
+) -> Cell {
     let (workers, every) = dims(quick, dim.workers);
     let plan = profile(name, workers, every).expect("known profile");
     let chaos_cfg = cfg(mode, seed, quick, dim, plan);
     let free_cfg = cfg(mode, seed, quick, dim, cbm_net::fault::FaultPlan::new());
 
-    let objects = chaos_cfg.objects as u32;
-    let a = run(&Counter, &chaos_cfg, counter_gen(objects));
-    let a2 = run(&Counter, &chaos_cfg, counter_gen(objects));
-    let twin = run(&Counter, &free_cfg, counter_gen(objects));
+    let a = run_workload(&Workload::Counter, &chaos_cfg, transport);
+    let a2 = run_workload(&Workload::Counter, &chaos_cfg, transport);
+    let twin = run_workload(&Workload::Counter, &free_cfg, transport);
 
     let mut failures = Vec::new();
     for w in a.windows.iter().filter(|w| w.result.is_err()) {
@@ -317,12 +319,20 @@ fn main() -> ExitCode {
     let mut trace = false;
     let mut trace_dir = String::from("traces");
     let mut monitor = false;
+    let mut transport = Transport::Thread;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--trace" => trace = true,
             "--monitor" => monitor = true,
+            "--transport" => match it.next().map(String::as_str).and_then(Transport::parse) {
+                Some(t) => transport = t,
+                None => {
+                    eprintln!("--transport needs thread or tcp");
+                    return ExitCode::from(2);
+                }
+            },
             "--trace-dir" => match it.next() {
                 Some(p) => trace_dir = p.clone(),
                 None => {
@@ -376,7 +386,7 @@ fn main() -> ExitCode {
                 println!(
                     "chaos_loadgen [--quick] [--out PATH] [--seeds N] [--summary PATH] \
                      [--rf N] [--workers N] [--locality N] [--monitor] [--trace] \
-                     [--trace-dir DIR]"
+                     [--trace-dir DIR] [--transport thread|tcp]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -402,7 +412,7 @@ fn main() -> ExitCode {
         for mode in [Mode::Causal, Mode::Convergent] {
             for s in 0..seeds {
                 let seed = 42 + s;
-                let cell = run_cell(name, mode, seed, quick, dim);
+                let cell = run_cell(name, mode, seed, quick, dim, transport);
                 eprint!(
                     "{:>16} {} seed {}: {} msgs, {} drops [{}], {} dups [{}], \
                      {} delayed, {} repairs",

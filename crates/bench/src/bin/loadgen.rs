@@ -4,10 +4,27 @@
 //! ```text
 //! loadgen [--quick] [--out PATH] [--summary PATH] [--baseline PATH]
 //!         [--gate PATH] [--trace] [--trace-dir DIR] [--monitor]
+//!         [--transport thread|tcp] [--procs N]
 //!         [--workers N] [--objects N] [--ops N] [--read-ratio R]
 //!         [--batch N|off] [--mode cc|ccv] [--seed S] [--rf N]
 //!         [--locality N] [--remote-read-ratio R]
 //! ```
+//!
+//! `--transport tcp` runs every leg's replica mesh over real loopback
+//! sockets ([`cbm_net::tcp`]) instead of in-process channels. The
+//! deterministic columns are transport-independent (the flush-marker
+//! cut protocol pins the quiesce decision, `docs/DEPLOYMENT.md`), so
+//! the same committed `--gate` baselines gate both transports — the
+//! `socket-smoke` CI job holds that equivalence on every push.
+//!
+//! `--procs N` goes one step further: spawn `N` `cbm-node` worker
+//! *processes* on loopback, dispatch the matrix legs across them over
+//! a control socket (`cbm_bench::proto`), and collect their reports
+//! into the same JSON/summary/gate paths. Each node hosts a full
+//! replica set over its own TCP mesh, so every leg's counts stay a
+//! pure function of `(config, seed)` while the matrix parallelises
+//! across processes. Flight records are dumped node-side into
+//! `--trace-dir` (same filesystem on a loopback fleet).
 //!
 //! `--trace` turns on the `cbm-obs` flight recorder for every leg and
 //! dumps each leg's trace into `--trace-dir` (default `traces/`) as
@@ -82,15 +99,12 @@
 //! monitor-confirmed violation on a monitor-enabled leg, or a `--gate`
 //! deviation.
 
-use cbm_adt::register::RegInput;
-use cbm_adt::register::Register;
-use cbm_adt::space::SpaceInput;
+use cbm_bench::fleet::NodePool;
+use cbm_bench::proto::LegSpec;
+use cbm_bench::{run_workload, Transport, Workload};
 use cbm_store::{
-    run, BatchPolicy, Mode, ObsConfig, ShardConfig, ShardMap, StoreConfig, StoreReport,
-    VerifyConfig,
+    BatchPolicy, Mode, ObsConfig, ShardConfig, StoreConfig, StoreReport, VerifyConfig,
 };
-use rand::rngs::StdRng;
-use rand::Rng;
 use std::process::ExitCode;
 
 /// One matrix cell.
@@ -527,27 +541,74 @@ fn quick_matrix() -> Vec<Leg> {
     )
 }
 
-fn run_leg(l: &Leg) -> StoreReport {
-    let objects = l.cfg.objects as u32;
-    let read_ratio = l.read_ratio;
-    let remote = l.remote_read_ratio;
-    let map = ShardMap::build(&l.cfg);
-    run(&Register, &l.cfg, move |w, _, rng: &mut StdRng| {
-        let obj = rng.gen_range(0u32..objects);
-        if rng.gen_bool(read_ratio) {
-            // most reads stay on hosted objects (the locality a
-            // sharded deployment routes for); a `remote` fraction may
-            // land anywhere and ride the request/reply path
-            let obj = if remote > 0.0 && rng.gen_bool(remote) {
-                obj
-            } else {
-                map.localize(w, obj)
-            };
-            SpaceInput::new(obj, RegInput::Read)
-        } else {
-            SpaceInput::new(obj, RegInput::Write(rng.gen_range(1u64..1_000_000)))
+/// The shared register workload this leg denotes (the generator
+/// itself lives in [`cbm_bench::run_workload`], where `cbm-node`
+/// reproduces it bit-for-bit in multi-process runs).
+fn workload_of(l: &Leg) -> Workload {
+    Workload::Register {
+        read_ratio: l.read_ratio,
+        remote_read_ratio: l.remote_read_ratio,
+    }
+}
+
+fn run_leg(l: &Leg, transport: Transport) -> StoreReport {
+    run_workload(&workload_of(l), &l.cfg, transport)
+}
+
+/// Print one leg's verdict diagnostics and dump its flight record when
+/// warranted; returns `true` iff the leg failed (a failed window, a
+/// drain divergence, or an uncertified monitor-enabled run). In
+/// multi-process runs the report arrives without its trace — the node
+/// already dumped it into the shared `trace_dir`.
+fn report_leg(l: &Leg, r: &StoreReport, trace: bool, trace_dir: &str) -> bool {
+    for w in r.windows.iter().filter(|w| w.result.is_err()) {
+        eprintln!(
+            "{}: FAIL window {} [{}]: {:?}",
+            l.name, w.window, w.criterion, w.result
+        );
+    }
+    if r.monitor.enabled {
+        eprintln!(
+            "{}: monitor {}/{} ops certified, {} escalation(s) ({} cleared, {} violations)",
+            l.name,
+            r.monitor.ops_checked,
+            r.total_ops,
+            r.monitor.escalations,
+            r.monitor.cleared,
+            r.monitor.violations
+        );
+        for rec in &r.monitor.records {
+            eprintln!(
+                "  ESCALATE worker {} epoch {} op {}: {} ({} events) -> {}",
+                rec.worker, rec.epoch, rec.at_op, rec.pattern, rec.events, rec.verdict
+            );
         }
-    })
+    }
+    let uncertified = r.monitor.enabled && !r.monitor.certified(r.total_ops);
+    if uncertified {
+        eprintln!(
+            "{}: FAIL monitor: certification shortfall ({}/{} ops) or confirmed violation",
+            l.name, r.monitor.ops_checked, r.total_ops
+        );
+    }
+    // Flight-recorder dump: always under --trace; automatically on a
+    // failed verdict, a monitor escalation, or any repair/recovery the
+    // engine traced — escalated legs always leave a post-mortem record
+    // for CI to upload.
+    if let Some(rec) = &r.trace {
+        let wanted = trace
+            || !r.verified()
+            || r.monitor.escalations > 0
+            || r.chaos.repairs > 0
+            || !r.chaos.recoveries.is_empty();
+        if wanted {
+            match cbm_bench::write_trace(trace_dir, &l.name, rec) {
+                Ok((chrome, jsonl)) => eprintln!("  trace: {chrome} + {jsonl}"),
+                Err(e) => eprintln!("  trace: could not write to {trace_dir}: {e}"),
+            }
+        }
+    }
+    !r.verified() || uncertified
 }
 
 fn main() -> ExitCode {
@@ -560,6 +621,8 @@ fn main() -> ExitCode {
     let mut trace = false;
     let mut trace_dir = String::from("traces");
     let mut force_monitor = false;
+    let mut transport = Transport::Thread;
+    let mut procs: usize = 0;
     let mut custom = StoreConfig::default();
     let mut custom_read_ratio = 0.5;
     let mut custom_remote_read_ratio = 0.05;
@@ -606,6 +669,20 @@ fn main() -> ExitCode {
             },
             "--trace" => trace = true,
             "--monitor" => force_monitor = true,
+            "--transport" => match it.next().map(String::as_str).and_then(Transport::parse) {
+                Some(t) => transport = t,
+                None => {
+                    eprintln!("--transport needs thread or tcp");
+                    return ExitCode::from(2);
+                }
+            },
+            "--procs" => match next_usize("--procs", &mut it) {
+                Some(v) if v > 0 => procs = v,
+                _ => {
+                    eprintln!("--procs needs a positive node count");
+                    return ExitCode::from(2);
+                }
+            },
             "--trace-dir" => match it.next() {
                 Some(p) => trace_dir = p.clone(),
                 None => {
@@ -715,7 +792,8 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "loadgen [--quick] [--out PATH] [--summary PATH] [--baseline PATH] \
-                     [--gate PATH] [--trace] [--trace-dir DIR] [--monitor] [--workers N] \
+                     [--gate PATH] [--trace] [--trace-dir DIR] [--monitor] \
+                     [--transport thread|tcp] [--procs N] [--workers N] \
                      [--objects N] [--ops N] [--read-ratio R] [--batch N|off] [--mode cc|ccv] \
                      [--seed S] [--rf N] [--locality N] [--remote-read-ratio R]"
                 );
@@ -756,71 +834,95 @@ fn main() -> ExitCode {
         }
     }
 
-    let mut reports: Vec<(Leg, StoreReport)> = Vec::new();
-    let mut failures = 0usize;
-    for l in &legs {
-        eprint!("{} ... ", l.name);
-        let r = run_leg(l);
-        eprintln!(
-            "{:.0} ops/s, p50 {} ns, p99 {} ns, {} msgs, mean batch {:.1}, {} windows ({} failed)",
-            r.ops_per_sec,
-            r.latency.p50_ns,
-            r.latency.p99_ns,
-            r.msgs_sent,
-            r.mean_batch,
-            r.windows.len(),
-            r.windows_failed
-        );
-        for w in r.windows.iter().filter(|w| w.result.is_err()) {
-            eprintln!(
-                "  FAIL window {} [{}]: {:?}",
-                w.window, w.criterion, w.result
-            );
-        }
-        if r.monitor.enabled {
-            eprintln!(
-                "  monitor: {}/{} ops certified, {} escalation(s) ({} cleared, {} violations)",
-                r.monitor.ops_checked,
-                r.total_ops,
-                r.monitor.escalations,
-                r.monitor.cleared,
-                r.monitor.violations
-            );
-            for rec in &r.monitor.records {
-                eprintln!(
-                    "  ESCALATE worker {} epoch {} op {}: {} ({} events) -> {}",
-                    rec.worker, rec.epoch, rec.at_op, rec.pattern, rec.events, rec.verdict
-                );
+    // Load the gate baseline *before* any leg runs: a missing or
+    // unparsable baseline is an operator error that must fail fast
+    // with a clean message and exit 2 — never a post-run surprise and
+    // never a panic.
+    let gate: Option<(String, std::collections::HashMap<String, GateCounts>)> = match gate_path {
+        None => None,
+        Some(path) => match std::fs::read_to_string(&path) {
+            Err(e) => {
+                eprintln!("loadgen: cannot read gate baseline {path}: {e}");
+                return ExitCode::from(2);
             }
+            Ok(text) => {
+                let baseline = parse_baseline_counts(&text);
+                if baseline.is_empty() {
+                    eprintln!(
+                        "loadgen: gate baseline {path} contains no legs — \
+                         not a cbm-throughput document?"
+                    );
+                    return ExitCode::from(2);
+                }
+                Some((path, baseline))
+            }
+        },
+    };
+
+    let reports: Vec<(Leg, StoreReport)> = if procs > 0 {
+        // Multi-process mode: every leg runs in a cbm-node worker
+        // process (over its own in-process TCP mesh); the driver only
+        // dispatches specs and collects reports.
+        let specs: Vec<LegSpec> = legs
+            .iter()
+            .map(|l| LegSpec {
+                name: l.name.clone(),
+                cfg: l.cfg.clone(),
+                workload: workload_of(l),
+                trace,
+                trace_dir: trace_dir.clone(),
+            })
+            .collect();
+        eprintln!(
+            "fleet: spawning {procs} cbm-node process(es) for {} leg(s)",
+            specs.len()
+        );
+        let mut pool = match NodePool::spawn(procs) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("loadgen: cannot spawn the node fleet: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let collected = match pool.run_batch(&specs) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("loadgen: fleet run failed: {e}");
+                pool.shutdown();
+                return ExitCode::FAILURE;
+            }
+        };
+        let killed = pool.shutdown();
+        if killed > 0 {
+            eprintln!("loadgen: {killed} node(s) had to be killed at shutdown");
         }
-        let uncertified = r.monitor.enabled && !r.monitor.certified(r.total_ops);
-        if uncertified {
+        legs.iter().cloned().zip(collected).collect()
+    } else {
+        let mut out: Vec<(Leg, StoreReport)> = Vec::new();
+        for l in &legs {
+            eprint!("{} [{}] ... ", l.name, transport.name());
+            let r = run_leg(l, transport);
             eprintln!(
-                "  FAIL monitor: certification shortfall ({}/{} ops) or confirmed violation",
-                r.monitor.ops_checked, r.total_ops
+                "{:.0} ops/s, p50 {} ns, p99 {} ns, {} msgs, mean batch {:.1}, \
+                 {} windows ({} failed)",
+                r.ops_per_sec,
+                r.latency.p50_ns,
+                r.latency.p99_ns,
+                r.msgs_sent,
+                r.mean_batch,
+                r.windows.len(),
+                r.windows_failed
             );
+            out.push((l.clone(), r));
         }
-        if !r.verified() || uncertified {
+        out
+    };
+
+    let mut failures = 0usize;
+    for (l, r) in &reports {
+        if report_leg(l, r, trace, &trace_dir) {
             failures += 1;
         }
-        // Flight-recorder dump: always under --trace; automatically on
-        // a failed verdict, a monitor escalation, or any
-        // repair/recovery the engine traced — escalated legs always
-        // leave a post-mortem record for CI to upload.
-        if let Some(rec) = &r.trace {
-            let wanted = trace
-                || !r.verified()
-                || r.monitor.escalations > 0
-                || r.chaos.repairs > 0
-                || !r.chaos.recoveries.is_empty();
-            if wanted {
-                match cbm_bench::write_trace(&trace_dir, &l.name, rec) {
-                    Ok((chrome, jsonl)) => eprintln!("  trace: {chrome} + {jsonl}"),
-                    Err(e) => eprintln!("  trace: could not write to {trace_dir}: {e}"),
-                }
-            }
-        }
-        reports.push((l.clone(), r));
     }
 
     // default output mirrors the committed baseline the matrix
@@ -852,72 +954,63 @@ fn main() -> ExitCode {
     }
 
     let mut gate_failures = 0usize;
-    if let Some(path) = gate_path {
-        match std::fs::read_to_string(&path) {
-            Err(e) => {
-                eprintln!("loadgen: cannot read gate baseline {path}: {e}");
-                gate_failures += 1;
-            }
-            Ok(text) => {
-                let baseline = parse_baseline_counts(&text);
-                for (l, r) in &reports {
-                    match baseline.get(&l.name) {
-                        None => {
-                            eprintln!(
-                                "GATE {}: leg missing from {path} — regenerate the \
-                                 committed baseline",
-                                l.name
-                            );
-                            gate_failures += 1;
-                        }
-                        Some(base) => {
-                            let mut deviations: Vec<String> = Vec::new();
-                            let mut check = |col: &str, got: u64, want: Option<u64>| {
-                                if let Some(w) = want {
-                                    if got != w {
-                                        deviations.push(format!("{col} {got} (baseline {w})"));
-                                    }
-                                }
-                            };
-                            check("msgs", r.msgs_sent, base.msgs);
-                            check("batches", r.batches_sent, base.batches);
-                            check("payloads", r.payloads_sent, base.payloads);
-                            // escalation behaviour is part of the
-                            // determinism contract: same (config,
-                            // seed) => same certified-op and
-                            // escalation counts. Exception: --monitor
-                            // forcing the monitor onto a leg whose
-                            // baseline recorded it off (mon_ops == 0)
-                            // makes the columns incomparable — the
-                            // monitor-smoke job pins those legs by
-                            // diffing two forced runs instead, and
-                            // the uncertified-leg failure still
-                            // applies.
-                            if !(force_monitor && base.mon_ops == Some(0)) {
-                                check("monitor_ops_checked", r.monitor.ops_checked, base.mon_ops);
-                                check("monitor_escalations", r.monitor.escalations, base.mon_esc);
-                            }
-                            if !deviations.is_empty() {
-                                eprintln!(
-                                    "GATE {}: deterministic counts deviate from {path}: {}",
-                                    l.name,
-                                    deviations.join(", ")
-                                );
-                                gate_failures += 1;
+    if let Some((path, baseline)) = &gate {
+        for (l, r) in &reports {
+            match baseline.get(&l.name) {
+                None => {
+                    eprintln!(
+                        "GATE {}: leg missing from {path} — regenerate the \
+                         committed baseline",
+                        l.name
+                    );
+                    gate_failures += 1;
+                }
+                Some(base) => {
+                    let mut deviations: Vec<String> = Vec::new();
+                    let mut check = |col: &str, got: u64, want: Option<u64>| {
+                        if let Some(w) = want {
+                            if got != w {
+                                deviations.push(format!("{col} {got} (baseline {w})"));
                             }
                         }
+                    };
+                    check("msgs", r.msgs_sent, base.msgs);
+                    check("batches", r.batches_sent, base.batches);
+                    check("payloads", r.payloads_sent, base.payloads);
+                    // escalation behaviour is part of the
+                    // determinism contract: same (config,
+                    // seed) => same certified-op and
+                    // escalation counts. Exception: --monitor
+                    // forcing the monitor onto a leg whose
+                    // baseline recorded it off (mon_ops == 0)
+                    // makes the columns incomparable — the
+                    // monitor-smoke job pins those legs by
+                    // diffing two forced runs instead, and
+                    // the uncertified-leg failure still
+                    // applies.
+                    if !(force_monitor && base.mon_ops == Some(0)) {
+                        check("monitor_ops_checked", r.monitor.ops_checked, base.mon_ops);
+                        check("monitor_escalations", r.monitor.escalations, base.mon_esc);
+                    }
+                    if !deviations.is_empty() {
+                        eprintln!(
+                            "GATE {}: deterministic counts deviate from {path}: {}",
+                            l.name,
+                            deviations.join(", ")
+                        );
+                        gate_failures += 1;
                     }
                 }
-                if gate_failures == 0 {
-                    println!(
-                        "gate: {} leg(s) reproduce {} exactly \
-                         (msgs + batches + payloads + monitor counters; bytes \
-                         are interleaving-dependent and not gated)",
-                        reports.len(),
-                        path
-                    );
-                }
             }
+        }
+        if gate_failures == 0 {
+            println!(
+                "gate: {} leg(s) reproduce {} exactly \
+                 (msgs + batches + payloads + monitor counters; bytes \
+                 are interleaving-dependent and not gated)",
+                reports.len(),
+                path
+            );
         }
     }
 

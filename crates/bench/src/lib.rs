@@ -9,12 +9,126 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fleet;
+pub mod proto;
+
+use cbm_adt::counter::{Counter, CtInput};
+use cbm_adt::register::{RegInput, Register};
+use cbm_adt::space::SpaceInput;
 use cbm_adt::window::{WInput, WOutput, WindowStream};
 use cbm_adt::Adt;
 use cbm_check::{check, Budget, Criterion, Verdict};
 use cbm_history::{History, HistoryBuilder};
+use cbm_store::{run, run_tcp, ShardMap, StoreConfig, StoreReport};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+
+/// Which live transport carries the store engine's replication
+/// traffic: the in-process channel mesh or real loopback TCP sockets
+/// ([`cbm_net::tcp::TcpNet`]). The deterministic report columns are
+/// identical by contract (`docs/DEPLOYMENT.md`), so one committed
+/// `--gate` baseline gates both.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// Crossbeam channels between worker threads (the default).
+    Thread,
+    /// A real TCP mesh over loopback, one socket pair per worker pair.
+    Tcp,
+}
+
+impl Transport {
+    /// Parse a `--transport` flag value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "thread" => Some(Transport::Thread),
+            "tcp" => Some(Transport::Tcp),
+            _ => None,
+        }
+    }
+
+    /// The flag spelling (`thread` / `tcp`).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Transport::Thread => "thread",
+            Transport::Tcp => "tcp",
+        }
+    }
+}
+
+/// A named operation generator, defined **once** so `loadgen`,
+/// `chaos_loadgen`, and the `cbm-node` process produce byte-identical
+/// op scripts for a given `(workload, config, seed)` — the determinism
+/// contract would die quietly if the closures ever diverged between
+/// binaries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Workload {
+    /// The throughput-matrix register space: `read_ratio` of ops read
+    /// (a `remote_read_ratio` fraction of those roaming to arbitrary —
+    /// possibly non-hosted — objects), the rest write random values.
+    Register {
+        /// Fraction of operations that are reads.
+        read_ratio: f64,
+        /// Fraction of reads targeting an arbitrary object (may route
+        /// to a remote replica under partial replication).
+        remote_read_ratio: f64,
+    },
+    /// The chaos-matrix counter space: 30% reads, 70% commutative
+    /// increments — chaos runs must converge byte-identically to their
+    /// fault-free twins.
+    Counter,
+}
+
+/// Run `cfg` under the named workload over the chosen transport. This
+/// is the single definition of both generator closures (see
+/// [`Workload`]); every harness binary funnels through it.
+pub fn run_workload(w: &Workload, cfg: &StoreConfig, t: Transport) -> StoreReport {
+    match w {
+        Workload::Register {
+            read_ratio,
+            remote_read_ratio,
+        } => {
+            let objects = cfg.objects as u32;
+            let (read_ratio, remote) = (*read_ratio, *remote_read_ratio);
+            let map = ShardMap::build(cfg);
+            let gen = move |w: usize, _: u64, rng: &mut StdRng| {
+                let obj = rng.gen_range(0u32..objects);
+                if rng.gen_bool(read_ratio) {
+                    // most reads stay on hosted objects (the locality a
+                    // sharded deployment routes for); a `remote`
+                    // fraction may land anywhere and ride the
+                    // request/reply path
+                    let obj = if remote > 0.0 && rng.gen_bool(remote) {
+                        obj
+                    } else {
+                        map.localize(w, obj)
+                    };
+                    SpaceInput::new(obj, RegInput::Read)
+                } else {
+                    SpaceInput::new(obj, RegInput::Write(rng.gen_range(1u64..1_000_000)))
+                }
+            };
+            match t {
+                Transport::Thread => run(&Register, cfg, gen),
+                Transport::Tcp => run_tcp(&Register, cfg, gen),
+            }
+        }
+        Workload::Counter => {
+            let objects = cfg.objects as u32;
+            let gen = move |_: usize, _: u64, rng: &mut StdRng| {
+                let obj = rng.gen_range(0u32..objects);
+                if rng.gen_bool(0.3) {
+                    SpaceInput::new(obj, CtInput::Read)
+                } else {
+                    SpaceInput::new(obj, CtInput::Add(rng.gen_range(1i64..1_000)))
+                }
+            };
+            match t {
+                Transport::Thread => run(&Counter, cfg, gen),
+                Transport::Tcp => run_tcp(&Counter, cfg, gen),
+            }
+        }
+    }
+}
 
 /// Render an aligned plain-text table.
 pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {

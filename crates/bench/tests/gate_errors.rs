@@ -1,0 +1,64 @@
+//! A missing or unparsable `--gate` baseline must fail **before** any
+//! leg runs, with exit code 2 and a clean one-line message — never a
+//! panic, and never minutes of legs followed by a post-run surprise.
+
+use std::process::Command;
+
+fn loadgen(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_loadgen"))
+        .args(args)
+        .current_dir(env!("CARGO_TARGET_TMPDIR"))
+        .output()
+        .expect("loadgen runs")
+}
+
+fn assert_clean_usage_error(out: &std::process::Output, expect: &str) {
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "usage errors exit 2, got {:?} (stderr: {stderr})",
+        out.status.code()
+    );
+    assert!(
+        stderr.contains(expect),
+        "stderr should explain the problem, got: {stderr}"
+    );
+    assert!(
+        !stderr.contains("panicked") && !stderr.contains("RUST_BACKTRACE"),
+        "operator errors must not panic: {stderr}"
+    );
+    // fail-fast contract: no leg ran, so no leg progress line was
+    // printed and no output document was written
+    assert!(
+        !stderr.contains("ops/s"),
+        "no leg should have run before the gate check: {stderr}"
+    );
+}
+
+#[test]
+fn missing_gate_baseline_fails_fast_and_cleanly() {
+    let out = loadgen(&[
+        "--quick",
+        "--gate",
+        "no-such-baseline.json",
+        "--out",
+        "unwritten.json",
+    ]);
+    assert_clean_usage_error(&out, "cannot read gate baseline");
+}
+
+#[test]
+fn unparsable_gate_baseline_fails_fast_and_cleanly() {
+    let dir = env!("CARGO_TARGET_TMPDIR");
+    let path = std::path::Path::new(dir).join("not-a-baseline.json");
+    std::fs::write(&path, "{\"schema\": \"something-else\"}\n").unwrap();
+    let out = loadgen(&[
+        "--quick",
+        "--gate",
+        "not-a-baseline.json",
+        "--out",
+        "unwritten.json",
+    ]);
+    assert_clean_usage_error(&out, "contains no legs");
+}

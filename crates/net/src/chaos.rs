@@ -5,7 +5,7 @@
 //! time — only the OS scheduler — so reproducible fault injection has
 //! to live where determinism lives: **on the send path**, keyed to the
 //! sending worker's own operation counter. [`ChaosEndpoint`] wraps an
-//! [`Endpoint`] with exactly that:
+//! [`Endpoint`](crate::endpoint::Endpoint) with exactly that:
 //!
 //! * **probabilistic drop/dup** — rolled from a per-endpoint seeded
 //!   RNG at each send; the send sequence is a pure function of the
@@ -39,8 +39,9 @@
 //!
 //! [`FaultPlan`]: crate::fault::FaultPlan
 
+use crate::endpoint::Endpoint as EndpointApi;
 use crate::fault::FaultTarget;
-use crate::thread_net::{Drain, Endpoint, ThreadNetStats};
+use crate::thread_net::ThreadNetStats;
 use crate::NodeId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -133,9 +134,17 @@ pub struct ChaosEvent {
     pub kind: ChaosEventKind,
 }
 
-/// An [`Endpoint`] with a deterministic sender-side fault layer.
-pub struct ChaosEndpoint<M> {
-    ep: Endpoint<M>,
+/// An endpoint with a deterministic sender-side fault layer.
+///
+/// Generic over the transport: any [`EndpointApi`] implementation
+/// (in-process [`crate::thread_net::Endpoint`], which the type
+/// parameter defaults to, or a real-socket
+/// [`crate::tcp::TcpEndpoint`]) gets the identical fault vocabulary —
+/// the rolls are keyed to the sender's seeded RNG and operation clock,
+/// never to the transport, so a chaos profile reproduces the same
+/// injection sequence over threads and over TCP.
+pub struct ChaosEndpoint<M, E = crate::thread_net::Endpoint<M>> {
+    ep: E,
     vtime: u64,
     links: Vec<LinkChaos>,
     self_crashed: bool,
@@ -154,11 +163,11 @@ pub struct ChaosEndpoint<M> {
     events_overflow: u64,
 }
 
-impl<M: Clone + Send> ChaosEndpoint<M> {
+impl<M: Clone + Send, E: EndpointApi<M>> ChaosEndpoint<M, E> {
     /// Wrap `ep` with a fault layer whose probabilistic rolls are
     /// seeded by `seed` (derive it from the run seed and the node id
     /// so endpoints roll independent, reproducible streams).
-    pub fn new(ep: Endpoint<M>, seed: u64) -> Self {
+    pub fn new(ep: E, seed: u64) -> Self {
         let n = ep.cluster_size();
         ChaosEndpoint {
             ep,
@@ -213,7 +222,7 @@ impl<M: Clone + Send> ChaosEndpoint<M> {
 
     /// This node's id.
     pub fn me(&self) -> NodeId {
-        self.ep.me
+        self.ep.me()
     }
 
     /// Cluster size.
@@ -321,7 +330,7 @@ impl<M: Clone + Send> ChaosEndpoint<M> {
     /// Accounting contract (audited, pinned by
     /// `bytes_are_exact_under_chaos_with_reliable_control`): the shared
     /// [`ThreadNetStats`] counters are incremented in exactly one
-    /// place, [`Endpoint::send_sized`], when a copy actually enters a
+    /// place, [`Endpoint::send_sized`](crate::endpoint::Endpoint::send_sized), when a copy actually enters a
     /// peer's queue — so control traffic through this bypass counts
     /// once per message, fault-path traffic counts once per copy that
     /// reaches the wire (duplicated copies twice; dropped, parked-then-
@@ -340,6 +349,19 @@ impl<M: Clone + Send> ChaosEndpoint<M> {
     /// Non-blocking receive.
     pub fn try_recv(&self) -> Option<(NodeId, M)> {
         self.ep.try_recv()
+    }
+
+    /// Transport-level flush marker, straight through the fault layer:
+    /// a cut token is not traffic, so faults never drop, delay, or
+    /// duplicate it and crashed endpoints still emit it (see
+    /// [`EndpointApi::send_marker`]).
+    pub fn send_marker(&self) {
+        self.ep.send_marker();
+    }
+
+    /// Markers observed from `peer` ([`EndpointApi::marker_count`]).
+    pub fn marker_count(&self, peer: NodeId) -> u64 {
+        self.ep.marker_count(peer)
     }
 
     /// Force-transmit every held-back (latency-delayed) message now.
@@ -443,12 +465,12 @@ impl<M: Clone + Send> ChaosEndpoint<M> {
     }
 
     /// Graceful shutdown of the underlying endpoint.
-    pub fn shutdown(self) -> Drain<M> {
+    pub fn shutdown(self) -> E::Drain {
         self.ep.shutdown()
     }
 }
 
-impl<M: Clone + Send> FaultTarget for ChaosEndpoint<M> {
+impl<M: Clone + Send, E: EndpointApi<M>> FaultTarget for ChaosEndpoint<M, E> {
     fn nodes(&self) -> usize {
         self.cluster_size()
     }
@@ -507,7 +529,7 @@ impl<M: Clone + Send> FaultTarget for ChaosEndpoint<M> {
 mod tests {
     use super::*;
     use crate::fault::{apply_fault, Fault};
-    use crate::thread_net::ThreadNet;
+    use crate::thread_net::{Endpoint, ThreadNet};
 
     fn pair() -> (ChaosEndpoint<u32>, Endpoint<u32>) {
         let mut net: ThreadNet<u32> = ThreadNet::new(2);

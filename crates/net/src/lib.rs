@@ -29,7 +29,12 @@
 //! * [`thread_net::ThreadNet`] — real threads over crossbeam channels
 //!   with lock-free message/byte accounting and graceful drain, used
 //!   by the live store engine (`cbm-store`) and the Criterion benches
-//!   for wall-clock numbers.
+//!   for wall-clock numbers;
+//! * [`tcp::TcpNet`] — real sockets: a CRC-framed, length-prefixed TCP
+//!   mesh over loopback with the same accounting and drain semantics,
+//!   behind the shared [`endpoint::Endpoint`] trait (messages encode
+//!   via [`wire::Wire`]), so the engine and the chaos layer run
+//!   unchanged over actual connections.
 //!
 //! For high-throughput callers the causal layer also has a **batched
 //! mode**, [`broadcast::BatchCausalBroadcast`]: payloads coalesce into
@@ -43,12 +48,15 @@ pub mod broadcast;
 pub mod chaos;
 pub mod clock;
 pub mod delta;
+pub mod endpoint;
 pub mod fault;
 pub mod latency;
 pub mod mask;
 pub mod msg;
 pub mod sim;
+pub mod tcp;
 pub mod thread_net;
+pub mod wire;
 
 /// Identifier of a process/replica in a cluster of known size `n`
 /// (process ids are "unique and totally ordered", §6.3).

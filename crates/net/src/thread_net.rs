@@ -258,6 +258,48 @@ impl<M> Drain<M> {
     }
 }
 
+impl<M: Clone + Send> crate::endpoint::Endpoint<M> for Endpoint<M> {
+    type Drain = Drain<M>;
+
+    fn me(&self) -> NodeId {
+        self.me
+    }
+
+    fn cluster_size(&self) -> usize {
+        Endpoint::cluster_size(self)
+    }
+
+    fn stats(&self) -> Arc<ThreadNetStats> {
+        Endpoint::stats(self)
+    }
+
+    fn send_sized(&self, to: NodeId, msg: M, bytes: usize) {
+        Endpoint::send_sized(self, to, msg, bytes);
+    }
+
+    fn recv(&self) -> Option<(NodeId, M)> {
+        Endpoint::recv(self)
+    }
+
+    fn try_recv(&self) -> Option<(NodeId, M)> {
+        Endpoint::try_recv(self)
+    }
+
+    fn shutdown(self) -> Drain<M> {
+        Endpoint::shutdown(self)
+    }
+}
+
+impl<M> crate::endpoint::Drain<M> for Drain<M> {
+    fn recv(&self) -> Option<(NodeId, M)> {
+        Drain::recv(self)
+    }
+
+    fn drain_now(&self) -> Vec<(NodeId, M)> {
+        Drain::drain_now(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,132 @@
+//! Property-based coverage of the TCP framing codec
+//! ([`cbm_net::tcp::FrameDecoder`]): the frame layer must reassemble
+//! any sequence of bodies fed through any read fragmentation (TCP
+//! guarantees bytes, not boundaries), reject any single-bit corruption
+//! via the CRC, and refuse length prefixes past the bound before
+//! buffering.
+
+use cbm_net::tcp::{crc32, frame, FrameDecoder, FrameError, FRAME_HEADER, MAX_FRAME};
+use proptest::prelude::*;
+
+/// Split `stream` at the given cut points (sorted, deduped) and feed
+/// the chunks to the decoder one at a time, collecting every body it
+/// produces along the way.
+fn feed_in_pieces(stream: &[u8], mut cuts: Vec<usize>) -> Result<Vec<Vec<u8>>, FrameError> {
+    cuts.retain(|&c| c < stream.len());
+    cuts.sort_unstable();
+    cuts.dedup();
+    cuts.push(stream.len());
+    let mut dec = FrameDecoder::new();
+    let mut out = Vec::new();
+    let mut at = 0;
+    for cut in cuts {
+        dec.push(&stream[at..cut]);
+        at = cut;
+        while let Some(body) = dec.next_frame()? {
+            out.push(body);
+        }
+    }
+    Ok(out)
+}
+
+proptest! {
+    /// Any bodies, coalesced into one write stream and re-read through
+    /// arbitrary split points (including byte-at-a-time and whole-
+    /// stream), come back exactly and in order.
+    #[test]
+    fn split_and_coalesced_reads_roundtrip(
+        bodies in prop::collection::vec(prop::collection::vec(0u8..=255u8, 0..300), 0..8),
+        cuts in prop::collection::vec(0usize..4096, 0..64),
+    ) {
+        let mut stream = Vec::new();
+        for b in &bodies {
+            stream.extend_from_slice(&frame(b));
+        }
+        let got = feed_in_pieces(&stream, cuts).expect("well-formed stream");
+        prop_assert_eq!(got, bodies);
+    }
+
+    /// Byte-at-a-time is the worst legal fragmentation; it must behave
+    /// identically to a single push.
+    #[test]
+    fn one_byte_reads_equal_one_push(
+        body in prop::collection::vec(0u8..=255u8, 0..200),
+    ) {
+        let stream = frame(&body);
+        let per_byte = feed_in_pieces(&stream, (0..stream.len()).collect()).unwrap();
+        let one_push = feed_in_pieces(&stream, vec![]).unwrap();
+        prop_assert_eq!(&per_byte, &vec![body.clone()]);
+        prop_assert_eq!(per_byte, one_push);
+    }
+
+    /// Flipping any single bit of the body (or its CRC header bytes)
+    /// is rejected as corrupt — never silently delivered, never a
+    /// panic.
+    #[test]
+    fn any_single_bit_flip_in_body_or_crc_is_rejected(
+        body in prop::collection::vec(0u8..=255u8, 1..200),
+        bit in 0usize..8,
+        offset_seed in 0usize..usize::MAX,
+    ) {
+        let mut stream = frame(&body);
+        // corrupt anywhere past the length prefix: CRC field or body
+        let offset = 4 + offset_seed % (stream.len() - 4);
+        stream[offset] ^= 1 << bit;
+        let mut dec = FrameDecoder::new();
+        dec.push(&stream);
+        let rejected = matches!(dec.next_frame(), Err(FrameError::Corrupt { .. }));
+        prop_assert!(rejected);
+    }
+
+    /// A frame whose length prefix exceeds the decoder's bound is
+    /// rejected as soon as the header is readable, regardless of how
+    /// much of the oversized body has arrived.
+    #[test]
+    fn oversized_length_is_rejected_at_the_header(
+        excess in 1usize..1024,
+        partial in prop::collection::vec(0u8..=255u8, 0..64),
+    ) {
+        let max = 4096usize;
+        let mut dec = FrameDecoder::with_max(max);
+        let mut stream = Vec::new();
+        stream.extend_from_slice(&((max + excess) as u32).to_le_bytes());
+        stream.extend_from_slice(&0u32.to_le_bytes());
+        stream.extend_from_slice(&partial);
+        dec.push(&stream);
+        prop_assert_eq!(
+            dec.next_frame(),
+            Err(FrameError::TooLarge { len: max + excess, max })
+        );
+    }
+
+    /// A truncated tail never yields a frame and never errors: the
+    /// decoder just waits for more bytes.
+    #[test]
+    fn truncated_tail_waits_for_more(
+        body in prop::collection::vec(0u8..=255u8, 0..200),
+        cut_seed in 0usize..usize::MAX,
+    ) {
+        let stream = frame(&body);
+        let cut = cut_seed % stream.len(); // strictly short of complete
+        let mut dec = FrameDecoder::new();
+        dec.push(&stream[..cut]);
+        prop_assert_eq!(dec.next_frame(), Ok(None));
+        prop_assert_eq!(dec.pending(), cut);
+        // completing the stream recovers the body
+        dec.push(&stream[cut..]);
+        prop_assert_eq!(dec.next_frame(), Ok(Some(body)));
+    }
+}
+
+#[test]
+fn header_layout_is_pinned() {
+    // [len u32 LE][crc32 u32 LE][body] — the wire contract of
+    // docs/DEPLOYMENT.md, checkable with standard crc32 tooling
+    let body = b"pinned".to_vec();
+    let f = frame(&body);
+    assert_eq!(FRAME_HEADER, 8);
+    assert_eq!(&f[0..4], &(body.len() as u32).to_le_bytes());
+    assert_eq!(&f[4..8], &crc32(&body).to_le_bytes());
+    assert_eq!(&f[8..], &body[..]);
+    const { assert!(MAX_FRAME >= 1 << 20, "bound must fit real repair traffic") };
+}

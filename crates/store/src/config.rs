@@ -202,7 +202,7 @@ impl Default for ObsConfig {
 }
 
 /// Full engine configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StoreConfig {
     /// Replica worker threads (each a full replica of the space).
     pub workers: usize,

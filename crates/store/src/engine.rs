@@ -75,6 +75,7 @@
 //! meaningful.
 
 use crate::chaos::{ChaosSchedule, CrashSpan};
+use crate::codec::PayloadCodec;
 use crate::config::{Mode, StoreConfig};
 use crate::objects::ObjectTable;
 use crate::record::{verify_shard_windows, OwnEvent, WindowRecord, WindowRecorder};
@@ -94,8 +95,10 @@ use cbm_check::Verdict;
 use cbm_net::broadcast::{InterestBatchCausalBroadcast, InterestMask};
 use cbm_net::chaos::ChaosEndpoint;
 use cbm_net::clock::{LamportClock, Timestamp};
+use cbm_net::endpoint::Endpoint as EndpointApi;
 use cbm_net::fault::FaultSchedule;
-use cbm_net::thread_net::ThreadNet;
+use cbm_net::tcp::TcpNet;
+use cbm_net::thread_net::{ThreadNet, ThreadNetStats};
 use cbm_net::NodeId;
 use cbm_obs::trace::TraceConfig;
 use cbm_obs::{
@@ -244,6 +247,53 @@ where
     G: Fn(NodeId, u64, &mut StdRng) -> SpaceInput<T::Input> + Sync,
 {
     let n = cfg.workers.max(1);
+    let net: ThreadNet<StoreMsg<T::Input, T::Output, T::State>> = ThreadNet::new(n);
+    let stats = net.stats();
+    run_on(adt, cfg, gen, stats, net.into_endpoints())
+}
+
+/// [`run`], but over the real-socket transport: the replica set talks
+/// through a loopback TCP mesh ([`cbm_net::tcp::TcpNet`]) instead of
+/// in-process channels. The engine logic, the chaos layer, and the
+/// shared-memory drain rendezvous are identical — only the message
+/// path changes — so every deterministic column (msgs/batches/payloads
+/// and the monitor counters) reproduces the [`run`] baselines exactly;
+/// `docs/DEPLOYMENT.md` states the contract. Panics if the loopback
+/// mesh cannot be built (bind/connect failure is an environment
+/// problem, not a run outcome).
+pub fn run_tcp<T, G>(adt: &T, cfg: &StoreConfig, gen: G) -> StoreReport
+where
+    T: Adt + Clone + Send + Sync,
+    T::Input: PayloadCodec + Send + Sync + 'static,
+    T::Output: PayloadCodec + Send + 'static,
+    T::State: PayloadCodec + Send + Sync + 'static,
+    G: Fn(NodeId, u64, &mut StdRng) -> SpaceInput<T::Input> + Sync,
+{
+    let n = cfg.workers.max(1);
+    let net: TcpNet<StoreMsg<T::Input, T::Output, T::State>> =
+        TcpNet::new(n).expect("bind + handshake the loopback TCP mesh");
+    let stats = net.stats();
+    run_on(adt, cfg, gen, stats, net.into_endpoints())
+}
+
+/// Transport-generic engine core: everything [`run`] and [`run_tcp`]
+/// share, from worker spawn to report assembly.
+fn run_on<T, G, E>(
+    adt: &T,
+    cfg: &StoreConfig,
+    gen: G,
+    stats: Arc<ThreadNetStats>,
+    endpoints: Vec<E>,
+) -> StoreReport
+where
+    T: Adt + Clone + Send + Sync,
+    T::Input: Send + Sync,
+    T::Output: Send,
+    T::State: Send + Sync,
+    G: Fn(NodeId, u64, &mut StdRng) -> SpaceInput<T::Input> + Sync,
+    E: EndpointApi<StoreMsg<T::Input, T::Output, T::State>>,
+{
+    let n = cfg.workers.max(1);
     let map = ShardMap::build(cfg);
     let sched = ChaosSchedule::build(cfg);
     // tracing is opt-in, but chaos runs always fly the recorder — their
@@ -251,9 +301,6 @@ where
     let tracing = cfg.obs.trace || sched.is_active();
     let mut registry = Registry::new();
     let metrics = EngineMetrics::register(&mut registry);
-    let net: ThreadNet<StoreMsg<T::Input, T::Output, T::State>> = ThreadNet::new(n);
-    let stats = net.stats();
-    let endpoints = net.into_endpoints();
     let coord = Coordinator::new(n, map.shards());
     let (tx, rx) = mpsc::channel::<WindowRecord<T>>();
 
@@ -595,12 +642,17 @@ impl<T: Adt + Clone> EngineMonitor<T> {
     }
 }
 
-struct Worker<'a, T: Adt> {
+/// The chaos layer wrapped around a worker's transport endpoint,
+/// generic over the underlying transport `E` (thread channels or TCP).
+type WorkerEndpoint<T, E> =
+    ChaosEndpoint<StoreMsg<<T as Adt>::Input, <T as Adt>::Output, <T as Adt>::State>, E>;
+
+struct Worker<'a, T: Adt, E> {
     adt: &'a T,
     cfg: &'a StoreConfig,
     sched: &'a ChaosSchedule,
     map: &'a ShardMap,
-    ep: ChaosEndpoint<StoreMsg<T::Input, T::Output, T::State>>,
+    ep: WorkerEndpoint<T, E>,
     coord: &'a Coordinator,
     tx: mpsc::Sender<WindowRecord<T>>,
     me: NodeId,
@@ -683,12 +735,13 @@ struct Worker<'a, T: Adt> {
     peak_pending: usize,
 }
 
-impl<'a, T> Worker<'a, T>
+impl<'a, T, E> Worker<'a, T, E>
 where
     T: Adt + Clone + Sync,
     T::Input: Send + Sync,
     T::Output: Send,
     T::State: Send + Sync,
+    E: EndpointApi<StoreMsg<T::Input, T::Output, T::State>>,
 {
     #[allow(clippy::too_many_arguments)]
     fn new(
@@ -696,13 +749,13 @@ where
         cfg: &'a StoreConfig,
         sched: &'a ChaosSchedule,
         map: &'a ShardMap,
-        ep: cbm_net::thread_net::Endpoint<StoreMsg<T::Input, T::Output, T::State>>,
+        ep: E,
         coord: &'a Coordinator,
         tx: mpsc::Sender<WindowRecord<T>>,
         metrics: &'a EngineMetrics,
         t0: Instant,
     ) -> Self {
-        let me = ep.me;
+        let me = ep.me();
         let n = ep.cluster_size();
         // the chaos RNG stream is decorrelated from the workload RNGs
         let chaos_seed = cfg
@@ -1478,6 +1531,11 @@ where
             self.flush_all();
             self.ep.flush_delayed(); // held-back sends belong to this cut
         }
+        // cut token behind everything this worker actually transmitted:
+        // receivers wait for it before judging per-edge gaps, so an
+        // asynchronous transport's in-flight frames are never mistaken
+        // for faulted ones (no-op on the synchronous thread transport)
+        self.ep.send_marker();
         for r in 0..n {
             if r != self.me {
                 self.coord.sent_edges[self.me * n + r]
@@ -1506,6 +1564,14 @@ where
             }
         } else {
             while self.coord.arrive[parity].load(Ordering::SeqCst) < n as u64 {
+                if !self.pump() {
+                    std::thread::yield_now();
+                }
+            }
+            // settle the transport: every peer has published its cut
+            // and sent its marker behind its final transmissions, so
+            // once all markers are in, what has not arrived never will
+            while !(0..n).all(|q| q == self.me || self.ep.marker_count(q) >= self.quiesce_idx) {
                 if !self.pump() {
                     std::thread::yield_now();
                 }

@@ -90,6 +90,7 @@
 #![warn(missing_docs)]
 
 pub mod chaos;
+pub mod codec;
 pub mod config;
 pub mod engine;
 pub mod objects;
@@ -100,7 +101,7 @@ pub mod wire;
 
 pub use chaos::{profile, ChaosSchedule, CrashSpan, PROFILE_NAMES};
 pub use config::{BatchPolicy, Mode, ObsConfig, ShardConfig, StoreConfig, VerifyConfig};
-pub use engine::run;
+pub use engine::{run, run_tcp};
 pub use shard::ShardMap;
 pub use stats::{
     ChaosReport, EpochMetrics, LatencySummary, RecoveryStats, StoreReport, WindowVerdict,
