@@ -62,8 +62,28 @@ fn print_help() {
 
 /// Execute one leg and report node-side: run over the TCP mesh, dump
 /// the flight record if the leg wants one, strip it, log one line.
+///
+/// A durable leg's `log_dir` is rewritten to a `node-{id}`
+/// subdirectory first: the driver may dispatch the same spec to
+/// several nodes (retries, future replication across nodes), and
+/// epoch logs are single-writer files — two processes must never
+/// share one (`docs/DURABILITY.md`).
 fn execute(id: usize, spec: &LegSpec) -> cbm_store::StoreReport {
-    let mut report = run_workload(&spec.workload, &spec.cfg, Transport::Tcp);
+    let mut cfg = spec.cfg.clone();
+    if let Some(base) = &cfg.durable.log_dir {
+        let dir = std::path::Path::new(base).join(format!("node-{id}"));
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!(
+                "cbm-node[{id}] {}: cannot create log dir {}: {e} — logging disabled",
+                spec.name,
+                dir.display()
+            );
+            cfg.durable.log_dir = None;
+        } else {
+            cfg.durable.log_dir = Some(dir.to_string_lossy().into_owned());
+        }
+    }
+    let mut report = run_workload(&spec.workload, &cfg, Transport::Tcp);
     eprintln!(
         "cbm-node[{id}] {}: {:.0} ops/s, {} msgs, {} windows ({} failed)",
         spec.name,

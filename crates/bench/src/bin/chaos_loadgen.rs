@@ -4,7 +4,7 @@
 //! ```text
 //! chaos_loadgen [--quick] [--out PATH] [--seeds N] [--summary PATH] [--rf N]
 //!               [--workers N] [--locality N] [--monitor] [--trace] [--trace-dir DIR]
-//!               [--transport thread|tcp]
+//!               [--transport thread|tcp] [--log-dir DIR]
 //! ```
 //!
 //! `--transport tcp` runs every cell's replica mesh over real loopback
@@ -63,16 +63,35 @@
 //! the deterministic fingerprint so the replay pins the escalation
 //! count too. The nightly sweep runs one monitor-on rf-2 sweep this
 //! way.
+//!
+//! Beyond the fault-profile matrix, the sweep always runs the
+//! **durability cells** of `docs/DURABILITY.md`:
+//!
+//! * `crash-recover-disk` / `rolling-crashes-disk` — the same crash
+//!   profiles with the per-worker epoch log on (`--log-dir`,
+//!   `recover_from_disk`): a crashed worker's in-memory replica is
+//!   discarded and it restarts by replaying its own snapshot + log
+//!   tail, then fetching only the post-cut delta from co-replicas.
+//!   The twin stays memory-only, so the byte-identical state gate
+//!   proves the disk path equivalent to the live transfer; the
+//!   `log_bytes` / `replayed_records` columns join the deterministic
+//!   fingerprint.
+//! * `cold-restart` — no faults at all: the run is halted at its
+//!   middle epoch boundary (every worker seals and exits), the whole
+//!   fleet restarts from disk and resumes its scripts, and the final
+//!   state must be byte-identical to the uninterrupted twin. The
+//!   halt+resume pair runs twice to pin its determinism.
 
 use cbm_bench::{run_workload, Transport, Workload};
 use cbm_store::{
-    profile, BatchPolicy, Mode, ObsConfig, ShardConfig, StoreConfig, StoreReport, VerifyConfig,
-    PROFILE_NAMES,
+    profile, BatchPolicy, DurableConfig, Mode, ObsConfig, ShardConfig, StoreConfig, StoreReport,
+    VerifyConfig, PROFILE_NAMES,
 };
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 struct Cell {
-    profile: &'static str,
+    profile: String,
     mode: Mode,
     seed: u64,
     report: StoreReport,
@@ -137,6 +156,7 @@ fn cfg(
         sharding: ShardConfig::rf_local(dim.rf, dim.locality),
         chaos,
         obs: ObsConfig::default(),
+        durable: DurableConfig::default(),
     }
 }
 
@@ -182,7 +202,20 @@ fn det_columns(r: &StoreReport) -> Vec<(&'static str, String)> {
         ("monitor_ops_checked", r.monitor.ops_checked.to_string()),
         ("monitor_escalations", r.monitor.escalations.to_string()),
         ("monitor_violations", r.monitor.violations.to_string()),
+        // the disk columns: zero for memory-only cells, the epoch-log
+        // replay footprint for the durable ones — log record framing
+        // is knowledge-free (unlike delta headers), so sizes reproduce
+        ("log_bytes", disk_cols(r).0.to_string()),
+        ("replayed_records", disk_cols(r).1.to_string()),
     ]
+}
+
+/// Summed disk-recovery footprint of a run: `(log_bytes,
+/// replayed_records)` across every recovery (and resume) row.
+fn disk_cols(r: &StoreReport) -> (u64, u64) {
+    r.chaos.recoveries.iter().fold((0, 0), |(lb, rr), x| {
+        (lb + x.log_bytes, rr + x.replayed_records)
+    })
 }
 
 /// The sweep's cluster-axis overrides (defaults = the 4-worker
@@ -195,6 +228,22 @@ struct Dims {
     monitor: bool,
 }
 
+/// The durable override for one cell run: its own subdirectory (cells
+/// must never share logs) with the disk-first recovery ladder on.
+fn cell_durable(base: &Path, label: &str, mode: Mode, seed: u64) -> DurableConfig {
+    DurableConfig {
+        log_dir: Some(
+            base.join(format!("{label}-{}-s{seed}", mode.criterion()))
+                .to_string_lossy()
+                .into_owned(),
+        ),
+        snapshot_every: 2,
+        recover_from_disk: true,
+        resume: false,
+        halt_at_boundary: 0,
+    }
+}
+
 fn run_cell(
     name: &'static str,
     mode: Mode,
@@ -202,10 +251,23 @@ fn run_cell(
     quick: bool,
     dim: Dims,
     transport: Transport,
+    log_base: Option<&Path>,
 ) -> Cell {
     let (workers, every) = dims(quick, dim.workers);
+    let label = if log_base.is_some() {
+        format!("{name}-disk")
+    } else {
+        name.to_string()
+    };
     let plan = profile(name, workers, every).expect("known profile");
-    let chaos_cfg = cfg(mode, seed, quick, dim, plan);
+    let mut chaos_cfg = cfg(mode, seed, quick, dim, plan);
+    if let Some(base) = log_base {
+        // the replay (run 2) reopens the same directory fresh — the
+        // log is wiped and rewritten, which is exactly the contract
+        chaos_cfg.durable = cell_durable(base, &label, mode, seed);
+    }
+    // the twin stays memory-only: byte-identical convergence then
+    // proves the disk ladder equivalent to the live state transfer
     let free_cfg = cfg(mode, seed, quick, dim, cbm_net::fault::FaultPlan::new());
 
     let a = run_workload(&Workload::Counter, &chaos_cfg, transport);
@@ -295,11 +357,140 @@ fn run_cell(
     }
 
     Cell {
-        profile: name,
+        profile: label,
         mode,
         seed,
         ops_survived: a.total_ops,
         windows_spanning_recovery,
+        determinism_match,
+        state_match,
+        failures,
+        report: a,
+    }
+}
+
+/// The fault-free cold-restart cell: run to the middle epoch boundary
+/// and halt (every worker seals its cut and exits), restart the whole
+/// fleet from disk and resume the scripts, and require byte-identical
+/// convergence with the uninterrupted memory-only twin. The
+/// halt+resume pair runs **twice** (fresh directories) so the disk
+/// columns sit under the same determinism gate as everything else.
+fn run_cold_cell(
+    mode: Mode,
+    seed: u64,
+    quick: bool,
+    dim: Dims,
+    transport: Transport,
+    log_base: &Path,
+) -> Cell {
+    let base_cfg = cfg(mode, seed, quick, dim, cbm_net::fault::FaultPlan::new());
+    let epochs = (base_cfg.ops_per_worker / base_cfg.verify.every_ops.max(1)) as u64;
+    let halt = (epochs / 2).max(1);
+
+    let pair = |tag: &str| -> (StoreReport, StoreReport) {
+        let mut halted_cfg = base_cfg.clone();
+        halted_cfg.durable = cell_durable(log_base, &format!("cold-restart-{tag}"), mode, seed);
+        // snapshot cadence off the halt boundary, so the resume
+        // replays real log records, not just the compacted snapshot
+        halted_cfg.durable.snapshot_every = 4;
+        halted_cfg.durable.halt_at_boundary = halt;
+        let halted = run_workload(&Workload::Counter, &halted_cfg, transport);
+        let mut resumed_cfg = halted_cfg.clone();
+        resumed_cfg.durable.halt_at_boundary = 0;
+        resumed_cfg.durable.resume = true;
+        let resumed = run_workload(&Workload::Counter, &resumed_cfg, transport);
+        (halted, resumed)
+    };
+
+    let (halted, a) = pair("a");
+    let (_, a2) = pair("b");
+    let twin = run_workload(&Workload::Counter, &base_cfg, transport);
+
+    let mut failures = Vec::new();
+    if !halted.verified() {
+        failures.push("halted prefix run had unverified windows".into());
+    }
+    for w in a.windows.iter().filter(|w| w.result.is_err()) {
+        failures.push(format!(
+            "window {} [{}]: {:?}",
+            w.window, w.criterion, w.result
+        ));
+    }
+    if !a.drains_converged {
+        failures.push("drain divergence".into());
+    }
+    if a.total_ops != base_cfg.total_ops() {
+        failures.push(format!(
+            "resume lost ops: {} of {}",
+            a.total_ops,
+            base_cfg.total_ops()
+        ));
+    }
+
+    let determinism_match = det_columns(&a) == det_columns(&a2);
+    if !determinism_match {
+        for ((k, va), (_, vb)) in det_columns(&a).iter().zip(det_columns(&a2).iter()) {
+            if va != vb {
+                failures.push(format!("nondeterministic {k}: {va} vs {vb}"));
+            }
+        }
+    }
+
+    let full =
+        base_cfg.sharding.replication == 0 || base_cfg.sharding.replication >= base_cfg.workers;
+    let state_match = a.final_state_hashes == twin.final_state_hashes
+        && (!full
+            || a.final_state_hashes
+                .iter()
+                .all(|&x| x == a.final_state_hashes[0]));
+    if !state_match {
+        failures.push(format!(
+            "cold restart diverged from uninterrupted twin: {:x?} vs {:x?}",
+            a.final_state_hashes, twin.final_state_hashes
+        ));
+    }
+
+    // every worker resumed from its own disk: one self-helper row each
+    if a.chaos.recoveries.len() != base_cfg.workers {
+        failures.push(format!(
+            "expected {} resume rows, saw {}",
+            base_cfg.workers,
+            a.chaos.recoveries.len()
+        ));
+    }
+    for rec in &a.chaos.recoveries {
+        if rec.helper != rec.worker {
+            failures.push(format!(
+                "worker {} resumed through helper {} instead of its own disk",
+                rec.worker, rec.helper
+            ));
+        }
+    }
+    if disk_cols(&a).1 == 0 {
+        failures.push("resume replayed no log records".into());
+    }
+
+    if dim.monitor {
+        if a.monitor.ops_checked != a.total_ops {
+            failures.push(format!(
+                "monitor certified {} of {} ops across the restart",
+                a.monitor.ops_checked, a.total_ops
+            ));
+        }
+        if a.monitor.violations != 0 {
+            failures.push(format!(
+                "{} confirmed monitor violation(s): {:?}",
+                a.monitor.violations, a.monitor.records
+            ));
+        }
+    }
+
+    Cell {
+        profile: "cold-restart".into(),
+        mode,
+        seed,
+        ops_survived: a.total_ops,
+        windows_spanning_recovery: 0,
         determinism_match,
         state_match,
         failures,
@@ -320,12 +511,20 @@ fn main() -> ExitCode {
     let mut trace_dir = String::from("traces");
     let mut monitor = false;
     let mut transport = Transport::Thread;
+    let mut log_dir: Option<String> = None;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--trace" => trace = true,
             "--monitor" => monitor = true,
+            "--log-dir" => match it.next() {
+                Some(p) => log_dir = Some(p.clone()),
+                None => {
+                    eprintln!("--log-dir needs a path");
+                    return ExitCode::from(2);
+                }
+            },
             "--transport" => match it.next().map(String::as_str).and_then(Transport::parse) {
                 Some(t) => transport = t,
                 None => {
@@ -386,7 +585,7 @@ fn main() -> ExitCode {
                 println!(
                     "chaos_loadgen [--quick] [--out PATH] [--seeds N] [--summary PATH] \
                      [--rf N] [--workers N] [--locality N] [--monitor] [--trace] \
-                     [--trace-dir DIR] [--transport thread|tcp]"
+                     [--trace-dir DIR] [--transport thread|tcp] [--log-dir DIR]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -406,51 +605,83 @@ fn main() -> ExitCode {
         locality,
         monitor,
     };
+    // the durability cells always run; without --log-dir they write
+    // under a process-scoped scratch directory in $TMPDIR
+    let log_base: PathBuf = log_dir.map(PathBuf::from).unwrap_or_else(|| {
+        std::env::temp_dir().join(format!("cbm-chaos-logs-{}", std::process::id()))
+    });
+    if let Err(e) = std::fs::create_dir_all(&log_base) {
+        eprintln!("could not create --log-dir {}: {e}", log_base.display());
+        return ExitCode::from(2);
+    }
+
     let mut cells: Vec<Cell> = Vec::new();
     let mut failed = 0usize;
+    let finish = |cell: Cell, cells: &mut Vec<Cell>, failed: &mut usize| {
+        eprint!(
+            "{:>20} {} seed {}: {} msgs, {} drops [{}], {} dups [{}], \
+             {} delayed, {} repairs",
+            cell.profile,
+            cell.mode.criterion(),
+            cell.seed,
+            cell.report.msgs_sent,
+            cell.report.chaos.drops,
+            per_node(&cell.report.chaos.dropped_per_node),
+            cell.report.chaos.dups,
+            per_node(&cell.report.chaos.dup_per_node),
+            cell.report.chaos.delayed,
+            cell.report.chaos.repairs,
+        );
+        let green = cell.failures.is_empty();
+        if green {
+            eprintln!(" ... ok");
+        } else {
+            *failed += 1;
+            eprintln!(" ... FAIL");
+            for f in &cell.failures {
+                eprintln!("    {f}");
+            }
+        }
+        // tracing is auto-on under chaos, so every non-green cell has
+        // a flight record to dump for post-mortems; --trace keeps the
+        // green ones too
+        if let Some(rec) = &cell.report.trace {
+            if trace || !green {
+                let fname = format!("{}-{}-s{}", cell.profile, cell.mode.criterion(), cell.seed);
+                match cbm_bench::write_trace(&trace_dir, &fname, rec) {
+                    Ok((chrome, jsonl)) => eprintln!("    trace: {chrome} + {jsonl}"),
+                    Err(e) => eprintln!("    trace: could not write to {trace_dir}: {e}"),
+                }
+            }
+        }
+        cells.push(cell);
+    };
     for name in PROFILE_NAMES {
         for mode in [Mode::Causal, Mode::Convergent] {
             for s in 0..seeds {
                 let seed = 42 + s;
-                let cell = run_cell(name, mode, seed, quick, dim, transport);
-                eprint!(
-                    "{:>16} {} seed {}: {} msgs, {} drops [{}], {} dups [{}], \
-                     {} delayed, {} repairs",
-                    cell.profile,
-                    mode.criterion(),
-                    seed,
-                    cell.report.msgs_sent,
-                    cell.report.chaos.drops,
-                    per_node(&cell.report.chaos.dropped_per_node),
-                    cell.report.chaos.dups,
-                    per_node(&cell.report.chaos.dup_per_node),
-                    cell.report.chaos.delayed,
-                    cell.report.chaos.repairs,
-                );
-                let green = cell.failures.is_empty();
-                if green {
-                    eprintln!(" ... ok");
-                } else {
-                    failed += 1;
-                    eprintln!(" ... FAIL");
-                    for f in &cell.failures {
-                        eprintln!("    {f}");
-                    }
-                }
-                // tracing is auto-on under chaos, so every non-green
-                // cell has a flight record to dump for post-mortems;
-                // --trace keeps the green ones too
-                if let Some(rec) = &cell.report.trace {
-                    if trace || !green {
-                        let fname = format!("{}-{}-s{}", cell.profile, mode.criterion(), cell.seed);
-                        match cbm_bench::write_trace(&trace_dir, &fname, rec) {
-                            Ok((chrome, jsonl)) => eprintln!("    trace: {chrome} + {jsonl}"),
-                            Err(e) => eprintln!("    trace: could not write to {trace_dir}: {e}"),
-                        }
-                    }
-                }
-                cells.push(cell);
+                let cell = run_cell(name, mode, seed, quick, dim, transport, None);
+                finish(cell, &mut cells, &mut failed);
             }
+        }
+    }
+    // the durability matrix: the crash profiles again, recovering
+    // from the epoch log instead of the live transfer...
+    for name in ["crash-recover", "rolling-crashes"] {
+        for mode in [Mode::Causal, Mode::Convergent] {
+            for s in 0..seeds {
+                let seed = 42 + s;
+                let cell = run_cell(name, mode, seed, quick, dim, transport, Some(&log_base));
+                finish(cell, &mut cells, &mut failed);
+            }
+        }
+    }
+    // ...and the fault-free cold restart of the whole fleet
+    for mode in [Mode::Causal, Mode::Convergent] {
+        for s in 0..seeds {
+            let seed = 42 + s;
+            let cell = run_cold_cell(mode, seed, quick, dim, transport, &log_base);
+            finish(cell, &mut cells, &mut failed);
         }
     }
 
@@ -490,7 +721,8 @@ fn render_json(quick: bool, seeds: u64, rf: usize, cells: &[Cell]) -> String {
         "  \"deterministic_columns\": [\"total_ops\", \"msgs_sent\", \
          \"drops\", \"dups\", \"parked\", \"released\", \"delayed\", \"pruned\", \"crash_discarded\", \"nacks\", \"repairs\", \
          \"repaired_batches\", \"recoveries\", \"remote_reads\", \"windows\", \
-         \"monitor_ops_checked\", \"monitor_escalations\"],\n",
+         \"monitor_ops_checked\", \"monitor_escalations\", \
+         \"log_bytes\", \"replayed_records\"],\n",
     );
     s.push_str("  \"cells\": [\n");
     for (i, c) in cells.iter().enumerate() {
@@ -529,18 +761,23 @@ fn render_json(quick: bool, seeds: u64, rf: usize, cells: &[Cell]) -> String {
             r.chaos.dropped_per_node
         ));
         s.push_str(&format!("      \"remote_reads\": {},\n", r.remote_reads));
+        let (log_bytes, replayed) = disk_cols(r);
+        s.push_str(&format!("      \"log_bytes\": {log_bytes},\n"));
+        s.push_str(&format!("      \"replayed_records\": {replayed},\n"));
         s.push_str("      \"recoveries\": [\n");
         for (j, rec) in r.chaos.recoveries.iter().enumerate() {
             s.push_str(&format!(
                 "        {{\"worker\": {}, \"helper\": {}, \"crash_epoch\": {}, \
                  \"recover_epoch\": {}, \"synced_shards\": {}, \"synced_objects\": {}, \
-                 \"sync_ms\": {}}}{}\n",
+                 \"replayed_records\": {}, \"log_bytes\": {}, \"sync_ms\": {}}}{}\n",
                 rec.worker,
                 rec.helper,
                 rec.crash_epoch,
                 rec.recover_epoch,
                 rec.synced_shards,
                 rec.synced_objects,
+                rec.replayed_records,
+                rec.log_bytes,
                 rec.sync_wall_ns / 1_000_000,
                 if j + 1 < r.chaos.recoveries.len() {
                     ","
@@ -619,6 +856,14 @@ fn append_summary(path: &str, quick: bool, cells: &[Cell]) -> std::io::Result<()
                 r.chaos.delayed.to_string(),
                 r.chaos.repairs.to_string(),
                 r.chaos.recoveries.len().to_string(),
+                {
+                    let (lb, rr) = disk_cols(r);
+                    if lb == 0 && rr == 0 {
+                        "—".to_string()
+                    } else {
+                        format!("{} KiB / {}", lb / 1024, rr)
+                    }
+                },
                 format!("{}/{}", r.windows.len() - r.windows_failed, r.windows.len()),
                 if !r.monitor.enabled {
                     "—".to_string()
@@ -646,6 +891,7 @@ fn append_summary(path: &str, quick: bool, cells: &[Cell]) -> std::io::Result<()
             "delayed",
             "repairs",
             "recoveries",
+            "log / replayed",
             "windows",
             "certified",
             "state",

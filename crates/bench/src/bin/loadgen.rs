@@ -4,11 +4,17 @@
 //! ```text
 //! loadgen [--quick] [--out PATH] [--summary PATH] [--baseline PATH]
 //!         [--gate PATH] [--trace] [--trace-dir DIR] [--monitor]
-//!         [--transport thread|tcp] [--procs N]
+//!         [--transport thread|tcp] [--procs N] [--log-dir DIR]
 //!         [--workers N] [--objects N] [--ops N] [--read-ratio R]
 //!         [--batch N|off] [--mode cc|ccv] [--seed S] [--rf N]
 //!         [--locality N] [--remote-read-ratio R]
 //! ```
+//!
+//! `--log-dir DIR` turns the per-worker durable epoch log on for every
+//! leg (`docs/DURABILITY.md`), one subdirectory per leg. The log is
+//! pure write-path — no messages, no ops — so the deterministic
+//! columns are unchanged and the same `--gate` baselines hold; this is
+//! what the `durability-smoke` CI job gates on.
 //!
 //! `--transport tcp` runs every leg's replica mesh over real loopback
 //! sockets ([`cbm_net::tcp`]) instead of in-process channels. The
@@ -103,7 +109,8 @@ use cbm_bench::fleet::NodePool;
 use cbm_bench::proto::LegSpec;
 use cbm_bench::{run_workload, Transport, Workload};
 use cbm_store::{
-    BatchPolicy, Mode, ObsConfig, ShardConfig, StoreConfig, StoreReport, VerifyConfig,
+    BatchPolicy, DurableConfig, Mode, ObsConfig, ShardConfig, StoreConfig, StoreReport,
+    VerifyConfig,
 };
 use std::process::ExitCode;
 
@@ -151,6 +158,7 @@ fn leg(
             sharding: ShardConfig::full(),
             chaos: cbm_net::fault::FaultPlan::new(),
             obs: ObsConfig::default(),
+            durable: DurableConfig::default(),
         },
         read_ratio,
         remote_read_ratio: 0.0,
@@ -623,6 +631,7 @@ fn main() -> ExitCode {
     let mut force_monitor = false;
     let mut transport = Transport::Thread;
     let mut procs: usize = 0;
+    let mut log_dir: Option<String> = None;
     let mut custom = StoreConfig::default();
     let mut custom_read_ratio = 0.5;
     let mut custom_remote_read_ratio = 0.05;
@@ -669,6 +678,13 @@ fn main() -> ExitCode {
             },
             "--trace" => trace = true,
             "--monitor" => force_monitor = true,
+            "--log-dir" => match it.next() {
+                Some(p) => log_dir = Some(p.clone()),
+                None => {
+                    eprintln!("--log-dir needs a path");
+                    return ExitCode::from(2);
+                }
+            },
             "--transport" => match it.next().map(String::as_str).and_then(Transport::parse) {
                 Some(t) => transport = t,
                 None => {
@@ -792,7 +808,7 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "loadgen [--quick] [--out PATH] [--summary PATH] [--baseline PATH] \
-                     [--gate PATH] [--trace] [--trace-dir DIR] [--monitor] \
+                     [--gate PATH] [--trace] [--trace-dir DIR] [--monitor] [--log-dir DIR] \
                      [--transport thread|tcp] [--procs N] [--workers N] \
                      [--objects N] [--ops N] [--read-ratio R] [--batch N|off] [--mode cc|ccv] \
                      [--seed S] [--rf N] [--locality N] [--remote-read-ratio R]"
@@ -831,6 +847,25 @@ fn main() -> ExitCode {
     if force_monitor {
         for l in &mut legs {
             l.cfg.verify.monitor = true;
+        }
+    }
+    // --log-dir turns the durable epoch log on for every leg (one
+    // subdirectory each — legs must never share logs). Logging is
+    // write-path only here: it sends no messages and issues no ops,
+    // so every deterministic column stays equal to the memory-only
+    // run's and the same committed `--gate` baselines keep gating
+    // (`docs/DURABILITY.md`). Wall-clock columns absorb the fsyncs.
+    if let Some(base) = &log_dir {
+        for l in &mut legs {
+            let dir = std::path::Path::new(base).join(&l.name);
+            if let Err(e) = std::fs::create_dir_all(&dir) {
+                eprintln!("could not create --log-dir {}: {e}", dir.display());
+                return ExitCode::from(2);
+            }
+            l.cfg.durable = DurableConfig {
+                log_dir: Some(dir.to_string_lossy().into_owned()),
+                ..DurableConfig::default()
+            };
         }
     }
 

@@ -297,7 +297,9 @@ fn main() -> ExitCode {
 fn tracing_overhead(quick: bool) -> (f64, f64) {
     use cbm_adt::register::{RegInput, Register};
     use cbm_adt::space::SpaceInput;
-    use cbm_store::{BatchPolicy, Mode, ObsConfig, ShardConfig, StoreConfig, VerifyConfig};
+    use cbm_store::{
+        BatchPolicy, DurableConfig, Mode, ObsConfig, ShardConfig, StoreConfig, VerifyConfig,
+    };
     use rand::Rng;
 
     let ops = if quick { 4_000 } else { 40_000 };
@@ -317,6 +319,7 @@ fn tracing_overhead(quick: bool) -> (f64, f64) {
         sharding: ShardConfig::full(),
         chaos: cbm_net::fault::FaultPlan::new(),
         obs: ObsConfig::default(),
+        durable: DurableConfig::default(),
     };
     let gen = |_: usize, _: u64, rng: &mut rand::rngs::StdRng| {
         let obj = rng.gen_range(0u32..64);

@@ -6,7 +6,9 @@
 use cbm_bench::fleet::NodePool;
 use cbm_bench::proto::LegSpec;
 use cbm_bench::{run_workload, Transport, Workload};
-use cbm_store::{BatchPolicy, Mode, ObsConfig, ShardConfig, StoreConfig, VerifyConfig};
+use cbm_store::{
+    BatchPolicy, DurableConfig, Mode, ObsConfig, ShardConfig, StoreConfig, VerifyConfig,
+};
 
 fn cfg(seed: u64) -> StoreConfig {
     StoreConfig {
@@ -25,6 +27,7 @@ fn cfg(seed: u64) -> StoreConfig {
         sharding: ShardConfig::full(),
         chaos: cbm_net::fault::FaultPlan::new(),
         obs: ObsConfig::default(),
+        durable: DurableConfig::default(),
     }
 }
 

@@ -806,6 +806,19 @@ impl<T: Adt + Clone> Core<T> {
         self.stats
     }
 
+    /// Durable-restart seeding: add the counters a crashed monitor had
+    /// persisted at its last sealed cut, so a restarted replica's totals
+    /// continue from the cut instead of restarting at zero (shadows are
+    /// rebuilt separately via [`Core::install_slot`]).
+    fn seed_stats(&mut self, s: MonitorStats) {
+        self.stats.ops_checked += s.ops_checked;
+        self.stats.folds += s.folds;
+        self.stats.escalations += s.escalations;
+        self.stats.cleared += s.cleared;
+        self.stats.violations += s.violations;
+        self.stats.kernel_unknown += s.kernel_unknown;
+    }
+
     fn frontier(&self) -> &[u64] {
         &self.delivered
     }
@@ -884,6 +897,12 @@ macro_rules! monitor_facade {
             /// Counter snapshot.
             pub fn stats(&self) -> MonitorStats {
                 self.0.stats()
+            }
+
+            /// Seed the counters from a persisted snapshot (durable
+            /// restart continues totals from the sealed cut).
+            pub fn seed_stats(&mut self, s: MonitorStats) {
+                self.0.seed_stats(s)
             }
 
             /// Per-origin applied-update counts (the co/hb frontier).

@@ -401,7 +401,9 @@ pub fn profile(name: &str, workers: usize, every_ops: usize) -> Option<FaultPlan
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{BatchPolicy, Mode, ObsConfig, ShardConfig, StoreConfig, VerifyConfig};
+    use crate::config::{
+        BatchPolicy, DurableConfig, Mode, ObsConfig, ShardConfig, StoreConfig, VerifyConfig,
+    };
 
     fn cfg(workers: usize, ops: usize, every: usize, chaos: FaultPlan) -> StoreConfig {
         StoreConfig {
@@ -420,6 +422,7 @@ mod tests {
             sharding: ShardConfig::full(),
             chaos,
             obs: ObsConfig::default(),
+            durable: DurableConfig::default(),
         }
     }
 

@@ -20,12 +20,14 @@
 //! multi-process run dumps traces node-side (the files are the
 //! artifact CI collects) and ships reports with `trace: None`.
 
-use crate::config::{BatchPolicy, Mode, ObsConfig, ShardConfig, StoreConfig, VerifyConfig};
+use crate::config::{
+    BatchPolicy, DurableConfig, Mode, ObsConfig, ShardConfig, StoreConfig, VerifyConfig,
+};
 use crate::stats::{
     ChaosReport, EpochMetrics, LatencySummary, MonitorEscalation, MonitorReport, RecoveryStats,
     StoreReport, WindowVerdict, WorkerStats,
 };
-use crate::wire::{ShardSyncPayload, StoreMsg, WireOp};
+use crate::wire::{ShardDeltaPayload, ShardSyncPayload, StoreMsg, WireOp};
 use cbm_adt::counter::{CtInput, CtOutput};
 use cbm_adt::register::{RegInput, RegOutput};
 use cbm_net::clock::Timestamp;
@@ -136,14 +138,14 @@ impl PayloadCodec for CtOutput {
     }
 }
 
-fn put_payload_vec<T: PayloadCodec>(v: &[T], out: &mut Vec<u8>) {
+pub(crate) fn put_payload_vec<T: PayloadCodec>(v: &[T], out: &mut Vec<u8>) {
     Wire::put(&v.len(), out);
     for x in v {
         x.enc(out);
     }
 }
 
-fn get_payload_vec<T: PayloadCodec>(buf: &[u8], pos: &mut usize) -> Option<Vec<T>> {
+pub(crate) fn get_payload_vec<T: PayloadCodec>(buf: &[u8], pos: &mut usize) -> Option<Vec<T>> {
     let len = usize::get(buf, pos)?;
     let mut out = Vec::with_capacity(len.min(buf.len().saturating_sub(*pos)));
     for _ in 0..len {
@@ -193,6 +195,30 @@ impl<S: PayloadCodec> Wire for ShardSyncPayload<S> {
     }
 }
 
+impl<I: PayloadCodec> Wire for ShardDeltaPayload<I> {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.shards.len().put(out);
+        for (shard, ops) in &self.shards {
+            shard.put(out);
+            ops.put(out);
+        }
+        self.lamport.put(out);
+    }
+    fn get(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        let n = usize::get(buf, pos)?;
+        let mut shards = Vec::with_capacity(n.min(buf.len().saturating_sub(*pos)));
+        for _ in 0..n {
+            let shard = u32::get(buf, pos)?;
+            let ops = Vec::get(buf, pos)?;
+            shards.push((shard, ops));
+        }
+        Some(ShardDeltaPayload {
+            shards,
+            lamport: u64::get(buf, pos)?,
+        })
+    }
+}
+
 impl<I: PayloadCodec, O: PayloadCodec, S: PayloadCodec> Wire for StoreMsg<I, O, S> {
     fn put(&self, out: &mut Vec<u8>) {
         match self {
@@ -218,6 +244,14 @@ impl<I: PayloadCodec, O: PayloadCodec, S: PayloadCodec> Wire for StoreMsg<I, O, 
                 out.push(5);
                 output.enc(out);
             }
+            StoreMsg::SyncReq { full } => {
+                out.push(6);
+                full.put(out);
+            }
+            StoreMsg::ShardDelta(p) => {
+                out.push(7);
+                p.put(out);
+            }
         }
     }
     fn get(buf: &[u8], pos: &mut usize) -> Option<Self> {
@@ -233,6 +267,10 @@ impl<I: PayloadCodec, O: PayloadCodec, S: PayloadCodec> Wire for StoreMsg<I, O, 
             5 => StoreMsg::ReadReply {
                 output: O::dec(buf, pos)?,
             },
+            6 => StoreMsg::SyncReq {
+                full: bool::get(buf, pos)?,
+            },
+            7 => StoreMsg::ShardDelta(Box::new(ShardDeltaPayload::get(buf, pos)?)),
             _ => return None,
         })
     }
@@ -326,6 +364,25 @@ impl Wire for ObsConfig {
     }
 }
 
+impl Wire for DurableConfig {
+    fn put(&self, out: &mut Vec<u8>) {
+        self.log_dir.put(out);
+        self.snapshot_every.put(out);
+        self.recover_from_disk.put(out);
+        self.resume.put(out);
+        self.halt_at_boundary.put(out);
+    }
+    fn get(buf: &[u8], pos: &mut usize) -> Option<Self> {
+        Some(DurableConfig {
+            log_dir: Option::get(buf, pos)?,
+            snapshot_every: u64::get(buf, pos)?,
+            recover_from_disk: bool::get(buf, pos)?,
+            resume: bool::get(buf, pos)?,
+            halt_at_boundary: u64::get(buf, pos)?,
+        })
+    }
+}
+
 impl Wire for StoreConfig {
     fn put(&self, out: &mut Vec<u8>) {
         self.workers.put(out);
@@ -338,6 +395,7 @@ impl Wire for StoreConfig {
         self.sharding.put(out);
         self.chaos.put(out);
         self.obs.put(out);
+        self.durable.put(out);
     }
     fn get(buf: &[u8], pos: &mut usize) -> Option<Self> {
         Some(StoreConfig {
@@ -351,6 +409,7 @@ impl Wire for StoreConfig {
             sharding: ShardConfig::get(buf, pos)?,
             chaos: FaultPlan::get(buf, pos)?,
             obs: ObsConfig::get(buf, pos)?,
+            durable: DurableConfig::get(buf, pos)?,
         })
     }
 }
@@ -474,6 +533,8 @@ impl Wire for RecoveryStats {
         self.synced_shards.put(out);
         self.synced_objects.put(out);
         self.sync_wall_ns.put(out);
+        self.replayed_records.put(out);
+        self.log_bytes.put(out);
     }
     fn get(buf: &[u8], pos: &mut usize) -> Option<Self> {
         Some(RecoveryStats {
@@ -484,6 +545,8 @@ impl Wire for RecoveryStats {
             synced_shards: u64::get(buf, pos)?,
             synced_objects: u64::get(buf, pos)?,
             sync_wall_ns: u64::get(buf, pos)?,
+            replayed_records: u64::get(buf, pos)?,
+            log_bytes: u64::get(buf, pos)?,
         })
     }
 }
@@ -722,6 +785,19 @@ mod tests {
             StoreMsg::ReadReply {
                 output: RegOutput::Val(5),
             },
+            StoreMsg::SyncReq { full: true },
+            StoreMsg::ShardDelta(Box::new(ShardDeltaPayload {
+                shards: vec![(
+                    1,
+                    vec![WireOp {
+                        obj: 17,
+                        input: RegInput::Write(9),
+                        ts: Timestamp { time: 4, pid: 1 },
+                        wseq: None,
+                    }],
+                )],
+                lamport: 11,
+            })),
         ];
         for m in msgs {
             let bytes = to_bytes(&m);
@@ -759,6 +835,9 @@ mod tests {
         cfg.chaos
             .push(100, cbm_net::fault::Fault::DropAll { prob: 0.01 });
         cfg.obs.trace = true;
+        cfg.durable.log_dir = Some("/tmp/cbm-logs".into());
+        cfg.durable.recover_from_disk = true;
+        cfg.durable.halt_at_boundary = 3;
         let back: StoreConfig = from_bytes(&to_bytes(&cfg)).expect("decodes");
         assert_eq!(format!("{cfg:?}"), format!("{back:?}"));
     }
@@ -831,6 +910,8 @@ mod tests {
                     synced_shards: 2,
                     synced_objects: 64,
                     sync_wall_ns: 12345,
+                    replayed_records: 40,
+                    log_bytes: 2048,
                 }],
                 ..ChaosReport::default()
             },

@@ -201,6 +201,60 @@ impl Default for ObsConfig {
     }
 }
 
+/// Durability knobs: the per-worker epoch log, snapshot compaction,
+/// and the restart paths built on them (see `docs/DURABILITY.md`).
+///
+/// Everything is off by default — `log_dir: None` keeps the engine
+/// byte-identical to the pre-durability baselines (no files, no
+/// fsyncs, no extra branches on the hot path beyond one `Option`
+/// check).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DurableConfig {
+    /// Directory of the per-worker epoch logs (`worker-{id}.log` /
+    /// `worker-{id}.snap`). `None` disables durability entirely.
+    pub log_dir: Option<String>,
+    /// Write a compacted snapshot (and truncate the log prefix) every
+    /// `snapshot_every` boundary seals (`0` = never snapshot; the log
+    /// then grows for the whole run).
+    pub snapshot_every: u64,
+    /// Crash recovery restarts from **disk**: a recovering worker
+    /// discards its in-memory replica, replays its own snapshot + log
+    /// tail to the crash cut, and fetches only the per-shard op delta
+    /// past that cut from its co-replica helpers (falling back to the
+    /// full state transfer when its disk is torn or stale). Off, the
+    /// pre-durability full-transfer path runs unchanged.
+    pub recover_from_disk: bool,
+    /// Cold-start: recover the whole fleet from disk at startup and
+    /// resume each worker's op script where its last sealed boundary
+    /// left it. Requires a fault-free plan; invalid or disagreeing
+    /// disks fall back to a fresh full run.
+    pub resume: bool,
+    /// Stop the run at this epoch boundary after sealing its cut
+    /// (`0` = run to completion). The halted fleet's disks are exactly
+    /// what [`DurableConfig::resume`] restarts from — the two knobs
+    /// together simulate a whole-fleet power loss.
+    pub halt_at_boundary: u64,
+}
+
+impl DurableConfig {
+    /// Is the epoch log active at all?
+    pub fn enabled(&self) -> bool {
+        self.log_dir.is_some()
+    }
+}
+
+impl Default for DurableConfig {
+    fn default() -> Self {
+        DurableConfig {
+            log_dir: None,
+            snapshot_every: 4,
+            recover_from_disk: false,
+            resume: false,
+            halt_at_boundary: 0,
+        }
+    }
+}
+
 /// Full engine configuration.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StoreConfig {
@@ -238,6 +292,10 @@ pub struct StoreConfig {
     /// Observability: tracing opt-in and bounds (metrics are always
     /// on). See `docs/OBSERVABILITY.md`.
     pub obs: ObsConfig,
+    /// Durability: the per-worker epoch log, snapshots, and the
+    /// disk-based restart paths (default: all off). See
+    /// `docs/DURABILITY.md`.
+    pub durable: DurableConfig,
 }
 
 impl Default for StoreConfig {
@@ -253,6 +311,7 @@ impl Default for StoreConfig {
             sharding: ShardConfig::full(),
             chaos: FaultPlan::new(),
             obs: ObsConfig::default(),
+            durable: DurableConfig::default(),
         }
     }
 }

@@ -77,6 +77,7 @@
 use crate::chaos::{ChaosSchedule, CrashSpan};
 use crate::codec::PayloadCodec;
 use crate::config::{Mode, StoreConfig};
+use crate::durable::{self, EpochLog, SealInfo};
 use crate::objects::ObjectTable;
 use crate::record::{verify_shard_windows, OwnEvent, WindowRecord, WindowRecorder};
 use crate::shard::ShardMap;
@@ -85,8 +86,8 @@ use crate::stats::{
     StoreReport, WindowVerdict, WorkerStats,
 };
 use crate::wire::{
-    batch_bytes, nack_bytes, read_reply_bytes, read_req_bytes, repair_bytes, sync_bytes, BatchMsg,
-    ShardSyncPayload, StoreMsg, WireOp,
+    batch_bytes, delta_bytes, nack_bytes, read_reply_bytes, read_req_bytes, repair_bytes,
+    sync_bytes, sync_req_bytes, BatchMsg, ShardDeltaPayload, ShardSyncPayload, StoreMsg, WireOp,
 };
 use cbm_adt::space::{ObjectSpace, SpaceInput};
 use cbm_adt::Adt;
@@ -107,6 +108,7 @@ use cbm_obs::{
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Barrier};
@@ -140,6 +142,11 @@ struct Coordinator {
     /// here could strand a peer waiting for a retransmission from a
     /// worker already parked at the barrier.
     done: [AtomicU64; 2],
+    /// Cold-start agreement: each worker publishes the boundary epoch
+    /// its own disk can serve (0 = none). The fleet resumes only from
+    /// a boundary *every* disk sealed — a cut is a fleet-wide property,
+    /// so any disagreement falls back to a fresh run.
+    resume_epoch: Vec<AtomicU64>,
 }
 
 impl Coordinator {
@@ -152,6 +159,7 @@ impl Coordinator {
             divergences: AtomicU64::new(0),
             arrive: [AtomicU64::new(0), AtomicU64::new(0)],
             done: [AtomicU64::new(0), AtomicU64::new(0)],
+            resume_epoch: (0..n).map(|_| AtomicU64::new(0)).collect(),
         }
     }
 }
@@ -241,9 +249,9 @@ struct EpochSnap {
 pub fn run<T, G>(adt: &T, cfg: &StoreConfig, gen: G) -> StoreReport
 where
     T: Adt + Clone + Send + Sync,
-    T::Input: Send + Sync,
+    T::Input: PayloadCodec + Send + Sync,
     T::Output: Send,
-    T::State: Send + Sync,
+    T::State: PayloadCodec + Send + Sync,
     G: Fn(NodeId, u64, &mut StdRng) -> SpaceInput<T::Input> + Sync,
 {
     let n = cfg.workers.max(1);
@@ -287,15 +295,24 @@ fn run_on<T, G, E>(
 ) -> StoreReport
 where
     T: Adt + Clone + Send + Sync,
-    T::Input: Send + Sync,
+    T::Input: PayloadCodec + Send + Sync,
     T::Output: Send,
-    T::State: Send + Sync,
+    T::State: PayloadCodec + Send + Sync,
     G: Fn(NodeId, u64, &mut StdRng) -> SpaceInput<T::Input> + Sync,
     E: EndpointApi<StoreMsg<T::Input, T::Output, T::State>>,
 {
     let n = cfg.workers.max(1);
     let map = ShardMap::build(cfg);
     let sched = ChaosSchedule::build(cfg);
+    if cfg.durable.resume || cfg.durable.halt_at_boundary != 0 {
+        // the resume/halt pair models a cold fleet restart; combining
+        // it with a chaos plan would make the replayed script prefix
+        // ambiguous (crashed epochs issue no ops)
+        assert!(
+            !sched.is_active(),
+            "durable resume/halt cannot be combined with a chaos plan"
+        );
+    }
     // tracing is opt-in, but chaos runs always fly the recorder — their
     // failures are what it exists to explain
     let tracing = cfg.obs.trace || sched.is_active();
@@ -633,6 +650,15 @@ impl<T: Adt + Clone> EngineMonitor<T> {
         }
     }
 
+    /// Seed the counters from a persisted snapshot (durable restart).
+    fn seed_stats(&mut self, s: MonitorStats) {
+        match self {
+            EngineMonitor::Off => {}
+            EngineMonitor::Cc(m) => m.seed_stats(s),
+            EngineMonitor::Ccv(m) => m.seed_stats(s),
+        }
+    }
+
     fn stats(&self) -> MonitorStats {
         match self {
             EngineMonitor::Off => MonitorStats::default(),
@@ -646,6 +672,18 @@ impl<T: Adt + Clone> EngineMonitor<T> {
 /// generic over the underlying transport `E` (thread channels or TCP).
 type WorkerEndpoint<T, E> =
     ChaosEndpoint<StoreMsg<<T as Adt>::Input, <T as Adt>::Output, <T as Adt>::State>, E>;
+
+/// Ops retained for one crashed worker's disk-based tail fetch: from
+/// its crash cut (where its own log replay lands) to its recovery
+/// boundary, this helper records every op it applies to the shards it
+/// was elected to serve, so the recoverer can fetch just the delta
+/// instead of a full state transfer (`docs/DURABILITY.md`).
+struct RetainBuf<I> {
+    /// The crashed worker this buffer serves.
+    for_worker: NodeId,
+    /// `(shard, ops applied to it since the crash cut, apply order)`.
+    ops: Vec<(u32, Vec<WireOp<I>>)>,
+}
 
 struct Worker<'a, T: Adt, E> {
     adt: &'a T,
@@ -683,6 +721,23 @@ struct Worker<'a, T: Adt, E> {
     repaired_batches: u64,
     discarded: u64,
     recoveries: Vec<RecoveryStats>,
+    /// Durable epoch log appender (`Some` when `durable.log_dir` is
+    /// set): own-op and delivered-batch records stream in, each drain
+    /// cut seals with an fsync, boundary seals snapshot-compact on the
+    /// configured cadence. See `docs/DURABILITY.md`.
+    dlog: Option<EpochLog>,
+    /// The per-run log directory (recovery replays from it).
+    dlog_dir: Option<PathBuf>,
+    /// In-run crash recovery goes through the disk ladder (own log
+    /// replay + co-replica delta fetch) instead of full state transfer.
+    disk_recovery: bool,
+    /// Active retention buffers: one per crash span this worker is an
+    /// elected delta helper for.
+    retain: Vec<RetainBuf<T::Input>>,
+    /// Recovery-phase handshakes that arrived while this worker was
+    /// blocked on a different span's handshake (simultaneous spans).
+    #[allow(clippy::type_complexity)]
+    stash: Vec<(NodeId, StoreMsg<T::Input, T::Output, T::State>)>,
     /// Inline streaming monitor (`Off` unless `verify.monitor`).
     monitor: EngineMonitor<T>,
     /// Escalations the monitor raised, in op order.
@@ -738,9 +793,9 @@ struct Worker<'a, T: Adt, E> {
 impl<'a, T, E> Worker<'a, T, E>
 where
     T: Adt + Clone + Sync,
-    T::Input: Send + Sync,
+    T::Input: PayloadCodec + Send + Sync,
     T::Output: Send,
-    T::State: Send + Sync,
+    T::State: PayloadCodec + Send + Sync,
     E: EndpointApi<StoreMsg<T::Input, T::Output, T::State>>,
 {
     #[allow(clippy::too_many_arguments)]
@@ -764,6 +819,12 @@ where
             .wrapping_add(me as u64)
             ^ 0xC4A0_5C4A_05C4_A05C;
         let tracing = cfg.obs.trace || sched.is_active();
+        let dlog_dir = cfg.durable.log_dir.as_ref().map(PathBuf::from);
+        // resume keeps the on-disk log/snapshot (the restart replays
+        // them); every other run starts from truncated files
+        let dlog = dlog_dir.as_ref().map(|d| {
+            EpochLog::open(d, me, !cfg.durable.resume).expect("open the durable epoch log")
+        });
         let mut ep = ChaosEndpoint::new(ep, chaos_seed);
         if tracing {
             // faults become trace events; the buffer drains at every
@@ -805,6 +866,11 @@ where
             repaired_batches: 0,
             discarded: 0,
             recoveries: Vec::new(),
+            disk_recovery: dlog.is_some() && cfg.durable.recover_from_disk,
+            dlog,
+            dlog_dir,
+            retain: Vec::new(),
+            stash: Vec::new(),
             monitor: EngineMonitor::new(adt, cfg, me),
             escalations: Vec::new(),
             epoch_spans_recovery: false,
@@ -989,26 +1055,59 @@ where
                 .seed
                 .wrapping_add((self.me as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
         );
-        for e in 0..self.sched.n_epochs {
-            self.epoch_boundary(e);
+        let start = if self.cfg.durable.resume && self.dlog.is_some() {
+            let r = self.resume_from_disk();
+            // the op script is positional: burn the replayed prefix so
+            // the RNG stream continues exactly where the halted run's
+            // generator stood
+            for i in 0..self.issued {
+                let _ = gen(self.me, i, &mut rng);
+            }
+            r
+        } else {
+            0
+        };
+        let halt = self.cfg.durable.halt_at_boundary;
+        let mut halted = false;
+        for e in start..self.sched.n_epochs {
+            if halt != 0 && e == halt && e > start {
+                // deterministic power loss: perform the boundary cut
+                // (drain + fsync'd seal) and stop without opening
+                // epoch e's window — the sealed disks are what a
+                // `resume` run restarts from
+                self.halt_boundary(e);
+                halted = true;
+                break;
+            }
+            if e == start && e > 0 {
+                // re-entry lands mid-run: the resumed cut already *is*
+                // the boundary drain, so only the per-epoch setup runs
+                self.vtime = e * self.sched.every_ops as u64;
+                self.advance_faults();
+                self.read_route = self.compute_read_route(e);
+            } else {
+                self.epoch_boundary(e);
+            }
             let my_ops = self.sched.ops_of(self.me, e);
             let quota = self.window_quota(e, my_ops);
             for _ in 0..quota {
                 self.step(gen, &mut rng);
             }
-            if e > 0 {
-                self.close_window();
+            if e > start {
+                self.close_window(e);
             }
             for _ in quota..my_ops {
                 self.step(gen, &mut rng);
             }
         }
-        self.final_drain();
-        assert_eq!(
-            self.issued as usize, self.cfg.ops_per_worker,
-            "worker {} finished with an incomplete script",
-            self.me
-        );
+        if !halted {
+            self.final_drain();
+            assert_eq!(
+                self.issued as usize, self.cfg.ops_per_worker,
+                "worker {} finished with an incomplete script",
+                self.me
+            );
+        }
 
         let stats = WorkerStats {
             worker: self.me,
@@ -1051,6 +1150,116 @@ where
             escalations: std::mem::take(&mut self.escalations),
             mon_ns: self.mon_ns,
         }
+    }
+
+    /// Cold fleet restart ([`crate::config::DurableConfig::resume`]):
+    /// replay this worker's snapshot + log tail, agree fleet-wide on
+    /// the boundary every disk sealed, install that cut, and return
+    /// the epoch to resume from. Returns 0 (a fresh full run, disks
+    /// wiped) when any disk is torn, stale, or disagreeing — the cut
+    /// is a fleet-wide property, so resuming from mismatched epochs
+    /// would replay mismatched script prefixes.
+    fn resume_from_disk(&mut self) -> u64 {
+        let dir = self.dlog_dir.clone().expect("resume implies a log dir");
+        let rec = durable::recover::<T>(
+            self.adt,
+            &dir,
+            self.me,
+            self.cfg.objects.max(1),
+            self.cfg.mode,
+        )
+        .ok()
+        // only epoch-boundary cuts strictly inside the run are
+        // resumable: mid-window cuts would land inside a recorded
+        // window, and a final-drain seal means there is nothing left
+        .filter(|r| r.seal.boundary && r.seal.epoch > 0 && r.seal.epoch < self.sched.n_epochs);
+        let claim = rec.as_ref().map(|r| r.seal.epoch).unwrap_or(0);
+        self.coord.resume_epoch[self.me].store(claim, Ordering::SeqCst);
+        self.coord.barrier.wait(); // claims published
+        let n = self.ep.cluster_size();
+        let agreed =
+            (0..n).all(|q| self.coord.resume_epoch[q].load(Ordering::SeqCst) == claim) && claim > 0;
+        if !agreed {
+            // fall back to a fresh run: wipe this worker's files so the
+            // new run's log does not append onto a stale prefix
+            self.dlog =
+                Some(EpochLog::open(&dir, self.me, true).expect("reopen the epoch log fresh"));
+            return 0;
+        }
+        let t = Instant::now();
+        let rec = rec.expect("agreed implies a local replay");
+        self.table.install(&rec.states);
+        self.issued = rec.seal.issued;
+        debug_assert_eq!(
+            self.issued,
+            claim * self.sched.every_ops as u64,
+            "a fault-free boundary cut pins the script position"
+        );
+        self.clock = LamportClock::new();
+        self.clock.observe(rec.seal.lamport);
+        if self.monitor.enabled() {
+            // shadows restart from the installed cut states; counters
+            // continue from the persisted totals
+            for &s in self.map.hosted(self.me) {
+                let states = self.table.shard_snapshot(self.map.slots_of(s));
+                for (slot, st) in self.map.slots_of(s).zip(states.iter()) {
+                    self.monitor.install_slot(slot, st);
+                }
+            }
+            self.monitor.seed_stats(rec.seal.monitor);
+            self.monitor.resync();
+        }
+        // compact the resumed cut into a fresh snapshot: the log prefix
+        // it replaced is gone and a second restart replays only this.
+        // The delivered frontier restarts at zero with the fresh
+        // causal layer — frontiers are per-run, the cut state is not.
+        let seal = SealInfo {
+            epoch: claim,
+            boundary: true,
+            issued: self.issued,
+            lamport: self.clock.now(),
+            delivered: vec![0; n],
+            state_hash: self.table.state_hash(),
+            monitor: self.monitor.stats(),
+        };
+        let snap = self.table.snapshot();
+        let log = self.dlog.as_mut().expect("resume implies a log");
+        log.snapshot(&seal, &snap)
+            .expect("snapshot the resumed cut");
+        // per-epoch delta rows and traces restart at the resumed cut
+        self.prev = self.counters_snap();
+        self.trace_epoch = claim;
+        // the replay is a recovery row (helper = self: no co-replica
+        // involved), which is what feeds the report's replayed-records
+        // and log-bytes columns
+        self.recoveries.push(RecoveryStats {
+            worker: self.me,
+            crash_epoch: claim,
+            recover_epoch: claim,
+            helper: self.me,
+            synced_shards: 0,
+            synced_objects: 0,
+            sync_wall_ns: t.elapsed().as_nanos() as u64,
+            replayed_records: rec.replayed_records,
+            log_bytes: rec.log_bytes,
+        });
+        claim
+    }
+
+    /// Deterministic power loss at boundary `e`
+    /// ([`crate::config::DurableConfig::halt_at_boundary`]): run the
+    /// boundary cut — drain, fsync'd seal, compaction, convergence
+    /// check, metrics row — then stop without opening epoch `e`'s
+    /// window. Publishes the cut's state hash so the halted report
+    /// still carries final-state evidence.
+    fn halt_boundary(&mut self, e: u64) {
+        self.vtime = e * self.sched.every_ops as u64;
+        self.advance_faults();
+        self.quiesce(false, (e, true));
+        self.compact_and_check_convergence(e);
+        self.seal_epoch(e - 1);
+        self.flush_epoch_metrics(e - 1);
+        self.coord.hashes[self.me].store(self.table.state_hash(), Ordering::SeqCst);
     }
 
     /// Own events this worker records in epoch `e`'s window.
@@ -1117,7 +1326,7 @@ where
 
         // the boundary drain: a worker crashing *at* this boundary
         // still participates normally — the drain is its cut
-        self.quiesce(was_crashed);
+        self.quiesce(was_crashed, (e, true));
 
         // liveness flags for the coming epoch (deterministic: every
         // worker derives them from the shared schedule)
@@ -1132,7 +1341,11 @@ where
         if !recoveries.is_empty() {
             for span in &recoveries {
                 if span.worker != self.me {
-                    self.serve_shard_sync(span);
+                    if self.disk_recovery {
+                        self.serve_shard_sync_disk(span);
+                    } else {
+                        self.serve_shard_sync(span);
+                    }
                     // envelopes stamped for the worker while it was
                     // down consumed delta state but were dropped, and
                     // its decode baselines restart from zero at resync:
@@ -1145,6 +1358,34 @@ where
                 }
             }
             self.coord.barrier.wait(); // transfers complete
+            debug_assert!(self.stash.is_empty(), "unconsumed recovery handshakes");
+        }
+
+        // disk recovery: start retaining ops for each worker crashing
+        // at this cut. Its own log replays exactly to this boundary,
+        // so what this helper applies from here to the recovery
+        // boundary is precisely the delta it will fetch. Activation
+        // runs *after* the recovery block: delta ops installed above
+        // are all pre-cut and must not leak into a new buffer.
+        if self.disk_recovery && !self.crashed {
+            let (sched, map) = (self.sched, self.map);
+            for span in sched.crashes_at(e) {
+                if span.worker == self.me {
+                    continue;
+                }
+                let shards: Vec<(u32, Vec<WireOp<T::Input>>)> = map
+                    .hosted(span.worker)
+                    .iter()
+                    .filter(|&&s| sched.shard_helper(span, map.replicas(s)) == Some(self.me))
+                    .map(|&s| (s as u32, Vec::new()))
+                    .collect();
+                if !shards.is_empty() {
+                    self.retain.push(RetainBuf {
+                        for_worker: span.worker,
+                        ops: shards,
+                    });
+                }
+            }
         }
 
         self.compact_and_check_convergence(e);
@@ -1209,6 +1450,15 @@ where
         if is_update {
             self.updates += 1;
             self.table.apply_update(self.adt, obj, ts, &op.input);
+            if let Some(log) = self.dlog.as_mut() {
+                // reads are pure and replay from state; only the
+                // applied update needs a log record
+                log.log_own(obj, ts, &op.input)
+                    .expect("append an own-update record");
+            }
+            if !self.retain.is_empty() {
+                self.retain_op(obj, ts, &op.input);
+            }
         } else {
             self.reads += 1;
         }
@@ -1453,6 +1703,12 @@ where
                 debug_assert!(false, "unexpected ShardSync outside recovery");
                 self.discarded += 1;
             }
+            StoreMsg::SyncReq { .. } | StoreMsg::ShardDelta(_) => {
+                // the disk-recovery handshake lives entirely inside the
+                // boundary's recovery phase; anywhere else is a bug
+                debug_assert!(false, "recovery handshake outside the recovery phase");
+                self.discarded += 1;
+            }
         }
         None
     }
@@ -1468,11 +1724,34 @@ where
         got_any
     }
 
+    /// Record one applied update into every active retention buffer
+    /// whose served shards include the op's shard — the material of a
+    /// crashed worker's disk-recovery delta fetch.
+    fn retain_op(&mut self, obj: u32, ts: Timestamp, input: &T::Input) {
+        let shard = self.map.shard_of(obj) as u32;
+        for buf in self.retain.iter_mut() {
+            if let Some((_, ops)) = buf.ops.iter_mut().find(|(s, _)| *s == shard) {
+                ops.push(WireOp {
+                    obj,
+                    input: input.clone(),
+                    ts,
+                    wseq: None,
+                });
+            }
+        }
+    }
+
     /// Deliver one batch envelope through the interest causal layer.
     fn deliver(&mut self, env: BatchMsg<T::Input>) {
         for batch in self.proto.on_receive(env) {
             self.batches_delivered += 1;
             let sender = batch.sender;
+            if let Some(log) = self.dlog.as_mut() {
+                // one record per causally-delivered batch: replay
+                // re-applies it in the same delivery order
+                log.log_batch(sender, batch.seq, &batch.payload)
+                    .expect("append a delivered-batch record");
+            }
             if self.trace_batches() && self.sample_batch(batch.seq) {
                 let mut sp = Span::new(
                     SpanKind::Deliver,
@@ -1509,10 +1788,50 @@ where
                     }
                 }
                 self.recorder.on_remote(sender, op.wseq);
+                if !self.retain.is_empty() {
+                    self.retain_op(op.obj, op.ts, &op.input);
+                }
             }
         }
         self.peak_buffered = self.peak_buffered.max(self.proto.buffered());
         self.peak_suppression = self.peak_suppression.max(self.proto.suppression_len());
+    }
+
+    /// This worker's cut descriptor for a durable seal: everything a
+    /// restart needs to continue from the cut (script position,
+    /// Lamport clock, delivered frontier, state hash, monitor
+    /// counters).
+    fn seal_info(&self, epoch: u64, boundary: bool) -> SealInfo {
+        SealInfo {
+            epoch,
+            boundary,
+            issued: self.issued,
+            lamport: self.clock.now(),
+            delivered: self.proto.delivered_edges().to_vec(),
+            state_hash: self.table.state_hash(),
+            monitor: self.monitor.stats(),
+        }
+    }
+
+    /// Seal the just-completed cut in the durable epoch log (one
+    /// fsync), and compact into a snapshot when the boundary cadence
+    /// says so. No-op without a log.
+    fn durable_seal(&mut self, epoch: u64, boundary: bool) {
+        if self.dlog.is_none() {
+            return;
+        }
+        let seal = self.seal_info(epoch, boundary);
+        let every = self.cfg.durable.snapshot_every;
+        let log = self.dlog.as_mut().expect("checked above");
+        let compact = log.seal(&seal, every).expect("seal the epoch log");
+        if compact {
+            let snap = self.table.snapshot();
+            self.dlog
+                .as_mut()
+                .expect("checked above")
+                .snapshot(&seal, &snap)
+                .expect("write the epoch-log snapshot");
+        }
     }
 
     /// The drain: flush, publish the per-edge counts, then receive
@@ -1522,7 +1841,13 @@ where
     /// complete. A worker that spent the last epoch crashed
     /// (`discard`) drains and discards instead: its state is
     /// re-established by the recovery transfer, not by late delivery.
-    fn quiesce(&mut self, discard: bool) {
+    ///
+    /// `cut` is the drain's identity for the durable epoch log:
+    /// `(epoch, is_epoch_boundary)`. Live drains seal it with an fsync
+    /// once the closing barrier confirms the cut is complete
+    /// everywhere — the cut, not the record append, is the durability
+    /// unit (`docs/DURABILITY.md`).
+    fn quiesce(&mut self, discard: bool, cut: (u64, bool)) {
         let t = Instant::now();
         let n = self.ep.cluster_size();
         let parity = (self.quiesce_idx % 2) as usize;
@@ -1629,9 +1954,16 @@ where
             self.coord.done[1 - parity].store(0, Ordering::SeqCst);
         }
         self.coord.barrier.wait(); // globally drained
-                                   // the cut is complete everywhere: the repair logs are dead
-                                   // weight, and parked sends' payloads have been repaired (the
-                                   // partition itself stays in force for post-drain traffic)
+        if !discard {
+            // seal the cut on disk: every worker's drain is complete,
+            // so a restart replaying to this seal lands on a
+            // fleet-wide consistent cut. Crashed-discard drains write
+            // nothing — their log stays frozen at the crash cut.
+            self.durable_seal(cut.0, cut.1);
+        }
+        // the cut is complete everywhere: the repair logs are dead
+        // weight, and parked sends' payloads have been repaired (the
+        // partition itself stays in force for post-drain traffic)
         for log in self.epoch_sent.iter_mut() {
             log.clear();
         }
@@ -1682,10 +2014,72 @@ where
             .send_reliable(span.worker, StoreMsg::ShardSync(Box::new(payload)), bytes);
     }
 
-    /// Recovering side: install every hosted shard's state from its
-    /// helper, then resync the causal layer straight off the drain's
-    /// published edge matrix — the drain *is* the cut, so no envelope
-    /// replay is needed.
+    /// Disk-mode helper side: wait for the recoverer's handshake, then
+    /// ship either the retained op delta past its replayed crash cut
+    /// (`full = false`) or — when its disk was torn or stale — the
+    /// full post-drain shard states, exactly as the memory path does.
+    fn serve_shard_sync_disk(&mut self, span: &CrashSpan) {
+        let elected = self
+            .map
+            .hosted(span.worker)
+            .iter()
+            .any(|&s| self.sched.shard_helper(span, self.map.replicas(s)) == Some(self.me));
+        let buf = self
+            .retain
+            .iter()
+            .position(|b| b.for_worker == span.worker)
+            .map(|i| self.retain.swap_remove(i));
+        if !elected {
+            debug_assert!(buf.is_none(), "a retention buffer with no election");
+            return;
+        }
+        if self.wait_sync_req(span.worker) {
+            self.serve_shard_sync(span);
+        } else {
+            let buf = buf.expect("every elected helper activated a retention buffer");
+            let payload = ShardDeltaPayload {
+                shards: buf.ops,
+                lamport: self.clock.now(),
+            };
+            let bytes = delta_bytes(&payload);
+            self.ep
+                .send_reliable(span.worker, StoreMsg::ShardDelta(Box::new(payload)), bytes);
+        }
+    }
+
+    /// Block until `worker`'s recovery handshake arrives and return its
+    /// `full` flag. Handshakes from *other* simultaneous recoverers are
+    /// stashed for the spans served later in the boundary's span list;
+    /// nothing else can arrive — every worker is inside the recovery
+    /// phase, past the drain's closing barrier.
+    fn wait_sync_req(&mut self, worker: NodeId) -> bool {
+        if let Some(i) = self
+            .stash
+            .iter()
+            .position(|(from, m)| *from == worker && matches!(m, StoreMsg::SyncReq { .. }))
+        {
+            match self.stash.swap_remove(i).1 {
+                StoreMsg::SyncReq { full } => return full,
+                _ => unreachable!("position matched a SyncReq"),
+            }
+        }
+        loop {
+            match self.ep.recv() {
+                Some((from, StoreMsg::SyncReq { full })) if from == worker => return full,
+                Some(other) => self.stash.push(other),
+                None => unreachable!("mesh closed during the recovery handshake"),
+            }
+        }
+    }
+
+    /// Recovering side: the recovery ladder of `docs/DURABILITY.md`.
+    /// Without a disk, install every hosted shard's state from its
+    /// helper (full transfer). With one, replay the own snapshot + log
+    /// tail first — a clean replay to the crash cut downgrades the
+    /// fetch to per-shard op deltas; a torn or stale disk falls back to
+    /// the full transfer. Either way the causal layer then resyncs
+    /// straight off the drain's published edge matrix — the drain *is*
+    /// the cut, so no envelope replay is needed.
     fn receive_shard_sync(&mut self, span: &CrashSpan) {
         let t = Instant::now();
         let expected: std::collections::HashSet<NodeId> = self
@@ -1698,12 +2092,55 @@ where
                     .expect("validated: every hosted shard has a live helper")
             })
             .collect();
+        let mut full = true;
+        let (mut replayed_records, mut log_bytes) = (0u64, 0u64);
+        if self.disk_recovery {
+            // rung 1: replay this worker's own disk, exactly as a real
+            // process restart would (the in-memory replica is
+            // discarded, not reused)
+            let dir = self.dlog_dir.as_ref().expect("disk recovery has a dir");
+            match durable::recover::<T>(
+                self.adt,
+                dir,
+                self.me,
+                self.cfg.objects.max(1),
+                self.cfg.mode,
+            ) {
+                Ok(rec) if rec.seal.boundary && rec.seal.epoch == span.crash_epoch => {
+                    debug_assert_eq!(
+                        rec.seal.issued, self.issued,
+                        "the sealed script position matches the paused script"
+                    );
+                    let mut table =
+                        ObjectTable::new(self.adt, self.cfg.objects.max(1), self.cfg.mode);
+                    table.install(&rec.states);
+                    self.table = table;
+                    self.clock = LamportClock::new();
+                    self.clock.observe(rec.seal.lamport);
+                    replayed_records = rec.replayed_records;
+                    log_bytes = rec.log_bytes;
+                    full = false;
+                }
+                // torn, corrupt, or sealed at the wrong cut: rung 3,
+                // the full co-replica state transfer
+                _ => {}
+            }
+            // handshake each helper (deterministic order) *before*
+            // blocking on their responses
+            let mut helpers: Vec<NodeId> = expected.iter().copied().collect();
+            helpers.sort_unstable();
+            for h in helpers {
+                self.ep
+                    .send_reliable(h, StoreMsg::SyncReq { full }, sync_req_bytes());
+            }
+        }
         let (mut synced_shards, mut synced_objects) = (0u64, 0u64);
         let mut served = 0usize;
         while served < expected.len() {
             match self.ep.recv() {
                 Some((from, StoreMsg::ShardSync(payload))) => {
                     debug_assert!(expected.contains(&from), "sync from a non-helper");
+                    debug_assert!(full, "a full transfer was not requested");
                     let p = *payload;
                     for (s, states) in &p.shards {
                         synced_shards += 1;
@@ -1725,8 +2162,41 @@ where
                     self.clock.observe(p.lamport);
                     served += 1;
                 }
+                Some((from, StoreMsg::ShardDelta(payload))) => {
+                    // rung 2: the outage-window op delta, applied onto
+                    // the cut state the disk replay just installed
+                    debug_assert!(expected.contains(&from), "delta from a non-helper");
+                    debug_assert!(!full, "a delta was not requested");
+                    let p = *payload;
+                    for (_, ops) in &p.shards {
+                        synced_shards += 1;
+                        synced_objects += ops.len() as u64;
+                        for op in ops {
+                            self.clock.observe(op.ts.time);
+                            self.table.apply_update(self.adt, op.obj, op.ts, &op.input);
+                        }
+                    }
+                    self.clock.observe(p.lamport);
+                    served += 1;
+                }
+                Some((from, msg @ StoreMsg::SyncReq { .. })) => {
+                    // another simultaneous recoverer's handshake, for a
+                    // span this worker serves later in the span list
+                    self.stash.push((from, msg));
+                }
                 Some(_) => self.discarded += 1, // pre-recovery straggler
                 None => unreachable!("mesh closed during recovery"),
+            }
+        }
+        if self.disk_recovery && !full && self.monitor.enabled() {
+            // the delta path rebuilt the table, not the shadows: seed
+            // every hosted slot from the final recovered states (same
+            // contract as the install_slot calls on the full path)
+            for &s in self.map.hosted(self.me) {
+                let states = self.table.shard_snapshot(self.map.slots_of(s));
+                for (slot, st) in self.map.slots_of(s).zip(states.iter()) {
+                    self.monitor.install_slot(slot, st);
+                }
             }
         }
         let n = self.ep.cluster_size();
@@ -1740,6 +2210,17 @@ where
         self.monitor.resync();
         for log in self.epoch_sent.iter_mut() {
             log.clear(); // pre-crash sends are all below the cut
+        }
+        if self.dlog.is_some() {
+            // the log froze at the crash cut and the outage left a gap
+            // it can never describe; compact the recovered cut into a
+            // fresh snapshot so appending resumes from a sound base
+            let seal = self.seal_info(span.recover_epoch, true);
+            let snap = self.table.snapshot();
+            if let Some(dlog) = self.dlog.as_mut() {
+                dlog.snapshot(&seal, &snap)
+                    .expect("snapshot the recovered cut");
+            }
         }
         if self.tracer.enabled() {
             let mut sp = Span::new(
@@ -1763,14 +2244,17 @@ where
             synced_shards,
             synced_objects,
             sync_wall_ns: t.elapsed().as_nanos() as u64,
+            replayed_records,
+            log_bytes,
         });
     }
 
     /// A worker met its window quota: drain so the window is closed
     /// everywhere, then hand the record to the verifier. Crashed
-    /// workers already sent their placeholder at the open.
-    fn close_window(&mut self) {
-        self.quiesce(self.crashed);
+    /// workers already sent their placeholder at the open. `e` is the
+    /// epoch whose window closes (the mid-epoch cut's log identity).
+    fn close_window(&mut self, e: u64) {
+        self.quiesce(self.crashed, (e, false));
         if self.recorder.active() {
             let record = self.recorder.finish(self.me);
             // a failed channel send only means the verifier died;
@@ -1786,7 +2270,7 @@ where
         self.vtime = self.sched.n_epochs * self.sched.every_ops as u64;
         self.advance_faults();
         debug_assert!(!self.crashed, "schedule must recover everyone");
-        self.quiesce(false);
+        self.quiesce(false, (self.sched.n_epochs, true));
         self.compact_and_check_convergence(self.sched.n_epochs);
         // seal past n_epochs-1 so fault events stamped at the final
         // boundary tick (epoch index n_epochs) are retained too

@@ -58,7 +58,9 @@
 //! ```
 //! use cbm_adt::register::{RegInput, Register};
 //! use cbm_adt::space::SpaceInput;
-//! use cbm_store::{run, BatchPolicy, Mode, ObsConfig, ShardConfig, StoreConfig, VerifyConfig};
+//! use cbm_store::{
+//!     run, BatchPolicy, DurableConfig, Mode, ObsConfig, ShardConfig, StoreConfig, VerifyConfig,
+//! };
 //! use cbm_net::fault::FaultPlan;
 //! use rand::Rng;
 //!
@@ -73,6 +75,7 @@
 //!     sharding: ShardConfig::full(),
 //!     chaos: FaultPlan::new(),
 //!     obs: ObsConfig::default(),
+//!     durable: DurableConfig::default(),
 //! };
 //! let report = run(&Register, &cfg, |_, _, rng| {
 //!     let obj = rng.gen_range(0u32..8);
@@ -92,6 +95,7 @@
 pub mod chaos;
 pub mod codec;
 pub mod config;
+pub mod durable;
 pub mod engine;
 pub mod objects;
 pub mod record;
@@ -100,7 +104,9 @@ pub mod stats;
 pub mod wire;
 
 pub use chaos::{profile, ChaosSchedule, CrashSpan, PROFILE_NAMES};
-pub use config::{BatchPolicy, Mode, ObsConfig, ShardConfig, StoreConfig, VerifyConfig};
+pub use config::{
+    BatchPolicy, DurableConfig, Mode, ObsConfig, ShardConfig, StoreConfig, VerifyConfig,
+};
 pub use engine::{run, run_tcp};
 pub use shard::ShardMap;
 pub use stats::{

@@ -117,6 +117,15 @@ pub struct RecoveryStats {
     /// Wall-clock duration of the state transfer at the recovering
     /// worker (receive + install + replay); nondeterministic.
     pub sync_wall_ns: u64,
+    /// Records replayed from the worker's own durable epoch log
+    /// (snapshot counts as one; 0 on the memory-only path).
+    /// Deterministic: one record per own update, delivered batch, and
+    /// seal up to the crash cut.
+    pub replayed_records: u64,
+    /// Bytes read back from disk for that replay (snapshot + log
+    /// prefix; 0 on the memory-only path). Deterministic — the epoch
+    /// log's framing is a pure function of the ops it records.
+    pub log_bytes: u64,
 }
 
 /// One streaming-monitor suspicion escalated to the exact checkers

@@ -47,6 +47,21 @@ pub struct ShardSyncPayload<S> {
     pub lamport: u64,
 }
 
+/// Disk-based crash-recovery tail fetch: the per-shard op delta past a
+/// recovering replica's persisted frontier. When the recoverer replayed
+/// its own epoch log cleanly to the crash cut
+/// (`docs/DURABILITY.md`), each helper ships only the ops it applied to
+/// the served shards during the outage window instead of the full
+/// [`ShardSyncPayload`] state transfer.
+#[derive(Debug, Clone)]
+pub struct ShardDeltaPayload<I> {
+    /// `(shard, the ops applied to it since the crash cut, in the
+    /// helper's apply order)`.
+    pub shards: Vec<(u32, Vec<WireOp<I>>)>,
+    /// The helper's Lamport time (arbitration safety margin).
+    pub lamport: u64,
+}
+
 /// Everything the engine moves over the transport.
 #[derive(Debug, Clone)]
 pub enum StoreMsg<I, O, S> {
@@ -79,6 +94,17 @@ pub enum StoreMsg<I, O, S> {
         /// The serving replica's output.
         output: O,
     },
+    /// A disk-recovering replica's opening handshake to each elected
+    /// helper (reliable): `full = false` requests the op delta past its
+    /// replayed crash cut ([`StoreMsg::ShardDelta`]); `full = true`
+    /// means its disk was torn or stale and it needs the full
+    /// [`StoreMsg::ShardSync`] state transfer.
+    SyncReq {
+        /// Fall back to a full state transfer?
+        full: bool,
+    },
+    /// The delta answer to `SyncReq { full: false }` (reliable).
+    ShardDelta(Box<ShardDeltaPayload<I>>),
 }
 
 /// Wire size of a batch envelope: the **exact** varint-encoded causal
@@ -118,6 +144,23 @@ pub fn sync_bytes<S>(p: &ShardSyncPayload<S>) -> usize {
     p.shards
         .iter()
         .map(|(_, states)| 4 + states.len() * std::mem::size_of::<S>())
+        .sum::<usize>()
+        + 8
+}
+
+/// Estimated wire size of a recovery handshake (sender + tag + flag).
+pub fn sync_req_bytes() -> usize {
+    2 + 1 + 1
+}
+
+/// Estimated wire size of a recovery op delta: shard ids plus each op
+/// at the same per-op charge as a batch envelope, and the Lamport
+/// stamp.
+pub fn delta_bytes<I>(p: &ShardDeltaPayload<I>) -> usize {
+    let per_op = 4 + 10 + 1 + std::mem::size_of::<I>();
+    p.shards
+        .iter()
+        .map(|(_, ops)| 4 + ops.len() * per_op)
         .sum::<usize>()
         + 8
 }
@@ -202,5 +245,19 @@ mod tests {
         assert_eq!(sync_bytes(&sync), 2 * (4 + 4 * 8) + 8);
         assert_eq!(read_req_bytes::<u32>(), 2 + 4 + 4);
         assert_eq!(read_reply_bytes::<u64>(), 2 + 8);
+        assert_eq!(sync_req_bytes(), 4);
+        let delta = ShardDeltaPayload::<u64> {
+            shards: vec![(
+                0,
+                vec![WireOp {
+                    obj: 0,
+                    input: 1u64,
+                    ts: Timestamp::ZERO,
+                    wseq: None,
+                }],
+            )],
+            lamport: 9,
+        };
+        assert_eq!(delta_bytes(&delta), 4 + (4 + 10 + 1 + 8) + 8);
     }
 }

@@ -15,8 +15,8 @@ use cbm_adt::register::{RegInput, Register};
 use cbm_adt::space::SpaceInput;
 use cbm_net::fault::{Fault, FaultPlan};
 use cbm_store::{
-    profile, run, BatchPolicy, Mode, ObsConfig, ShardConfig, StoreConfig, StoreReport,
-    VerifyConfig, PROFILE_NAMES,
+    profile, run, BatchPolicy, DurableConfig, Mode, ObsConfig, ShardConfig, StoreConfig,
+    StoreReport, VerifyConfig, PROFILE_NAMES,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -41,6 +41,7 @@ fn cfg(mode: Mode, workers: usize, ops: usize, seed: u64, chaos: FaultPlan) -> S
         sharding: ShardConfig::full(),
         chaos,
         obs: ObsConfig::default(),
+        durable: DurableConfig::default(),
     }
 }
 

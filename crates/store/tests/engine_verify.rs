@@ -6,7 +6,8 @@ use cbm_adt::register::{RegInput, Register};
 use cbm_adt::space::SpaceInput;
 use cbm_net::fault::FaultPlan;
 use cbm_store::{
-    run, BatchPolicy, Mode, ObsConfig, ShardConfig, StoreConfig, StoreReport, VerifyConfig,
+    run, BatchPolicy, DurableConfig, Mode, ObsConfig, ShardConfig, StoreConfig, StoreReport,
+    VerifyConfig,
 };
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -42,6 +43,7 @@ fn small_cfg(mode: Mode, batch: BatchPolicy) -> StoreConfig {
         sharding: ShardConfig::full(),
         chaos: FaultPlan::new(),
         obs: ObsConfig::default(),
+        durable: DurableConfig::default(),
     }
 }
 
@@ -161,6 +163,7 @@ fn single_worker_degenerates_gracefully() {
         sharding: ShardConfig::full(),
         chaos: FaultPlan::new(),
         obs: ObsConfig::default(),
+        durable: DurableConfig::default(),
     };
     let r = run(&Register, &cfg, reg_gen(8, 0.5));
     assert_healthy(&r);
@@ -185,6 +188,7 @@ fn sampling_disabled_still_completes() {
         sharding: ShardConfig::full(),
         chaos: FaultPlan::new(),
         obs: ObsConfig::default(),
+        durable: DurableConfig::default(),
     };
     let r = run(&Register, &cfg, reg_gen(16, 0.5));
     assert_eq!(r.total_ops, 3_000);

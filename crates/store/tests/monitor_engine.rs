@@ -14,7 +14,8 @@ use cbm_adt::register::{RegInput, Register};
 use cbm_adt::space::SpaceInput;
 use cbm_net::fault::FaultPlan;
 use cbm_store::{
-    profile, run, BatchPolicy, Mode, ObsConfig, ShardConfig, StoreConfig, StoreReport, VerifyConfig,
+    profile, run, BatchPolicy, DurableConfig, Mode, ObsConfig, ShardConfig, StoreConfig,
+    StoreReport, VerifyConfig,
 };
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -47,6 +48,7 @@ fn monitored_cfg(mode: Mode, workers: usize, seed: u64) -> StoreConfig {
         sharding: ShardConfig::full(),
         chaos: FaultPlan::new(),
         obs: ObsConfig::default(),
+        durable: DurableConfig::default(),
     }
 }
 

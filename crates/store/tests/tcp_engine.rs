@@ -10,7 +10,8 @@ use cbm_adt::register::{RegInput, Register};
 use cbm_adt::space::SpaceInput;
 use cbm_net::fault::FaultPlan;
 use cbm_store::{
-    run, run_tcp, BatchPolicy, Mode, ObsConfig, ShardConfig, StoreConfig, StoreReport, VerifyConfig,
+    run, run_tcp, BatchPolicy, DurableConfig, Mode, ObsConfig, ShardConfig, StoreConfig,
+    StoreReport, VerifyConfig,
 };
 use rand::Rng;
 
@@ -31,6 +32,7 @@ fn cfg(workers: usize, mode: Mode) -> StoreConfig {
         sharding: ShardConfig::full(),
         chaos: FaultPlan::new(),
         obs: ObsConfig::default(),
+        durable: DurableConfig::default(),
     }
 }
 

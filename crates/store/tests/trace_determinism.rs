@@ -13,7 +13,8 @@ use cbm_adt::space::SpaceInput;
 use cbm_obs::export::jsonl;
 use cbm_obs::{FlightRecord, SpanKind};
 use cbm_store::{
-    profile, run, BatchPolicy, Mode, ObsConfig, ShardConfig, StoreConfig, VerifyConfig,
+    profile, run, BatchPolicy, DurableConfig, Mode, ObsConfig, ShardConfig, StoreConfig,
+    VerifyConfig,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -50,6 +51,7 @@ fn cfg(workers: usize, rf: usize, mode: Mode, batch: usize, seed: u64) -> StoreC
             epoch_cap: 1_000_000,
             keep_epochs: 0,
         },
+        durable: DurableConfig::default(),
     }
 }
 

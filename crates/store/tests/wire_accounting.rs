@@ -16,7 +16,8 @@ use cbm_adt::space::SpaceInput;
 use cbm_net::fault::{Fault, FaultPlan};
 use cbm_store::wire::{read_reply_bytes, read_req_bytes};
 use cbm_store::{
-    run, BatchPolicy, Mode, ObsConfig, ShardConfig, StoreConfig, StoreReport, VerifyConfig,
+    run, BatchPolicy, DurableConfig, Mode, ObsConfig, ShardConfig, StoreConfig, StoreReport,
+    VerifyConfig,
 };
 use rand::rngs::StdRng;
 use rand::Rng;
@@ -61,6 +62,7 @@ fn bytes_are_exact_under_chaos_with_reliable_control() {
         sharding: ShardConfig::rf(2),
         chaos,
         obs: ObsConfig::default(),
+        durable: DurableConfig::default(),
     };
     let r = run(&Register, &cfg, |_, _, rng: &mut StdRng| {
         let obj = rng.gen_range(0u32..32);
